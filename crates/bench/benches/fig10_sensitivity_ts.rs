@@ -1,0 +1,33 @@
+//! Fig. 10 — sensitivity to the error-feedback threshold `T_S`, on CNN and
+//! DenseNet.
+//!
+//! The paper sweeps 0.1 → 100 and finds the same looser-is-faster trend as
+//! `T_R`, but with *significant accuracy degradation* at the top end
+//! (`T_S = 100` loses over 20% accuracy), because `T_S` directly bounds the
+//! accumulated prediction error. We sweep the paper's grid scaled by the
+//! laptop-profile factor (×10; see EXPERIMENTS.md).
+
+use fedsu_bench::{ablation_models, summary_line, Scale};
+use fedsu_repro::scenario::StrategyKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Fig. 10: sensitivity to T_S (error-feedback threshold) ==\n");
+
+    // Paper grid {0.1, 1, 10, 100} scaled by the quick-profile factor 10.
+    let grid = [1.0, 10.0, 100.0, 1000.0];
+
+    for workload in ablation_models(scale) {
+        println!("---- model: {} ----", workload.model.name());
+        for t_s in grid {
+            let mut experiment = workload
+                .scenario()
+                .build(StrategyKind::FedSuWith { t_r: 0.1, t_s })
+                .expect("build");
+            let result = experiment.run(None).expect("run");
+            println!("  T_S={t_s:<7} {}", summary_line(&result));
+        }
+        println!();
+    }
+    println!("Expectation (paper): sparsification grows with T_S, but an over-loose\nthreshold lets prediction error accumulate and accuracy deteriorates\nsignificantly at the top of the grid.");
+}

@@ -1,0 +1,51 @@
+//! Fig. 1 — evolution trajectories of randomly-selected parameters when
+//! training CNN and DenseNet, annotated with least-squares linearity (R²)
+//! over sliding segments. The paper's claim: trajectories exhibit strong
+//! linearity for large portions of training.
+
+use fedsu_bench::{Scale, Workload};
+use fedsu_metrics::{linear_fit, TrajectoryRecorder};
+use fedsu_repro::fl::RoundRecord;
+use fedsu_repro::scenario::{ModelKind, StrategyKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Fig. 1: parameter evolution trajectories (linearity) ==\n");
+
+    for model in [ModelKind::Cnn, ModelKind::DenseNet] {
+        let workload = Workload::for_model(model, scale);
+        let mut experiment = workload.scenario().build(StrategyKind::FedAvg).expect("build");
+        let n = experiment.param_count();
+
+        // Two randomly-selected scalar parameters, as in the paper.
+        let mut rng = StdRng::seed_from_u64(7);
+        let indices = [rng.gen_range(0..n), rng.gen_range(0..n)];
+        let mut recorder = TrajectoryRecorder::new(&indices);
+        let mut hook = |_r: &RoundRecord, g: &[f32]| recorder.observe(g);
+        experiment.run(Some(&mut hook)).expect("run");
+
+        println!("model={} params={} tracked={:?}", model.name(), n, indices);
+        for k in 0..indices.len() {
+            let traj = recorder.trajectory(k);
+            print!("param{k}:");
+            for v in traj {
+                print!(" {v:.5}");
+            }
+            println!();
+            // Segment-level linearity: R² of halves of the trajectory
+            // (the paper marks linear periods with dashed lines).
+            let half = traj.len() / 2;
+            let (first, second) = (linear_fit(&traj[..half]), linear_fit(&traj[half..]));
+            if let (Some(a), Some(b)) = (first, second) {
+                println!(
+                    "param{k} linearity: first-half r2={:.4} slope={:+.2e}; second-half r2={:.4} slope={:+.2e}",
+                    a.r_squared, a.slope, b.r_squared, b.slope
+                );
+            }
+        }
+        println!();
+    }
+    println!("Expectation (paper): high r2 (> ~0.9) over long segments, i.e.\nwidespread training periods with strong trajectory linearity.");
+}

@@ -1,0 +1,34 @@
+//! Fig. 9 — sensitivity to the linearity-diagnosis threshold `T_R`, on CNN
+//! and DenseNet.
+//!
+//! The paper sweeps 0.1 → 0.0001 and finds: looser `T_R` ⇒ larger
+//! communication reduction, with only the loosest setting slightly
+//! degrading accuracy (error feedback protects the rest). We sweep a grid
+//! spanning both the paper's values and the laptop-scale noise floor
+//! (EXPERIMENTS.md explains the floor).
+
+use fedsu_bench::{ablation_models, summary_line, Scale};
+use fedsu_repro::scenario::StrategyKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Fig. 9: sensitivity to T_R (linearity threshold) ==\n");
+
+    // Paper grid {0.1, 0.01, 0.001, 0.0001} plus 0.2 to show the loose end
+    // above this emulation's noise floor.
+    let grid = [0.2, 0.1, 0.01, 0.001, 0.0001];
+
+    for workload in ablation_models(scale) {
+        println!("---- model: {} ----", workload.model.name());
+        for t_r in grid {
+            let mut experiment = workload
+                .scenario()
+                .build(StrategyKind::FedSuWith { t_r, t_s: 10.0 })
+                .expect("build");
+            let result = experiment.run(None).expect("run");
+            println!("  T_R={t_r:<7} {}", summary_line(&result));
+        }
+        println!();
+    }
+    println!("Expectation (paper): sparsification (and hence time savings) grows\nmonotonically with T_R; accuracy stays flat except at the loosest end.");
+}

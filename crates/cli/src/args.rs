@@ -1,0 +1,247 @@
+//! Hand-rolled argument parsing (keeps the dependency surface to the
+//! approved crate set — no clap).
+
+use fedsu_repro::scenario::{ModelKind, StrategyKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one experiment.
+    Run(RunArgs),
+    /// Run every strategy on one workload and print a comparison table.
+    Compare(RunArgs),
+    /// Sweep `T_R` or `T_S` over a value list.
+    Sweep {
+        /// Shared workload options.
+        base: RunArgs,
+        /// Which threshold to sweep (`t_r` or `t_s`).
+        param: SweepParam,
+        /// The values to sweep.
+        values: Vec<f64>,
+    },
+    /// Print available models/strategies.
+    Info,
+    /// Print usage.
+    Help,
+}
+
+/// The sweepable FedSU thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepParam {
+    /// Linearity threshold `T_R`.
+    TR,
+    /// Error-feedback threshold `T_S`.
+    TS,
+}
+
+/// Workload options shared by the run-like commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Architecture/dataset pair.
+    pub model: ModelKind,
+    /// Strategy (ignored by `compare`/`sweep`).
+    pub strategy: StrategyKind,
+    /// Number of clients.
+    pub clients: usize,
+    /// Number of rounds.
+    pub rounds: usize,
+    /// Dirichlet concentration.
+    pub alpha: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional CSV output path for per-round records.
+    pub csv: Option<String>,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            model: ModelKind::Cnn,
+            strategy: StrategyKind::FedSuCalibrated,
+            clients: 8,
+            rounds: 40,
+            alpha: 1.0,
+            seed: 42,
+            csv: None,
+        }
+    }
+}
+
+/// Parse errors, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_model(s: &str) -> Result<ModelKind, ParseError> {
+    match s {
+        "cnn" => Ok(ModelKind::Cnn),
+        "resnet18" | "resnet" => Ok(ModelKind::ResNet18),
+        "densenet" => Ok(ModelKind::DenseNet),
+        "mlp" => Ok(ModelKind::Mlp),
+        other => Err(ParseError(format!("unknown model `{other}` (cnn, resnet18, densenet, mlp)"))),
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<StrategyKind, ParseError> {
+    match s {
+        "fedavg" => Ok(StrategyKind::FedAvg),
+        "cmfl" => Ok(StrategyKind::Cmfl),
+        "apf" => Ok(StrategyKind::ApfCalibrated),
+        "apf-paper" => Ok(StrategyKind::Apf),
+        "qsgd" => Ok(StrategyKind::Qsgd),
+        "fedsu" => Ok(StrategyKind::FedSuCalibrated),
+        "fedsu-paper" => Ok(StrategyKind::FedSu),
+        other => Err(ParseError(format!(
+            "unknown strategy `{other}` (fedavg, cmfl, apf, apf-paper, qsgd, fedsu, fedsu-paper)"
+        ))),
+    }
+}
+
+fn collect_flags(args: &[String]) -> Result<BTreeMap<String, String>, ParseError> {
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| ParseError(format!("expected a --flag, got `{}`", args[i])))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| ParseError(format!("flag --{key} needs a value")))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn run_args(flags: &BTreeMap<String, String>) -> Result<RunArgs, ParseError> {
+    let mut args = RunArgs::default();
+    for (key, value) in flags {
+        match key.as_str() {
+            "model" => args.model = parse_model(value)?,
+            "strategy" => args.strategy = parse_strategy(value)?,
+            "clients" => {
+                args.clients =
+                    value.parse().map_err(|_| ParseError(format!("bad --clients `{value}`")))?
+            }
+            "rounds" => {
+                args.rounds =
+                    value.parse().map_err(|_| ParseError(format!("bad --rounds `{value}`")))?
+            }
+            "alpha" => {
+                args.alpha =
+                    value.parse().map_err(|_| ParseError(format!("bad --alpha `{value}`")))?
+            }
+            "seed" => {
+                args.seed = value.parse().map_err(|_| ParseError(format!("bad --seed `{value}`")))?
+            }
+            "csv" => args.csv = Some(value.clone()),
+            "param" | "values" => {} // handled by sweep
+            other => return Err(ParseError(format!("unknown flag --{other}"))),
+        }
+    }
+    Ok(args)
+}
+
+/// Parses a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a user-facing message.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => Ok(Command::Info),
+        "run" => Ok(Command::Run(run_args(&collect_flags(&args[1..])?)?)),
+        "compare" => Ok(Command::Compare(run_args(&collect_flags(&args[1..])?)?)),
+        "sweep" => {
+            let flags = collect_flags(&args[1..])?;
+            let base = run_args(&flags)?;
+            let param = match flags.get("param").map(String::as_str) {
+                Some("t_r") | Some("tr") => SweepParam::TR,
+                Some("t_s") | Some("ts") => SweepParam::TS,
+                Some(other) => return Err(ParseError(format!("unknown --param `{other}` (t_r, t_s)"))),
+                None => return Err(ParseError("sweep needs --param t_r|t_s".to_string())),
+            };
+            let values = flags
+                .get("values")
+                .ok_or_else(|| ParseError("sweep needs --values a,b,c".to_string()))?
+                .split(',')
+                .map(|v| v.trim().parse::<f64>().map_err(|_| ParseError(format!("bad value `{v}`"))))
+                .collect::<Result<Vec<f64>, _>>()?;
+            if values.is_empty() {
+                return Err(ParseError("sweep needs at least one value".to_string()));
+            }
+            Ok(Command::Sweep { base, param, values })
+        }
+        other => Err(ParseError(format!("unknown command `{other}` (run, compare, sweep, info, help)"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&s(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_with_defaults() {
+        let cmd = parse(&s(&["run"])).unwrap();
+        assert_eq!(cmd, Command::Run(RunArgs::default()));
+    }
+
+    #[test]
+    fn run_with_flags() {
+        let cmd = parse(&s(&["run", "--model", "mlp", "--strategy", "apf", "--rounds", "5", "--seed", "9"])).unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!(a.model, ModelKind::Mlp);
+                assert_eq!(a.strategy, StrategyKind::ApfCalibrated);
+                assert_eq!(a.rounds, 5);
+                assert_eq!(a.seed, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_parses_values() {
+        let cmd = parse(&s(&["sweep", "--model", "mlp", "--param", "t_s", "--values", "1,10,100"])).unwrap();
+        match cmd {
+            Command::Sweep { param, values, .. } => {
+                assert_eq!(param, SweepParam::TS);
+                assert_eq!(values, vec![1.0, 10.0, 100.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_friendly() {
+        assert!(parse(&s(&["frobnicate"])).unwrap_err().0.contains("unknown command"));
+        assert!(parse(&s(&["run", "--model", "vgg"])).unwrap_err().0.contains("unknown model"));
+        assert!(parse(&s(&["run", "--rounds"])).unwrap_err().0.contains("needs a value"));
+        assert!(parse(&s(&["sweep", "--values", "1"])).unwrap_err().0.contains("--param"));
+        assert!(parse(&s(&["sweep", "--param", "t_r"])).unwrap_err().0.contains("--values"));
+        assert!(parse(&s(&["run", "--bogus", "1"])).unwrap_err().0.contains("unknown flag"));
+    }
+}

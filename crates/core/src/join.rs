@@ -1,0 +1,223 @@
+//! The replicated-state snapshot a newly-joining client downloads
+//! (Sec. V, "Handling system dynamicity"): besides the latest model, a
+//! joiner needs the predictability mask and the no-checking bookkeeping so
+//! its local `FedSU_Manager` replica makes the same decisions as everyone
+//! else's.
+//!
+//! The snapshot has a compact little-endian wire encoding (built with the
+//! `bytes` crate) so the runtime can account for its download cost exactly.
+
+use crate::diagnosis::EmaPair;
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Magic header guarding the wire format.
+const MAGIC: u32 = 0xFED5_0001;
+
+/// Decoding errors for [`JoinState::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinStateError {
+    /// The buffer is shorter than the declared contents.
+    Truncated,
+    /// The magic header did not match (wrong or corrupt payload).
+    BadMagic(u32),
+}
+
+impl fmt::Display for JoinStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinStateError::Truncated => write!(f, "join state payload truncated"),
+            JoinStateError::BadMagic(m) => write!(f, "bad join state magic {m:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinStateError {}
+
+/// Everything a joining client needs to replicate the FedSU manager state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinState {
+    /// Predictability mask.
+    pub predictable: Vec<bool>,
+    /// Profiled per-round update for speculative scalars.
+    pub slope: Vec<f32>,
+    /// Current no-checking period length per scalar.
+    pub no_check_len: Vec<u16>,
+    /// Rounds remaining in the current no-checking period.
+    pub no_check_remaining: Vec<u16>,
+    /// Last observed global update per scalar.
+    pub prev_update: Vec<f32>,
+    /// Second-order EMA pair per scalar.
+    pub ema: Vec<EmaPair>,
+    /// Update observations per scalar (diagnosis warmup counter).
+    pub obs: Vec<u16>,
+    /// Rounds the donor manager has seen.
+    pub rounds_seen: u64,
+}
+
+impl JoinState {
+    /// Number of scalar parameters covered.
+    pub fn len(&self) -> usize {
+        self.predictable.len()
+    }
+
+    /// Whether the snapshot covers zero scalars.
+    pub fn is_empty(&self) -> bool {
+        self.predictable.is_empty()
+    }
+
+    /// Serializes to the compact wire format.
+    ///
+    /// Layout: magic `u32` | count `u32` | rounds_seen `u64` | bit-packed
+    /// mask | per-scalar `slope, prev_update, ema.signed, ema.magnitude`
+    /// (f32) | `no_check_len, no_check_remaining, obs` (u16).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.predictable.len();
+        let mut buf = BytesMut::with_capacity(16 + n.div_ceil(8) + n * (16 + 6));
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(n as u32);
+        buf.put_u64_le(self.rounds_seen);
+        // Bit-packed predictability mask.
+        let mut byte = 0u8;
+        for (i, &p) in self.predictable.iter().enumerate() {
+            if p {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                buf.put_u8(byte);
+                byte = 0;
+            }
+        }
+        if n % 8 != 0 {
+            buf.put_u8(byte);
+        }
+        for j in 0..n {
+            buf.put_f32_le(self.slope[j]);
+            buf.put_f32_le(self.prev_update[j]);
+            buf.put_f32_le(self.ema[j].signed);
+            buf.put_f32_le(self.ema[j].magnitude);
+        }
+        for j in 0..n {
+            buf.put_u16_le(self.no_check_len[j]);
+            buf.put_u16_le(self.no_check_remaining[j]);
+            buf.put_u16_le(self.obs[j]);
+        }
+        buf.to_vec()
+    }
+
+    /// Parses the wire format produced by [`JoinState::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinStateError`] on truncation or a bad header.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, JoinStateError> {
+        if data.remaining() < 16 {
+            return Err(JoinStateError::Truncated);
+        }
+        let magic = data.get_u32_le();
+        if magic != MAGIC {
+            return Err(JoinStateError::BadMagic(magic));
+        }
+        let n = data.get_u32_le() as usize;
+        let rounds_seen = data.get_u64_le();
+        let mask_bytes = n.div_ceil(8);
+        if data.remaining() < mask_bytes + n * (16 + 6) {
+            return Err(JoinStateError::Truncated);
+        }
+        let mut predictable = Vec::with_capacity(n);
+        for i in 0..mask_bytes {
+            let byte = data.get_u8();
+            for bit in 0..8 {
+                let idx = i * 8 + bit;
+                if idx < n {
+                    predictable.push(byte & (1 << bit) != 0);
+                }
+            }
+        }
+        let mut slope = Vec::with_capacity(n);
+        let mut prev_update = Vec::with_capacity(n);
+        let mut ema = Vec::with_capacity(n);
+        for _ in 0..n {
+            slope.push(data.get_f32_le());
+            prev_update.push(data.get_f32_le());
+            let signed = data.get_f32_le();
+            let magnitude = data.get_f32_le();
+            ema.push(EmaPair { signed, magnitude });
+        }
+        let mut no_check_len = Vec::with_capacity(n);
+        let mut no_check_remaining = Vec::with_capacity(n);
+        let mut obs = Vec::with_capacity(n);
+        for _ in 0..n {
+            no_check_len.push(data.get_u16_le());
+            no_check_remaining.push(data.get_u16_le());
+            obs.push(data.get_u16_le());
+        }
+        Ok(JoinState {
+            predictable,
+            slope,
+            no_check_len,
+            no_check_remaining,
+            prev_update,
+            ema,
+            obs,
+            rounds_seen,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> JoinState {
+        JoinState {
+            predictable: (0..n).map(|i| i % 3 == 0).collect(),
+            slope: (0..n).map(|i| i as f32 * 0.1).collect(),
+            no_check_len: (0..n).map(|i| (i % 7) as u16).collect(),
+            no_check_remaining: (0..n).map(|i| (i % 5) as u16).collect(),
+            prev_update: (0..n).map(|i| -(i as f32) * 0.01).collect(),
+            ema: (0..n).map(|i| EmaPair { signed: i as f32, magnitude: i as f32 + 1.0 }).collect(),
+            obs: (0..n).map(|i| (i % 11) as u16).collect(),
+            rounds_seen: 42,
+        }
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for n in [0usize, 1, 7, 8, 9, 64, 100] {
+            let s = sample(n);
+            let decoded = JoinState::from_bytes(&s.to_bytes()).unwrap();
+            assert_eq!(s, decoded, "size {n}");
+        }
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = sample(10).to_bytes();
+        assert_eq!(JoinState::from_bytes(&bytes[..bytes.len() - 1]), Err(JoinStateError::Truncated));
+        assert_eq!(JoinState::from_bytes(&bytes[..4]), Err(JoinStateError::Truncated));
+        assert_eq!(JoinState::from_bytes(&[]), Err(JoinStateError::Truncated));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample(3).to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(JoinState::from_bytes(&bytes), Err(JoinStateError::BadMagic(_))));
+    }
+
+    #[test]
+    fn wire_size_is_compact() {
+        // The mask is bit-packed: 1000 scalars cost 125 mask bytes, not 1000.
+        let s = sample(1000);
+        let bytes = s.to_bytes();
+        assert_eq!(bytes.len(), 16 + 125 + 1000 * (16 + 6));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        assert!(sample(0).is_empty());
+        assert_eq!(sample(5).len(), 5);
+    }
+}

@@ -1,0 +1,60 @@
+//! # fedsu-core
+//!
+//! The paper's primary contribution: **Federated Learning with Speculative
+//! Updating** (FedSU, ICDCS 2025).
+//!
+//! FedSU observes that during federated training most scalar parameters
+//! spend long stretches evolving *linearly* — their per-round update is
+//! nearly constant. Borrowing the idea of speculative execution from CPU
+//! design, FedSU stops synchronizing such parameters and instead refines
+//! them with the *predicted* (last profiled) per-round update, falling back
+//! to regular synchronization as soon as reality diverges from the
+//! prediction.
+//!
+//! The three mechanisms (Sec. IV of the paper), each implemented here:
+//!
+//! 1. **Linearity diagnosis** ([`diagnosis`]): the *second-order
+//!    oscillation ratio* `R = |⟨g′⟩_θ| / ⟨|g′|⟩_θ` (Eq. 2), an EMA-smoothed,
+//!    regression-free test of whether the second-order parameter difference
+//!    oscillates around zero. `R < T_R` ⇒ the parameter updates linearly.
+//! 2. **Speculative updating** ([`manager`]): parameters flagged in the
+//!    *predictability mask* skip synchronization; after local training
+//!    their value is replaced by the predicted one (masked replacement).
+//! 3. **Error feedback** ([`manager`]): each client accumulates the local
+//!    prediction error; when a parameter's *no-checking period* expires the
+//!    errors are aggregated and the feedback signal `S = |Σe| / |g|`
+//!    (Eq. 3) either extends the period by one round (`S < T_S`) or demotes
+//!    the parameter to regular updating.
+//!
+//! The ablation variants of Sec. VI-D are configuration points of the same
+//! manager: [`FedSu::variant_v1`] (linearity diagnosis, fixed speculation
+//! period, no error feedback) and [`FedSu::variant_v2`] (random speculation
+//! entry, no diagnosis, no feedback).
+//!
+//! ```
+//! use fedsu_core::{FedSu, FedSuConfig};
+//! use fedsu_fl::SyncStrategy;
+//!
+//! let mut fedsu = FedSu::new(FedSuConfig::default());
+//! // Drive it like the FL runtime would: two clients, a 3-scalar model.
+//! let locals = vec![vec![1.0, 2.0, 3.0], vec![1.2, 2.2, 3.2]];
+//! let mut global = vec![0.0, 0.0, 0.0];
+//! fedsu.prepare_uploads(0, &locals, &global);
+//! let out = fedsu.aggregate(0, &locals, &[0, 1], &[true, true], &mut global);
+//! assert_eq!(out.total_scalars, 3);
+//! assert_eq!(global, vec![1.1, 2.1, 3.1]); // plain averaging until linearity appears
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod coarse;
+pub mod diagnosis;
+pub mod join;
+pub mod manager;
+
+pub use analysis::{theorem1_bound, ConvergenceBound, ProblemConstants};
+pub use coarse::FedSuCoarse;
+pub use diagnosis::{EmaPair, OscillationDiagnostic};
+pub use join::JoinState;
+pub use manager::{FedSu, FedSuConfig, MaskEvent, MaskEventKind, RoundStats};

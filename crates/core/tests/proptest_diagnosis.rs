@@ -1,0 +1,67 @@
+//! Property-based tests of the oscillation-ratio diagnosis (Eq. 2).
+
+use fedsu_core::{EmaPair, OscillationDiagnostic};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ratio_always_in_unit_interval(values in proptest::collection::vec(-100.0f32..100.0, 0..64),
+                                     theta in 0.5f32..0.99) {
+        let mut e = EmaPair::default();
+        for v in values {
+            e.observe(v, theta);
+            let r = e.ratio();
+            prop_assert!((0.0..=1.0).contains(&r), "ratio {r}");
+        }
+    }
+
+    #[test]
+    fn constant_sign_signal_has_ratio_one(magnitudes in proptest::collection::vec(0.01f32..10.0, 3..32),
+                                          theta in 0.5f32..0.99) {
+        // All-positive observations: |EMA| equals EMA of magnitudes.
+        let mut e = EmaPair::default();
+        for m in &magnitudes {
+            e.observe(*m, theta);
+        }
+        prop_assert!((e.ratio() - 1.0).abs() < 1e-5, "ratio {}", e.ratio());
+    }
+
+    #[test]
+    fn scaling_a_signal_leaves_the_ratio_invariant(values in proptest::collection::vec(-10.0f32..10.0, 3..32),
+                                                   scale in 0.01f32..100.0) {
+        let mut a = EmaPair::default();
+        let mut b = EmaPair::default();
+        for v in &values {
+            a.observe(*v, 0.9);
+            b.observe(*v * scale, 0.9);
+        }
+        prop_assert!((a.ratio() - b.ratio()).abs() < 1e-3, "{} vs {}", a.ratio(), b.ratio());
+    }
+
+    #[test]
+    fn affine_trajectories_always_diagnose_linear(slope in -5.0f32..5.0, intercept in -5.0f32..5.0,
+                                                  horizon in 5usize..40) {
+        let mut d = OscillationDiagnostic::new(1, 0.9);
+        for k in 0..horizon {
+            d.observe_params(&[intercept + slope * k as f32]);
+        }
+        prop_assert!(d.is_linear(0, 0.01), "ratio {}", d.ratio(0));
+    }
+
+    #[test]
+    fn diagnosis_is_per_scalar_independent(slope in 0.01f32..1.0, horizon in 8usize..32) {
+        // Scalar 0 linear, scalar 1 with alternating curvature; adding the
+        // second must not change the first's ratio.
+        let mut solo = OscillationDiagnostic::new(1, 0.9);
+        let mut pair = OscillationDiagnostic::new(2, 0.9);
+        for k in 0..horizon {
+            let lin = -slope * k as f32;
+            let curved = if k % 2 == 0 { 1.0 } else { -1.0 };
+            solo.observe_params(&[lin]);
+            pair.observe_params(&[lin, curved]);
+        }
+        prop_assert!((solo.ratio(0) - pair.ratio(0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,149 @@
+//! Opt-in image augmentation for client-side training (off by default, as
+//! in the paper's setup; useful when running on real IDX datasets).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Augmentation configuration applied per sample at batch time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Augment {
+    /// Probability of a horizontal flip.
+    pub hflip_prob: f32,
+    /// Maximum shift (pixels) for a random translation with zero padding.
+    pub max_shift: usize,
+}
+
+impl Augment {
+    /// Standard light augmentation (flip 50%, shift up to 2 px).
+    pub fn light() -> Self {
+        Augment { hflip_prob: 0.5, max_shift: 2 }
+    }
+
+    /// Whether this config performs any work.
+    pub fn is_identity(&self) -> bool {
+        self.hflip_prob <= 0.0 && self.max_shift == 0
+    }
+
+    /// Applies the augmentation to one `[c, h, w]` sample in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len() != c * h * w`.
+    pub fn apply<R: Rng + ?Sized>(&self, sample: &mut [f32], c: usize, h: usize, w: usize, rng: &mut R) {
+        assert_eq!(sample.len(), c * h * w, "sample length mismatch");
+        if self.hflip_prob > 0.0 && rng.gen::<f32>() < self.hflip_prob {
+            hflip(sample, c, h, w);
+        }
+        if self.max_shift > 0 {
+            let dx = rng.gen_range(-(self.max_shift as isize)..=self.max_shift as isize);
+            let dy = rng.gen_range(-(self.max_shift as isize)..=self.max_shift as isize);
+            shift(sample, c, h, w, dx, dy);
+        }
+    }
+}
+
+fn hflip(sample: &mut [f32], c: usize, h: usize, w: usize) {
+    for ch in 0..c {
+        for row in 0..h {
+            let base = ch * h * w + row * w;
+            sample[base..base + w].reverse();
+        }
+    }
+}
+
+fn shift(sample: &mut [f32], c: usize, h: usize, w: usize, dx: isize, dy: isize) {
+    if dx == 0 && dy == 0 {
+        return;
+    }
+    let mut out = vec![0.0f32; sample.len()];
+    for ch in 0..c {
+        for y in 0..h {
+            let sy = y as isize - dy;
+            if sy < 0 || sy as usize >= h {
+                continue;
+            }
+            for x in 0..w {
+                let sx = x as isize - dx;
+                if sx < 0 || sx as usize >= w {
+                    continue;
+                }
+                out[ch * h * w + y * w + x] = sample[ch * h * w + sy as usize * w + sx as usize];
+            }
+        }
+    }
+    sample.copy_from_slice(&out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hflip_reverses_rows_per_channel() {
+        let mut s = vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]; // 2ch 2x2
+        hflip(&mut s, 2, 2, 2);
+        assert_eq!(s, vec![2.0, 1.0, 4.0, 3.0, 20.0, 10.0, 40.0, 30.0]);
+    }
+
+    #[test]
+    fn double_flip_is_identity() {
+        let orig: Vec<f32> = (0..27).map(|v| v as f32).collect();
+        let mut s = orig.clone();
+        hflip(&mut s, 3, 3, 3);
+        hflip(&mut s, 3, 3, 3);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn shift_moves_content_and_zero_pads() {
+        // 1ch 3x3, shift right by 1.
+        let mut s: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        shift(&mut s, 1, 3, 3, 1, 0);
+        assert_eq!(s, vec![0.0, 1.0, 2.0, 0.0, 4.0, 5.0, 0.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let orig: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        let mut s = orig.clone();
+        shift(&mut s, 1, 3, 3, 0, 0);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn identity_config_does_nothing() {
+        let cfg = Augment::default();
+        assert!(cfg.is_identity());
+        let orig: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let mut s = orig.clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        cfg.apply(&mut s, 1, 4, 4, &mut rng);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn light_config_changes_some_samples() {
+        let cfg = Augment::light();
+        let mut rng = StdRng::seed_from_u64(1);
+        let orig: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let mut changed = 0;
+        for _ in 0..20 {
+            let mut s = orig.clone();
+            cfg.apply(&mut s, 1, 4, 4, &mut rng);
+            if s != orig {
+                changed += 1;
+            }
+        }
+        assert!(changed > 5, "augmentation should alter most samples, got {changed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        let mut s = vec![0.0; 5];
+        let mut rng = StdRng::seed_from_u64(0);
+        Augment::light().apply(&mut s, 1, 4, 4, &mut rng);
+    }
+}

@@ -1,0 +1,238 @@
+//! IDX file format (the MNIST/EMNIST/FMNIST container) reader.
+//!
+//! The reproduction's experiments run on synthetic data (DESIGN.md §3), but
+//! users who *do* have the real `train-images-idx3-ubyte` /
+//! `train-labels-idx1-ubyte` files can load them into an
+//! [`InMemoryDataset`] here and run every strategy on them unchanged.
+//!
+//! Format: big-endian; magic `[0, 0, dtype, ndims]`, then `ndims` u32
+//! dimension sizes, then the raw data. Only the `u8` dtype (0x08) used by
+//! the MNIST family is supported.
+
+use crate::InMemoryDataset;
+use std::fmt;
+use std::io::Read;
+
+/// Errors while parsing IDX data.
+#[derive(Debug)]
+pub enum IdxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Magic bytes malformed or dtype unsupported.
+    BadMagic([u8; 4]),
+    /// Dimension count does not match what the caller expects.
+    WrongRank {
+        /// Rank expected (3 for images, 1 for labels).
+        expected: u8,
+        /// Rank declared in the file.
+        actual: u8,
+    },
+    /// The data section is shorter than the header declares.
+    Truncated,
+    /// Image and label files disagree on the sample count.
+    CountMismatch {
+        /// Number of images.
+        images: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A label was out of the configured class range.
+    BadLabel(u8),
+}
+
+impl fmt::Display for IdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "io error: {e}"),
+            IdxError::BadMagic(m) => write!(f, "bad idx magic {m:?}"),
+            IdxError::WrongRank { expected, actual } => {
+                write!(f, "expected rank-{expected} idx file, got rank {actual}")
+            }
+            IdxError::Truncated => write!(f, "idx data shorter than header declares"),
+            IdxError::CountMismatch { images, labels } => {
+                write!(f, "{images} images but {labels} labels")
+            }
+            IdxError::BadLabel(l) => write!(f, "label {l} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for IdxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IdxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IdxError {
+    fn from(e: std::io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+fn read_header<R: Read>(reader: &mut R, expected_rank: u8) -> Result<Vec<usize>, IdxError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic[0] != 0 || magic[1] != 0 || magic[2] != 0x08 {
+        return Err(IdxError::BadMagic(magic));
+    }
+    let rank = magic[3];
+    if rank != expected_rank {
+        return Err(IdxError::WrongRank { expected: expected_rank, actual: rank });
+    }
+    let mut dims = Vec::with_capacity(rank as usize);
+    for _ in 0..rank {
+        let mut b = [0u8; 4];
+        reader.read_exact(&mut b)?;
+        dims.push(u32::from_be_bytes(b) as usize);
+    }
+    Ok(dims)
+}
+
+fn read_payload<R: Read>(reader: &mut R, len: usize) -> Result<Vec<u8>, IdxError> {
+    let mut data = vec![0u8; len];
+    reader.read_exact(&mut data).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            IdxError::Truncated
+        } else {
+            IdxError::Io(e)
+        }
+    })?;
+    Ok(data)
+}
+
+/// Reads a rank-3 IDX image file, returning `(pixels ∈ [0,1], n, h, w)`.
+///
+/// A `&mut R` can be passed anywhere an `R: Read` is expected.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on malformed headers or short data.
+pub fn read_idx_images<R: Read>(mut reader: R) -> Result<(Vec<f32>, usize, usize, usize), IdxError> {
+    let dims = read_header(&mut reader, 3)?;
+    let (n, h, w) = (dims[0], dims[1], dims[2]);
+    let raw = read_payload(&mut reader, n * h * w)?;
+    let pixels = raw.iter().map(|&b| f32::from(b) / 255.0).collect();
+    Ok((pixels, n, h, w))
+}
+
+/// Reads a rank-1 IDX label file.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on malformed headers or short data.
+pub fn read_idx_labels<R: Read>(mut reader: R) -> Result<Vec<u8>, IdxError> {
+    let dims = read_header(&mut reader, 1)?;
+    read_payload(&mut reader, dims[0])
+}
+
+impl InMemoryDataset {
+    /// Builds a dataset from a pair of IDX readers (images + labels), e.g.
+    /// the standard EMNIST/FMNIST distribution files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdxError`] on malformed files, sample-count mismatch, or a
+    /// label `>= classes`.
+    pub fn from_idx<R1: Read, R2: Read>(
+        images: R1,
+        labels: R2,
+        classes: usize,
+    ) -> Result<Self, IdxError> {
+        let (pixels, n, h, w) = read_idx_images(images)?;
+        let raw_labels = read_idx_labels(labels)?;
+        if raw_labels.len() != n {
+            return Err(IdxError::CountMismatch { images: n, labels: raw_labels.len() });
+        }
+        if let Some(&bad) = raw_labels.iter().find(|&&l| (l as usize) >= classes) {
+            return Err(IdxError::BadLabel(bad));
+        }
+        let labels = raw_labels.into_iter().map(usize::from).collect();
+        Ok(InMemoryDataset::new(pixels, labels, &[1, h, w], classes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds an in-memory IDX image file.
+    fn idx_images(n: usize, h: usize, w: usize, pixel: impl Fn(usize) -> u8) -> Vec<u8> {
+        let mut buf = vec![0, 0, 0x08, 3];
+        for d in [n, h, w] {
+            buf.extend_from_slice(&(d as u32).to_be_bytes());
+        }
+        buf.extend((0..n * h * w).map(pixel));
+        buf
+    }
+
+    fn idx_labels(labels: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0, 0, 0x08, 1];
+        buf.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        buf.extend_from_slice(labels);
+        buf
+    }
+
+    #[test]
+    fn roundtrip_images_and_labels() {
+        let img = idx_images(2, 2, 3, |i| (i * 10) as u8);
+        let (pixels, n, h, w) = read_idx_images(&img[..]).unwrap();
+        assert_eq!((n, h, w), (2, 2, 3));
+        assert_eq!(pixels.len(), 12);
+        assert!((pixels[1] - 10.0 / 255.0).abs() < 1e-6);
+
+        let lab = idx_labels(&[3, 7]);
+        assert_eq!(read_idx_labels(&lab[..]).unwrap(), vec![3, 7]);
+    }
+
+    #[test]
+    fn dataset_from_idx() {
+        let img = idx_images(3, 4, 4, |i| i as u8);
+        let lab = idx_labels(&[0, 1, 2]);
+        let d = InMemoryDataset::from_idx(&img[..], &lab[..], 3).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.sample_shape(), &[1, 4, 4]);
+        assert_eq!(d.sample(2).1, 2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut img = idx_images(1, 2, 2, |_| 0);
+        img[2] = 0x09; // wrong dtype
+        assert!(matches!(read_idx_images(&img[..]), Err(IdxError::BadMagic(_))));
+    }
+
+    #[test]
+    fn wrong_rank_rejected() {
+        let lab = idx_labels(&[1]);
+        assert!(matches!(
+            read_idx_images(&lab[..]),
+            Err(IdxError::WrongRank { expected: 3, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn truncated_data_rejected() {
+        let img = idx_images(2, 2, 2, |_| 0);
+        assert!(matches!(read_idx_images(&img[..img.len() - 1]), Err(IdxError::Truncated)));
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let img = idx_images(2, 2, 2, |_| 0);
+        let lab = idx_labels(&[0]);
+        assert!(matches!(
+            InMemoryDataset::from_idx(&img[..], &lab[..], 2),
+            Err(IdxError::CountMismatch { images: 2, labels: 1 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_label_rejected() {
+        let img = idx_images(1, 2, 2, |_| 0);
+        let lab = idx_labels(&[9]);
+        assert!(matches!(InMemoryDataset::from_idx(&img[..], &lab[..], 2), Err(IdxError::BadLabel(9))));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the dataset substrate.
+
+use fedsu_data::{dirichlet_partition, label_distribution, Batcher, InMemoryDataset, SyntheticConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partition_is_a_partition(seed in 0u64..1000, classes in 1usize..6, per_class in 2usize..20,
+                                clients in 1usize..8, alpha in 0.1f64..10.0) {
+        let labels: Vec<usize> = (0..classes * per_class).map(|i| i / per_class).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts = dirichlet_partition(&labels, clients, alpha, &mut rng);
+        prop_assert_eq!(parts.len(), clients);
+        // Exhaustive and disjoint.
+        let mut seen = vec![0u8; labels.len()];
+        for p in &parts {
+            for &i in p {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        // No empty client (runtime invariant) as long as there are enough samples.
+        if labels.len() >= clients {
+            prop_assert!(parts.iter().all(|p| !p.is_empty()));
+        }
+        // Histogram is consistent with the partition sizes.
+        let hist = label_distribution(&labels, &parts, classes);
+        for (p, h) in parts.iter().zip(&hist) {
+            prop_assert_eq!(p.len(), h.iter().sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn synthetic_dataset_shape_invariants(classes in 1usize..5, c in 1usize..3, h in 2usize..8, w in 2usize..8, n in 1usize..10) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = SyntheticConfig::new(classes, c, h, w).samples_per_class(n).build(&mut rng);
+        prop_assert_eq!(d.len(), classes * n);
+        prop_assert_eq!(d.sample_shape(), &[c, h, w]);
+        for i in 0..d.len() {
+            let (f, l) = d.sample(i);
+            prop_assert_eq!(f.len(), c * h * w);
+            prop_assert!(l < classes);
+            prop_assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn batcher_eventually_yields_every_sample(seed in 0u64..1000, n in 2usize..20, batch in 1usize..6) {
+        let features: Vec<f32> = (0..n).map(|v| v as f32).collect();
+        let labels = vec![0usize; n];
+        let d = Arc::new(InMemoryDataset::new(features, labels, &[1], 1));
+        let mut b = Batcher::new(d, (0..n).collect(), seed);
+        let mut seen = vec![false; n];
+        // One epoch's worth of batches covers everything exactly once.
+        let mut yielded = 0;
+        while yielded < n {
+            let (t, _) = b.next_batch(batch);
+            for r in 0..t.shape()[0] {
+                let v = t.data()[r] as usize;
+                prop_assert!(!seen[v], "sample {v} twice in one epoch");
+                seen[v] = true;
+                yielded += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn split_train_and_test_are_label_consistent(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = SyntheticConfig::new(3, 1, 4, 4).samples_per_class(5).build_split(4, &mut rng);
+        prop_assert_eq!(train.classes(), test.classes());
+        prop_assert_eq!(train.sample_shape(), test.sample_shape());
+        prop_assert_eq!(test.len(), 12);
+    }
+}

@@ -1,0 +1,63 @@
+use fedsu_nn::NnError;
+use std::fmt;
+
+/// Errors produced by the FL runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// A neural-network operation failed inside a client or the server.
+    Nn(NnError),
+    /// The experiment configuration is inconsistent.
+    BadConfig(String),
+    /// Model parameters diverged (NaN/Inf observed).
+    Diverged {
+        /// Round at which divergence was detected.
+        round: usize,
+    },
+    /// A strategy violated the runtime contract (e.g. wrong vector length).
+    StrategyContract(String),
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::Nn(e) => write!(f, "nn error: {e}"),
+            FlError::BadConfig(msg) => write!(f, "bad experiment config: {msg}"),
+            FlError::Diverged { round } => write!(f, "training diverged at round {round}"),
+            FlError::StrategyContract(msg) => write!(f, "strategy contract violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for FlError {
+    fn from(e: NnError) -> Self {
+        FlError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: FlError = NnError::BadConfig("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(FlError::Diverged { round: 3 }.to_string().contains("round 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlError>();
+    }
+}

@@ -1,0 +1,481 @@
+//! The end-to-end experiment loop: pull → local training → sparsified
+//! synchronization → aggregation → evaluation, with emulated timing.
+
+use crate::client::{Client, ClientConfig};
+use crate::message::scalars_to_bytes;
+use crate::record::{ExperimentResult, RoundRecord};
+use crate::server::Server;
+use crate::strategy::SyncStrategy;
+use crate::{FlError, Result};
+use fedsu_data::{dirichlet_partition, Batcher, InMemoryDataset};
+use fedsu_netsim::{Cluster, ClusterConfig, RoundTimer};
+use fedsu_nn::Sequential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Builds one model replica. Called with the same seed for every client so
+/// all replicas start identical (the FedAvg precondition).
+pub type ModelFactory = Arc<dyn Fn(u64) -> fedsu_nn::Result<Sequential> + Send + Sync>;
+
+/// Decides whether a client participates in a given round (participant
+/// dynamicity). `None` means everyone is always active.
+pub type AvailabilityFn = Arc<dyn Fn(usize, usize) -> bool + Send + Sync>;
+
+/// Observer invoked after every round with the record and the new global
+/// parameter vector (used by the trajectory/microscopic figures).
+pub type RoundHook<'a> = &'a mut dyn FnMut(&RoundRecord, &[f32]);
+
+/// Full configuration of one emulated FL experiment.
+#[derive(Clone)]
+pub struct ExperimentConfig {
+    /// Cluster shape and link speeds.
+    pub cluster: ClusterConfig,
+    /// Fraction of (active) clients aggregated per round (paper: 0.7).
+    pub select_fraction: f64,
+    /// Number of communication rounds to run.
+    pub rounds: usize,
+    /// Per-client training hyper-parameters.
+    pub client: ClientConfig,
+    /// Dirichlet concentration for the non-IID partition (paper: 1.0).
+    pub alpha: f64,
+    /// Master seed (models, partition, cluster, batch order).
+    pub seed: u64,
+    /// Evaluate test accuracy every this many rounds (1 = every round).
+    pub eval_every: usize,
+    /// Nominal local-computation seconds per round for this model (the
+    /// emulated device-side cost; scaled per client by the heterogeneity
+    /// factor).
+    pub compute_secs: f64,
+    /// Display name of the model being trained.
+    pub model_name: String,
+    /// Optional per-(client, round) participation rule.
+    pub availability: Option<AvailabilityFn>,
+}
+
+impl std::fmt::Debug for ExperimentConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentConfig")
+            .field("cluster", &self.cluster)
+            .field("select_fraction", &self.select_fraction)
+            .field("rounds", &self.rounds)
+            .field("client", &self.client)
+            .field("alpha", &self.alpha)
+            .field("seed", &self.seed)
+            .field("eval_every", &self.eval_every)
+            .field("compute_secs", &self.compute_secs)
+            .field("model_name", &self.model_name)
+            .field("availability", &self.availability.is_some())
+            .finish()
+    }
+}
+
+impl ExperimentConfig {
+    /// A small, fast configuration mirroring the paper's setup shape
+    /// (70% earliest selection, Dirichlet α = 1).
+    pub fn quick(n_clients: usize, rounds: usize, model_name: &str) -> Self {
+        ExperimentConfig {
+            cluster: ClusterConfig::paper_like(n_clients),
+            select_fraction: 0.7,
+            rounds,
+            client: ClientConfig {
+                batch_size: 8,
+                local_iters: 4,
+                lr: 0.05,
+                weight_decay: 1e-3,
+                schedule: crate::LrSchedule::Constant,
+                clip_norm: None,
+            },
+            alpha: 1.0,
+            seed: 42,
+            eval_every: 1,
+            compute_secs: 4.0,
+            model_name: model_name.to_string(),
+            availability: None,
+        }
+    }
+}
+
+/// An assembled experiment, ready to run.
+pub struct Experiment {
+    config: ExperimentConfig,
+    clients: Vec<Client>,
+    server: Server,
+    strategy: Box<dyn SyncStrategy>,
+    timer: RoundTimer,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("config", &self.config)
+            .field("strategy", &self.strategy.name().to_string())
+            .finish()
+    }
+}
+
+impl Experiment {
+    /// Assembles clients (with a Dirichlet data partition), the server, and
+    /// the timing model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::BadConfig`] for inconsistent configs and
+    /// propagates model-construction failures.
+    pub fn new(
+        config: ExperimentConfig,
+        factory: ModelFactory,
+        train_data: Arc<InMemoryDataset>,
+        test_data: Arc<InMemoryDataset>,
+        strategy: Box<dyn SyncStrategy>,
+    ) -> Result<Self> {
+        let n = config.cluster.n_clients;
+        if n == 0 || config.rounds == 0 || config.eval_every == 0 {
+            return Err(FlError::BadConfig(
+                "clients, rounds and eval_every must be positive".to_string(),
+            ));
+        }
+        let mut part_rng = StdRng::seed_from_u64(config.seed ^ 0x9e3779b97f4a7c15);
+        let parts = dirichlet_partition(train_data.labels(), n, config.alpha, &mut part_rng);
+
+        let mut clients = Vec::with_capacity(n);
+        for (i, part) in parts.into_iter().enumerate() {
+            let model = factory(config.seed)?;
+            let batcher = Batcher::new(Arc::clone(&train_data), part, config.seed.wrapping_add(i as u64 + 1));
+            clients.push(Client::new(i, model, batcher, config.client));
+        }
+        let server = Server::new(factory(config.seed)?, test_data);
+        let cluster = Cluster::build(&config.cluster, config.seed);
+        let timer = RoundTimer::new(&cluster, config.select_fraction);
+        Ok(Experiment { config, clients, server, strategy, timer })
+    }
+
+    /// Total scalar parameters in the model.
+    pub fn param_count(&self) -> usize {
+        self.server.param_count()
+    }
+
+    /// Read access to the strategy (e.g. for Fig. 7's skip statistics).
+    pub fn strategy(&self) -> &dyn SyncStrategy {
+        self.strategy.as_ref()
+    }
+
+    /// Runs all configured rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::Diverged`] when parameters become non-finite, or
+    /// any underlying training error.
+    pub fn run(&mut self, mut hook: Option<RoundHook<'_>>) -> Result<ExperimentResult> {
+        let n = self.clients.len();
+        let total = self.param_count();
+        let mut records = Vec::with_capacity(self.config.rounds);
+        let mut sim_time = 0.0f64;
+        // Round-0 download: every client pulls the full initial model.
+        let mut prev_broadcast_scalars = total;
+        let mut was_active = vec![false; n];
+
+        for round in 0..self.config.rounds {
+            let active: Vec<bool> = (0..n)
+                .map(|i| self.config.availability.as_ref().map_or(true, |f| f(i, round)))
+                .collect();
+            if !active.iter().any(|&a| a) {
+                return Err(FlError::BadConfig(format!("no active clients in round {round}")));
+            }
+
+            // Joining clients additionally download the strategy's replicated
+            // state (the paper's dynamicity protocol, Sec. V).
+            let join_state_bytes = self.strategy.join_state().map_or(0, |s| s.len() as u64);
+            let mut download_bytes = vec![0u64; n];
+            for i in 0..n {
+                if active[i] {
+                    download_bytes[i] = scalars_to_bytes(prev_broadcast_scalars);
+                    if !was_active[i] && round > 0 {
+                        download_bytes[i] = scalars_to_bytes(total) + join_state_bytes;
+                    }
+                }
+            }
+
+            // 1+2. Pull current global and train locally, in parallel.
+            let global_snapshot = self.server.global().to_vec();
+            let train_losses = train_all(&mut self.clients, &active, &global_snapshot, round)?;
+
+            // 3. Collect local parameters (inactive clients contribute the
+            // unchanged global; they are never selected).
+            let locals: Vec<Vec<f32>> = self
+                .clients
+                .iter()
+                .enumerate()
+                .map(|(i, c)| if active[i] { c.local_params() } else { global_snapshot.clone() })
+                .collect();
+
+            // 4. Strategy phase A: upload volumes.
+            let upload_scalars = self.strategy.prepare_uploads(round, &locals, &global_snapshot);
+            if upload_scalars.len() != n {
+                return Err(FlError::StrategyContract(format!(
+                    "prepare_uploads returned {} entries for {} clients",
+                    upload_scalars.len(),
+                    n
+                )));
+            }
+            let upload_bytes: Vec<u64> = upload_scalars.iter().map(|&s| s * u64::from(crate::BYTES_PER_SCALAR as u32)).collect();
+
+            // 5. Emulated timing + earliest-K selection.
+            let compute: Vec<f64> = active
+                .iter()
+                .map(|&a| if a { self.config.compute_secs } else { 0.0 })
+                .collect();
+            let timing = self.timer.round_at(round, &compute, &upload_bytes, &download_bytes, &active);
+
+            // 6. Strategy phase B: aggregate into the new global.
+            let outcome = self.strategy.aggregate(round, &locals, &timing.selected, &active, self.server.global_mut());
+            if self.server.global().iter().any(|v| !v.is_finite()) {
+                return Err(FlError::Diverged { round });
+            }
+            prev_broadcast_scalars = outcome.broadcast_scalars;
+
+            // 7. Accounting and evaluation.
+            sim_time += timing.duration_secs;
+            let bytes: u64 = upload_bytes
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| active[i])
+                .map(|(_, b)| *b)
+                .sum::<u64>()
+                + download_bytes.iter().sum::<u64>();
+            let (accuracy, test_loss) = if round % self.config.eval_every == 0 || round + 1 == self.config.rounds {
+                let (a, l) = self.server.evaluate()?;
+                (Some(a), Some(l))
+            } else {
+                (None, None)
+            };
+            let n_active = active.iter().filter(|&&a| a).count();
+            let train_loss = if n_active == 0 { 0.0 } else { train_losses.iter().sum::<f32>() / n_active as f32 };
+
+            let record = RoundRecord {
+                round,
+                duration_secs: timing.duration_secs,
+                sim_time_secs: sim_time,
+                accuracy,
+                test_loss,
+                train_loss,
+                sparsification_ratio: 1.0 - outcome.synced_scalars as f64 / outcome.total_scalars.max(1) as f64,
+                bytes,
+                participants: timing.selected.len(),
+            };
+            if let Some(h) = hook.as_mut() {
+                h(&record, self.server.global());
+            }
+            records.push(record);
+            was_active = active;
+        }
+
+        Ok(ExperimentResult {
+            strategy: self.strategy.name().to_string(),
+            model: self.config.model_name.clone(),
+            rounds: records,
+            param_count: total,
+        })
+    }
+}
+
+/// Trains every active client for one round, spreading clients across
+/// available cores with crossbeam scoped threads. Returns per-client mean
+/// training losses (0.0 for inactive clients).
+fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usize) -> Result<Vec<f32>> {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(clients.len().max(1));
+    let mut losses = vec![0.0f32; clients.len()];
+
+    if threads <= 1 {
+        for (i, client) in clients.iter_mut().enumerate() {
+            if active[i] {
+                client.pull(global)?;
+                losses[i] = client.train_round(round)?;
+            }
+        }
+        return Ok(losses);
+    }
+
+    let chunk = clients.len().div_ceil(threads);
+    let results: Vec<Result<Vec<(usize, f32)>>> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (ci, chunk_clients) in clients.chunks_mut(chunk).enumerate() {
+            let base = ci * chunk;
+            let active = &active;
+            handles.push(s.spawn(move |_| -> Result<Vec<(usize, f32)>> {
+                let mut out = Vec::new();
+                for (off, client) in chunk_clients.iter_mut().enumerate() {
+                    let id = base + off;
+                    if active[id] {
+                        client.pull(global)?;
+                        out.push((id, client.train_round(round)?));
+                    }
+                }
+                Ok(out)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    })
+    .expect("crossbeam scope");
+
+    for r in results {
+        for (id, loss) in r? {
+            losses[id] = loss;
+        }
+    }
+    Ok(losses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{average_into, AggregateOutcome};
+    use fedsu_data::SyntheticConfig;
+
+    /// Plain FedAvg used as the reference strategy in runtime tests.
+    struct TestAvg;
+    impl SyncStrategy for TestAvg {
+        fn name(&self) -> &str {
+            "test-fedavg"
+        }
+        fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], _global: &[f32]) -> Vec<u64> {
+            locals.iter().map(|l| l.len() as u64).collect()
+        }
+        fn aggregate(
+            &mut self,
+            _round: usize,
+            locals: &[Vec<f32>],
+            selected: &[usize],
+            _active: &[bool],
+            global: &mut [f32],
+        ) -> AggregateOutcome {
+            average_into(locals, selected, global);
+            AggregateOutcome {
+                broadcast_scalars: global.len(),
+                synced_scalars: global.len(),
+                total_scalars: global.len(),
+            }
+        }
+    }
+
+    fn quick_experiment(n_clients: usize, rounds: usize) -> Experiment {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (train, test) =
+            SyntheticConfig::new(3, 1, 4, 4).samples_per_class(30).noise_std(0.4).build_split(10, &mut rng);
+        let (train, test) = (Arc::new(train), Arc::new(test));
+        let factory: ModelFactory = Arc::new(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut m = Sequential::new("probe");
+            m.push(fedsu_nn::flatten::Flatten::new());
+            m.push_boxed(Box::new(fedsu_nn::models::mlp(&[16, 12, 3], &mut rng)?));
+            Ok(m)
+        });
+        let mut cfg = ExperimentConfig::quick(n_clients, rounds, "probe");
+        cfg.client = ClientConfig {
+            batch_size: 8,
+            local_iters: 3,
+            lr: 0.1,
+            weight_decay: 0.0,
+            schedule: crate::LrSchedule::Constant,
+            clip_norm: None,
+        };
+        Experiment::new(cfg, factory, train, test, Box::new(TestAvg)).unwrap()
+    }
+
+    #[test]
+    fn fedavg_improves_accuracy() {
+        let mut e = quick_experiment(4, 12);
+        let result = e.run(None).unwrap();
+        let first = result.rounds.first().and_then(|r| r.accuracy).unwrap();
+        let best = result.best_accuracy();
+        assert!(best > first, "accuracy should improve: {first} -> {best}");
+        assert!(best > 0.5, "should beat chance on an easy task, got {best}");
+    }
+
+    #[test]
+    fn records_are_complete_and_monotone_in_time() {
+        let mut e = quick_experiment(3, 5);
+        let result = e.run(None).unwrap();
+        assert_eq!(result.rounds.len(), 5);
+        let mut last = 0.0;
+        for r in &result.rounds {
+            assert!(r.sim_time_secs > last);
+            last = r.sim_time_secs;
+            assert!(r.bytes > 0);
+            assert_eq!(r.sparsification_ratio, 0.0); // full sync strategy
+        }
+    }
+
+    #[test]
+    fn hook_sees_every_round() {
+        let mut e = quick_experiment(3, 4);
+        let mut seen = Vec::new();
+        {
+            let mut hook = |r: &RoundRecord, g: &[f32]| {
+                seen.push((r.round, g.len()));
+            };
+            e.run(Some(&mut hook)).unwrap();
+        }
+        assert_eq!(seen.len(), 4);
+        assert!(seen.iter().all(|&(_, len)| len > 0));
+    }
+
+    #[test]
+    fn participants_follow_select_fraction() {
+        let mut e = quick_experiment(10, 2);
+        let result = e.run(None).unwrap();
+        for r in &result.rounds {
+            assert_eq!(r.participants, 7); // 70% of 10
+        }
+    }
+
+    #[test]
+    fn availability_limits_participants() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (train, test) = SyntheticConfig::new(2, 1, 4, 4).samples_per_class(30).build_split(10, &mut rng);
+        let (train, test) = (Arc::new(train), Arc::new(test));
+        let factory: ModelFactory = Arc::new(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut m = Sequential::new("probe");
+            m.push(fedsu_nn::flatten::Flatten::new());
+            m.push_boxed(Box::new(fedsu_nn::models::mlp(&[16, 2], &mut rng)?));
+            Ok(m)
+        });
+        let mut cfg = ExperimentConfig::quick(4, 3, "probe");
+        cfg.select_fraction = 1.0;
+        // Client 3 joins only from round 1 onward.
+        cfg.availability = Some(Arc::new(|client, round| client != 3 || round >= 1));
+        let mut e = Experiment::new(cfg, factory, train, test, Box::new(TestAvg)).unwrap();
+        let result = e.run(None).unwrap();
+        assert_eq!(result.rounds[0].participants, 3);
+        assert_eq!(result.rounds[1].participants, 4);
+        // The joiner's catch-up download makes round 1 strictly heavier than
+        // a steady-state round.
+        assert!(result.rounds[1].bytes >= result.rounds[2].bytes);
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let train = Arc::new(SyntheticConfig::new(2, 1, 4, 4).samples_per_class(5).build(&mut rng));
+        let test = Arc::clone(&train);
+        let factory: ModelFactory = Arc::new(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut m = Sequential::new("probe");
+            m.push(fedsu_nn::flatten::Flatten::new());
+            m.push_boxed(Box::new(fedsu_nn::models::mlp(&[16, 2], &mut rng)?));
+            Ok(m)
+        });
+        let cfg = ExperimentConfig::quick(2, 0, "probe");
+        assert!(Experiment::new(cfg, factory, train, test, Box::new(TestAvg)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = quick_experiment(3, 3);
+        let mut b = quick_experiment(3, 3);
+        let ra = a.run(None).unwrap();
+        let rb = b.run(None).unwrap();
+        assert_eq!(ra.rounds, rb.rounds);
+    }
+}

@@ -1,0 +1,43 @@
+//! # fedsu-fl
+//!
+//! The emulated federated-learning runtime the FedSU paper's evaluation
+//! runs on: a FedAvg-style round loop (pull → local SGD iterations → push →
+//! aggregate), the [`SyncStrategy`] trait that FedAvg/CMFL/APF/FedSU plug
+//! into, exact per-scalar communication accounting, the paper's
+//! earliest-70% participation rule (via `fedsu-netsim`), and participant
+//! dynamicity (clients joining/leaving mid-run).
+//!
+//! ## Execution model
+//!
+//! The paper deploys one process per EC2 node and replicates the
+//! FedSU_Manager state on every client (masks are identical across clients
+//! because they are derived from post-synchronization global values). This
+//! runtime exploits exactly that replication argument: strategy state that
+//! the paper replicates per-client is held once, while genuinely per-client
+//! quantities (local models, data partitions, error accumulators) are kept
+//! per client. Bytes on the wire are counted as if the state were
+//! physically distributed — which is what the paper measures.
+
+#![warn(missing_docs)]
+
+pub mod client;
+/// Error types.
+pub mod error;
+pub mod experiment;
+pub mod message;
+pub mod record;
+pub mod schedule;
+pub mod server;
+pub mod strategy;
+
+pub use client::{Client, ClientConfig};
+pub use error::FlError;
+pub use experiment::{Experiment, ExperimentConfig, RoundHook};
+pub use message::{RoundComm, BYTES_PER_SCALAR};
+pub use record::{ExperimentResult, RoundRecord};
+pub use schedule::LrSchedule;
+pub use server::Server;
+pub use strategy::{AggregateOutcome, SyncStrategy};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, FlError>;

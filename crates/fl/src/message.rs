@@ -1,0 +1,81 @@
+//! Communication accounting.
+//!
+//! The paper's evaluated quantity is bytes on the wire; masks are replicated
+//! client-side, so only parameter *values* are transmitted for mask-derived
+//! sparse updates (4 bytes per `f32` scalar). These helpers keep that
+//! accounting in one place.
+
+use serde::{Deserialize, Serialize};
+
+/// Wire size of one `f32` scalar.
+pub const BYTES_PER_SCALAR: u64 = 4;
+
+/// Per-round communication accounting across the whole cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundComm {
+    /// Upload bytes for every client (indexed by client id).
+    pub upload_bytes: Vec<u64>,
+    /// Download bytes for every client (indexed by client id).
+    pub download_bytes: Vec<u64>,
+    /// Scalars realistically synchronized this round (upload side, including
+    /// any error-aggregation payloads).
+    pub synced_scalars: usize,
+    /// Total scalar parameters in the model.
+    pub total_scalars: usize,
+}
+
+impl RoundComm {
+    /// Fraction of scalars that skipped synchronization this round —
+    /// the paper's "sparsification ratio" (communication compression).
+    pub fn sparsification_ratio(&self) -> f64 {
+        if self.total_scalars == 0 {
+            0.0
+        } else {
+            1.0 - self.synced_scalars as f64 / self.total_scalars as f64
+        }
+    }
+
+    /// Total bytes moved this round, both directions, all clients.
+    pub fn total_bytes(&self) -> u64 {
+        self.upload_bytes.iter().sum::<u64>() + self.download_bytes.iter().sum::<u64>()
+    }
+}
+
+/// Converts a scalar count to wire bytes.
+pub fn scalars_to_bytes(scalars: usize) -> u64 {
+    scalars as u64 * BYTES_PER_SCALAR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsification_ratio_basic() {
+        let c = RoundComm {
+            upload_bytes: vec![4, 4],
+            download_bytes: vec![8, 8],
+            synced_scalars: 25,
+            total_scalars: 100,
+        };
+        assert!((c.sparsification_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(c.total_bytes(), 24);
+    }
+
+    #[test]
+    fn empty_model_has_zero_ratio() {
+        let c = RoundComm {
+            upload_bytes: vec![],
+            download_bytes: vec![],
+            synced_scalars: 0,
+            total_scalars: 0,
+        };
+        assert_eq!(c.sparsification_ratio(), 0.0);
+    }
+
+    #[test]
+    fn scalar_byte_conversion() {
+        assert_eq!(scalars_to_bytes(10), 40);
+        assert_eq!(scalars_to_bytes(0), 0);
+    }
+}

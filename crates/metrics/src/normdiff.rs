@@ -1,0 +1,121 @@
+//! Normalized difference of consecutive global updates (Wang et al.,
+//! adopted by the paper's Sec. III-A, Fig. 2).
+
+/// Streams per-round global parameter vectors and produces the normalized
+/// difference series `‖δ_{t+1} − δ_t‖ / ‖δ_t‖`, where `δ_t` is round `t`'s
+/// global update vector.
+#[derive(Debug, Clone, Default)]
+pub struct NormalizedDifference {
+    prev_params: Option<Vec<f32>>,
+    prev_update: Option<Vec<f32>>,
+    values: Vec<f64>,
+}
+
+impl NormalizedDifference {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes a (post-aggregation) global parameter vector; values start
+    /// appearing from the third observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length changes between observations.
+    pub fn observe(&mut self, params: &[f32]) {
+        if let Some(prev) = &self.prev_params {
+            assert_eq!(prev.len(), params.len(), "parameter count changed");
+            let update: Vec<f32> = params.iter().zip(prev).map(|(a, b)| a - b).collect();
+            if let Some(prev_update) = &self.prev_update {
+                let mut diff_sq = 0.0f64;
+                let mut base_sq = 0.0f64;
+                for (u, pu) in update.iter().zip(prev_update) {
+                    diff_sq += f64::from(u - pu) * f64::from(u - pu);
+                    base_sq += f64::from(*pu) * f64::from(*pu);
+                }
+                if base_sq > 0.0 {
+                    self.values.push((diff_sq / base_sq).sqrt());
+                }
+            }
+            self.prev_update = Some(update);
+        }
+        self.prev_params = Some(params.to_vec());
+    }
+
+    /// The normalized-difference series observed so far.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Fraction of observations below `threshold` (the paper reports the
+    /// fraction below 0.05 / 0.005).
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|&&v| v < threshold).count() as f64 / self.values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_updates_have_zero_difference() {
+        let mut nd = NormalizedDifference::new();
+        // x_t = -0.1 t: updates are identical every round.
+        for t in 0..10 {
+            nd.observe(&[-0.1 * t as f32, 1.0 - 0.05 * t as f32]);
+        }
+        assert_eq!(nd.values().len(), 8);
+        for &v in nd.values() {
+            assert!(v < 1e-5, "value {v}");
+        }
+        assert_eq!(nd.fraction_below(0.05), 1.0);
+    }
+
+    #[test]
+    fn changing_updates_have_positive_difference() {
+        let mut nd = NormalizedDifference::new();
+        // Quadratic trajectory: update grows each round.
+        for t in 0..10 {
+            let t = t as f32;
+            nd.observe(&[t * t * 0.1]);
+        }
+        assert!(nd.values().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn needs_three_observations() {
+        let mut nd = NormalizedDifference::new();
+        nd.observe(&[0.0]);
+        nd.observe(&[1.0]);
+        assert!(nd.values().is_empty());
+        nd.observe(&[2.0]);
+        assert_eq!(nd.values().len(), 1);
+    }
+
+    #[test]
+    fn zero_base_update_is_skipped() {
+        let mut nd = NormalizedDifference::new();
+        nd.observe(&[1.0]);
+        nd.observe(&[1.0]); // zero update
+        nd.observe(&[2.0]);
+        assert!(nd.values().is_empty(), "division by zero norm must be skipped");
+    }
+
+    #[test]
+    fn fraction_below_on_empty_is_zero() {
+        assert_eq!(NormalizedDifference::new().fraction_below(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count changed")]
+    fn size_change_panics() {
+        let mut nd = NormalizedDifference::new();
+        nd.observe(&[0.0]);
+        nd.observe(&[0.0, 1.0]);
+    }
+}

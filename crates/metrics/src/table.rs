@@ -1,0 +1,104 @@
+//! Fixed-width text tables for the benchmark harness output.
+
+use std::fmt;
+
+/// A simple fixed-width table builder.
+///
+/// ```
+/// use fedsu_metrics::Table;
+/// let mut t = Table::new(&["Model", "Scheme", "Total Time (h)"]);
+/// t.row(&["CNN", "FedSU", "0.53"]);
+/// let text = t.to_string();
+/// assert!(text.contains("FedSU"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; missing cells are blank, extras are dropped.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        let mut row: Vec<String> = cells.iter().take(self.headers.len()).map(|s| s.to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, w) in cells.iter().zip(&widths) {
+                write!(f, " {cell:w$} |")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["A", "Longer"]);
+        t.row(&["hello", "x"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len(), "rows align");
+        assert!(lines[1].chars().all(|c| c == '-' || c == '|'));
+    }
+
+    #[test]
+    fn short_and_long_rows_are_normalized() {
+        let mut t = Table::new(&["A", "B"]);
+        t.row(&["1"]);
+        t.row(&["1", "2", "3"]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(!s.contains('3'), "extra cells dropped");
+    }
+
+    #[test]
+    fn empty_table_prints_header_only() {
+        let t = Table::new(&["X"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string().lines().count(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! # fedsu-netsim
+//!
+//! A deterministic stand-in for the paper's 128-node EC2 testbed
+//! (`c6i.large` clients throttled to 13.7 Mbps with wondershaper, one
+//! `c5a.8xlarge` server on a 10 Gbps link — Sec. VI-A).
+//!
+//! The paper's headline metrics — per-round time, total time-to-accuracy —
+//! are functions of per-round communication volume and compute time. This
+//! crate models exactly those quantities:
+//!
+//! * a [`Link`] turns bytes into seconds (`latency + bytes·8 / bandwidth`);
+//! * a [`Cluster`] assigns every client a lognormal compute-speed factor
+//!   (device heterogeneity);
+//! * [`RoundTimer`] computes each client's finish time
+//!   (`download + compute + upload`) and implements the paper's
+//!   participation rule: the server proceeds once the earliest 70% of
+//!   clients have returned.
+//!
+//! ```
+//! use fedsu_netsim::{Cluster, ClusterConfig, RoundTimer};
+//!
+//! let cluster = Cluster::build(&ClusterConfig::paper_like(8), 42);
+//! let timer = RoundTimer::new(&cluster, 0.7);
+//! let outcome = timer.round(&vec![1.0; 8], &vec![1_000_000; 8], &vec![1_000_000; 8]);
+//! assert_eq!(outcome.selected.len(), 6); // round(70% of 8)
+//! assert!(outcome.duration_secs > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod link;
+mod round;
+mod trace;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use link::Link;
+pub use round::{RoundOutcomeTiming, RoundTimer};
+pub use trace::BandwidthTrace;

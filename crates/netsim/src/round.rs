@@ -1,0 +1,253 @@
+//! Round-time model with the paper's earliest-K participation rule.
+
+use crate::Cluster;
+
+/// Timing outcome of one emulated round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcomeTiming {
+    /// Wall-clock duration of the round in emulated seconds (when the K-th
+    /// earliest client returned).
+    pub duration_secs: f64,
+    /// Ids of the clients whose updates the server aggregates this round,
+    /// in ascending id order.
+    pub selected: Vec<usize>,
+    /// Every client's individual finish time (seconds since round start).
+    pub finish_secs: Vec<f64>,
+}
+
+/// Computes per-round timings for a cluster under the paper's
+/// "aggregate the earliest fraction" rule (Sec. VI-A uses 70%).
+#[derive(Debug, Clone)]
+pub struct RoundTimer {
+    cluster: Cluster,
+    select_fraction: f64,
+}
+
+impl RoundTimer {
+    /// Creates a timer selecting the earliest `select_fraction` of clients
+    /// each round.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < select_fraction <= 1`.
+    pub fn new(cluster: &Cluster, select_fraction: f64) -> Self {
+        assert!(
+            select_fraction > 0.0 && select_fraction <= 1.0,
+            "select fraction must be in (0, 1]"
+        );
+        RoundTimer { cluster: cluster.clone(), select_fraction }
+    }
+
+    /// Number of clients aggregated per round.
+    pub fn selected_count(&self) -> usize {
+        ((self.cluster.n_clients() as f64 * self.select_fraction).round() as usize)
+            .clamp(1, self.cluster.n_clients())
+    }
+
+    /// Computes one round's timing.
+    ///
+    /// `compute_secs[i]` is client `i`'s nominal local-training time this
+    /// round (before the heterogeneity factor), and `upload_bytes` /
+    /// `download_bytes` its communication volumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices don't cover every client.
+    pub fn round(
+        &self,
+        compute_secs: &[f64],
+        upload_bytes: &[u64],
+        download_bytes: &[u64],
+    ) -> RoundOutcomeTiming {
+        let active = vec![true; self.cluster.n_clients()];
+        self.round_with_active(compute_secs, upload_bytes, download_bytes, &active)
+    }
+
+    /// Like [`RoundTimer::round`], but only clients flagged in `active`
+    /// participate; the earliest fraction is taken of the *active* set
+    /// (participant dynamicity — clients that left are never selected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices don't cover every client or no client is active.
+    pub fn round_with_active(
+        &self,
+        compute_secs: &[f64],
+        upload_bytes: &[u64],
+        download_bytes: &[u64],
+        active: &[bool],
+    ) -> RoundOutcomeTiming {
+        self.round_at(0, compute_secs, upload_bytes, download_bytes, active)
+    }
+
+    /// Like [`RoundTimer::round_with_active`], applying the cluster's
+    /// bandwidth trace at the given round index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices don't cover every client or no client is active.
+    pub fn round_at(
+        &self,
+        round: usize,
+        compute_secs: &[f64],
+        upload_bytes: &[u64],
+        download_bytes: &[u64],
+        active: &[bool],
+    ) -> RoundOutcomeTiming {
+        let n = self.cluster.n_clients();
+        assert_eq!(compute_secs.len(), n, "compute_secs must cover all clients");
+        assert_eq!(upload_bytes.len(), n, "upload_bytes must cover all clients");
+        assert_eq!(download_bytes.len(), n, "download_bytes must cover all clients");
+        assert_eq!(active.len(), n, "active mask must cover all clients");
+
+        let finish: Vec<f64> = (0..n)
+            .map(|i| {
+                if !active[i] {
+                    return f64::INFINITY;
+                }
+                let link = self.cluster.client_link_at(i, round);
+                let down = if download_bytes[i] == 0 { 0.0 } else { link.transfer_secs(download_bytes[i]) };
+                let up = if upload_bytes[i] == 0 { 0.0 } else { link.transfer_secs(upload_bytes[i]) };
+                down + compute_secs[i] * self.cluster.speed_factor(i) + up
+            })
+            .collect();
+
+        let n_active = active.iter().filter(|&&a| a).count();
+        assert!(n_active > 0, "at least one client must be active");
+        let k = ((n_active as f64 * self.select_fraction).round() as usize).clamp(1, n_active);
+        let mut order: Vec<usize> = (0..n).filter(|&i| active[i]).collect();
+        order.sort_by(|&a, &b| finish[a].total_cmp(&finish[b]));
+        let mut selected: Vec<usize> = order[..k].to_vec();
+        selected.sort_unstable();
+        let duration = finish[order[k - 1]];
+        RoundOutcomeTiming { duration_secs: duration, selected, finish_secs: finish }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterConfig, Link};
+
+    fn homogeneous(n: usize) -> Cluster {
+        let mut cfg = ClusterConfig::paper_like(n);
+        cfg.compute_sigma = 0.0;
+        cfg.client_link = Link { bandwidth_mbps: 8.0, latency_ms: 0.0 };
+        Cluster::build(&cfg, 0)
+    }
+
+    #[test]
+    fn selects_fraction_of_clients() {
+        let c = homogeneous(10);
+        let t = RoundTimer::new(&c, 0.7);
+        assert_eq!(t.selected_count(), 7);
+        let o = t.round(&vec![1.0; 10], &vec![0; 10], &vec![0; 10]);
+        assert_eq!(o.selected.len(), 7);
+    }
+
+    #[test]
+    fn duration_is_kth_finish_time() {
+        let c = homogeneous(4);
+        let t = RoundTimer::new(&c, 0.5);
+        // Finish times 1, 2, 3, 4 via compute.
+        let o = t.round(&[1.0, 2.0, 3.0, 4.0], &[0; 4], &[0; 4]);
+        assert_eq!(o.selected, vec![0, 1]);
+        assert!((o.duration_secs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn communication_adds_time() {
+        let c = homogeneous(2);
+        let t = RoundTimer::new(&c, 1.0);
+        // 8 Mbps = 1 MB/s: 1 MB up adds 1 s.
+        let with = t.round(&[1.0, 1.0], &[1_000_000, 0], &[0, 0]);
+        assert!((with.finish_secs[0] - 2.0).abs() < 1e-6);
+        assert!((with.finish_secs[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_transfers_cost_nothing() {
+        // A fully-sparsified client pays no latency either: nothing is sent.
+        let mut cfg = ClusterConfig::paper_like(1);
+        cfg.compute_sigma = 0.0;
+        cfg.client_link = Link { bandwidth_mbps: 8.0, latency_ms: 500.0 };
+        let c = Cluster::build(&cfg, 0);
+        let t = RoundTimer::new(&c, 1.0);
+        let o = t.round(&[1.0], &[0], &[0]);
+        assert!((o.finish_secs[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_clients_are_excluded() {
+        let c = homogeneous(3);
+        let t = RoundTimer::new(&c, 0.67);
+        let o = t.round(&[1.0, 100.0, 2.0], &[0; 3], &[0; 3]);
+        assert_eq!(o.selected, vec![0, 2]);
+        assert!((o.duration_secs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_participation_waits_for_stragglers() {
+        let c = homogeneous(3);
+        let t = RoundTimer::new(&c, 1.0);
+        let o = t.round(&[1.0, 100.0, 2.0], &[0; 3], &[0; 3]);
+        assert_eq!(o.selected.len(), 3);
+        assert!((o.duration_secs - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "select fraction")]
+    fn bad_fraction_panics() {
+        RoundTimer::new(&homogeneous(2), 0.0);
+    }
+
+    #[test]
+    fn at_least_one_client_selected() {
+        let c = homogeneous(2);
+        let t = RoundTimer::new(&c, 0.01);
+        assert_eq!(t.selected_count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod active_tests {
+    use super::*;
+    use crate::{ClusterConfig, Link};
+
+    fn homogeneous(n: usize) -> Cluster {
+        let mut cfg = ClusterConfig::paper_like(n);
+        cfg.compute_sigma = 0.0;
+        cfg.client_link = Link { bandwidth_mbps: 8.0, latency_ms: 0.0 };
+        Cluster::build(&cfg, 0)
+    }
+
+    #[test]
+    fn inactive_clients_are_never_selected() {
+        let c = homogeneous(4);
+        let t = RoundTimer::new(&c, 1.0);
+        let o = t.round_with_active(&[1.0; 4], &[0; 4], &[0; 4], &[true, false, true, false]);
+        assert_eq!(o.selected, vec![0, 2]);
+        assert!(o.finish_secs[1].is_infinite());
+    }
+
+    #[test]
+    fn fraction_applies_to_active_count() {
+        let c = homogeneous(10);
+        let t = RoundTimer::new(&c, 0.5);
+        let mut active = vec![true; 10];
+        for a in active.iter_mut().take(6) {
+            *a = false;
+        }
+        // 4 active, 50% -> 2 selected.
+        let o = t.round_with_active(&[1.0; 10], &[0; 10], &[0; 10], &active);
+        assert_eq!(o.selected.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client must be active")]
+    fn all_inactive_panics() {
+        let c = homogeneous(2);
+        let t = RoundTimer::new(&c, 1.0);
+        t.round_with_active(&[1.0; 2], &[0; 2], &[0; 2], &[false, false]);
+    }
+}

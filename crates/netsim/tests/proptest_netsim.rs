@@ -1,0 +1,66 @@
+//! Property-based tests for the network/time emulator.
+
+use fedsu_netsim::{Cluster, ClusterConfig, Link, RoundTimer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes(bw in 1.0f64..1000.0, lat in 0.0f64..100.0,
+                                          a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        let link = Link { bandwidth_mbps: bw, latency_ms: lat };
+        prop_assume!(a <= b);
+        prop_assert!(link.transfer_secs(a) <= link.transfer_secs(b));
+        prop_assert!(link.transfer_secs(a) >= lat / 1e3);
+    }
+
+    #[test]
+    fn round_duration_covers_selected_and_only_selected(seed in 0u64..500, n in 1usize..16,
+                                                        frac in 0.05f64..1.0) {
+        let cfg = ClusterConfig::paper_like(n);
+        let cluster = Cluster::build(&cfg, seed);
+        let timer = RoundTimer::new(&cluster, frac);
+        let compute: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.3).collect();
+        let bytes = vec![100_000u64; n];
+        let outcome = timer.round(&compute, &bytes, &bytes);
+
+        // Selected count within [1, n] and matches the configured fraction.
+        let k = outcome.selected.len();
+        prop_assert!(k >= 1 && k <= n);
+        prop_assert_eq!(k, ((n as f64 * frac).round() as usize).clamp(1, n));
+        // Every selected client finished no later than the round duration;
+        // every unselected client finished no earlier.
+        for i in 0..n {
+            if outcome.selected.contains(&i) {
+                prop_assert!(outcome.finish_secs[i] <= outcome.duration_secs + 1e-9);
+            } else {
+                prop_assert!(outcome.finish_secs[i] >= outcome.duration_secs - 1e-9);
+            }
+        }
+        // Selected ids are sorted and unique.
+        prop_assert!(outcome.selected.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn more_bytes_never_shorten_the_round(seed in 0u64..500, n in 2usize..10) {
+        let cfg = ClusterConfig::paper_like(n);
+        let cluster = Cluster::build(&cfg, seed);
+        let timer = RoundTimer::new(&cluster, 0.7);
+        let compute = vec![2.0; n];
+        let small = timer.round(&compute, &vec![1_000; n], &vec![1_000; n]);
+        let large = timer.round(&compute, &vec![10_000_000; n], &vec![10_000_000; n]);
+        prop_assert!(large.duration_secs >= small.duration_secs);
+    }
+
+    #[test]
+    fn cluster_factors_are_deterministic_and_positive(seed in 0u64..1000, n in 1usize..32) {
+        let cfg = ClusterConfig::paper_like(n);
+        let a = Cluster::build(&cfg, seed);
+        let b = Cluster::build(&cfg, seed);
+        for i in 0..n {
+            prop_assert!(a.speed_factor(i) > 0.0);
+            prop_assert_eq!(a.speed_factor(i), b.speed_factor(i));
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Activation layers.
+
+use crate::layer::Layer;
+use crate::{NnError, Result};
+use fedsu_tensor::Tensor;
+
+/// Rectified linear unit: `y = max(x, 0)`, elementwise over any shape.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a new ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let out = input.map(|v| v.max(0.0));
+        if train {
+            self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+        if mask.len() != grad_output.len() {
+            return Err(NnError::BadInput {
+                layer: self.name().to_string(),
+                expected: format!("grad with {} elements", mask.len()),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect::<Vec<f32>>();
+        Ok(Tensor::from_vec(data, grad_output.shape())?)
+    }
+}
+
+/// Leaky rectified linear unit: `y = x` for `x > 0`, `y = slope·x`
+/// otherwise.
+#[derive(Debug)]
+pub struct LeakyRelu {
+    slope: f32,
+    mask: Option<Vec<bool>>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with the given negative-side slope.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= slope < 1`.
+    pub fn new(slope: f32) -> Self {
+        assert!((0.0..1.0).contains(&slope), "slope must be in [0, 1)");
+        LeakyRelu { slope, mask: None }
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn name(&self) -> &str {
+        "leaky_relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let slope = self.slope;
+        let out = input.map(|v| if v > 0.0 { v } else { slope * v });
+        if train {
+            self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+        let slope = self.slope;
+        let data: Vec<f32> = grad_output
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { slope * g })
+            .collect();
+        Ok(Tensor::from_vec(data, grad_output.shape())?)
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Tanh { output: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &str {
+        "tanh"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let out = input.map(f32::tanh);
+        if train {
+            self.output = Some(out.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let out = self
+            .output
+            .take()
+            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+        // d tanh(x)/dx = 1 - tanh(x)^2
+        let data: Vec<f32> = grad_output
+            .data()
+            .iter()
+            .zip(out.data())
+            .map(|(&g, &y)| g * (1.0 - y * y))
+            .collect();
+        Ok(Tensor::from_vec(data, grad_output.shape())?)
+    }
+}
+
+/// Logistic sigmoid activation.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid { output: None }
+    }
+}
+
+impl Layer for Sigmoid {
+    fn name(&self) -> &str {
+        "sigmoid"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
+        if train {
+            self.output = Some(out.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let out = self
+            .output
+            .take()
+            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+        // dσ(x)/dx = σ(x)(1 - σ(x))
+        let data: Vec<f32> = grad_output
+            .data()
+            .iter()
+            .zip(out.data())
+            .map(|(&g, &y)| g * y * (1.0 - y))
+            .collect();
+        Ok(Tensor::from_vec(data, grad_output.shape())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = r.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]).unwrap();
+        r.forward(&x, true).unwrap();
+        let dy = Tensor::from_vec(vec![10.0, 10.0, 10.0], &[3]).unwrap();
+        let dx = r.backward(&dy).unwrap();
+        assert_eq!(dx.data(), &[0.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn zero_input_blocks_gradient() {
+        // Subgradient at exactly 0 is taken as 0.
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        r.forward(&x, true).unwrap();
+        let dx = r.backward(&Tensor::ones(&[1])).unwrap();
+        assert_eq!(dx.data(), &[0.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut r = Relu::new();
+        assert!(r.backward(&Tensor::ones(&[1])).is_err());
+    }
+
+    #[test]
+    fn inference_mode_does_not_cache() {
+        let mut r = Relu::new();
+        let x = Tensor::ones(&[2]);
+        r.forward(&x, false).unwrap();
+        assert!(r.backward(&Tensor::ones(&[2])).is_err());
+    }
+}
+
+#[cfg(test)]
+mod more_activation_tests {
+    use super::*;
+
+    fn finite_diff_check(layer: &mut dyn Layer, x: &Tensor) {
+        let y = layer.forward(x, true).unwrap();
+        let dy = Tensor::ones(y.shape());
+        let dx = layer.backward(&dy).unwrap();
+        let eps = 1e-3f32;
+        let mut x2 = x.clone();
+        for idx in 0..x.len() {
+            let orig = x2.data_mut()[idx];
+            x2.data_mut()[idx] = orig + eps;
+            let lp = layer.forward(&x2, true).unwrap().sum();
+            x2.data_mut()[idx] = orig - eps;
+            let lm = layer.forward(&x2, true).unwrap().sum();
+            x2.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[idx]).abs() < 1e-2,
+                "{} idx {idx}: {numeric} vs {}",
+                layer.name(),
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn leaky_relu_known_values_and_gradient() {
+        let mut l = LeakyRelu::new(0.1);
+        let x = Tensor::from_slice(&[-2.0, 0.5]);
+        let y = l.forward(&x, true).unwrap();
+        assert!((y.data()[0] + 0.2).abs() < 1e-6);
+        assert_eq!(y.data()[1], 0.5);
+        finite_diff_check(&mut l, &Tensor::from_slice(&[-1.0, -0.3, 0.2, 1.7]));
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let mut t = Tanh::new();
+        finite_diff_check(&mut t, &Tensor::from_slice(&[-1.5, -0.2, 0.0, 0.8, 2.0]));
+    }
+
+    #[test]
+    fn sigmoid_range_and_gradient() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::from_slice(&[-10.0, 0.0, 10.0]), false).unwrap();
+        assert!(y.data()[0] < 0.01);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.data()[2] > 0.99);
+        finite_diff_check(&mut s, &Tensor::from_slice(&[-2.0, -0.1, 0.4, 1.3]));
+    }
+
+    #[test]
+    fn backward_without_forward_errors_for_all() {
+        assert!(LeakyRelu::new(0.1).backward(&Tensor::ones(&[1])).is_err());
+        assert!(Tanh::new().backward(&Tensor::ones(&[1])).is_err());
+        assert!(Sigmoid::new().backward(&Tensor::ones(&[1])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "slope must be in")]
+    fn bad_leaky_slope_panics() {
+        LeakyRelu::new(1.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! 2-D convolution layer (im2col formulation).
+
+use crate::layer::{Layer, Param};
+use crate::{NnError, Result};
+use fedsu_tensor::{col2im, im2col, kaiming_uniform, matmul, matmul_transpose_a, matmul_transpose_b, ConvDims, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution over `NCHW` inputs with square kernels.
+///
+/// Weights are stored as a matrix `[out_channels, in_channels * k * k]` so
+/// the forward pass is one matmul against the im2col matrix per sample. The
+/// backward pass re-runs `im2col` on the cached input rather than caching the
+/// (much larger) column matrices, trading a little compute for memory — the
+/// same trade edge devices make.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    in_channels: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-uniform weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for zero channels/kernel/stride.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0 {
+            return Err(NnError::BadConfig(format!(
+                "conv dims must be positive: in={in_channels} out={out_channels} k={kernel} s={stride}"
+            )));
+        }
+        let fan_in = in_channels * kernel * kernel;
+        let weight = kaiming_uniform(&[out_channels, fan_in], fan_in, rng);
+        Ok(Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            in_channels,
+            cached_input: None,
+        })
+    }
+
+    fn dims_for(&self, input: &Tensor) -> Result<ConvDims> {
+        if input.rank() != 4 || input.shape()[1] != self.in_channels {
+            return Err(NnError::BadInput {
+                layer: "conv2d".to_string(),
+                expected: format!("[batch, {}, h, w]", self.in_channels),
+                actual: input.shape().to_vec(),
+            });
+        }
+        Ok(ConvDims {
+            in_channels: self.in_channels,
+            in_h: input.shape()[2],
+            in_w: input.shape()[3],
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        })
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let dims = self.dims_for(input)?;
+        let batch = input.shape()[0];
+        let (out_h, out_w) = (dims.out_h(), dims.out_w());
+        let plane = out_h * out_w;
+        let sample_in = self.in_channels * dims.in_h * dims.in_w;
+        let mut out = vec![0.0f32; batch * self.out_channels * plane];
+
+        for n in 0..batch {
+            let img = &input.data()[n * sample_in..(n + 1) * sample_in];
+            let cols = im2col(img, &dims)?;
+            let y = matmul(&self.weight.value, &cols)?; // [out_c, plane]
+            let dst = &mut out[n * self.out_channels * plane..(n + 1) * self.out_channels * plane];
+            for c in 0..self.out_channels {
+                let b = self.bias.value.data()[c];
+                for (d, s) in dst[c * plane..(c + 1) * plane].iter_mut().zip(&y.data()[c * plane..(c + 1) * plane]) {
+                    *d = s + b;
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(Tensor::from_vec(out, &[batch, self.out_channels, out_h, out_w])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+        let dims = self.dims_for(&input)?;
+        let batch = input.shape()[0];
+        let (out_h, out_w) = (dims.out_h(), dims.out_w());
+        let plane = out_h * out_w;
+        let expected = [batch, self.out_channels, out_h, out_w];
+        if grad_output.shape() != expected {
+            return Err(NnError::BadInput {
+                layer: self.name().to_string(),
+                expected: format!("grad {expected:?}"),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let sample_in = self.in_channels * dims.in_h * dims.in_w;
+        let mut grad_in = vec![0.0f32; input.len()];
+
+        for n in 0..batch {
+            let img = &input.data()[n * sample_in..(n + 1) * sample_in];
+            let cols = im2col(img, &dims)?;
+            let dy = Tensor::from_vec(
+                grad_output.data()[n * self.out_channels * plane..(n + 1) * self.out_channels * plane].to_vec(),
+                &[self.out_channels, plane],
+            )?;
+            // dW += dY · colsᵀ
+            let dw = matmul_transpose_b(&dy, &cols)?;
+            self.weight.grad.add_assign(&dw)?;
+            // db += row-sums of dY
+            for c in 0..self.out_channels {
+                let s: f32 = dy.data()[c * plane..(c + 1) * plane].iter().sum();
+                self.bias.grad.data_mut()[c] += s;
+            }
+            // dcols = Wᵀ · dY, then scatter back to image space.
+            let dcols = matmul_transpose_a(&self.weight.value, &dy)?;
+            col2im(&dcols, &mut grad_in[n * sample_in..(n + 1) * sample_in], &dims)?;
+        }
+        Ok(Tensor::from_vec(grad_in, input.shape())?)
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_known_values_identity_kernel() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng).unwrap();
+        conv.weight.value = Tensor::from_vec(vec![2.0], &[1, 1]).unwrap();
+        conv.bias.value = Tensor::from_vec(vec![0.5], &[1]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[2.5, 4.5, 6.5, 8.5]);
+    }
+
+    #[test]
+    fn forward_known_values_3x3_sum_kernel() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng).unwrap();
+        conv.weight.value = Tensor::ones(&[1, 9]);
+        conv.bias.value = Tensor::zeros(&[1]);
+        // 2x2 all-ones image; padded 3x3 sums count the in-bounds pixels.
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn output_shape_with_stride() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, &mut rng).unwrap();
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let y = conv.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng).unwrap();
+        let x = Tensor::zeros(&[1, 2, 8, 8]);
+        assert!(matches!(conv.forward(&x, true), Err(NnError::BadInput { .. })));
+    }
+
+    #[test]
+    fn finite_difference_gradient_check_weights_and_input() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng).unwrap();
+        let x = Tensor::rand_uniform(&[2, 2, 4, 4], -1.0, 1.0, &mut rng);
+
+        let y = conv.forward(&x, true).unwrap();
+        let dy = Tensor::ones(y.shape());
+        let dx = conv.backward(&dy).unwrap();
+        let analytic_w = conv.weight.grad.clone();
+
+        let eps = 1e-2f32;
+        // Check a few weight coordinates.
+        for idx in [0usize, 7, 17, 35] {
+            let orig = conv.weight.value.data()[idx];
+            conv.weight.value.data_mut()[idx] = orig + eps;
+            let lp = conv.forward(&x, true).unwrap().sum();
+            conv.weight.value.data_mut()[idx] = orig - eps;
+            let lm = conv.forward(&x, true).unwrap().sum();
+            conv.weight.value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let got = analytic_w.data()[idx];
+            assert!(
+                (numeric - got).abs() < 0.05 * (1.0 + got.abs()),
+                "weight idx {idx}: numeric {numeric} vs analytic {got}"
+            );
+        }
+        // Check a few input coordinates.
+        let mut x2 = x.clone();
+        for idx in [0usize, 13, 31] {
+            let orig = x2.data()[idx];
+            x2.data_mut()[idx] = orig + eps;
+            let lp = conv.forward(&x2, true).unwrap().sum();
+            x2.data_mut()[idx] = orig - eps;
+            let lm = conv.forward(&x2, true).unwrap().sum();
+            x2.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let got = dx.data()[idx];
+            assert!(
+                (numeric - got).abs() < 0.05 * (1.0 + got.abs()),
+                "input idx {idx}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_counts_output_elements() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng).unwrap();
+        let x = Tensor::ones(&[3, 1, 2, 2]); // batch 3, plane 4
+        let y = conv.forward(&x, true).unwrap();
+        conv.backward(&Tensor::ones(y.shape())).unwrap();
+        // Each bias sees batch * plane = 12 gradient ones.
+        assert_eq!(conv.bias.grad.data(), &[12.0, 12.0]);
+    }
+}

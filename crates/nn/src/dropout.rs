@@ -1,0 +1,123 @@
+//! Inverted dropout.
+
+use crate::layer::Layer;
+use crate::{NnError, Result};
+use fedsu_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so inference
+/// needs no rescaling and is the identity.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p, rng: StdRng::seed_from_u64(seed), mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        "dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let data: Vec<f32> = input.data().iter().zip(&mask).map(|(v, m)| v * m).collect();
+        self.mask = Some(mask);
+        Ok(Tensor::from_vec(data, input.shape())?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+        if mask.len() != grad_output.len() {
+            return Err(NnError::BadInput {
+                layer: self.name().to_string(),
+                expected: format!("grad with {} elements", mask.len()),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let data: Vec<f32> = grad_output.data().iter().zip(&mask).map(|(g, m)| g * m).collect();
+        Ok(Tensor::from_vec(data, grad_output.shape())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, false).unwrap().data(), x.data());
+    }
+
+    #[test]
+    fn training_zeroes_roughly_p_fraction() {
+        let mut d = Dropout::new(0.3, 1);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true).unwrap();
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "dropped {frac}");
+        // Survivors are scaled to preserve the expectation.
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, true).unwrap();
+        let dx = d.backward(&Tensor::ones(&[100])).unwrap();
+        // Gradient is zero exactly where the activation was dropped.
+        for (o, g) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*o == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let mut d = Dropout::new(0.0, 3);
+        let x = Tensor::ones(&[64]);
+        assert_eq!(d.forward(&x, true).unwrap().data(), x.data());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut d = Dropout::new(0.5, 4);
+        assert!(d.backward(&Tensor::ones(&[1])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_probability_panics() {
+        Dropout::new(1.0, 0);
+    }
+}

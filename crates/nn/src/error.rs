@@ -1,0 +1,84 @@
+use fedsu_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by network construction, forward, or backward passes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A layer received an input of unexpected shape.
+    BadInput {
+        /// Layer that rejected the input.
+        layer: String,
+        /// What the layer expected, human-readable.
+        expected: String,
+        /// The shape it actually received.
+        actual: Vec<usize>,
+    },
+    /// `backward` was called without a preceding `forward`.
+    MissingForward {
+        /// Layer that was asked to run backward.
+        layer: String,
+    },
+    /// A network description was invalid (e.g. zero layers or channels).
+    BadConfig(String),
+    /// Label out of range for the classifier output.
+    BadLabel {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the model predicts.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput { layer, expected, actual } => {
+                write!(f, "layer `{layer}` expected {expected}, got shape {actual:?}")
+            }
+            NnError::MissingForward { layer } => {
+                write!(f, "backward called on `{layer}` before forward")
+            }
+            NnError::BadConfig(msg) => write!(f, "bad network config: {msg}"),
+            NnError::BadLabel { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        use std::error::Error;
+        let e: NnError = TensorError::InvalidArgument("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

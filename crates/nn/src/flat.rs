@@ -1,0 +1,228 @@
+//! Flat-vector views of a model's parameters.
+//!
+//! Federated synchronization — and especially FedSU's per-scalar
+//! predictability mask — treats the whole model as one `Vec<f32>`. These
+//! helpers convert between a [`Layer`] tree and that flat representation
+//! using the stable parameter visit order.
+
+use crate::layer::Layer;
+use crate::{NnError, Result};
+
+/// Total number of scalar parameters in `model`.
+pub fn param_count(model: &dyn Layer) -> usize {
+    let mut n = 0;
+    model.visit_params(&mut |p| n += p.len());
+    n
+}
+
+/// Copies every parameter into one flat vector (visit order).
+pub fn flatten_params(model: &dyn Layer) -> Vec<f32> {
+    let mut out = Vec::with_capacity(param_count(model));
+    model.visit_params(&mut |p| out.extend_from_slice(p.value.data()));
+    out
+}
+
+/// Copies every accumulated gradient into one flat vector (visit order).
+pub fn flatten_grads(model: &dyn Layer) -> Vec<f32> {
+    let mut out = Vec::with_capacity(param_count(model));
+    model.visit_params(&mut |p| out.extend_from_slice(p.grad.data()));
+    out
+}
+
+/// Loads a flat vector back into the model's parameters.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadConfig`] when `flat.len()` does not match the
+/// model's parameter count.
+pub fn load_params(model: &mut dyn Layer, flat: &[f32]) -> Result<()> {
+    let expected = param_count(model);
+    if flat.len() != expected {
+        return Err(NnError::BadConfig(format!(
+            "flat vector has {} values but model has {} parameters",
+            flat.len(),
+            expected
+        )));
+    }
+    let mut offset = 0usize;
+    model.visit_params_mut(&mut |p| {
+        let n = p.len();
+        p.value.data_mut().copy_from_slice(&flat[offset..offset + n]);
+        offset += n;
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::sequential::Sequential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = Sequential::new("m");
+        s.push(Dense::new(2, 3, &mut rng).unwrap());
+        s.push(Dense::new(3, 2, &mut rng).unwrap());
+        s
+    }
+
+    #[test]
+    fn flatten_load_roundtrip() {
+        let mut m = model();
+        let flat = flatten_params(&m);
+        assert_eq!(flat.len(), param_count(&m));
+        let modified: Vec<f32> = flat.iter().map(|v| v + 1.0).collect();
+        load_params(&mut m, &modified).unwrap();
+        assert_eq!(flatten_params(&m), modified);
+    }
+
+    #[test]
+    fn load_rejects_wrong_length() {
+        let mut m = model();
+        assert!(load_params(&mut m, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn grads_flatten_in_same_order() {
+        let mut m = model();
+        let mut i = 0.0f32;
+        m.visit_params_mut(&mut |p| {
+            for g in p.grad.data_mut() {
+                *g = i;
+                i += 1.0;
+            }
+        });
+        let grads = flatten_grads(&m);
+        for (k, g) in grads.iter().enumerate() {
+            assert_eq!(*g, k as f32);
+        }
+    }
+
+    #[test]
+    fn identical_models_flatten_identically() {
+        let a = model();
+        let b = model();
+        assert_eq!(flatten_params(&a), flatten_params(&b));
+    }
+}
+
+/// Magic header of the checkpoint wire format.
+const CHECKPOINT_MAGIC: u32 = 0xFED5_C4EC;
+
+/// Errors while restoring a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Payload shorter than declared.
+    Truncated,
+    /// Magic header mismatch (not a checkpoint).
+    BadMagic(u32),
+    /// Checkpoint holds a different parameter count than the model.
+    WrongSize {
+        /// Parameters in the checkpoint.
+        checkpoint: usize,
+        /// Parameters in the model.
+        model: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadMagic(m) => write!(f, "bad checkpoint magic {m:#x}"),
+            CheckpointError::WrongSize { checkpoint, model } => {
+                write!(f, "checkpoint has {checkpoint} params, model has {model}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serializes the model's parameters to a compact checkpoint
+/// (magic, count, little-endian f32 values).
+pub fn save_checkpoint(model: &dyn Layer) -> Vec<u8> {
+    let flat = flatten_params(model);
+    let mut out = Vec::with_capacity(8 + flat.len() * 4);
+    out.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(flat.len() as u32).to_le_bytes());
+    for v in flat {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Restores parameters saved by [`save_checkpoint`] into `model`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on malformed payloads or a parameter-count
+/// mismatch (wrong architecture/preset).
+pub fn load_checkpoint(model: &mut dyn Layer, bytes: &[u8]) -> std::result::Result<(), CheckpointError> {
+    if bytes.len() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("sliced"));
+    if magic != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let n = u32::from_le_bytes(bytes[4..8].try_into().expect("sliced")) as usize;
+    let expected = param_count(model);
+    if n != expected {
+        return Err(CheckpointError::WrongSize { checkpoint: n, model: expected });
+    }
+    if bytes.len() < 8 + n * 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let flat: Vec<f32> = (0..n)
+        .map(|i| f32::from_le_bytes(bytes[8 + i * 4..12 + i * 4].try_into().expect("sliced")))
+        .collect();
+    load_params(model, &flat).expect("length checked above");
+    Ok(())
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use crate::models::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = mlp(&[4, 6, 2], &mut rng).unwrap();
+        let bytes = save_checkpoint(&m);
+        let mut fresh = mlp(&[4, 6, 2], &mut StdRng::seed_from_u64(99)).unwrap();
+        assert_ne!(flatten_params(&m), flatten_params(&fresh));
+        load_checkpoint(&mut fresh, &bytes).unwrap();
+        assert_eq!(flatten_params(&m), flatten_params(&fresh));
+    }
+
+    #[test]
+    fn wrong_architecture_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = mlp(&[4, 6, 2], &mut rng).unwrap();
+        let bytes = save_checkpoint(&m);
+        let mut other = mlp(&[4, 8, 2], &mut rng).unwrap();
+        assert!(matches!(
+            load_checkpoint(&mut other, &bytes),
+            Err(CheckpointError::WrongSize { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_payloads_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = mlp(&[4, 6, 2], &mut rng).unwrap();
+        let bytes = save_checkpoint(&m);
+        assert_eq!(load_checkpoint(&mut m, &bytes[..4]), Err(CheckpointError::Truncated));
+        assert_eq!(load_checkpoint(&mut m, &bytes[..bytes.len() - 2]), Err(CheckpointError::Truncated));
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(load_checkpoint(&mut m, &bad), Err(CheckpointError::BadMagic(_))));
+    }
+}

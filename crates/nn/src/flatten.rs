@@ -1,0 +1,75 @@
+//! Flatten layer: `[batch, ...] -> [batch, prod(...)]`.
+
+use crate::layer::Layer;
+use crate::{NnError, Result};
+use fedsu_tensor::Tensor;
+
+/// Flattens all non-batch dimensions.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if input.rank() < 2 {
+            return Err(NnError::BadInput {
+                layer: self.name().to_string(),
+                expected: "rank >= 2".to_string(),
+                actual: input.shape().to_vec(),
+            });
+        }
+        let batch = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        if train {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        Ok(input.reshape(&[batch, rest])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cached_shape
+            .take()
+            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+        Ok(grad_output.reshape(&shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_flattens_and_backward_restores() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        let y = f.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 60]);
+        let dx = f.backward(&Tensor::zeros(&[2, 60])).unwrap();
+        assert_eq!(dx.shape(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rejects_rank1() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::zeros(&[5]), true).is_err());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::zeros(&[2, 60])).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Group normalization (Wu & He, 2018).
+//!
+//! GroupNorm is used where the original architectures use BatchNorm: it is
+//! batch-size independent and has no cross-client running statistics, which
+//! makes it the standard normalization choice in federated-learning research
+//! (see DESIGN.md §3 for the substitution note).
+
+use crate::layer::{Layer, Param};
+use crate::{NnError, Result};
+use fedsu_tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+
+struct Cache {
+    input: Tensor,
+    mean: Vec<f32>,    // per (sample, group)
+    inv_std: Vec<f32>, // per (sample, group)
+}
+
+/// Group normalization over `NCHW` inputs with learnable per-channel
+/// `gamma`/`beta`.
+pub struct GroupNorm {
+    gamma: Param,
+    beta: Param,
+    channels: usize,
+    groups: usize,
+    cache: Option<Cache>,
+}
+
+impl std::fmt::Debug for GroupNorm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupNorm")
+            .field("channels", &self.channels)
+            .field("groups", &self.groups)
+            .finish()
+    }
+}
+
+impl GroupNorm {
+    /// Creates a GroupNorm layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when `groups` does not divide
+    /// `channels` or either is zero.
+    pub fn new(channels: usize, groups: usize) -> Result<Self> {
+        if channels == 0 || groups == 0 || channels % groups != 0 {
+            return Err(NnError::BadConfig(format!(
+                "groupnorm needs groups | channels, got {groups} groups for {channels} channels"
+            )));
+        }
+        Ok(GroupNorm {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            channels,
+            groups,
+            cache: None,
+        })
+    }
+}
+
+impl Layer for GroupNorm {
+    fn name(&self) -> &str {
+        "groupnorm"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if input.rank() != 4 || input.shape()[1] != self.channels {
+            return Err(NnError::BadInput {
+                layer: self.name().to_string(),
+                expected: format!("[batch, {}, h, w]", self.channels),
+                actual: input.shape().to_vec(),
+            });
+        }
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let cpg = c / self.groups; // channels per group
+        let group_size = cpg * h * w;
+        let plane = h * w;
+        let data = input.data();
+        let mut out = vec![0.0f32; input.len()];
+        let mut means = vec![0.0f32; n * self.groups];
+        let mut inv_stds = vec![0.0f32; n * self.groups];
+
+        for s in 0..n {
+            for g in 0..self.groups {
+                let start = s * c * plane + g * cpg * plane;
+                let slice = &data[start..start + group_size];
+                let mean = slice.iter().sum::<f32>() / group_size as f32;
+                let var = slice.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / group_size as f32;
+                let inv_std = 1.0 / (var + EPS).sqrt();
+                means[s * self.groups + g] = mean;
+                inv_stds[s * self.groups + g] = inv_std;
+                for ci in 0..cpg {
+                    let ch = g * cpg + ci;
+                    let gam = self.gamma.value.data()[ch];
+                    let bet = self.beta.value.data()[ch];
+                    let off = start + ci * plane;
+                    for i in 0..plane {
+                        out[off + i] = (data[off + i] - mean) * inv_std * gam + bet;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some(Cache { input: input.clone(), mean: means, inv_std: inv_stds });
+        }
+        Ok(Tensor::from_vec(out, input.shape())?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+        let input = &cache.input;
+        if grad_output.shape() != input.shape() {
+            return Err(NnError::BadInput {
+                layer: self.name().to_string(),
+                expected: format!("grad {:?}", input.shape()),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let cpg = c / self.groups;
+        let plane = h * w;
+        let group_size = (cpg * plane) as f32;
+        let xd = input.data();
+        let gd = grad_output.data();
+        let mut grad_in = vec![0.0f32; input.len()];
+
+        for s in 0..n {
+            for g in 0..self.groups {
+                let mean = cache.mean[s * self.groups + g];
+                let inv_std = cache.inv_std[s * self.groups + g];
+                let start = s * c * plane + g * cpg * plane;
+
+                // First pass: accumulate the two group-level sums of the
+                // standard normalization backward formula, plus per-channel
+                // gamma/beta gradients.
+                let mut sum_dxhat = 0.0f32;
+                let mut sum_dxhat_xhat = 0.0f32;
+                for ci in 0..cpg {
+                    let ch = g * cpg + ci;
+                    let gam = self.gamma.value.data()[ch];
+                    let off = start + ci * plane;
+                    let mut dgamma = 0.0f32;
+                    let mut dbeta = 0.0f32;
+                    for i in 0..plane {
+                        let xhat = (xd[off + i] - mean) * inv_std;
+                        let dy = gd[off + i];
+                        dgamma += dy * xhat;
+                        dbeta += dy;
+                        let dxhat = dy * gam;
+                        sum_dxhat += dxhat;
+                        sum_dxhat_xhat += dxhat * xhat;
+                    }
+                    self.gamma.grad.data_mut()[ch] += dgamma;
+                    self.beta.grad.data_mut()[ch] += dbeta;
+                }
+
+                // Second pass: dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
+                for ci in 0..cpg {
+                    let ch = g * cpg + ci;
+                    let gam = self.gamma.value.data()[ch];
+                    let off = start + ci * plane;
+                    for i in 0..plane {
+                        let xhat = (xd[off + i] - mean) * inv_std;
+                        let dxhat = gd[off + i] * gam;
+                        grad_in[off + i] =
+                            inv_std * (dxhat - sum_dxhat / group_size - xhat * sum_dxhat_xhat / group_size);
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(grad_in, input.shape())?)
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.gamma);
+        f(&self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn forward_normalizes_each_group() {
+        let mut gn = GroupNorm::new(2, 2).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2]).unwrap();
+        let y = gn.forward(&x, true).unwrap();
+        // Each group (channel here) should be ~zero-mean, unit-variance.
+        for ch in 0..2 {
+            let s = &y.data()[ch * 4..(ch + 1) * 4];
+            let mean: f32 = s.iter().sum::<f32>() / 4.0;
+            let var: f32 = s.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut gn = GroupNorm::new(1, 1).unwrap();
+        gn.gamma.value.fill(2.0);
+        gn.beta.value.fill(1.0);
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        let y = gn.forward(&x, true).unwrap();
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        assert!((mean - 1.0).abs() < 1e-5); // beta shifts the mean
+    }
+
+    #[test]
+    fn invalid_groups_rejected() {
+        assert!(GroupNorm::new(6, 4).is_err());
+        assert!(GroupNorm::new(0, 1).is_err());
+        assert!(GroupNorm::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn finite_difference_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut gn = GroupNorm::new(4, 2).unwrap();
+        for v in gn.gamma.value.data_mut() {
+            *v = rng.gen_range(0.5..1.5);
+        }
+        let x = Tensor::rand_uniform(&[2, 4, 3, 3], -1.0, 1.0, &mut rng);
+
+        // Loss = weighted sum of outputs (weights make the check non-trivial).
+        let wts: Vec<f32> = (0..x.len()).map(|i| ((i as f32) * 0.13).sin()).collect();
+        let loss = |gn: &mut GroupNorm, x: &Tensor| -> f32 {
+            let y = gn.forward(x, true).unwrap();
+            y.data().iter().zip(&wts).map(|(a, b)| a * b).sum()
+        };
+
+        let y = gn.forward(&x, true).unwrap();
+        let dy = Tensor::from_vec(wts.clone(), y.shape()).unwrap();
+        let dx = gn.backward(&dy).unwrap();
+        let dgamma = gn.gamma.grad.clone();
+
+        let eps = 1e-2f32;
+        let mut x2 = x.clone();
+        for idx in [0usize, 17, 40, 65] {
+            let orig = x2.data()[idx];
+            x2.data_mut()[idx] = orig + eps;
+            let lp = loss(&mut gn, &x2);
+            x2.data_mut()[idx] = orig - eps;
+            let lm = loss(&mut gn, &x2);
+            x2.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let got = dx.data()[idx];
+            assert!(
+                (numeric - got).abs() < 0.02 * (1.0 + got.abs()),
+                "input idx {idx}: numeric {numeric} vs analytic {got}"
+            );
+        }
+        for ch in 0..4 {
+            let orig = gn.gamma.value.data()[ch];
+            gn.gamma.value.data_mut()[ch] = orig + eps;
+            let lp = loss(&mut gn, &x);
+            gn.gamma.value.data_mut()[ch] = orig - eps;
+            let lm = loss(&mut gn, &x);
+            gn.gamma.value.data_mut()[ch] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let got = dgamma.data()[ch];
+            assert!(
+                (numeric - got).abs() < 0.02 * (1.0 + got.abs()),
+                "gamma {ch}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut gn = GroupNorm::new(2, 1).unwrap();
+        assert!(gn.backward(&Tensor::ones(&[1, 2, 1, 1])).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Sequential container.
+
+use crate::layer::{Layer, Param};
+use crate::Result;
+use fedsu_tensor::Tensor;
+
+/// A container running child layers in order; the workhorse model type.
+///
+/// ```
+/// use fedsu_nn::{Sequential, Layer};
+/// use fedsu_nn::activation::Relu;
+/// use fedsu_tensor::Tensor;
+///
+/// # fn main() -> Result<(), fedsu_nn::NnError> {
+/// let mut net = Sequential::new("demo");
+/// net.push(Relu::new());
+/// let y = net.forward(&Tensor::from_slice(&[-1.0, 2.0]).reshape(&[1, 2])?, false)?;
+/// assert_eq!(y.data(), &[0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("name", &self.name)
+            .field("layers", &self.layers.iter().map(|l| l.name().to_string()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty container with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sequential { name: name.into(), layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends an already-boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total number of scalar parameters (recursively).
+    pub fn num_params(&self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(f);
+        }
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for layer in &self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::dense::Dense;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut s = Sequential::new("empty");
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(s.forward(&x, true).unwrap().data(), x.data());
+        assert_eq!(s.backward(&x).unwrap().data(), x.data());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn composes_layers_in_order() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = Sequential::new("mlp");
+        s.push(Dense::new(2, 4, &mut rng).unwrap());
+        s.push(Relu::new());
+        s.push(Dense::new(4, 3, &mut rng).unwrap());
+        assert_eq!(s.len(), 3);
+        let x = Tensor::rand_uniform(&[5, 2], -1.0, 1.0, &mut rng);
+        let y = s.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[5, 3]);
+        let dx = s.backward(&Tensor::ones(&[5, 3])).unwrap();
+        assert_eq!(dx.shape(), &[5, 2]);
+    }
+
+    #[test]
+    fn param_count_sums_children() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = Sequential::new("mlp");
+        s.push(Dense::new(2, 4, &mut rng).unwrap()); // 8 + 4
+        s.push(Dense::new(4, 3, &mut rng).unwrap()); // 12 + 3
+        assert_eq!(s.num_params(), 27);
+    }
+
+    #[test]
+    fn visit_order_is_stable() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = Sequential::new("mlp");
+        s.push(Dense::new(2, 4, &mut rng).unwrap());
+        s.push(Dense::new(4, 3, &mut rng).unwrap());
+        let mut lens = Vec::new();
+        s.visit_params(&mut |p| lens.push(p.len()));
+        assert_eq!(lens, vec![8, 4, 12, 3]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Cross-checks the im2col convolution against a naive direct convolution
+//! reference, over randomized geometries.
+
+use fedsu_nn::conv2d::Conv2d;
+use fedsu_nn::{Layer, Param};
+use fedsu_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Direct (quadruple-loop) 2-D convolution over NCHW input.
+#[allow(clippy::too_many_arguments)]
+fn naive_conv(
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    batch: usize,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (w + 2 * pad - k) / stride + 1;
+    let mut out = vec![0.0f32; batch * out_c * oh * ow];
+    for n in 0..batch {
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[oc];
+                    for ic in 0..in_c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                    let iv = input
+                                        [n * in_c * h * w + ic * h * w + iy as usize * w + ix as usize];
+                                    let wv = weight[oc * in_c * k * k + ic * k * k + ky * k + kx];
+                                    acc += iv * wv;
+                                }
+                            }
+                        }
+                    }
+                    out[n * out_c * oh * ow + oc * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn im2col_conv_matches_naive_reference(seed in 0u64..10_000,
+                                           batch in 1usize..3,
+                                           in_c in 1usize..3,
+                                           out_c in 1usize..4,
+                                           h in 3usize..9,
+                                           w in 3usize..9,
+                                           k in 1usize..4,
+                                           stride in 1usize..3,
+                                           pad in 0usize..2) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut conv = Conv2d::new(in_c, out_c, k, stride, pad, &mut rng).unwrap();
+        let x = Tensor::rand_uniform(&[batch, in_c, h, w], -1.0, 1.0, &mut rng);
+
+        // Pull the layer's actual weights/bias through the Param visitor
+        // (visit order: weight then bias).
+        let mut buffers: Vec<Vec<f32>> = Vec::new();
+        conv.visit_params(&mut |p: &Param| buffers.push(p.value.data().to_vec()));
+        let bias = buffers.pop().unwrap();
+        let weight = buffers.pop().unwrap();
+
+        let fast = conv.forward(&x, false).unwrap();
+        let reference = naive_conv(x.data(), &weight, &bias, batch, in_c, h, w, out_c, k, stride, pad);
+        prop_assert_eq!(fast.len(), reference.len());
+        for (a, b) in fast.data().iter().zip(&reference) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! APF (Adaptive Parameter Freezing, Chen et al., ICDCS'21): parameters
+//! whose *effective perturbation* falls below a stability threshold are
+//! considered converged and frozen — excluded from synchronization — for
+//! additively-growing periods (TCP-style), unfreezing to re-check stability.
+//!
+//! Effective perturbation of a scalar is `|⟨u⟩| / ⟨|u|⟩`, the EMA-smoothed
+//! ratio between the magnitude of the accumulated update and the accumulated
+//! update magnitude: near 1 for a steadily-moving parameter, near 0 for one
+//! zigzagging around a converged value.
+
+use fedsu_fl::{AggregateOutcome, SyncStrategy};
+use serde::{Deserialize, Serialize};
+
+/// APF hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApfConfig {
+    /// Effective-perturbation threshold below which a parameter freezes
+    /// (paper default 0.05).
+    pub stability_threshold: f64,
+    /// EMA decay for the perturbation statistics.
+    pub ema_decay: f32,
+    /// Rounds a parameter must be observed before it may freeze.
+    pub warmup_rounds: usize,
+    /// Freezing-period increment per consecutive stable check (rounds).
+    pub period_step: u16,
+    /// Upper bound on the freezing period (rounds).
+    pub max_period: u16,
+}
+
+impl Default for ApfConfig {
+    fn default() -> Self {
+        ApfConfig {
+            stability_threshold: 0.05,
+            ema_decay: 0.9,
+            warmup_rounds: 3,
+            period_step: 1,
+            max_period: 64,
+        }
+    }
+}
+
+/// The APF strategy.
+#[derive(Debug, Clone)]
+pub struct Apf {
+    config: ApfConfig,
+    /// EMA of the per-round update, per scalar.
+    ema_update: Vec<f32>,
+    /// EMA of the absolute per-round update, per scalar.
+    ema_abs_update: Vec<f32>,
+    /// Rounds remaining in the current freeze (0 = unfrozen).
+    freeze_remaining: Vec<u16>,
+    /// Current freezing-period length (grows additively while stable).
+    freeze_period: Vec<u16>,
+    /// Rounds each scalar spent frozen (skip statistics).
+    frozen_rounds: Vec<u64>,
+    rounds_seen: usize,
+    /// Phase-A cache: unfrozen scalar count this round.
+    unfrozen_count: usize,
+}
+
+impl Apf {
+    /// Creates APF with the given config.
+    pub fn new(config: ApfConfig) -> Self {
+        Apf {
+            config,
+            ema_update: Vec::new(),
+            ema_abs_update: Vec::new(),
+            freeze_remaining: Vec::new(),
+            freeze_period: Vec::new(),
+            frozen_rounds: Vec::new(),
+            rounds_seen: 0,
+            unfrozen_count: 0,
+        }
+    }
+
+    fn ensure_capacity(&mut self, n: usize) {
+        if self.ema_update.len() != n {
+            self.ema_update = vec![0.0; n];
+            self.ema_abs_update = vec![0.0; n];
+            self.freeze_remaining = vec![0; n];
+            self.freeze_period = vec![0; n];
+            self.frozen_rounds = vec![0; n];
+        }
+    }
+
+    /// Number of currently frozen scalars.
+    pub fn frozen_count(&self) -> usize {
+        self.freeze_remaining.iter().filter(|&&r| r > 0).count()
+    }
+}
+
+impl Default for Apf {
+    fn default() -> Self {
+        Apf::new(ApfConfig::default())
+    }
+}
+
+impl SyncStrategy for Apf {
+    fn name(&self) -> &str {
+        "apf"
+    }
+
+    fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
+        self.ensure_capacity(global.len());
+        self.unfrozen_count = self.freeze_remaining.iter().filter(|&&r| r == 0).count();
+        vec![self.unfrozen_count as u64; locals.len()]
+    }
+
+    fn aggregate(
+        &mut self,
+        _round: usize,
+        locals: &[Vec<f32>],
+        selected: &[usize],
+        _active: &[bool],
+        global: &mut [f32],
+    ) -> AggregateOutcome {
+        self.ensure_capacity(global.len());
+        let n = global.len();
+        let inv = 1.0 / selected.len().max(1) as f32;
+        let theta = self.config.ema_decay;
+        let mut synced = 0usize;
+
+        for j in 0..n {
+            if self.freeze_remaining[j] > 0 {
+                // Frozen: hold the global value; local drift is discarded.
+                self.freeze_remaining[j] -= 1;
+                self.frozen_rounds[j] += 1;
+                continue;
+            }
+            synced += 1;
+            let old = global[j];
+            let mut avg = 0.0f32;
+            for &c in selected {
+                avg += locals[c][j] * inv;
+            }
+            global[j] = avg;
+            let u = avg - old;
+            self.ema_update[j] = theta * self.ema_update[j] + (1.0 - theta) * u;
+            self.ema_abs_update[j] = theta * self.ema_abs_update[j] + (1.0 - theta) * u.abs();
+
+            if self.rounds_seen >= self.config.warmup_rounds {
+                let perturbation = if self.ema_abs_update[j] > f32::EPSILON {
+                    f64::from(self.ema_update[j].abs()) / f64::from(self.ema_abs_update[j])
+                } else {
+                    0.0
+                };
+                if perturbation < self.config.stability_threshold {
+                    // Stable: freeze for an additively-grown period.
+                    self.freeze_period[j] =
+                        (self.freeze_period[j] + self.config.period_step).min(self.config.max_period);
+                    self.freeze_remaining[j] = self.freeze_period[j];
+                } else {
+                    // Unstable: reset the additive-increase state.
+                    self.freeze_period[j] = 0;
+                }
+            }
+        }
+        self.rounds_seen += 1;
+        AggregateOutcome { broadcast_scalars: synced, synced_scalars: synced, total_scalars: n }
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.ema_update.len() * std::mem::size_of::<f32>() * 2
+            + self.freeze_remaining.len() * std::mem::size_of::<u16>() * 2
+    }
+
+    fn skip_fractions(&self) -> Option<Vec<f64>> {
+        if self.rounds_seen == 0 {
+            return None;
+        }
+        Some(
+            self.frozen_rounds
+                .iter()
+                .map(|&f| f as f64 / self.rounds_seen as f64)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_round(apf: &mut Apf, locals: &[Vec<f32>], global: &mut Vec<f32>, round: usize) -> AggregateOutcome {
+        let sel: Vec<usize> = (0..locals.len()).collect();
+        apf.prepare_uploads(round, locals, global);
+        let active = vec![true; locals.len()];
+        apf.aggregate(round, locals, &sel, &active, global)
+    }
+
+    #[test]
+    fn unfrozen_params_average_normally() {
+        let mut apf = Apf::default();
+        let locals = vec![vec![2.0, 4.0], vec![4.0, 6.0]];
+        let mut global = vec![0.0, 0.0];
+        let out = run_round(&mut apf, &locals, &mut global, 0);
+        assert_eq!(global, vec![3.0, 5.0]);
+        assert_eq!(out.synced_scalars, 2);
+    }
+
+    #[test]
+    fn zigzagging_parameter_freezes_and_holds() {
+        // Scalar 0 oscillates (converged); scalar 1 moves steadily.
+        let mut apf = Apf::new(ApfConfig { warmup_rounds: 2, stability_threshold: 0.1, ..ApfConfig::default() });
+        let mut global = vec![0.0, 0.0];
+        let mut frozen_seen = false;
+        for round in 0..30 {
+            let osc = if round % 2 == 0 { 0.1 } else { -0.1 };
+            let locals = vec![vec![global[0] + osc, global[1] + 1.0]];
+            let out = run_round(&mut apf, &locals, &mut global, round);
+            if out.synced_scalars < 2 {
+                frozen_seen = true;
+                // The moving scalar must never be the frozen one.
+                assert!(out.synced_scalars >= 1);
+            }
+        }
+        assert!(frozen_seen, "oscillating scalar should freeze");
+        assert!(apf.frozen_count() <= 1);
+        // The steady scalar kept moving.
+        assert!(global[1] > 20.0, "steady scalar froze wrongly: {}", global[1]);
+    }
+
+    #[test]
+    fn freeze_period_grows_additively() {
+        let mut apf = Apf::new(ApfConfig { warmup_rounds: 1, stability_threshold: 0.1, ..ApfConfig::default() });
+        let mut global = vec![0.0];
+        // Perfectly oscillating scalar: every check passes.
+        let mut freezes = Vec::new();
+        let mut prev_frozen = false;
+        for round in 0..40 {
+            let osc = if round % 2 == 0 { 0.1 } else { -0.1 };
+            let locals = vec![vec![global[0] + osc]];
+            let out = run_round(&mut apf, &locals, &mut global, round);
+            let frozen = out.synced_scalars == 0;
+            if frozen && !prev_frozen {
+                freezes.push(round);
+            }
+            prev_frozen = frozen;
+        }
+        // Gaps between successive freeze-starts should grow.
+        assert!(freezes.len() >= 2, "expected repeated freezing: {freezes:?}");
+        let gaps: Vec<usize> = freezes.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.windows(2).all(|w| w[1] >= w[0]), "gaps should not shrink: {gaps:?}");
+    }
+
+    #[test]
+    fn local_drift_of_frozen_params_is_discarded() {
+        let mut apf = Apf::new(ApfConfig { warmup_rounds: 0, ..ApfConfig::default() });
+        let mut global = vec![5.0];
+        // Round 0: zero update -> perturbation 0 -> freezes immediately.
+        let locals = vec![vec![5.0]];
+        run_round(&mut apf, &locals, &mut global, 0);
+        assert_eq!(apf.frozen_count(), 1);
+        // Round 1: client drifts wildly; frozen scalar must hold.
+        let locals = vec![vec![100.0]];
+        run_round(&mut apf, &locals, &mut global, 1);
+        assert_eq!(global, vec![5.0]);
+    }
+
+    #[test]
+    fn uploads_count_only_unfrozen() {
+        let mut apf = Apf::new(ApfConfig { warmup_rounds: 0, ..ApfConfig::default() });
+        let mut global = vec![1.0, 2.0];
+        let locals = vec![vec![1.0, 2.0]];
+        run_round(&mut apf, &locals, &mut global, 0); // both freeze (zero updates)
+        let up = apf.prepare_uploads(1, &locals, &global);
+        assert_eq!(up, vec![0]);
+    }
+
+    #[test]
+    fn skip_fractions_track_frozen_time() {
+        let mut apf = Apf::new(ApfConfig { warmup_rounds: 0, ..ApfConfig::default() });
+        assert!(apf.skip_fractions().is_none());
+        let mut global = vec![0.0];
+        let locals = vec![vec![0.0]];
+        for round in 0..10 {
+            run_round(&mut apf, &locals, &mut global, round);
+        }
+        let frac = apf.skip_fractions().unwrap()[0];
+        assert!(frac > 0.3, "stagnant scalar should be frozen much of the time, got {frac}");
+    }
+
+    #[test]
+    fn state_bytes_scale_with_model() {
+        let mut apf = Apf::default();
+        let mut global = vec![0.0; 100];
+        let locals = vec![vec![0.0; 100]];
+        run_round(&mut apf, &locals, &mut global, 0);
+        assert_eq!(apf.state_bytes(), 100 * 4 * 2 + 100 * 2 * 2);
+    }
+}

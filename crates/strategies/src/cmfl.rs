@@ -1,0 +1,199 @@
+//! CMFL (Communication-Mitigated Federated Learning, Luping et al.,
+//! ICDCS'19): a client transmits its round update only when a sufficient
+//! fraction of the update's element-wise signs agree with the previous
+//! round's *global* update.
+
+use fedsu_fl::{AggregateOutcome, SyncStrategy};
+use serde::{Deserialize, Serialize};
+
+/// CMFL hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CmflConfig {
+    /// Minimum fraction of sign-consistent entries required to transmit
+    /// (paper default 0.8).
+    pub relevance_threshold: f64,
+}
+
+impl Default for CmflConfig {
+    fn default() -> Self {
+        CmflConfig { relevance_threshold: 0.8 }
+    }
+}
+
+/// The CMFL strategy.
+#[derive(Debug, Clone)]
+pub struct Cmfl {
+    config: CmflConfig,
+    /// Previous round's global update (`None` before the first aggregation:
+    /// every client transmits).
+    prev_global_update: Option<Vec<f32>>,
+    /// Phase-A relevance decisions, indexed by client id.
+    transmits: Vec<bool>,
+}
+
+impl Cmfl {
+    /// Creates CMFL with the given config.
+    pub fn new(config: CmflConfig) -> Self {
+        Cmfl { config, prev_global_update: None, transmits: Vec::new() }
+    }
+
+    /// Fraction of entries of `update` whose sign matches `reference`.
+    /// Zero entries count as agreeing (no direction to contradict).
+    fn relevance(update: &[f32], reference: &[f32]) -> f64 {
+        debug_assert_eq!(update.len(), reference.len());
+        if update.is_empty() {
+            return 1.0;
+        }
+        let agree = update
+            .iter()
+            .zip(reference)
+            .filter(|(u, r)| u.signum() == r.signum() || **u == 0.0 || **r == 0.0)
+            .count();
+        agree as f64 / update.len() as f64
+    }
+}
+
+impl Default for Cmfl {
+    fn default() -> Self {
+        Cmfl::new(CmflConfig::default())
+    }
+}
+
+impl SyncStrategy for Cmfl {
+    fn name(&self) -> &str {
+        "cmfl"
+    }
+
+    fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
+        self.transmits = match &self.prev_global_update {
+            None => vec![true; locals.len()],
+            Some(reference) => locals
+                .iter()
+                .map(|local| {
+                    let update: Vec<f32> = local.iter().zip(global).map(|(l, g)| l - g).collect();
+                    Self::relevance(&update, reference) >= self.config.relevance_threshold
+                })
+                .collect(),
+        };
+        self.transmits
+            .iter()
+            .map(|&t| if t { global.len() as u64 } else { 0 })
+            .collect()
+    }
+
+    fn aggregate(
+        &mut self,
+        _round: usize,
+        locals: &[Vec<f32>],
+        selected: &[usize],
+        _active: &[bool],
+        global: &mut [f32],
+    ) -> AggregateOutcome {
+        let old_global = global.to_vec();
+        let transmitting: Vec<usize> = selected
+            .iter()
+            .copied()
+            .filter(|&c| self.transmits.get(c).copied().unwrap_or(true))
+            .collect();
+        if !transmitting.is_empty() {
+            let inv = 1.0 / transmitting.len() as f32;
+            for g in global.iter_mut() {
+                *g = 0.0;
+            }
+            for &c in &transmitting {
+                for (g, &v) in global.iter_mut().zip(&locals[c]) {
+                    *g += v * inv;
+                }
+            }
+        }
+        self.prev_global_update =
+            Some(global.iter().zip(&old_global).map(|(n, o)| n - o).collect());
+
+        // Sparsification accounting: the fraction of selected clients that
+        // skipped transmission scales the effective synchronized volume.
+        let frac = if selected.is_empty() {
+            0.0
+        } else {
+            transmitting.len() as f64 / selected.len() as f64
+        };
+        AggregateOutcome {
+            broadcast_scalars: global.len(),
+            synced_scalars: (global.len() as f64 * frac).round() as usize,
+            total_scalars: global.len(),
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.prev_global_update.as_ref().map_or(0, |v| v.len() * std::mem::size_of::<f32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_round_everyone_transmits() {
+        let mut s = Cmfl::default();
+        let locals = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let up = s.prepare_uploads(0, &locals, &[0.0, 0.0]);
+        assert_eq!(up, vec![2, 2]);
+    }
+
+    #[test]
+    fn relevance_counts_sign_agreement() {
+        assert_eq!(Cmfl::relevance(&[1.0, -1.0], &[2.0, -3.0]), 1.0);
+        assert_eq!(Cmfl::relevance(&[1.0, -1.0], &[2.0, 3.0]), 0.5);
+        assert_eq!(Cmfl::relevance(&[], &[]), 1.0);
+        // Zeros never contradict.
+        assert_eq!(Cmfl::relevance(&[0.0, 1.0], &[-5.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn irrelevant_client_is_withheld() {
+        let mut s = Cmfl::new(CmflConfig { relevance_threshold: 0.8 });
+        // Seed the reference update: global moves by +1 on both coords.
+        let locals0 = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let mut global = vec![0.0, 0.0];
+        s.prepare_uploads(0, &locals0, &global);
+        s.aggregate(0, &locals0, &[0, 1], &[true, true], &mut global);
+        assert_eq!(global, vec![1.0, 1.0]);
+
+        // Client 0 moves with the trend (+), client 1 against (-).
+        let locals1 = vec![vec![2.0, 2.0], vec![0.0, 0.0]];
+        let up = s.prepare_uploads(1, &locals1, &global);
+        assert_eq!(up[0], 2);
+        assert_eq!(up[1], 0);
+
+        let out = s.aggregate(1, &locals1, &[0, 1], &[true, true], &mut global);
+        // Only client 0 aggregated.
+        assert_eq!(global, vec![2.0, 2.0]);
+        assert_eq!(out.synced_scalars, 1); // 50% of 2 scalars
+    }
+
+    #[test]
+    fn all_withheld_leaves_global_unchanged() {
+        let mut s = Cmfl::new(CmflConfig { relevance_threshold: 1.0 });
+        let locals0 = vec![vec![1.0, 1.0]];
+        let mut global = vec![0.0, 0.0];
+        s.prepare_uploads(0, &locals0, &global);
+        s.aggregate(0, &locals0, &[0], &[true], &mut global);
+        // Now move against the trend.
+        let locals1 = vec![vec![0.0, 0.0]];
+        s.prepare_uploads(1, &locals1, &global);
+        let out = s.aggregate(1, &locals1, &[0], &[true], &mut global);
+        assert_eq!(global, vec![1.0, 1.0]);
+        assert_eq!(out.synced_scalars, 0);
+    }
+
+    #[test]
+    fn state_bytes_reflect_reference_update() {
+        let mut s = Cmfl::default();
+        assert_eq!(s.state_bytes(), 0);
+        let locals = vec![vec![1.0; 8]];
+        let mut g = vec![0.0; 8];
+        s.prepare_uploads(0, &locals, &g);
+        s.aggregate(0, &locals, &[0], &[true], &mut g);
+        assert_eq!(s.state_bytes(), 32);
+    }
+}

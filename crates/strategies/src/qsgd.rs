@@ -1,0 +1,204 @@
+//! QSGD-style stochastic gradient quantization (Alistarh et al., 2017) —
+//! the *quantization* family of communication compression the paper's
+//! Sec. II-B contrasts sparsification against. Included as an extra
+//! baseline beyond the paper's three comparison schemes.
+//!
+//! Each client quantizes its round update `u = local − global` to
+//! `s` levels: `Q(u_i) = ‖u‖₂ · sign(u_i) · ξ_i`, where `ξ_i ∈ {0, 1/s, …,
+//! 1}` is a stochastic rounding of `|u_i|/‖u‖₂` (unbiased). The wire cost
+//! per scalar is `log2(s+1) + 1` bits plus one norm per client — the
+//! compression ceiling the paper calls "relatively limited".
+
+use fedsu_fl::{AggregateOutcome, SyncStrategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// QSGD hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QsgdConfig {
+    /// Number of quantization levels `s` (e.g. 15 for 4-bit magnitudes).
+    pub levels: u32,
+    /// RNG seed for the stochastic rounding (shared; deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for QsgdConfig {
+    fn default() -> Self {
+        QsgdConfig { levels: 15, seed: 0x45_6D }
+    }
+}
+
+/// The QSGD strategy.
+#[derive(Debug, Clone)]
+pub struct Qsgd {
+    config: QsgdConfig,
+    rng: StdRng,
+    /// Per-scalar wire cost in bits (sign + magnitude level).
+    bits_per_scalar: f64,
+}
+
+impl Qsgd {
+    /// Creates QSGD with the given config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    pub fn new(config: QsgdConfig) -> Self {
+        assert!(config.levels > 0, "need at least one level");
+        let bits = ((config.levels + 1) as f64).log2().ceil() + 1.0;
+        Qsgd { config, rng: StdRng::seed_from_u64(config.seed), bits_per_scalar: bits }
+    }
+
+    /// Quantizes one update vector (unbiased stochastic rounding).
+    fn quantize(&mut self, update: &[f32]) -> Vec<f32> {
+        let norm = update.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt() as f32;
+        if norm <= f32::EPSILON {
+            return vec![0.0; update.len()];
+        }
+        let s = self.config.levels as f32;
+        update
+            .iter()
+            .map(|&v| {
+                let scaled = v.abs() / norm * s;
+                let floor = scaled.floor();
+                let level = if self.rng.gen::<f32>() < scaled - floor { floor + 1.0 } else { floor };
+                norm * v.signum() * level / s
+            })
+            .collect()
+    }
+
+    /// Wire bits per quantized scalar.
+    pub fn bits_per_scalar(&self) -> f64 {
+        self.bits_per_scalar
+    }
+}
+
+impl Default for Qsgd {
+    fn default() -> Self {
+        Qsgd::new(QsgdConfig::default())
+    }
+}
+
+impl SyncStrategy for Qsgd {
+    fn name(&self) -> &str {
+        "qsgd"
+    }
+
+    fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
+        // Express the compressed payload in f32-scalar equivalents so the
+        // byte accounting stays uniform across strategies.
+        let equivalent =
+            ((global.len() as f64 * self.bits_per_scalar / 32.0).ceil() as u64).max(1) + 1; // + the norm
+        vec![equivalent; locals.len()]
+    }
+
+    fn aggregate(
+        &mut self,
+        _round: usize,
+        locals: &[Vec<f32>],
+        selected: &[usize],
+        _active: &[bool],
+        global: &mut [f32],
+    ) -> AggregateOutcome {
+        let inv = 1.0 / selected.len().max(1) as f32;
+        let mut mean_q = vec![0.0f32; global.len()];
+        for &c in selected {
+            let update: Vec<f32> = locals[c].iter().zip(global.iter()).map(|(l, g)| l - g).collect();
+            let q = self.quantize(&update);
+            for (m, v) in mean_q.iter_mut().zip(&q) {
+                *m += v * inv;
+            }
+        }
+        for (g, q) in global.iter_mut().zip(&mean_q) {
+            *g += q;
+        }
+        let equivalent = (global.len() as f64 * self.bits_per_scalar / 32.0).ceil() as usize;
+        AggregateOutcome {
+            broadcast_scalars: equivalent,
+            synced_scalars: equivalent,
+            total_scalars: global.len(),
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<StdRng>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_is_unbiased_in_expectation() {
+        let mut q = Qsgd::new(QsgdConfig { levels: 4, seed: 1 });
+        let update = vec![0.3f32, -0.7, 0.05, 0.0];
+        let trials = 4000;
+        let mut mean = vec![0.0f64; update.len()];
+        for _ in 0..trials {
+            let quantized = q.quantize(&update);
+            for (m, v) in mean.iter_mut().zip(&quantized) {
+                *m += f64::from(*v) / trials as f64;
+            }
+        }
+        for (m, v) in mean.iter().zip(&update) {
+            assert!((m - f64::from(*v)).abs() < 0.02, "{m} vs {v}");
+        }
+    }
+
+    #[test]
+    fn zero_update_quantizes_to_zero() {
+        let mut q = Qsgd::default();
+        assert_eq!(q.quantize(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn quantized_values_are_on_the_grid() {
+        let mut q = Qsgd::new(QsgdConfig { levels: 4, seed: 2 });
+        let update = vec![0.5f32, -0.25, 0.1];
+        let norm = update.iter().map(|v| v * v).sum::<f32>().sqrt();
+        for v in q.quantize(&update) {
+            let level = (v.abs() / norm * 4.0).round();
+            assert!((v.abs() / norm * 4.0 - level).abs() < 1e-5, "off-grid value {v}");
+        }
+    }
+
+    #[test]
+    fn upload_volume_reflects_bit_width() {
+        // 15 levels -> 4 magnitude bits + 1 sign = 5 bits/scalar.
+        let mut q = Qsgd::default();
+        assert_eq!(q.bits_per_scalar(), 5.0);
+        let locals = vec![vec![0.0; 320]];
+        let up = q.prepare_uploads(0, &locals, &vec![0.0; 320]);
+        // 320 * 5 / 32 = 50 scalar-equivalents, + 1 for the norm.
+        assert_eq!(up, vec![51]);
+    }
+
+    #[test]
+    fn aggregate_moves_global_toward_locals() {
+        let mut q = Qsgd::default();
+        let mut global = vec![0.0f32; 8];
+        let locals = vec![vec![1.0f32; 8], vec![1.0f32; 8]];
+        q.aggregate(0, &locals, &[0, 1], &[true, true], &mut global);
+        // Quantization noise allowed, but the direction must be right.
+        assert!(global.iter().all(|&g| g > 0.0));
+    }
+
+    #[test]
+    fn sparsification_ratio_matches_compression() {
+        let mut q = Qsgd::default();
+        let mut global = vec![0.0f32; 32];
+        let locals = vec![vec![0.5f32; 32]];
+        let out = q.aggregate(0, &locals, &[0], &[true], &mut global);
+        // 5/32 of full volume -> ratio ~ 1 - 5/32.
+        let ratio = 1.0 - out.synced_scalars as f64 / out.total_scalars as f64;
+        assert!((ratio - (1.0 - 5.0 / 32.0)).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        Qsgd::new(QsgdConfig { levels: 0, seed: 0 });
+    }
+}

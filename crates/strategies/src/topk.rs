@@ -1,0 +1,203 @@
+//! Top-K magnitude sparsification with client-side error accumulation
+//! (Aji & Heafield, 2017; Lin et al., DGC) — the classic *magnitude-based*
+//! sparsifier, included as an extra baseline to contrast with the paper's
+//! *pattern-based* sparsifiers (APF's stagnation, FedSU's linearity).
+//!
+//! Each client uploads only the `k` largest-magnitude entries of its
+//! residual-corrected update; the remainder accumulates locally and is
+//! uploaded once it grows large enough (error feedback in the classical
+//! sparsification sense).
+
+use fedsu_fl::{AggregateOutcome, SyncStrategy};
+use serde::{Deserialize, Serialize};
+
+/// Top-K hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopKConfig {
+    /// Fraction of scalars uploaded per client per round (0 < f <= 1).
+    pub fraction: f64,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        TopKConfig { fraction: 0.25 }
+    }
+}
+
+/// The Top-K strategy.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    config: TopKConfig,
+    /// Per-client residuals (unsent update mass).
+    residuals: Vec<Vec<f32>>,
+}
+
+impl TopK {
+    /// Creates Top-K with the given config.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn new(config: TopKConfig) -> Self {
+        assert!(
+            config.fraction > 0.0 && config.fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
+        TopK { config, residuals: Vec::new() }
+    }
+
+    fn k_of(&self, n: usize) -> usize {
+        ((n as f64 * self.config.fraction).ceil() as usize).clamp(1, n)
+    }
+
+    fn ensure_capacity(&mut self, n_clients: usize, n_params: usize) {
+        if self.residuals.len() != n_clients
+            || self.residuals.first().is_some_and(|r| r.len() != n_params)
+        {
+            self.residuals = vec![vec![0.0; n_params]; n_clients];
+        }
+    }
+}
+
+impl Default for TopK {
+    fn default() -> Self {
+        TopK::new(TopKConfig::default())
+    }
+}
+
+impl SyncStrategy for TopK {
+    fn name(&self) -> &str {
+        "topk"
+    }
+
+    fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
+        self.ensure_capacity(locals.len(), global.len());
+        // Indices are not mask-derivable by the server, so each uploaded
+        // scalar carries index + value (2 scalar-equivalents).
+        vec![(self.k_of(global.len()) * 2) as u64; locals.len()]
+    }
+
+    fn aggregate(
+        &mut self,
+        _round: usize,
+        locals: &[Vec<f32>],
+        selected: &[usize],
+        active: &[bool],
+        global: &mut [f32],
+    ) -> AggregateOutcome {
+        self.ensure_capacity(locals.len(), global.len());
+        let n = global.len();
+        let k = self.k_of(n);
+        let inv = 1.0 / selected.len().max(1) as f32;
+
+        let mut mean_sparse = vec![0.0f32; n];
+        for (c, local) in locals.iter().enumerate() {
+            if !active[c] {
+                continue;
+            }
+            // Residual-corrected update.
+            let residual = &mut self.residuals[c];
+            for (r, (l, g)) in residual.iter_mut().zip(local.iter().zip(global.iter())) {
+                *r += l - g;
+            }
+            if !selected.contains(&c) {
+                continue;
+            }
+            // Pick the k largest-magnitude entries.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| residual[b].abs().total_cmp(&residual[a].abs()));
+            for &j in order.iter().take(k) {
+                mean_sparse[j] += residual[j] * inv;
+                residual[j] = 0.0;
+            }
+        }
+        for (g, u) in global.iter_mut().zip(&mean_sparse) {
+            *g += u;
+        }
+        AggregateOutcome {
+            broadcast_scalars: (2 * k).min(n),
+            synced_scalars: (2 * k).min(n),
+            total_scalars: n,
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.residuals.first().map_or(0, |r| r.len() * std::mem::size_of::<f32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_round(topk: &mut TopK, locals: &[Vec<f32>], global: &mut Vec<f32>, round: usize) -> AggregateOutcome {
+        let sel: Vec<usize> = (0..locals.len()).collect();
+        let active = vec![true; locals.len()];
+        topk.prepare_uploads(round, locals, global);
+        topk.aggregate(round, locals, &sel, &active, global)
+    }
+
+    #[test]
+    fn only_top_entries_move_immediately() {
+        let mut t = TopK::new(TopKConfig { fraction: 0.25 }); // k = 1 of 4
+        let mut global = vec![0.0f32; 4];
+        let locals = vec![vec![0.01, 1.0, 0.02, 0.03]];
+        run_round(&mut t, &locals, &mut global, 0);
+        assert_eq!(global[1], 1.0);
+        assert_eq!(global[0], 0.0);
+    }
+
+    #[test]
+    fn residual_feedback_eventually_delivers_small_updates() {
+        // A small but persistent update accumulates and wins a later round.
+        let mut t = TopK::new(TopKConfig { fraction: 0.25 });
+        let mut global = vec![0.0f32; 4];
+        for round in 0..20 {
+            // Scalar 0 drifts steadily by 0.1; others get one-off noise.
+            let locals = vec![vec![
+                global[0] + 0.1,
+                global[1] + if round == 0 { 0.5 } else { 0.0 },
+                global[2],
+                global[3],
+            ]];
+            run_round(&mut t, &locals, &mut global, round);
+        }
+        assert!(global[0] > 1.0, "steady drift must be delivered, got {}", global[0]);
+    }
+
+    #[test]
+    fn upload_volume_counts_index_value_pairs() {
+        let mut t = TopK::new(TopKConfig { fraction: 0.5 });
+        let locals = vec![vec![0.0; 10]];
+        let up = t.prepare_uploads(0, &locals, &vec![0.0; 10]);
+        assert_eq!(up, vec![10]); // k=5, 2 scalar-equivalents each
+    }
+
+    #[test]
+    fn full_fraction_equals_fedavg_delta() {
+        let mut t = TopK::new(TopKConfig { fraction: 1.0 });
+        let mut global = vec![1.0f32, 2.0];
+        let locals = vec![vec![2.0, 4.0], vec![4.0, 0.0]];
+        run_round(&mut t, &locals, &mut global, 0);
+        // Mean of (local - global) added to global = mean of locals.
+        assert_eq!(global, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn unselected_clients_keep_their_residuals() {
+        let mut t = TopK::new(TopKConfig { fraction: 1.0 });
+        let mut global = vec![0.0f32];
+        let locals = vec![vec![1.0], vec![5.0]];
+        t.prepare_uploads(0, &locals, &global);
+        // Only client 0 selected; client 1 is active and accumulates.
+        t.aggregate(0, &locals, &[0], &[true, true], &mut global);
+        assert_eq!(global, vec![1.0]);
+        assert_eq!(t.residuals[1][0], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn invalid_fraction_panics() {
+        TopK::new(TopKConfig { fraction: 0.0 });
+    }
+}

@@ -1,0 +1,254 @@
+//! im2col/col2im helpers used by the convolution layers in `fedsu-nn`.
+//!
+//! `im2col` unrolls sliding windows of an `NCHW` input into a matrix so that
+//! a 2-D convolution becomes a single matrix multiplication; `col2im`
+//! scatter-adds a column matrix back into image space (the adjoint of
+//! `im2col`, used in the backward pass).
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution, shared by forward and backward passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvDims {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding in both dimensions.
+    pub padding: usize,
+}
+
+impl ConvDims {
+    /// Output height after convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the geometry is degenerate (kernel larger
+    /// than padded input).
+    pub fn out_h(&self) -> usize {
+        debug_assert!(self.in_h + 2 * self.padding >= self.kernel);
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width after convolution.
+    pub fn out_w(&self) -> usize {
+        debug_assert!(self.in_w + 2 * self.padding >= self.kernel);
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Rows of the im2col matrix: `in_channels * kernel * kernel`.
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the im2col matrix: `out_h * out_w`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.kernel == 0 || self.stride == 0 {
+            return Err(TensorError::InvalidArgument(
+                "conv kernel and stride must be non-zero".to_string(),
+            ));
+        }
+        if self.in_h + 2 * self.padding < self.kernel || self.in_w + 2 * self.padding < self.kernel {
+            return Err(TensorError::InvalidArgument(format!(
+                "kernel {} larger than padded input {}x{} (+2*{})",
+                self.kernel, self.in_h, self.in_w, self.padding
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Unrolls one image (`[C, H, W]`, flattened) into an im2col matrix of shape
+/// `[C*k*k, out_h*out_w]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when `image.len()` disagrees with
+/// the geometry and [`TensorError::InvalidArgument`] for degenerate geometry.
+pub fn im2col(image: &[f32], dims: &ConvDims) -> Result<Tensor> {
+    dims.validate()?;
+    let expected = dims.in_channels * dims.in_h * dims.in_w;
+    if image.len() != expected {
+        return Err(TensorError::LengthMismatch {
+            len: image.len(),
+            shape: vec![dims.in_channels, dims.in_h, dims.in_w],
+        });
+    }
+    let (out_h, out_w) = (dims.out_h(), dims.out_w());
+    let cols = out_h * out_w;
+    let rows = dims.col_rows();
+    let mut out = vec![0.0f32; rows * cols];
+
+    let mut row = 0usize;
+    for c in 0..dims.in_channels {
+        let chan = &image[c * dims.in_h * dims.in_w..(c + 1) * dims.in_h * dims.in_w];
+        for ky in 0..dims.kernel {
+            for kx in 0..dims.kernel {
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                let mut col = 0usize;
+                for oy in 0..out_h {
+                    let iy = (oy * dims.stride + ky) as isize - dims.padding as isize;
+                    if iy < 0 || iy as usize >= dims.in_h {
+                        col += out_w;
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..out_w {
+                        let ix = (ox * dims.stride + kx) as isize - dims.padding as isize;
+                        if ix >= 0 && (ix as usize) < dims.in_w {
+                            out_row[col] = chan[iy * dims.in_w + ix as usize];
+                        }
+                        col += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Scatter-adds an im2col-format matrix (`[C*k*k, out_h*out_w]`) back into an
+/// image buffer of `[C, H, W]`. This is the adjoint of [`im2col`], used to
+/// propagate gradients to the convolution input.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `cols` has the wrong shape and
+/// [`TensorError::LengthMismatch`] when `image` has the wrong length.
+pub fn col2im(cols: &Tensor, image: &mut [f32], dims: &ConvDims) -> Result<()> {
+    dims.validate()?;
+    let expected_shape = [dims.col_rows(), dims.col_cols()];
+    if cols.shape() != expected_shape {
+        return Err(TensorError::ShapeMismatch {
+            left: cols.shape().to_vec(),
+            right: expected_shape.to_vec(),
+            op: "col2im",
+        });
+    }
+    let expected_len = dims.in_channels * dims.in_h * dims.in_w;
+    if image.len() != expected_len {
+        return Err(TensorError::LengthMismatch {
+            len: image.len(),
+            shape: vec![dims.in_channels, dims.in_h, dims.in_w],
+        });
+    }
+    let (out_h, out_w) = (dims.out_h(), dims.out_w());
+    let n_cols = out_h * out_w;
+    let data = cols.data();
+
+    let mut row = 0usize;
+    for c in 0..dims.in_channels {
+        let chan = &mut image[c * dims.in_h * dims.in_w..(c + 1) * dims.in_h * dims.in_w];
+        for ky in 0..dims.kernel {
+            for kx in 0..dims.kernel {
+                let in_row = &data[row * n_cols..(row + 1) * n_cols];
+                let mut col = 0usize;
+                for oy in 0..out_h {
+                    let iy = (oy * dims.stride + ky) as isize - dims.padding as isize;
+                    if iy < 0 || iy as usize >= dims.in_h {
+                        col += out_w;
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..out_w {
+                        let ix = (ox * dims.stride + kx) as isize - dims.padding as isize;
+                        if ix >= 0 && (ix as usize) < dims.in_w {
+                            chan[iy * dims.in_w + ix as usize] += in_row[col];
+                        }
+                        col += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_geometry() {
+        let d = ConvDims { in_channels: 3, in_h: 28, in_w: 28, kernel: 5, stride: 1, padding: 2 };
+        assert_eq!(d.out_h(), 28);
+        assert_eq!(d.out_w(), 28);
+        let d2 = ConvDims { in_channels: 1, in_h: 28, in_w: 28, kernel: 2, stride: 2, padding: 0 };
+        assert_eq!(d2.out_h(), 14);
+    }
+
+    #[test]
+    fn im2col_identity_kernel_no_padding() {
+        // 1x1 kernel, stride 1, no padding: im2col is the identity layout.
+        let d = ConvDims { in_channels: 2, in_h: 2, in_w: 2, kernel: 1, stride: 1, padding: 0 };
+        let img: Vec<f32> = (1..=8).map(|v| v as f32).collect();
+        let cols = im2col(&img, &d).unwrap();
+        assert_eq!(cols.shape(), &[2, 4]);
+        assert_eq!(cols.data(), img.as_slice());
+    }
+
+    #[test]
+    fn im2col_known_values_with_padding() {
+        // 1 channel 2x2 image, 3x3 kernel, pad 1, stride 1 -> out 2x2.
+        let d = ConvDims { in_channels: 1, in_h: 2, in_w: 2, kernel: 3, stride: 1, padding: 1 };
+        let img = [1.0, 2.0, 3.0, 4.0];
+        let cols = im2col(&img, &d).unwrap();
+        assert_eq!(cols.shape(), &[9, 4]);
+        // Center tap (ky=1,kx=1) sees the original pixels.
+        let center = &cols.data()[4 * 4..5 * 4];
+        assert_eq!(center, &[1.0, 2.0, 3.0, 4.0]);
+        // Top-left tap (ky=0,kx=0): for out (0,0) it reads padded zero,
+        // for out (1,1) it reads pixel (0,0)=1.
+        let tl = &cols.data()[0..4];
+        assert_eq!(tl, &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let d = ConvDims { in_channels: 2, in_h: 5, in_w: 4, kernel: 3, stride: 2, padding: 1 };
+        let x: Vec<f32> = (0..d.in_channels * d.in_h * d.in_w).map(|i| (i as f32 * 0.37).sin()).collect();
+        let rows = d.col_rows();
+        let cols_n = d.col_cols();
+        let y: Vec<f32> = (0..rows * cols_n).map(|i| (i as f32 * 0.11).cos()).collect();
+
+        let cx = im2col(&x, &d).unwrap();
+        let lhs: f32 = cx.data().iter().zip(&y).map(|(a, b)| a * b).sum();
+
+        let yt = Tensor::from_vec(y, &[rows, cols_n]).unwrap();
+        let mut back = vec![0.0f32; x.len()];
+        col2im(&yt, &mut back, &d).unwrap();
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let d = ConvDims { in_channels: 1, in_h: 2, in_w: 2, kernel: 5, stride: 1, padding: 0 };
+        assert!(im2col(&[0.0; 4], &d).is_err());
+        let d0 = ConvDims { in_channels: 1, in_h: 2, in_w: 2, kernel: 0, stride: 1, padding: 0 };
+        assert!(im2col(&[0.0; 4], &d0).is_err());
+    }
+
+    #[test]
+    fn wrong_buffer_lengths_rejected() {
+        let d = ConvDims { in_channels: 1, in_h: 2, in_w: 2, kernel: 1, stride: 1, padding: 0 };
+        assert!(im2col(&[0.0; 3], &d).is_err());
+        let cols = Tensor::zeros(&[1, 4]);
+        let mut img = vec![0.0; 3];
+        assert!(col2im(&cols, &mut img, &d).is_err());
+    }
+}

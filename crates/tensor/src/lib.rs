@@ -1,0 +1,42 @@
+//! # fedsu-tensor
+//!
+//! A deliberately small, dependency-light CPU tensor library backing the
+//! FedSU reproduction. It provides exactly what the neural-network substrate
+//! (`fedsu-nn`) needs: owned `f32` n-d arrays, elementwise arithmetic,
+//! reductions, 2-D matrix multiplication, im2col-based convolution helpers,
+//! and Kaiming/Xavier initializers.
+//!
+//! The library favours explicitness over cleverness: every operation
+//! validates shapes and returns a [`TensorError`] on mismatch (or provides a
+//! `_unchecked`-free panicking convenience documented as such).
+//!
+//! ```
+//! use fedsu_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), fedsu_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::full(&[2, 2], 0.5);
+//! let c = a.add(&b)?;
+//! assert_eq!(c.data(), &[1.5, 2.5, 3.5, 4.5]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod init;
+mod matmul;
+mod stats;
+mod tensor;
+
+pub use conv::{col2im, im2col, ConvDims};
+pub use error::TensorError;
+pub use init::{kaiming_uniform, xavier_uniform};
+pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
+pub use stats::{dot, l2_norm, max_abs};
+pub use tensor::Tensor;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

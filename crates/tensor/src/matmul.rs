@@ -1,0 +1,188 @@
+//! Rank-2 matrix multiplication kernels.
+//!
+//! Three variants are provided so the NN layers never have to materialize a
+//! transposed copy: `C = A·B`, `C = Aᵀ·B`, and `C = A·Bᵀ`. All use a simple
+//! ikj loop order, which keeps the innermost loop contiguous in both `B` and
+//! `C` and lets the compiler auto-vectorize.
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: t.rank(), op });
+    }
+    Ok((t.shape()[0], t.shape()[1]))
+}
+
+/// Computes `C = A · B` for rank-2 tensors, `A: [m, k]`, `B: [k, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-2 inputs and
+/// [`TensorError::ShapeMismatch`] when inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check_rank2(a, "matmul")?;
+    let (kb, n) = check_rank2(b, "matmul")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "matmul",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let a_row = &ad[i * ka..(i + 1) * ka];
+        let c_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &bd[p * n..(p + 1) * n];
+            for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                *c += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `C = Aᵀ · B`, with `A: [k, m]`, `B: [k, n]`, producing `[m, n]`.
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul`].
+pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ka, m) = check_rank2(a, "matmul_transpose_a")?;
+    let (kb, n) = check_rank2(b, "matmul_transpose_a")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "matmul_transpose_a",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for p in 0..ka {
+        let a_row = &ad[p * m..(p + 1) * m];
+        let b_row = &bd[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut out[i * n..(i + 1) * n];
+            for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                *c += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `C = A · Bᵀ`, with `A: [m, k]`, `B: [n, k]`, producing `[m, n]`.
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul`].
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check_rank2(a, "matmul_transpose_b")?;
+    let (n, kb) = check_rank2(b, "matmul_transpose_b")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "matmul_transpose_b",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let a_row = &ad[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let b_row = &bd[j * kb..(j + 1) * kb];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_variants_match_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]); // 2x3
+        let b = t(&[1.0, 0.5, -1.0, 2.0, 0.0, 3.0], &[2, 3]); // 2x3
+
+        // Aᵀ(3x2) · B(2x3) -> 3x3
+        let c1 = matmul_transpose_a(&a, &b).unwrap();
+        assert_eq!(c1.shape(), &[3, 3]);
+        // hand transpose
+        let at = t(&[1.0, 4.0, 2.0, 5.0, 3.0, 6.0], &[3, 2]);
+        let c1_ref = matmul(&at, &b).unwrap();
+        assert_eq!(c1.data(), c1_ref.data());
+
+        // A(2x3) · Bᵀ(3x2) -> 2x2
+        let c2 = matmul_transpose_b(&a, &b).unwrap();
+        let bt = t(&[1.0, 2.0, 0.5, 0.0, -1.0, 3.0], &[3, 2]);
+        let c2_ref = matmul(&a, &bt).unwrap();
+        assert_eq!(c2.data(), c2_ref.data());
+    }
+
+    #[test]
+    fn mismatched_inner_dims_error() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_transpose_a(&a, &b).is_err());
+        let b2 = Tensor::zeros(&[2, 4]);
+        assert!(matmul_transpose_b(&a, &b2).is_err());
+    }
+
+    #[test]
+    fn rank_checked() {
+        let a = Tensor::zeros(&[6]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matches!(matmul(&a, &b), Err(crate::TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = t(&[1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(matmul(&a, &i).unwrap().data(), a.data());
+        assert_eq!(matmul(&i, &a).unwrap().data(), a.data());
+    }
+}

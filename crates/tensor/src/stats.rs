@@ -1,0 +1,58 @@
+//! Small numeric helpers over `f32` slices used by sync strategies and
+//! metrics (norms, dot products).
+
+/// Euclidean (L2) norm of a slice.
+pub fn l2_norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt() as f32
+}
+
+/// Dot product of two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (*x as f64) * (*y as f64)).sum::<f64>() as f32
+}
+
+/// Maximum absolute value of a slice (0.0 for an empty slice).
+pub fn max_abs(v: &[f32]) -> f32 {
+    v.iter().fold(0.0f32, |m, x| m.max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_norm_known() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn dot_known() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn max_abs_handles_negatives_and_empty() {
+        assert_eq!(max_abs(&[-7.0, 3.0]), 7.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn l2_uses_f64_accumulation() {
+        // Many small values: naive f32 accumulation would lose precision.
+        let v = vec![1e-4f32; 1_000_000];
+        let n = l2_norm(&v);
+        assert!((n - 0.1).abs() < 1e-4, "norm {n}");
+    }
+}

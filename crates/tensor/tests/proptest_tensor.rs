@@ -1,0 +1,103 @@
+//! Property-based tests for tensor algebra and the convolution helpers.
+
+use fedsu_tensor::{col2im, im2col, matmul, matmul_transpose_a, matmul_transpose_b, ConvDims, Tensor};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len..=len)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(len in 1usize..64, seed_a in proptest::collection::vec(-5.0f32..5.0, 64), seed_b in proptest::collection::vec(-5.0f32..5.0, 64)) {
+        let a = Tensor::from_slice(&seed_a[..len]);
+        let b = Tensor::from_slice(&seed_b[..len]);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab.data(), ba.data());
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(len in 1usize..64, seed_a in proptest::collection::vec(-5.0f32..5.0, 64), seed_b in proptest::collection::vec(-5.0f32..5.0, 64)) {
+        let a = Tensor::from_slice(&seed_a[..len]);
+        let b = Tensor::from_slice(&seed_b[..len]);
+        let round = a.sub(&b).unwrap().add(&b).unwrap();
+        for (x, y) in round.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scale_is_linear(len in 1usize..64, k in -3.0f32..3.0, seed in proptest::collection::vec(-5.0f32..5.0, 64)) {
+        let a = Tensor::from_slice(&seed[..len]);
+        let lhs = a.scale(k).sum();
+        let rhs = k * a.sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(m in 1usize..6, k in 1usize..6, n in 1usize..6,
+                                        a in small_vec(36), b in small_vec(36), c in small_vec(36)) {
+        let a = Tensor::from_vec(a[..m*k].to_vec(), &[m, k]).unwrap();
+        let b = Tensor::from_vec(b[..k*n].to_vec(), &[k, n]).unwrap();
+        let c = Tensor::from_vec(c[..k*n].to_vec(), &[k, n]).unwrap();
+        let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_kernels_agree_with_plain_matmul(m in 1usize..5, k in 1usize..5, n in 1usize..5,
+                                                 a in small_vec(25), b in small_vec(25)) {
+        // Build A [m,k] and B [k,n]; verify Aᵀ kernel on Aᵀ stored data and Bᵀ kernel likewise.
+        let a_mat = Tensor::from_vec(a[..m*k].to_vec(), &[m, k]).unwrap();
+        let b_mat = Tensor::from_vec(b[..k*n].to_vec(), &[k, n]).unwrap();
+        let reference = matmul(&a_mat, &b_mat).unwrap();
+
+        // Store A transposed ([k,m]) and use matmul_transpose_a.
+        let mut at = vec![0.0f32; m * k];
+        for i in 0..m { for j in 0..k { at[j * m + i] = a_mat.data()[i * k + j]; } }
+        let at = Tensor::from_vec(at, &[k, m]).unwrap();
+        let via_ta = matmul_transpose_a(&at, &b_mat).unwrap();
+        for (x, y) in via_ta.data().iter().zip(reference.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+
+        // Store B transposed ([n,k]) and use matmul_transpose_b.
+        let mut bt = vec![0.0f32; k * n];
+        for i in 0..k { for j in 0..n { bt[j * k + i] = b_mat.data()[i * n + j]; } }
+        let bt = Tensor::from_vec(bt, &[n, k]).unwrap();
+        let via_tb = matmul_transpose_b(&a_mat, &bt).unwrap();
+        for (x, y) in via_tb.data().iter().zip(reference.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(c in 1usize..3, h in 3usize..8, w in 3usize..8,
+                             kernel in 1usize..4, stride in 1usize..3, padding in 0usize..2,
+                             xs in small_vec(192), ys in small_vec(1024)) {
+        prop_assume!(h + 2 * padding >= kernel && w + 2 * padding >= kernel);
+        let dims = ConvDims { in_channels: c, in_h: h, in_w: w, kernel, stride, padding };
+        let x = &xs[..c * h * w];
+        let cols = im2col(x, &dims).unwrap();
+        let nyz = dims.col_rows() * dims.col_cols();
+        prop_assume!(nyz <= ys.len());
+        let y = Tensor::from_vec(ys[..nyz].to_vec(), &[dims.col_rows(), dims.col_cols()]).unwrap();
+
+        let lhs: f64 = cols.data().iter().zip(y.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let mut back = vec![0.0f32; x.len()];
+        col2im(&y, &mut back, &dims).unwrap();
+        let rhs: f64 = x.iter().zip(&back).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + rhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(len in 1usize..64, seed in proptest::collection::vec(-5.0f32..5.0, 64)) {
+        let a = Tensor::from_slice(&seed[..len]);
+        let b = a.reshape(&[len, 1]).unwrap();
+        prop_assert_eq!(a.sum(), b.sum());
+    }
+}

@@ -1,0 +1,294 @@
+//! Channel-based endpoints connecting one server and N clients across
+//! threads, moving *encoded* message bytes (so byte counters measure the
+//! real wire volume).
+
+use crate::{DecodeError, Message};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cumulative traffic counters of one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportStats {
+    /// Bytes sent by this endpoint.
+    pub bytes_sent: u64,
+    /// Bytes received by this endpoint.
+    pub bytes_received: u64,
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Messages received.
+    pub messages_received: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counter {
+    stats: Mutex<TransportStats>,
+}
+
+impl Counter {
+    fn sent(&self, bytes: usize) {
+        let mut s = self.stats.lock();
+        s.bytes_sent += bytes as u64;
+        s.messages_sent += 1;
+    }
+    fn received(&self, bytes: usize) {
+        let mut s = self.stats.lock();
+        s.bytes_received += bytes as u64;
+        s.messages_received += 1;
+    }
+}
+
+/// Transport errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// The peer endpoint hung up.
+    Disconnected,
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The received bytes did not decode.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for BusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BusError::Disconnected => write!(f, "peer disconnected"),
+            BusError::Timeout => write!(f, "receive timed out"),
+            BusError::Decode(e) => write!(f, "decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+/// The server's side of the bus: receives from all clients on one queue,
+/// sends to each client individually.
+pub struct ServerEndpoint {
+    inbox: Receiver<Vec<u8>>,
+    to_clients: Vec<Sender<Vec<u8>>>,
+    counter: Arc<Counter>,
+}
+
+impl std::fmt::Debug for ServerEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerEndpoint").field("clients", &self.to_clients.len()).finish()
+    }
+}
+
+impl ServerEndpoint {
+    /// Sends a message to one client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Disconnected`] if the client endpoint is gone.
+    pub fn send(&self, client: usize, msg: &Message) -> Result<(), BusError> {
+        let bytes = msg.encode();
+        self.counter.sent(bytes.len());
+        self.to_clients
+            .get(client)
+            .ok_or(BusError::Disconnected)?
+            .send(bytes)
+            .map_err(|_| BusError::Disconnected)
+    }
+
+    /// Broadcasts a message to every client.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first send failure.
+    pub fn broadcast(&self, msg: &Message) -> Result<(), BusError> {
+        for c in 0..self.to_clients.len() {
+            self.send(c, msg)?;
+        }
+        Ok(())
+    }
+
+    /// Receives the next client message (blocking with timeout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Timeout`] / [`BusError::Disconnected`] /
+    /// [`BusError::Decode`] accordingly.
+    pub fn recv(&self, timeout: Duration) -> Result<Message, BusError> {
+        let bytes = self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => BusError::Timeout,
+            RecvTimeoutError::Disconnected => BusError::Disconnected,
+        })?;
+        self.counter.received(bytes.len());
+        Message::decode(&bytes).map_err(BusError::Decode)
+    }
+
+    /// Number of connected clients.
+    pub fn clients(&self) -> usize {
+        self.to_clients.len()
+    }
+
+    /// Traffic counters for this endpoint.
+    pub fn stats(&self) -> TransportStats {
+        *self.counter.stats.lock()
+    }
+}
+
+/// One client's side of the bus.
+pub struct ClientEndpoint {
+    id: usize,
+    to_server: Sender<Vec<u8>>,
+    inbox: Receiver<Vec<u8>>,
+    counter: Arc<Counter>,
+}
+
+impl std::fmt::Debug for ClientEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientEndpoint").field("id", &self.id).finish()
+    }
+}
+
+impl ClientEndpoint {
+    /// This endpoint's client id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Sends a message to the server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Disconnected`] if the server endpoint is gone.
+    pub fn send(&self, msg: &Message) -> Result<(), BusError> {
+        let bytes = msg.encode();
+        self.counter.sent(bytes.len());
+        self.to_server.send(bytes).map_err(|_| BusError::Disconnected)
+    }
+
+    /// Receives the next server message (blocking with timeout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Timeout`] / [`BusError::Disconnected`] /
+    /// [`BusError::Decode`] accordingly.
+    pub fn recv(&self, timeout: Duration) -> Result<Message, BusError> {
+        let bytes = self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => BusError::Timeout,
+            RecvTimeoutError::Disconnected => BusError::Disconnected,
+        })?;
+        self.counter.received(bytes.len());
+        Message::decode(&bytes).map_err(BusError::Decode)
+    }
+
+    /// Traffic counters for this endpoint.
+    pub fn stats(&self) -> TransportStats {
+        *self.counter.stats.lock()
+    }
+}
+
+/// Factory for a star topology: one server, `n` clients.
+#[derive(Debug)]
+pub struct LocalBus;
+
+impl LocalBus {
+    /// Creates connected endpoints for one server and `n` clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn star(n: usize) -> (ServerEndpoint, Vec<ClientEndpoint>) {
+        assert!(n > 0, "need at least one client");
+        let (client_tx, server_inbox) = unbounded::<Vec<u8>>();
+        let server_counter = Arc::new(Counter::default());
+        let mut to_clients = Vec::with_capacity(n);
+        let mut clients = Vec::with_capacity(n);
+        for id in 0..n {
+            let (tx, rx) = unbounded::<Vec<u8>>();
+            to_clients.push(tx);
+            clients.push(ClientEndpoint {
+                id,
+                to_server: client_tx.clone(),
+                inbox: rx,
+                counter: Arc::new(Counter::default()),
+            });
+        }
+        let server = ServerEndpoint { inbox: server_inbox, to_clients, counter: server_counter };
+        (server, clients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SparseValues;
+
+    const T: Duration = Duration::from_millis(500);
+
+    #[test]
+    fn client_to_server_roundtrip() {
+        let (server, clients) = LocalBus::star(2);
+        clients[1].send(&Message::Pull { client: 1 }).unwrap();
+        let msg = server.recv(T).unwrap();
+        assert_eq!(msg, Message::Pull { client: 1 });
+        assert_eq!(server.stats().messages_received, 1);
+        assert_eq!(clients[1].stats().messages_sent, 1);
+        assert_eq!(server.stats().bytes_received, clients[1].stats().bytes_sent);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_client() {
+        let (server, clients) = LocalBus::star(3);
+        let model = Message::Model { round: 0, values: SparseValues::dense(vec![1.0, 2.0]) };
+        server.broadcast(&model).unwrap();
+        for c in &clients {
+            assert_eq!(c.recv(T).unwrap(), model);
+        }
+        assert_eq!(server.stats().messages_sent, 3);
+    }
+
+    #[test]
+    fn timeout_when_no_message() {
+        let (server, _clients) = LocalBus::star(1);
+        assert_eq!(server.recv(Duration::from_millis(10)).unwrap_err(), BusError::Timeout);
+    }
+
+    #[test]
+    fn disconnect_is_detected() {
+        let (server, clients) = LocalBus::star(1);
+        drop(server);
+        assert_eq!(clients[0].send(&Message::Shutdown).unwrap_err(), BusError::Disconnected);
+    }
+
+    #[test]
+    fn cross_thread_exchange() {
+        let (server, mut clients) = LocalBus::star(2);
+        let handles: Vec<_> = clients
+            .drain(..)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    c.send(&Message::Update {
+                        round: 0,
+                        client: c.id() as u32,
+                        values: SparseValues::dense(vec![c.id() as f32]),
+                    })
+                    .unwrap();
+                    matches!(c.recv(T).unwrap(), Message::Shutdown)
+                })
+            })
+            .collect();
+        let mut seen = Vec::new();
+        for _ in 0..2 {
+            if let Message::Update { client, .. } = server.recv(T).unwrap() {
+                seen.push(client);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1]);
+        server.broadcast(&Message::Shutdown).unwrap();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_star_panics() {
+        LocalBus::star(0);
+    }
+}

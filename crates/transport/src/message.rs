@@ -1,0 +1,346 @@
+//! Typed FL messages and their wire encoding.
+//!
+//! The protocol mirrors Algorithm 1's interaction pattern: clients pull the
+//! latest (masked) model, push sparse value updates, push accumulated error
+//! reports when a check is due, and joiners request the replicated manager
+//! state. All payloads are length-prefixed little-endian.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+
+const MAGIC: u16 = 0xF5ED;
+const VERSION: u8 = 1;
+
+/// Parameter values for a subset of scalars.
+///
+/// When both sides already know the mask (FedSU's replicated masks), only
+/// the values travel; an explicit index list is available for protocols
+/// without shared masks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseValues {
+    /// Explicit scalar indices, or `None` when the receiver derives them
+    /// from shared state (mask-implied).
+    pub indices: Option<Vec<u32>>,
+    /// The values, in index order.
+    pub values: Vec<f32>,
+}
+
+impl SparseValues {
+    /// Values for every scalar (a dense update).
+    pub fn dense(values: Vec<f32>) -> Self {
+        SparseValues { indices: None, values }
+    }
+
+    /// Values for an explicit index set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn sparse(indices: Vec<u32>, values: Vec<f32>) -> Self {
+        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        SparseValues { indices: Some(indices), values }
+    }
+
+    /// Number of scalar values carried.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values are carried.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        match &self.indices {
+            None => buf.put_u8(0),
+            Some(idx) => {
+                buf.put_u8(1);
+                buf.put_u32_le(idx.len() as u32);
+                for &i in idx {
+                    buf.put_u32_le(i);
+                }
+            }
+        }
+        buf.put_u32_le(self.values.len() as u32);
+        for &v in &self.values {
+            buf.put_f32_le(v);
+        }
+    }
+
+    fn decode_from(data: &mut &[u8]) -> Result<Self, DecodeError> {
+        if data.remaining() < 1 {
+            return Err(DecodeError::Truncated);
+        }
+        let tag = data.get_u8();
+        let indices: Option<Vec<u32>> = match tag {
+            0 => None,
+            1 => {
+                if data.remaining() < 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let n = data.get_u32_le() as usize;
+                if data.remaining() < n * 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                Some((0..n).map(|_| data.get_u32_le()).collect())
+            }
+            other => return Err(DecodeError::BadTag(other)),
+        };
+        if data.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let n = data.get_u32_le() as usize;
+        if data.remaining() < n * 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let values = (0..n).map(|_| data.get_f32_le()).collect();
+        if let Some(idx) = &indices {
+            if idx.len() != n {
+                return Err(DecodeError::Inconsistent("index/value counts differ"));
+            }
+        }
+        Ok(SparseValues { indices, values })
+    }
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: request the latest model (round start).
+    Pull {
+        /// Requesting client.
+        client: u32,
+    },
+    /// Server → client: the (masked) model values for this round.
+    Model {
+        /// Round the values belong to.
+        round: u32,
+        /// Broadcast values.
+        values: SparseValues,
+    },
+    /// Client → server: locally-trained values for the unmasked scalars.
+    Update {
+        /// Round of the update.
+        round: u32,
+        /// Reporting client.
+        client: u32,
+        /// Uploaded values.
+        values: SparseValues,
+    },
+    /// Client → server: accumulated prediction errors for checked scalars.
+    ErrorReport {
+        /// Round of the report.
+        round: u32,
+        /// Reporting client.
+        client: u32,
+        /// Accumulated errors for the check set.
+        errors: SparseValues,
+    },
+    /// Client → server: a fresh participant asks for model + manager state.
+    JoinRequest {
+        /// Joining client.
+        client: u32,
+    },
+    /// Server → client: the replicated manager state for a joiner.
+    JoinState {
+        /// Opaque manager snapshot (see `fedsu-core::JoinState`).
+        payload: Vec<u8>,
+    },
+    /// Server → clients: training is over.
+    Shutdown,
+}
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Pull { .. } => 1,
+            Message::Model { .. } => 2,
+            Message::Update { .. } => 3,
+            Message::ErrorReport { .. } => 4,
+            Message::JoinRequest { .. } => 5,
+            Message::JoinState { .. } => 6,
+            Message::Shutdown => 7,
+        }
+    }
+
+    /// Serializes the message (magic, version, tag, body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u16_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(self.tag());
+        match self {
+            Message::Pull { client } | Message::JoinRequest { client } => buf.put_u32_le(*client),
+            Message::Model { round, values } => {
+                buf.put_u32_le(*round);
+                values.encode_into(&mut buf);
+            }
+            Message::Update { round, client, values } | Message::ErrorReport { round, client, errors: values } => {
+                buf.put_u32_le(*round);
+                buf.put_u32_le(*client);
+                values.encode_into(&mut buf);
+            }
+            Message::JoinState { payload } => {
+                buf.put_u32_le(payload.len() as u32);
+                buf.put_slice(payload);
+            }
+            Message::Shutdown => {}
+        }
+        buf.to_vec()
+    }
+
+    /// Parses a message produced by [`Message::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, bad magic/version, or an
+    /// unknown tag.
+    pub fn decode(mut data: &[u8]) -> Result<Self, DecodeError> {
+        if data.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let magic = data.get_u16_le();
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let version = data.get_u8();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let tag = data.get_u8();
+        let need_u32 = |data: &mut &[u8]| -> Result<u32, DecodeError> {
+            if data.remaining() < 4 {
+                Err(DecodeError::Truncated)
+            } else {
+                Ok(data.get_u32_le())
+            }
+        };
+        match tag {
+            1 => Ok(Message::Pull { client: need_u32(&mut data)? }),
+            2 => {
+                let round = need_u32(&mut data)?;
+                let values = SparseValues::decode_from(&mut data)?;
+                Ok(Message::Model { round, values })
+            }
+            3 => {
+                let round = need_u32(&mut data)?;
+                let client = need_u32(&mut data)?;
+                let values = SparseValues::decode_from(&mut data)?;
+                Ok(Message::Update { round, client, values })
+            }
+            4 => {
+                let round = need_u32(&mut data)?;
+                let client = need_u32(&mut data)?;
+                let errors = SparseValues::decode_from(&mut data)?;
+                Ok(Message::ErrorReport { round, client, errors })
+            }
+            5 => Ok(Message::JoinRequest { client: need_u32(&mut data)? }),
+            6 => {
+                let n = need_u32(&mut data)? as usize;
+                if data.remaining() < n {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok(Message::JoinState { payload: data[..n].to_vec() })
+            }
+            7 => Ok(Message::Shutdown),
+            other => Err(DecodeError::BadTag(other)),
+        }
+    }
+}
+
+/// Wire-decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer shorter than the declared contents.
+    Truncated,
+    /// Magic header mismatch.
+    BadMagic(u16),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown message or payload tag.
+    BadTag(u8),
+    /// Internally inconsistent payload.
+    Inconsistent(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:#x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag {t}"),
+            DecodeError::Inconsistent(msg) => write!(f, "inconsistent payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let bytes = msg.encode();
+        assert_eq!(Message::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Message::Pull { client: 7 });
+        roundtrip(Message::Model { round: 3, values: SparseValues::dense(vec![1.0, -2.0]) });
+        roundtrip(Message::Update {
+            round: 9,
+            client: 2,
+            values: SparseValues::sparse(vec![0, 5, 9], vec![0.1, 0.2, 0.3]),
+        });
+        roundtrip(Message::ErrorReport {
+            round: 4,
+            client: 1,
+            errors: SparseValues::dense(vec![]),
+        });
+        roundtrip(Message::JoinRequest { client: 0 });
+        roundtrip(Message::JoinState { payload: vec![1, 2, 3, 4, 5] });
+        roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = Message::Model { round: 1, values: SparseValues::dense(vec![1.0; 8]) }.encode();
+        for cut in [0, 3, 5, bytes.len() - 1] {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut bytes = Message::Shutdown.encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(Message::decode(&bytes), Err(DecodeError::BadMagic(_))));
+        let mut bytes = Message::Shutdown.encode();
+        bytes[2] = 99;
+        assert!(matches!(Message::decode(&bytes), Err(DecodeError::BadVersion(99))));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut bytes = Message::Shutdown.encode();
+        bytes[3] = 200;
+        assert!(matches!(Message::decode(&bytes), Err(DecodeError::BadTag(200))));
+    }
+
+    #[test]
+    fn dense_update_wire_size_is_4_bytes_per_scalar_plus_header() {
+        let msg = Message::Update { round: 0, client: 0, values: SparseValues::dense(vec![0.0; 100]) };
+        // 4 header + 8 (round, client) + 1 tag + 4 count + 400 values.
+        assert_eq!(msg.encode().len(), 4 + 8 + 1 + 4 + 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sparse_length_mismatch_panics() {
+        SparseValues::sparse(vec![1], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests of the wire format: arbitrary messages round-trip,
+//! and corrupted/truncated payloads never panic.
+
+use fedsu_transport::{DecodeError, Message, SparseValues};
+use proptest::prelude::*;
+
+fn arb_sparse() -> impl Strategy<Value = SparseValues> {
+    let dense = proptest::collection::vec(-1e6f32..1e6, 0..64).prop_map(SparseValues::dense);
+    let sparse = proptest::collection::vec((0u32..10_000, -1e6f32..1e6), 0..64).prop_map(|pairs| {
+        let (indices, values): (Vec<u32>, Vec<f32>) = pairs.into_iter().unzip();
+        SparseValues::sparse(indices, values)
+    });
+    prop_oneof![dense, sparse]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        any::<u32>().prop_map(|client| Message::Pull { client }),
+        (any::<u32>(), arb_sparse()).prop_map(|(round, values)| Message::Model { round, values }),
+        (any::<u32>(), any::<u32>(), arb_sparse())
+            .prop_map(|(round, client, values)| Message::Update { round, client, values }),
+        (any::<u32>(), any::<u32>(), arb_sparse())
+            .prop_map(|(round, client, errors)| Message::ErrorReport { round, client, errors }),
+        any::<u32>().prop_map(|client| Message::JoinRequest { client }),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(|payload| Message::JoinState { payload }),
+        Just(Message::Shutdown),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_message_roundtrips(msg in arb_message()) {
+        let bytes = msg.encode();
+        let decoded = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn truncation_never_panics(msg in arb_message(), cut in 0usize..64) {
+        let bytes = msg.encode();
+        let cut = cut.min(bytes.len());
+        // Either decodes to the message (only if nothing was cut) or errors.
+        match Message::decode(&bytes[..bytes.len() - cut]) {
+            Ok(decoded) => prop_assert!(cut == 0 && decoded == msg),
+            Err(_) => prop_assert!(cut > 0),
+        }
+    }
+
+    #[test]
+    fn bitflips_never_panic(msg in arb_message(), pos in 0usize..64, bit in 0u8..8) {
+        let mut bytes = msg.encode();
+        let len = bytes.len();
+        bytes[pos % len] ^= 1 << bit;
+        // Must not panic; any result (error or some decoded message) is fine.
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn garbage_is_rejected(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Random bytes essentially never carry the magic; when they do not,
+        // decode must fail cleanly.
+        if data.len() < 2 || data[0] != 0xED || data[1] != 0xF5 {
+            match Message::decode(&data) {
+                Err(DecodeError::Truncated | DecodeError::BadMagic(_) | DecodeError::BadVersion(_)
+                    | DecodeError::BadTag(_) | DecodeError::Inconsistent(_)) => {}
+                Ok(_) => prop_assert!(false, "garbage decoded as a message"),
+            }
+        }
+    }
+
+    #[test]
+    fn wire_size_formula_holds_for_dense_updates(n in 0usize..128) {
+        let msg = Message::Update { round: 1, client: 2, values: SparseValues::dense(vec![0.5; n]) };
+        prop_assert_eq!(msg.encode().len(), 4 + 8 + 1 + 4 + 4 * n);
+    }
+}

@@ -1,0 +1,36 @@
+//! Sweeps the Dirichlet concentration α to show how data heterogeneity
+//! affects FedSU's sparsification opportunity and accuracy (the paper fixes
+//! α = 1; this explores the knob its footnote 3 discusses).
+//!
+//! ```text
+//! cargo run --release --example noniid_sweep
+//! ```
+
+use fedsu_repro::metrics::Table;
+use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Non-IID sweep: FedSU on the MLP task at various Dirichlet α\n");
+
+    let mut table = Table::new(&["alpha", "Best acc", "Mean sparsification", "Final train loss"]);
+    for alpha in [100.0, 10.0, 1.0, 0.3, 0.1] {
+        let mut experiment = Scenario::new(ModelKind::Mlp)
+            .clients(6)
+            .rounds(35)
+            .samples_per_class(40)
+            .alpha(alpha)
+            .build(StrategyKind::FedSu)?;
+        let result = experiment.run(None)?;
+        table.row(&[
+            &format!("{alpha}"),
+            &format!("{:.3}", result.best_accuracy()),
+            &format!("{:.1}%", result.mean_sparsification() * 100.0),
+            &format!("{:.3}", result.rounds.last().map_or(0.0, |r| r.train_loss)),
+        ]);
+        eprintln!("finished alpha={alpha}");
+    }
+    println!("{table}");
+    println!("Lower α (more skew) generally reduces update stability and thus");
+    println!("the linearity FedSU can exploit.");
+    Ok(())
+}

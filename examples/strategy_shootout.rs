@@ -1,0 +1,52 @@
+//! All four schemes of the paper's evaluation (FedAvg, CMFL, APF, FedSU) on
+//! the CNN/EMNIST-like workload — a miniature of Fig. 5 / Table I.
+//!
+//! ```text
+//! cargo run --release --example strategy_shootout
+//! ```
+
+use fedsu_repro::metrics::Table;
+use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rounds = 30;
+    println!("Strategy shootout: CNN on the EMNIST stand-in, 8 clients, {rounds} rounds\n");
+
+    let scenario = Scenario::new(ModelKind::Cnn)
+        .clients(8)
+        .rounds(rounds)
+        .samples_per_class(40)
+        .local_iters(6)
+        .batch_size(16);
+
+    let target = 0.5f32;
+    let mut table = Table::new(&[
+        "Scheme",
+        "Best acc",
+        &format!("Time to {target:.2} (s)"),
+        "Rounds",
+        "Sparsification",
+    ]);
+
+    for strategy in [StrategyKind::FedAvg, StrategyKind::Cmfl, StrategyKind::Apf, StrategyKind::FedSu] {
+        let mut experiment = scenario.build(strategy)?;
+        let result = experiment.run(None)?;
+        let tta = result
+            .time_to_accuracy(target)
+            .map_or("never".to_string(), |t| format!("{t:.0}"));
+        let rta = result
+            .rounds_to_accuracy(target)
+            .map_or("-".to_string(), |r| r.to_string());
+        table.row(&[
+            &result.strategy,
+            &format!("{:.3}", result.best_accuracy()),
+            &tta,
+            &rta,
+            &format!("{:.1}%", result.mean_sparsification() * 100.0),
+        ]);
+        eprintln!("finished {}", result.strategy);
+    }
+
+    println!("{table}");
+    Ok(())
+}

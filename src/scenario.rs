@@ -1,0 +1,435 @@
+//! Paper-shaped experiment assembly.
+//!
+//! A [`Scenario`] bundles the choices the paper's evaluation varies — which
+//! model/dataset pair, which synchronization strategy, how many clients and
+//! rounds — and produces a ready-to-run [`Experiment`]. The compute-time
+//! constant of each model is calibrated so the communication-to-computation
+//! ratio matches what Table I of the paper implies for that model (see
+//! EXPERIMENTS.md), which is what determines "who wins by how much" in the
+//! time-domain results.
+
+use fedsu_core::{FedSu, FedSuConfig};
+use fedsu_data::SyntheticConfig;
+use fedsu_fl::experiment::ModelFactory;
+use fedsu_fl::{ClientConfig, Experiment, ExperimentConfig, SyncStrategy};
+use fedsu_netsim::ClusterConfig;
+use fedsu_nn::models::{self, ModelPreset};
+use fedsu_nn::Sequential;
+use fedsu_strategies::{Apf, ApfConfig, Cmfl, CmflConfig, FedAvg, Qsgd, QsgdConfig, TopK, TopKConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// The architectures of the paper's evaluation plus a fast MLP for smoke
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// 2-conv CNN on the EMNIST stand-in (paper target accuracy 0.60).
+    Cnn,
+    /// ResNet-18 on the FMNIST stand-in (paper target accuracy 0.85).
+    ResNet18,
+    /// DenseNet on the CIFAR-10 stand-in (paper target accuracy 0.65).
+    DenseNet,
+    /// Small MLP on a low-dimensional task (not in the paper; fast CI).
+    Mlp,
+}
+
+impl ModelKind {
+    /// Display name used in records and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Cnn => "cnn",
+            ModelKind::ResNet18 => "resnet18",
+            ModelKind::DenseNet => "densenet",
+            ModelKind::Mlp => "mlp",
+        }
+    }
+
+    /// Compute-to-communication ratio `κ` implied by the paper's Table I
+    /// for this model: per-round compute time = κ × (full-model two-way
+    /// transfer time on the client link). Derivation in EXPERIMENTS.md.
+    pub fn compute_ratio(self) -> f64 {
+        match self {
+            ModelKind::Cnn => 0.39,
+            ModelKind::DenseNet => 0.96,
+            ModelKind::ResNet18 => 1.62,
+            ModelKind::Mlp => 0.5,
+        }
+    }
+
+    /// Learning rate used for this model.
+    ///
+    /// The CNN keeps the paper's 0.01. The deep models' paper rates
+    /// (ResNet 0.001, DenseNet 0.01) are tuned for BatchNorm networks
+    /// trained for tens of thousands of SGD steps; with GroupNorm,
+    /// laptop-scale widths and two orders of magnitude fewer steps they
+    /// barely move the loss, so the quick profile uses rates calibrated to
+    /// reach the same converge-then-plateau regime (EXPERIMENTS.md §0).
+    pub fn learning_rate(self) -> f32 {
+        match self {
+            ModelKind::Cnn => 0.01,
+            ModelKind::ResNet18 => 0.1,
+            ModelKind::DenseNet => 0.05,
+            ModelKind::Mlp => 0.05,
+        }
+    }
+
+    fn dataset_config(self) -> SyntheticConfig {
+        match self {
+            ModelKind::Cnn => SyntheticConfig::emnist_like(),
+            ModelKind::ResNet18 => SyntheticConfig::fmnist_like(),
+            ModelKind::DenseNet => SyntheticConfig::cifar_like(),
+            ModelKind::Mlp => SyntheticConfig::new(3, 1, 4, 4).noise_std(0.4),
+        }
+    }
+
+    fn factory(self, preset: ModelPreset) -> ModelFactory {
+        match self {
+            ModelKind::Cnn => Arc::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                models::cnn(10, preset, &mut rng)
+            }),
+            ModelKind::ResNet18 => Arc::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                models::resnet18(1, 10, preset, &mut rng)
+            }),
+            ModelKind::DenseNet => Arc::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                models::densenet(3, 10, preset, &mut rng)
+            }),
+            ModelKind::Mlp => Arc::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut m = Sequential::new("mlp");
+                m.push(fedsu_nn::flatten::Flatten::new());
+                m.push_boxed(Box::new(models::mlp(&[16, 16, 3], &mut rng)?));
+                Ok(m)
+            }),
+        }
+    }
+}
+
+/// The synchronization strategies under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategyKind {
+    /// Full synchronization (FedAvg).
+    FedAvg,
+    /// CMFL with the paper's default relevance threshold 0.8.
+    Cmfl,
+    /// APF with the paper's default stability threshold 0.05.
+    Apf,
+    /// APF at the quick-profile operating point (stability 0.15): the
+    /// laptop-scale emulation aggregates far fewer samples per round than
+    /// the paper's 90-client × 50-iteration setup, so the mini-batch noise
+    /// floor on the `|⟨u⟩|/⟨|u|⟩`-style ratios is higher and thresholds
+    /// scale accordingly (calibration in EXPERIMENTS.md).
+    ApfCalibrated,
+    /// QSGD-style stochastic quantization (extension baseline; the
+    /// quantization family of Sec. II-B).
+    Qsgd,
+    /// Top-K magnitude sparsification with residual feedback (extension
+    /// baseline; the classic magnitude-based sparsifier).
+    TopK,
+    /// FedSU with the paper's defaults (`T_R = 0.01`, `T_S = 1.0`).
+    FedSu,
+    /// FedSU at the quick-profile operating point (`T_R = 0.1`,
+    /// `T_S = 10`): the same noise-floor scaling as [`StrategyKind::ApfCalibrated`].
+    FedSuCalibrated,
+    /// FedSU with explicit thresholds (sensitivity sweeps).
+    FedSuWith {
+        /// Predictability threshold `T_R`.
+        t_r: f64,
+        /// Error-feedback threshold `T_S`.
+        t_s: f64,
+    },
+    /// Ablation v1: diagnosis without feedback, fixed period.
+    FedSuV1 {
+        /// Fixed speculation length in rounds.
+        period: u16,
+    },
+    /// Ablation v2: random entry, fixed period.
+    FedSuV2 {
+        /// Per-round entry probability.
+        probability: f64,
+        /// Fixed speculation length in rounds.
+        period: u16,
+    },
+}
+
+impl StrategyKind {
+    /// Instantiates the strategy.
+    pub fn build(self) -> Box<dyn SyncStrategy> {
+        match self {
+            StrategyKind::FedAvg => Box::new(FedAvg::new()),
+            StrategyKind::Cmfl => Box::new(Cmfl::new(CmflConfig::default())),
+            StrategyKind::Apf => Box::new(Apf::new(ApfConfig::default())),
+            StrategyKind::ApfCalibrated => {
+                Box::new(Apf::new(ApfConfig { stability_threshold: 0.15, ..ApfConfig::default() }))
+            }
+            StrategyKind::Qsgd => Box::new(Qsgd::new(QsgdConfig::default())),
+            StrategyKind::TopK => Box::new(TopK::new(TopKConfig::default())),
+            StrategyKind::FedSu => Box::new(FedSu::new(FedSuConfig::default())),
+            StrategyKind::FedSuCalibrated => {
+                Box::new(FedSu::new(FedSuConfig { t_r: 0.1, t_s: 10.0, ..FedSuConfig::default() }))
+            }
+            StrategyKind::FedSuWith { t_r, t_s } => {
+                Box::new(FedSu::new(FedSuConfig { t_r, t_s, ..FedSuConfig::default() }))
+            }
+            StrategyKind::FedSuV1 { period } => {
+                Box::new(FedSu::variant_v1(FedSuConfig::default(), period))
+            }
+            StrategyKind::FedSuV2 { probability, period } => {
+                Box::new(FedSu::variant_v2(FedSuConfig::default(), probability, period))
+            }
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::FedAvg => "fedavg",
+            StrategyKind::Cmfl => "cmfl",
+            StrategyKind::Apf | StrategyKind::ApfCalibrated => "apf",
+            StrategyKind::Qsgd => "qsgd",
+            StrategyKind::TopK => "topk",
+            StrategyKind::FedSu | StrategyKind::FedSuCalibrated | StrategyKind::FedSuWith { .. } => {
+                "fedsu"
+            }
+            StrategyKind::FedSuV1 { .. } => "fedsu-v1",
+            StrategyKind::FedSuV2 { .. } => "fedsu-v2",
+        }
+    }
+}
+
+/// Builder for a paper-shaped experiment.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    model: ModelKind,
+    preset: ModelPreset,
+    n_clients: usize,
+    rounds: usize,
+    samples_per_class: usize,
+    test_per_class: usize,
+    batch_size: usize,
+    local_iters: usize,
+    alpha: f64,
+    seed: u64,
+    eval_every: usize,
+    select_fraction: f64,
+    schedule: fedsu_fl::LrSchedule,
+}
+
+impl Scenario {
+    /// Starts a scenario with quick-profile defaults for `model`.
+    pub fn new(model: ModelKind) -> Self {
+        Scenario {
+            model,
+            preset: ModelPreset::Small,
+            n_clients: 8,
+            rounds: 30,
+            samples_per_class: 40,
+            test_per_class: 20,
+            batch_size: 16,
+            local_iters: 6,
+            alpha: 1.0,
+            seed: 42,
+            eval_every: 1,
+            select_fraction: 0.7,
+            schedule: fedsu_fl::LrSchedule::Constant,
+        }
+    }
+
+    /// Sets the architecture preset.
+    pub fn preset(mut self, preset: ModelPreset) -> Self {
+        self.preset = preset;
+        self
+    }
+
+    /// Sets the number of clients.
+    pub fn clients(mut self, n: usize) -> Self {
+        self.n_clients = n;
+        self
+    }
+
+    /// Sets the number of rounds.
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the training-set size per class.
+    pub fn samples_per_class(mut self, n: usize) -> Self {
+        self.samples_per_class = n;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n;
+        self
+    }
+
+    /// Sets local SGD iterations per round (`F_s`).
+    pub fn local_iters(mut self, n: usize) -> Self {
+        self.local_iters = n;
+        self
+    }
+
+    /// Sets the Dirichlet concentration α.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Evaluate every `n` rounds.
+    pub fn eval_every(mut self, n: usize) -> Self {
+        self.eval_every = n;
+        self
+    }
+
+    /// Sets the earliest-K selection fraction.
+    pub fn select_fraction(mut self, f: f64) -> Self {
+        self.select_fraction = f;
+        self
+    }
+
+    /// Sets the learning-rate schedule (Theorem 1's Eq. 13 condition).
+    pub fn schedule(mut self, schedule: fedsu_fl::LrSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The model kind.
+    pub fn model(&self) -> ModelKind {
+        self.model
+    }
+
+    /// Assembles the experiment configuration (shared by [`build`]).
+    ///
+    /// [`build`]: Scenario::build
+    fn config(&self, param_count: usize) -> ExperimentConfig {
+        let cluster = ClusterConfig::paper_like(self.n_clients);
+        // Two-way full-model transfer time on the client link, from which
+        // the compute constant is derived via the paper-calibrated ratio.
+        let full_bytes = (param_count * 4) as u64;
+        let comm = cluster.client_link.transfer_secs(full_bytes) * 2.0;
+        ExperimentConfig {
+            cluster,
+            select_fraction: self.select_fraction,
+            rounds: self.rounds,
+            client: ClientConfig {
+                batch_size: self.batch_size,
+                local_iters: self.local_iters,
+                lr: self.model.learning_rate(),
+                weight_decay: 1e-3,
+                schedule: self.schedule,
+                clip_norm: None,
+            },
+            alpha: self.alpha,
+            seed: self.seed,
+            eval_every: self.eval_every,
+            compute_secs: comm * self.model.compute_ratio(),
+            model_name: self.model.name().to_string(),
+            availability: None,
+        }
+    }
+
+    /// Builds the experiment for the given strategy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/dataset construction errors.
+    pub fn build(&self, strategy: StrategyKind) -> Result<Experiment, fedsu_fl::FlError> {
+        self.build_with(strategy.build())
+    }
+
+    /// Builds the experiment with a participation rule (participant
+    /// dynamicity, Sec. V).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/dataset construction errors.
+    pub fn build_with_availability(
+        &self,
+        strategy: StrategyKind,
+        availability: Option<fedsu_fl::experiment::AvailabilityFn>,
+    ) -> Result<Experiment, fedsu_fl::FlError> {
+        self.assemble(strategy.build(), availability)
+    }
+
+    /// Builds with an explicit (possibly pre-configured) strategy object.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/dataset construction errors.
+    pub fn build_with(&self, strategy: Box<dyn SyncStrategy>) -> Result<Experiment, fedsu_fl::FlError> {
+        self.assemble(strategy, None)
+    }
+
+    fn assemble(
+        &self,
+        strategy: Box<dyn SyncStrategy>,
+        availability: Option<fedsu_fl::experiment::AvailabilityFn>,
+    ) -> Result<Experiment, fedsu_fl::FlError> {
+        let mut data_rng = StdRng::seed_from_u64(self.seed ^ 0xDA7A);
+        let (train, test) = self
+            .model
+            .dataset_config()
+            .samples_per_class(self.samples_per_class)
+            .build_split(self.test_per_class, &mut data_rng);
+        let factory = self.model.factory(self.preset);
+        // Probe the parameter count for compute-time calibration.
+        let probe = factory(self.seed)?;
+        let param_count = fedsu_nn::flat::param_count(&probe);
+        let mut config = self.config(param_count);
+        config.availability = availability;
+        Experiment::new(config, factory, Arc::new(train), Arc::new(test), strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_scenario_runs_all_strategies() {
+        for strat in [StrategyKind::FedAvg, StrategyKind::Cmfl, StrategyKind::Apf, StrategyKind::FedSu] {
+            let mut e = Scenario::new(ModelKind::Mlp)
+                .clients(3)
+                .rounds(3)
+                .samples_per_class(12)
+                .build(strat)
+                .unwrap();
+            let r = e.run(None).unwrap();
+            assert_eq!(r.rounds.len(), 3, "{}", strat.name());
+        }
+    }
+
+    #[test]
+    fn strategy_names_match_records() {
+        let mut e = Scenario::new(ModelKind::Mlp).clients(2).rounds(1).samples_per_class(8).build(StrategyKind::Apf).unwrap();
+        let r = e.run(None).unwrap();
+        assert_eq!(r.strategy, "apf");
+        assert_eq!(r.model, "mlp");
+    }
+
+    #[test]
+    fn compute_ratio_ordering_matches_paper() {
+        // Table I: ResNet is compute-heaviest relative to its size; CNN is
+        // communication-dominated.
+        assert!(ModelKind::ResNet18.compute_ratio() > ModelKind::DenseNet.compute_ratio());
+        assert!(ModelKind::DenseNet.compute_ratio() > ModelKind::Cnn.compute_ratio());
+    }
+
+    #[test]
+    fn variants_build() {
+        assert_eq!(StrategyKind::FedSuV1 { period: 5 }.build().name(), "fedsu-v1");
+        assert_eq!(StrategyKind::FedSuV2 { probability: 0.01, period: 5 }.build().name(), "fedsu-v2");
+        assert_eq!(StrategyKind::FedSuWith { t_r: 0.1, t_s: 2.0 }.build().name(), "fedsu");
+    }
+}

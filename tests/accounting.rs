@@ -1,0 +1,88 @@
+//! Communication-accounting invariants across strategies: conservation of
+//! scalars, byte arithmetic, and sparsification-ratio bounds.
+
+use fedsu_repro::fl::RoundRecord;
+use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};
+
+fn run(strategy: StrategyKind) -> Vec<RoundRecord> {
+    let mut e = Scenario::new(ModelKind::Mlp)
+        .clients(5)
+        .rounds(25)
+        .samples_per_class(30)
+        .seed(3)
+        .build(strategy)
+        .unwrap();
+    e.run(None).unwrap().rounds
+}
+
+#[test]
+fn sparsification_ratio_is_bounded_for_every_strategy() {
+    for strategy in [
+        StrategyKind::FedAvg,
+        StrategyKind::Cmfl,
+        StrategyKind::ApfCalibrated,
+        StrategyKind::FedSuCalibrated,
+        StrategyKind::FedSuV1 { period: 4 },
+        StrategyKind::FedSuV2 { probability: 0.02, period: 4 },
+    ] {
+        for r in run(strategy) {
+            assert!(
+                (0.0..=1.0).contains(&r.sparsification_ratio),
+                "{strategy:?} round {} ratio {}",
+                r.round,
+                r.sparsification_ratio
+            );
+        }
+    }
+}
+
+#[test]
+fn fedavg_never_sparsifies() {
+    for r in run(StrategyKind::FedAvg) {
+        assert_eq!(r.sparsification_ratio, 0.0);
+    }
+}
+
+#[test]
+fn bytes_are_positive_and_track_sparsification() {
+    let fedavg = run(StrategyKind::FedAvg);
+    let fedsu = run(StrategyKind::FedSuCalibrated);
+    for (a, s) in fedavg.iter().zip(&fedsu) {
+        assert!(a.bytes > 0);
+        // A round that skips synchronization moves no more bytes than the
+        // full-sync round (strictly fewer when the ratio is positive).
+        if s.sparsification_ratio > 0.0 {
+            assert!(s.bytes < a.bytes, "round {}: {} vs {}", s.round, s.bytes, a.bytes);
+        }
+    }
+}
+
+#[test]
+fn sim_time_is_strictly_increasing() {
+    for strategy in [StrategyKind::FedAvg, StrategyKind::FedSuCalibrated] {
+        let rounds = run(strategy);
+        let mut last = 0.0;
+        for r in rounds {
+            assert!(r.sim_time_secs > last);
+            last = r.sim_time_secs;
+            assert!(r.duration_secs > 0.0);
+        }
+    }
+}
+
+#[test]
+fn participants_respect_selection_fraction() {
+    // 5 clients at 70% -> round(3.5) = 4 participants every round.
+    for r in run(StrategyKind::FedAvg) {
+        assert_eq!(r.participants, 4);
+    }
+}
+
+#[test]
+fn train_loss_is_finite_and_eventually_decreases() {
+    let rounds = run(StrategyKind::FedSuCalibrated);
+    assert!(rounds.iter().all(|r| r.train_loss.is_finite()));
+    let first = rounds.first().unwrap().train_loss;
+    let last = rounds.last().unwrap().train_loss;
+    assert!(last < first, "train loss {first} -> {last}");
+}

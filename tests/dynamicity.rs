@@ -1,0 +1,99 @@
+//! Participant dynamicity end-to-end (Sec. V): clients joining and leaving
+//! mid-run, join-state downloads, and mask consistency for joiners.
+
+use fedsu_repro::core::{FedSu, FedSuConfig, JoinState};
+use fedsu_repro::fl::experiment::AvailabilityFn;
+use fedsu_repro::fl::SyncStrategy;
+use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};
+use std::sync::Arc;
+
+fn scenario() -> Scenario {
+    Scenario::new(ModelKind::Mlp).clients(5).rounds(25).samples_per_class(30).seed(11)
+}
+
+#[test]
+fn run_survives_clients_leaving_and_joining() {
+    let availability: AvailabilityFn = Arc::new(|client, round| match client {
+        4 => round >= 8,            // joins late
+        0 => !(10..15).contains(&round), // leaves temporarily
+        _ => true,
+    });
+    let mut e = scenario()
+        .build_with_availability(StrategyKind::FedSuCalibrated, Some(availability))
+        .unwrap();
+    let r = e.run(None).unwrap();
+    assert!(r.best_accuracy() > 0.7, "got {:.3}", r.best_accuracy());
+    // Fewer participants before the late joiner arrives.
+    assert!(r.rounds[0].participants < r.rounds[20].participants + 2);
+}
+
+#[test]
+fn joining_round_pays_for_model_and_mask_state() {
+    // All clients steady vs one client joining at round 12: the join round
+    // must carry at least the full-model catch-up download.
+    let steady = {
+        let mut e = scenario().build(StrategyKind::FedSuCalibrated).unwrap();
+        e.run(None).unwrap()
+    };
+    let availability: AvailabilityFn = Arc::new(|client, round| client != 4 || round >= 12);
+    let dynamic = {
+        let mut e = scenario()
+            .build_with_availability(StrategyKind::FedSuCalibrated, Some(availability))
+            .unwrap();
+        e.run(None).unwrap()
+    };
+    // Compare the join round's download-heavy traffic against the same
+    // round in the steady run: the joiner's full-model + mask download must
+    // make it at least as heavy even though earlier rounds were lighter.
+    assert!(
+        dynamic.rounds[12].bytes + 1 >= steady.rounds[12].bytes,
+        "join round bytes {} vs steady {}",
+        dynamic.rounds[12].bytes,
+        steady.rounds[12].bytes
+    );
+}
+
+#[test]
+fn join_state_transfers_the_replicated_manager_state() {
+    // Drive a donor manager, snapshot, restore into a joiner, and verify
+    // the two make identical masks and upload decisions from then on.
+    let mut donor = FedSu::new(FedSuConfig { t_r: 0.2, t_s: 10.0, ..FedSuConfig::default() });
+    let mut global = vec![0.0f32; 6];
+    for round in 0..12 {
+        let locals: Vec<Vec<f32>> = (0..3)
+            .map(|c| {
+                global
+                    .iter()
+                    .enumerate()
+                    .map(|(j, g)| g - 0.01 * (j as f32 + 1.0) + 0.0001 * c as f32)
+                    .collect()
+            })
+            .collect();
+        donor.prepare_uploads(round, &locals, &global);
+        donor.aggregate(round, &locals, &[0, 1, 2], &[true; 3], &mut global);
+    }
+    let bytes = donor.join_state().expect("donor has state");
+    let snapshot = JoinState::from_bytes(&bytes).unwrap();
+
+    let mut joiner = FedSu::new(FedSuConfig { t_r: 0.2, t_s: 10.0, ..FedSuConfig::default() });
+    joiner.apply_join_state(&snapshot);
+    assert_eq!(joiner.predictable_mask(), donor.predictable_mask());
+
+    // Same future input -> same upload decision.
+    let locals = vec![global.clone(); 3];
+    let d = donor.prepare_uploads(12, &locals, &global);
+    let j = joiner.prepare_uploads(12, &locals, &global);
+    assert_eq!(d, j);
+}
+
+#[test]
+fn join_state_size_is_proportional_to_model() {
+    let mut f = FedSu::new(FedSuConfig::default());
+    let mut global = vec![0.0f32; 100];
+    let locals = vec![global.clone(); 2];
+    f.prepare_uploads(0, &locals, &global);
+    f.aggregate(0, &locals, &[0, 1], &[true, true], &mut global);
+    let bytes = f.join_state().unwrap();
+    // 16-byte header + 13 mask bytes + 100 * 22 payload bytes.
+    assert_eq!(bytes.len(), 16 + 13 + 100 * 22);
+}

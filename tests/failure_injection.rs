@@ -1,0 +1,150 @@
+//! Failure injection: divergence detection, degenerate cluster shapes, and
+//! hostile strategy behaviour.
+
+use fedsu_repro::fl::strategy::average_into;
+use fedsu_repro::fl::{AggregateOutcome, FlError, SyncStrategy};
+use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};
+
+/// A strategy that corrupts the global model with NaNs after a few rounds.
+struct Saboteur {
+    after: usize,
+}
+
+impl SyncStrategy for Saboteur {
+    fn name(&self) -> &str {
+        "saboteur"
+    }
+    fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], _global: &[f32]) -> Vec<u64> {
+        locals.iter().map(|l| l.len() as u64).collect()
+    }
+    fn aggregate(
+        &mut self,
+        round: usize,
+        locals: &[Vec<f32>],
+        selected: &[usize],
+        _active: &[bool],
+        global: &mut [f32],
+    ) -> AggregateOutcome {
+        average_into(locals, selected, global);
+        if round >= self.after {
+            global[0] = f32::NAN;
+        }
+        AggregateOutcome {
+            broadcast_scalars: global.len(),
+            synced_scalars: global.len(),
+            total_scalars: global.len(),
+        }
+    }
+}
+
+fn scenario() -> Scenario {
+    Scenario::new(ModelKind::Mlp).clients(3).rounds(10).samples_per_class(20).seed(5)
+}
+
+#[test]
+fn nan_in_global_is_reported_as_divergence() {
+    let mut e = scenario().build_with(Box::new(Saboteur { after: 4 })).unwrap();
+    match e.run(None) {
+        Err(FlError::Diverged { round }) => assert_eq!(round, 4),
+        other => panic!("expected divergence, got {other:?}"),
+    }
+}
+
+#[test]
+fn single_client_cluster_works() {
+    let mut e = Scenario::new(ModelKind::Mlp)
+        .clients(1)
+        .rounds(8)
+        .samples_per_class(30)
+        .select_fraction(1.0)
+        .build(StrategyKind::FedSuCalibrated)
+        .unwrap();
+    let r = e.run(None).unwrap();
+    assert_eq!(r.rounds.len(), 8);
+    assert!(r.rounds.iter().all(|x| x.participants == 1));
+}
+
+#[test]
+fn full_participation_fraction_works() {
+    let mut e = scenario().select_fraction(1.0).build(StrategyKind::FedAvg).unwrap();
+    let r = e.run(None).unwrap();
+    assert!(r.rounds.iter().all(|x| x.participants == 3));
+}
+
+#[test]
+fn minimal_participation_fraction_works() {
+    let mut e = scenario().select_fraction(0.01).build(StrategyKind::FedSuCalibrated).unwrap();
+    let r = e.run(None).unwrap();
+    assert!(r.rounds.iter().all(|x| x.participants == 1));
+}
+
+#[test]
+fn huge_learning_rate_diverges_cleanly() {
+    // lr far above stability: the runtime must report divergence (or a
+    // non-finite loss) instead of panicking or looping forever.
+    use fedsu_repro::fl::{ClientConfig, Experiment, ExperimentConfig};
+    use fedsu_repro::netsim::ClusterConfig;
+    use fedsu_repro::strategies::FedAvg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let (train, test) = fedsu_repro::data::SyntheticConfig::new(3, 1, 4, 4)
+        .samples_per_class(20)
+        .build_split(5, &mut rng);
+    let factory: fedsu_repro::fl::experiment::ModelFactory = Arc::new(|seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = fedsu_repro::nn::Sequential::new("m");
+        m.push(fedsu_repro::nn::flatten::Flatten::new());
+        m.push_boxed(Box::new(fedsu_repro::nn::models::mlp(&[16, 8, 3], &mut rng)?));
+        Ok(m)
+    });
+    let config = ExperimentConfig {
+        cluster: ClusterConfig::paper_like(3),
+        select_fraction: 1.0,
+        rounds: 50,
+        client: ClientConfig {
+            batch_size: 4,
+            local_iters: 5,
+            lr: 1e4,
+            weight_decay: 0.0,
+            schedule: fedsu_repro::fl::LrSchedule::Constant,
+            clip_norm: None,
+        },
+        alpha: 1.0,
+        seed: 0,
+        eval_every: 10,
+        compute_secs: 1.0,
+        model_name: "mlp".to_string(),
+        availability: None,
+    };
+    let mut e = Experiment::new(config, factory, Arc::new(train), Arc::new(test), Box::new(FedAvg::new())).unwrap();
+    assert!(matches!(e.run(None), Err(FlError::Diverged { .. })));
+}
+
+#[test]
+fn strategy_contract_violation_is_detected() {
+    struct ShortUploads;
+    impl SyncStrategy for ShortUploads {
+        fn name(&self) -> &str {
+            "short"
+        }
+        fn prepare_uploads(&mut self, _round: usize, _locals: &[Vec<f32>], _global: &[f32]) -> Vec<u64> {
+            vec![0] // wrong length: one entry for many clients
+        }
+        fn aggregate(
+            &mut self,
+            _round: usize,
+            locals: &[Vec<f32>],
+            selected: &[usize],
+            _active: &[bool],
+            global: &mut [f32],
+        ) -> AggregateOutcome {
+            average_into(locals, selected, global);
+            AggregateOutcome { broadcast_scalars: 0, synced_scalars: 0, total_scalars: global.len() }
+        }
+    }
+    let mut e = scenario().build_with(Box::new(ShortUploads)).unwrap();
+    assert!(matches!(e.run(None), Err(FlError::StrategyContract(_))));
+}

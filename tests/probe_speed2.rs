@@ -1,0 +1,25 @@
+//! Wall-clock probe for tiny-preset round costs (run manually).
+
+use fedsu_repro::nn::models::ModelPreset;
+use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};
+use std::time::Instant;
+
+#[test]
+#[ignore = "calibration probe, run manually"]
+fn probe_tiny_round_cost() {
+    for (model, preset) in [
+        (ModelKind::DenseNet, ModelPreset::Tiny),
+        (ModelKind::ResNet18, ModelPreset::Small),
+        (ModelKind::Cnn, ModelPreset::Small),
+    ] {
+        let mut e = Scenario::new(model)
+            .preset(preset)
+            .clients(8)
+            .rounds(3)
+            .build(StrategyKind::FedAvg)
+            .unwrap();
+        let start = Instant::now();
+        e.run(None).unwrap();
+        println!("{model:?}/{preset:?}: {:.2}s/round", start.elapsed().as_secs_f64() / 3.0);
+    }
+}
