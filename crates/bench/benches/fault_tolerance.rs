@@ -1,0 +1,45 @@
+//! Robustness extension (not a paper figure) — fault-rate sweep comparing
+//! FedAvg and FedSU under client dropout, upload loss and corruption, with
+//! the server-side defenses enabled.
+//!
+//! The question it answers: does FedSU's speculative updating stay stable
+//! when a realistic fraction of clients misbehaves, and what do the faults
+//! cost in accuracy, wall-clock and bytes relative to FedAvg?
+
+use fedsu_bench::{fault_summary_line, summary_line, Scale, Workload};
+use fedsu_fl::FaultConfig;
+use fedsu_repro::scenario::{ModelKind, StrategyKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Fault tolerance: FedAvg vs FedSU under client faults ==\n");
+
+    let workload = Workload::for_model(ModelKind::Mlp, scale);
+    for strategy in [StrategyKind::FedAvg, StrategyKind::FedSuCalibrated] {
+        println!("---- strategy: {} ----", strategy.name());
+        for dropout in [0.0, 0.1, 0.2, 0.3] {
+            let scenario = if dropout > 0.0 {
+                workload.faulty_scenario(FaultConfig {
+                    dropout_prob: dropout,
+                    upload_loss_prob: 0.05,
+                    corrupt_prob: 0.02,
+                    ..FaultConfig::default()
+                })
+            } else {
+                workload.scenario()
+            };
+            let mut experiment = scenario.build(strategy).expect("build");
+            let result = experiment.run(None).expect("run");
+            println!(
+                "  dropout={dropout:<4} {}\n               {}",
+                summary_line(&result),
+                fault_summary_line(&result)
+            );
+        }
+        println!();
+    }
+    println!(
+        "Expectation: both schemes finish every round at every fault rate; accuracy\n\
+         degrades gracefully and FedSU keeps its communication advantage."
+    );
+}

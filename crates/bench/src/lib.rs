@@ -18,7 +18,7 @@
 #![warn(missing_docs)]
 
 use fedsu_core::{FedSu, MaskEvent};
-use fedsu_fl::{Experiment, ExperimentResult};
+use fedsu_fl::{Experiment, ExperimentResult, FaultConfig};
 use fedsu_nn::models::ModelPreset;
 use fedsu_repro::scenario::{ModelKind, Scenario};
 
@@ -94,6 +94,12 @@ impl Workload {
             .rounds(self.rounds)
             .samples_per_class(self.samples_per_class)
     }
+
+    /// Builds the scenario with a fault plan injected (defenses are
+    /// auto-enabled by the scenario when the plan is non-zero).
+    pub fn faulty_scenario(&self, faults: FaultConfig) -> Scenario {
+        self.scenario().faults(faults)
+    }
 }
 
 /// The two models the paper's ablation/sensitivity sections focus on
@@ -153,6 +159,17 @@ pub fn summary_line(result: &ExperimentResult) -> String {
     )
 }
 
+/// A one-line fault-accounting summary of a run (all zeros on clean runs).
+pub fn fault_summary_line(result: &ExperimentResult) -> String {
+    format!(
+        "dropped={} quarantined={} retransmitted_KB={:.1} rollbacks={}",
+        result.total_dropped(),
+        result.total_quarantined(),
+        result.total_retransmitted_bytes() as f64 / 1e3,
+        result.total_rollbacks(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +201,18 @@ mod tests {
         assert!(fedsu_of(&e).is_some());
         let _ = fedsu_events(&e);
         assert!(summary_line(&r).contains("fedsu"));
+    }
+
+    #[test]
+    fn faulty_smoke_workload_reports_fault_accounting() {
+        use fedsu_repro::scenario::StrategyKind;
+        let w = Workload::for_model(ModelKind::Mlp, Scale::Smoke);
+        let mut e = w
+            .faulty_scenario(FaultConfig { dropout_prob: 0.3, ..FaultConfig::default() })
+            .build(StrategyKind::FedAvg)
+            .unwrap();
+        let r = e.run(None).unwrap();
+        assert_eq!(r.rounds.len(), w.rounds);
+        assert!(fault_summary_line(&r).contains("dropped="));
     }
 }

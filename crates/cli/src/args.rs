@@ -51,6 +51,12 @@ pub struct RunArgs {
     pub alpha: f64,
     /// Master seed.
     pub seed: u64,
+    /// Per-round probability that a selected client drops out mid-round.
+    pub fault_dropout: f64,
+    /// Per-round probability that a surviving client's upload is corrupted.
+    pub fault_corrupt: f64,
+    /// Seed for the deterministic fault plan (independent of `seed`).
+    pub fault_seed: u64,
     /// Optional CSV output path for per-round records.
     pub csv: Option<String>,
 }
@@ -64,6 +70,9 @@ impl Default for RunArgs {
             rounds: 40,
             alpha: 1.0,
             seed: 42,
+            fault_dropout: 0.0,
+            fault_corrupt: 0.0,
+            fault_seed: 0xFA17,
             csv: None,
         }
     }
@@ -122,6 +131,15 @@ fn collect_flags(args: &[String]) -> Result<BTreeMap<String, String>, ParseError
     Ok(flags)
 }
 
+fn parse_prob(value: &str, flag: &str) -> Result<f64, ParseError> {
+    let p: f64 =
+        value.parse().map_err(|_| ParseError(format!("bad --{flag} `{value}`")))?;
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return Err(ParseError(format!("--{flag} must be a probability in [0, 1], got `{value}`")));
+    }
+    Ok(p)
+}
+
 fn run_args(flags: &BTreeMap<String, String>) -> Result<RunArgs, ParseError> {
     let mut args = RunArgs::default();
     for (key, value) in flags {
@@ -142,6 +160,16 @@ fn run_args(flags: &BTreeMap<String, String>) -> Result<RunArgs, ParseError> {
             }
             "seed" => {
                 args.seed = value.parse().map_err(|_| ParseError(format!("bad --seed `{value}`")))?
+            }
+            "fault-dropout" => {
+                args.fault_dropout = parse_prob(value, "fault-dropout")?;
+            }
+            "fault-corrupt" => {
+                args.fault_corrupt = parse_prob(value, "fault-corrupt")?;
+            }
+            "fault-seed" => {
+                args.fault_seed =
+                    value.parse().map_err(|_| ParseError(format!("bad --fault-seed `{value}`")))?
             }
             "csv" => args.csv = Some(value.clone()),
             "param" | "values" => {} // handled by sweep
@@ -233,6 +261,45 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let cmd = parse(&s(&[
+            "run",
+            "--fault-dropout",
+            "0.15",
+            "--fault-corrupt",
+            "0.02",
+            "--fault-seed",
+            "99",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert!((a.fault_dropout - 0.15).abs() < 1e-12);
+                assert!((a.fault_corrupt - 0.02).abs() < 1e-12);
+                assert_eq!(a.fault_seed, 99);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults are fault-free.
+        let d = RunArgs::default();
+        assert_eq!(d.fault_dropout, 0.0);
+        assert_eq!(d.fault_corrupt, 0.0);
+    }
+
+    #[test]
+    fn fault_probabilities_are_range_checked() {
+        assert!(parse(&s(&["run", "--fault-dropout", "1.5"]))
+            .unwrap_err()
+            .0
+            .contains("probability"));
+        assert!(parse(&s(&["run", "--fault-corrupt", "-0.1"]))
+            .unwrap_err()
+            .0
+            .contains("probability"));
+        assert!(parse(&s(&["run", "--fault-dropout", "nan"])).is_err());
     }
 
     #[test]

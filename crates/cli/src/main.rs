@@ -12,6 +12,7 @@ mod args;
 use args::{parse, Command, RunArgs, SweepParam};
 use fedsu_metrics::Table;
 use fedsu_repro::fl::ExperimentResult;
+use fedsu_repro::netsim::FaultConfig;
 use fedsu_repro::scenario::{Scenario, StrategyKind};
 use std::io::Write;
 
@@ -21,6 +22,7 @@ fedsu — communication-efficient federated learning with speculative updating
 USAGE:
   fedsu run     [--model M] [--strategy S] [--clients N] [--rounds R]
                 [--alpha A] [--seed K] [--csv PATH]
+                [--fault-dropout P] [--fault-corrupt P] [--fault-seed K]
   fedsu compare [--model M] [--clients N] [--rounds R] [--alpha A] [--seed K]
   fedsu sweep   --param t_r|t_s --values a,b,c [--model M] [--rounds R] ...
   fedsu info
@@ -28,19 +30,38 @@ USAGE:
 
 MODELS:     cnn, resnet18, densenet, mlp
 STRATEGIES: fedavg, cmfl, apf, apf-paper, qsgd, fedsu, fedsu-paper
+
+FAULTS:     --fault-dropout/--fault-corrupt inject per-round client dropout
+            and upload corruption with the given probability; a non-zero rate
+            auto-enables the server-side defenses (retry, quarantine,
+            rollback). --fault-seed picks the deterministic fault plan.
 ";
 
 fn scenario_of(a: &RunArgs) -> Scenario {
-    Scenario::new(a.model).clients(a.clients).rounds(a.rounds).alpha(a.alpha).seed(a.seed)
+    let mut scenario =
+        Scenario::new(a.model).clients(a.clients).rounds(a.rounds).alpha(a.alpha).seed(a.seed);
+    if a.fault_dropout > 0.0 || a.fault_corrupt > 0.0 {
+        scenario = scenario.faults(FaultConfig {
+            dropout_prob: a.fault_dropout,
+            corrupt_prob: a.fault_corrupt,
+            seed: a.fault_seed,
+            ..FaultConfig::default()
+        });
+    }
+    scenario
 }
 
 fn write_csv(path: &str, result: &ExperimentResult) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    writeln!(f, "round,sim_time_s,accuracy,test_loss,train_loss,sparsification,bytes,participants")?;
+    writeln!(
+        f,
+        "round,sim_time_s,accuracy,test_loss,train_loss,sparsification,bytes,participants,\
+         dropped,quarantined,retransmitted_bytes,rollbacks"
+    )?;
     for r in &result.rounds {
         writeln!(
             f,
-            "{},{:.3},{},{},{:.5},{:.5},{},{}",
+            "{},{:.3},{},{},{:.5},{:.5},{},{},{},{},{},{}",
             r.round,
             r.sim_time_secs,
             r.accuracy.map_or(String::new(), |a| format!("{a:.5}")),
@@ -48,7 +69,11 @@ fn write_csv(path: &str, result: &ExperimentResult) -> std::io::Result<()> {
             r.train_loss,
             r.sparsification_ratio,
             r.bytes,
-            r.participants
+            r.participants,
+            r.dropped,
+            r.quarantined,
+            r.retransmitted_bytes,
+            r.rollbacks
         )?;
     }
     Ok(())

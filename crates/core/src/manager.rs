@@ -133,6 +133,9 @@ pub struct FedSu {
 
     // Genuinely per-client state: accumulated local prediction errors.
     errors: Vec<Vec<f32>>,
+    // Activity mask of the previous aggregation, to detect rejoining
+    // clients whose error accumulators must be re-synchronized.
+    prev_active: Vec<bool>,
 
     // Statistics.
     predictable_rounds: Vec<u64>,
@@ -189,6 +192,7 @@ impl FedSu {
             ema: Vec::new(),
             obs: Vec::new(),
             errors: Vec::new(),
+            prev_active: Vec::new(),
             predictable_rounds: Vec::new(),
             rounds_seen: 0,
             rng,
@@ -340,7 +344,24 @@ impl FedSu {
         }
         if self.errors.len() != n_clients || self.errors.first().is_some_and(|e| e.len() != n_params) {
             self.errors = vec![vec![0.0; n_params]; n_clients];
+            self.prev_active = vec![false; n_clients];
         }
+    }
+
+    /// Re-synchronizes per-client state for clients that were absent at the
+    /// previous aggregation and are active again now (Sec. V's rejoin path):
+    /// a rejoiner downloads fresh replicated state, so its stale local error
+    /// accumulator must not poison the feedback signal `S`.
+    fn resync_rejoiners(&mut self, active: &[bool]) {
+        if self.prev_active.len() != active.len() {
+            self.prev_active = vec![false; active.len()];
+        }
+        for (i, &act) in active.iter().enumerate() {
+            if act && !self.prev_active[i] {
+                self.errors[i].fill(0.0);
+            }
+        }
+        self.prev_active.copy_from_slice(active);
     }
 
     fn promote(&mut self, j: usize, slope: f32, round: usize) {
@@ -413,7 +434,23 @@ impl SyncStrategy for FedSu {
         global: &mut [f32],
     ) -> AggregateOutcome {
         self.ensure_capacity(global.len(), locals.len());
+        self.resync_rejoiners(active);
         let n = global.len();
+        if selected.is_empty() {
+            // Nothing usable arrived (every upload dropped, lost, or
+            // quarantined): hold all values and all mask/feedback state.
+            // Consuming a no-checking round here would silently skip error
+            // checks that no client ever got to vote on.
+            self.rounds_seen += 1;
+            self.history.push(RoundStats {
+                round,
+                predictable: self.predictable_count(),
+                checks: 0,
+                enters: 0,
+                exits: 0,
+            });
+            return AggregateOutcome { broadcast_scalars: 0, synced_scalars: 0, total_scalars: n };
+        }
         let inv = 1.0 / selected.len().max(1) as f32;
         let accumulate_errors = matches!(self.exit, ExitPolicy::ErrorFeedback);
         let mut synced = 0usize;
@@ -866,6 +903,59 @@ mod tests {
         f.prepare_uploads(6, &poisoned, &global);
         f.aggregate(6, &poisoned, &[0], &[true, false], &mut global);
         assert_eq!(f.errors[1][0], 0.0, "inactive client error must stay untouched");
+    }
+
+    #[test]
+    fn rejoining_client_errors_are_resynced() {
+        let mut f = FedSu::new(FedSuConfig { warmup_updates: 3, t_s: 10.0, ..FedSuConfig::default() });
+        let mut global = vec![0.0f32];
+        let mut round = 0;
+        while !f.predictable_mask().first().copied().unwrap_or(false) {
+            let locals = vec![vec![global[0] - 0.01], vec![global[0] - 0.01]];
+            f.prepare_uploads(round, &locals, &global);
+            f.aggregate(round, &locals, &[0, 1], &[true, true], &mut global);
+            round += 1;
+            assert!(round < 10, "should promote within warmup");
+        }
+        // Speculative rounds with a slight mismatch: both clients accumulate
+        // prediction error.
+        for _ in 0..2 {
+            let locals = vec![vec![global[0] - 0.02], vec![global[0] - 0.02]];
+            f.prepare_uploads(round, &locals, &global);
+            f.aggregate(round, &locals, &[0, 1], &[true, true], &mut global);
+            round += 1;
+        }
+        assert!(f.predictable_mask()[0], "should still be speculative");
+        assert_ne!(f.errors[1][0], 0.0, "client 1 accumulated error before leaving");
+        // Client 1 leaves for a round...
+        let locals = vec![vec![global[0] - 0.02], vec![0.0]];
+        f.prepare_uploads(round, &locals, &global);
+        f.aggregate(round, &locals, &[0], &[true, false], &mut global);
+        round += 1;
+        // ...and rejoins reporting exactly the predicted value: its stale
+        // error must have been cleared, leaving only this round's zero
+        // residual.
+        assert!(f.predictable_mask()[0]);
+        let predicted = global[0] + f.slope[0];
+        let locals = vec![vec![global[0] - 0.02], vec![predicted]];
+        f.prepare_uploads(round, &locals, &global);
+        f.aggregate(round, &locals, &[0], &[true, true], &mut global);
+        assert_eq!(f.errors[1][0], 0.0, "rejoiner's stale error must be resynced");
+    }
+
+    #[test]
+    fn empty_selection_holds_global_and_state() {
+        let mut f = FedSu::new(quick_config());
+        let mut global = vec![0.5f32, -0.25];
+        let locals = vec![vec![9.0, 9.0]];
+        f.prepare_uploads(0, &locals, &global);
+        let out = f.aggregate(0, &locals, &[], &[false], &mut global);
+        assert_eq!(global, vec![0.5, -0.25], "a barren round must hold all values");
+        assert_eq!(out.synced_scalars, 0);
+        assert_eq!(out.broadcast_scalars, 0);
+        assert_eq!(out.total_scalars, 2);
+        assert_eq!(f.history().len(), 1);
+        assert_eq!(f.history()[0].checks, 0);
     }
 
     #[test]

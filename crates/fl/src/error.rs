@@ -3,6 +3,7 @@ use std::fmt;
 
 /// Errors produced by the FL runtime.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum FlError {
     /// A neural-network operation failed inside a client or the server.
     Nn(NnError),
@@ -15,6 +16,18 @@ pub enum FlError {
     },
     /// A strategy violated the runtime contract (e.g. wrong vector length).
     StrategyContract(String),
+    /// A client's local training panicked (the panic was caught; the run
+    /// only aborts when fault tolerance is disabled).
+    ClientFailed {
+        /// Id of the client whose thread panicked.
+        id: usize,
+    },
+    /// Too many consecutive rounds produced no usable update (every upload
+    /// was dropped, lost, or quarantined) — the defense budget is exhausted.
+    QuarantineExhausted {
+        /// Round at which the barren-round budget ran out.
+        round: usize,
+    },
 }
 
 impl fmt::Display for FlError {
@@ -24,6 +37,10 @@ impl fmt::Display for FlError {
             FlError::BadConfig(msg) => write!(f, "bad experiment config: {msg}"),
             FlError::Diverged { round } => write!(f, "training diverged at round {round}"),
             FlError::StrategyContract(msg) => write!(f, "strategy contract violation: {msg}"),
+            FlError::ClientFailed { id } => write!(f, "client {id} failed (local training panicked)"),
+            FlError::QuarantineExhausted { round } => {
+                write!(f, "no usable updates for too many consecutive rounds (round {round})")
+            }
         }
     }
 }
@@ -53,6 +70,17 @@ mod tests {
         let e: FlError = NnError::BadConfig("x".into()).into();
         assert!(e.source().is_some());
         assert!(FlError::Diverged { round: 3 }.to_string().contains("round 3"));
+    }
+
+    #[test]
+    fn fault_variants_display_and_source() {
+        use std::error::Error;
+        let c = FlError::ClientFailed { id: 7 };
+        assert!(c.to_string().contains("client 7"));
+        assert!(c.source().is_none());
+        let q = FlError::QuarantineExhausted { round: 12 };
+        assert!(q.to_string().contains("round 12"));
+        assert!(q.source().is_none());
     }
 
     #[test]

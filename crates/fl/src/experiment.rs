@@ -1,14 +1,15 @@
 //! The end-to-end experiment loop: pull → local training → sparsified
-//! synchronization → aggregation → evaluation, with emulated timing.
+//! synchronization → aggregation → evaluation, with emulated timing,
+//! optional fault injection, and server-side fault tolerance.
 
 use crate::client::{Client, ClientConfig};
-use crate::message::scalars_to_bytes;
+use crate::message::{bytes_with_retries, scalars_to_bytes};
 use crate::record::{ExperimentResult, RoundRecord};
 use crate::server::Server;
-use crate::strategy::SyncStrategy;
+use crate::strategy::{AggregateOutcome, SyncStrategy};
 use crate::{FlError, Result};
 use fedsu_data::{dirichlet_partition, Batcher, InMemoryDataset};
-use fedsu_netsim::{Cluster, ClusterConfig, RoundTimer};
+use fedsu_netsim::{Cluster, ClusterConfig, FaultPlan, RoundTimer};
 use fedsu_nn::Sequential;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,6 +26,57 @@ pub type AvailabilityFn = Arc<dyn Fn(usize, usize) -> bool + Send + Sync>;
 /// Observer invoked after every round with the record and the new global
 /// parameter vector (used by the trajectory/microscopic figures).
 pub type RoundHook<'a> = &'a mut dyn FnMut(&RoundRecord, &[f32]);
+
+/// Server-side fault-tolerance knobs.
+///
+/// Disabled by default: with `enabled == false` the runtime behaves exactly
+/// like the legacy clean-path loop (divergence errors out, a fully-lost
+/// round is a config error), which keeps zero-fault runs bit-for-bit
+/// reproducible against old records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefenseConfig {
+    /// Master switch for every defense below.
+    pub enabled: bool,
+    /// Upload retransmissions allowed per client per round.
+    pub max_retries: u32,
+    /// Emulated seconds of backoff charged per retransmission.
+    pub retry_backoff_secs: f64,
+    /// Quarantine uploads whose update norm exceeds this multiple of the
+    /// round's (lower) median update norm.
+    pub outlier_norm_factor: f32,
+    /// Optional hard round deadline in emulated seconds: selected clients
+    /// finishing later are dropped from aggregation.
+    pub round_deadline_secs: Option<f64>,
+    /// Emulated seconds charged when a round produces no usable upload.
+    pub lost_round_penalty_secs: f64,
+    /// Roll back to the last finite global instead of erroring `Diverged`.
+    pub rollback: bool,
+    /// Consecutive unusable rounds tolerated before
+    /// [`FlError::QuarantineExhausted`].
+    pub max_barren_rounds: usize,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        DefenseConfig {
+            enabled: false,
+            max_retries: 2,
+            retry_backoff_secs: 2.0,
+            outlier_norm_factor: 8.0,
+            round_deadline_secs: None,
+            lost_round_penalty_secs: 30.0,
+            rollback: true,
+            max_barren_rounds: 8,
+        }
+    }
+}
+
+impl DefenseConfig {
+    /// Defenses enabled with the default knobs.
+    pub fn on() -> Self {
+        DefenseConfig { enabled: true, ..DefenseConfig::default() }
+    }
+}
 
 /// Full configuration of one emulated FL experiment.
 #[derive(Clone)]
@@ -51,6 +103,10 @@ pub struct ExperimentConfig {
     pub model_name: String,
     /// Optional per-(client, round) participation rule.
     pub availability: Option<AvailabilityFn>,
+    /// Seeded fault-injection plan (default: the zero-fault plan).
+    pub faults: FaultPlan,
+    /// Server-side fault-tolerance configuration (default: disabled).
+    pub defense: DefenseConfig,
 }
 
 impl std::fmt::Debug for ExperimentConfig {
@@ -66,6 +122,8 @@ impl std::fmt::Debug for ExperimentConfig {
             .field("compute_secs", &self.compute_secs)
             .field("model_name", &self.model_name)
             .field("availability", &self.availability.is_some())
+            .field("faults", &self.faults)
+            .field("defense", &self.defense)
             .finish()
     }
 }
@@ -92,6 +150,8 @@ impl ExperimentConfig {
             compute_secs: 4.0,
             model_name: model_name.to_string(),
             availability: None,
+            faults: FaultPlan::none(),
+            defense: DefenseConfig::default(),
         }
     }
 }
@@ -135,6 +195,21 @@ impl Experiment {
                 "clients, rounds and eval_every must be positive".to_string(),
             ));
         }
+        if config.select_fraction.is_nan()
+            || config.select_fraction <= 0.0
+            || config.select_fraction > 1.0
+        {
+            return Err(FlError::BadConfig(format!(
+                "select_fraction must be in (0, 1], got {}",
+                config.select_fraction
+            )));
+        }
+        if config.alpha.is_nan() || config.alpha <= 0.0 {
+            return Err(FlError::BadConfig(format!(
+                "alpha must be positive, got {}",
+                config.alpha
+            )));
+        }
         let mut part_rng = StdRng::seed_from_u64(config.seed ^ 0x9e3779b97f4a7c15);
         let parts = dirichlet_partition(train_data.labels(), n, config.alpha, &mut part_rng);
 
@@ -162,26 +237,49 @@ impl Experiment {
 
     /// Runs all configured rounds.
     ///
+    /// With fault tolerance disabled (the default), this is the legacy
+    /// clean-path loop: it returns [`FlError::Diverged`] when parameters
+    /// become non-finite and propagates any training error. With
+    /// [`DefenseConfig::enabled`], faults injected by the configured
+    /// [`FaultPlan`] are absorbed: failed or dropped clients are excluded,
+    /// corrupted uploads are quarantined, lost uploads are retried with
+    /// backoff charged to sim-time, and a poisoned aggregation rolls back to
+    /// the last good checkpoint.
+    ///
     /// # Errors
     ///
-    /// Returns [`FlError::Diverged`] when parameters become non-finite, or
-    /// any underlying training error.
+    /// Returns [`FlError::Diverged`] when parameters become non-finite (and
+    /// rollback is unavailable), [`FlError::QuarantineExhausted`] when too
+    /// many consecutive rounds produce no usable update, or any underlying
+    /// training error.
     pub fn run(&mut self, mut hook: Option<RoundHook<'_>>) -> Result<ExperimentResult> {
         let n = self.clients.len();
         let total = self.param_count();
+        let faults = self.config.faults;
+        let defense = self.config.defense;
         let mut records = Vec::with_capacity(self.config.rounds);
         let mut sim_time = 0.0f64;
         // Round-0 download: every client pulls the full initial model.
         let mut prev_broadcast_scalars = total;
         let mut was_active = vec![false; n];
+        let mut checkpoint: Option<Vec<f32>> = if defense.enabled && defense.rollback {
+            Some(self.server.global().to_vec())
+        } else {
+            None
+        };
+        let mut barren_streak = 0usize;
 
         for round in 0..self.config.rounds {
-            let active: Vec<bool> = (0..n)
+            let avail: Vec<bool> = (0..n)
                 .map(|i| self.config.availability.as_ref().map_or(true, |f| f(i, round)))
                 .collect();
-            if !active.iter().any(|&a| a) {
-                return Err(FlError::BadConfig(format!("no active clients in round {round}")));
-            }
+            // Crashed clients are unavailable until their down-window ends;
+            // on rejoin they pay the dynamicity catch-up download below.
+            let active: Vec<bool> = (0..n).map(|i| avail[i] && !faults.crashed(i, round)).collect();
+            let mut dropped =
+                (0..n).filter(|&i| avail[i] && !active[i]).count();
+            let mut quarantined = 0usize;
+            let mut rollbacks = 0usize;
 
             // Joining clients additionally download the strategy's replicated
             // state (the paper's dynamicity protocol, Sec. V).
@@ -196,17 +294,110 @@ impl Experiment {
                 }
             }
 
-            // 1+2. Pull current global and train locally, in parallel.
+            // 1+2. Pull current global and train locally, in parallel, with
+            // per-client panic capture.
             let global_snapshot = self.server.global().to_vec();
-            let train_losses = train_all(&mut self.clients, &active, &global_snapshot, round)?;
+            let train_results = train_all(&mut self.clients, &active, &global_snapshot, round);
 
-            // 3. Collect local parameters (inactive clients contribute the
-            // unchanged global; they are never selected).
+            // `returned[i]`: client i delivered an upload this round.
+            let mut returned = active.clone();
+            let mut train_losses = vec![0.0f32; n];
+            for (i, res) in train_results.into_iter().enumerate() {
+                match res {
+                    Ok(loss) => train_losses[i] = loss,
+                    Err(FlError::ClientFailed { .. }) if defense.enabled => {
+                        returned[i] = false;
+                        dropped += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // Mid-round dropouts and lossy uploads.
+            let retries = if defense.enabled { defense.max_retries } else { 0 };
+            let mut tx_attempts = vec![1u32; n];
+            for i in 0..n {
+                if !returned[i] {
+                    continue;
+                }
+                if faults.dropout(i, round) {
+                    returned[i] = false;
+                    dropped += 1;
+                    continue;
+                }
+                match faults.upload_attempts(i, round, retries) {
+                    Some(attempts) => tx_attempts[i] = attempts,
+                    None => {
+                        returned[i] = false;
+                        dropped += 1;
+                    }
+                }
+            }
+
+            if !returned.iter().any(|&r| r) {
+                // Nobody delivered an upload this round.
+                if !defense.enabled {
+                    return Err(FlError::BadConfig(format!("no active clients in round {round}")));
+                }
+                barren_streak += 1;
+                if barren_streak > defense.max_barren_rounds {
+                    return Err(FlError::QuarantineExhausted { round });
+                }
+                sim_time += defense.lost_round_penalty_secs;
+                let (accuracy, test_loss) =
+                    if round % self.config.eval_every == 0 || round + 1 == self.config.rounds {
+                        let (a, l) = self.server.evaluate()?;
+                        (Some(a), Some(l))
+                    } else {
+                        (None, None)
+                    };
+                let n_active = active.iter().filter(|&&a| a).count();
+                let train_loss = if n_active == 0 {
+                    0.0
+                } else {
+                    train_losses.iter().sum::<f32>() / n_active as f32
+                };
+                let record = RoundRecord {
+                    round,
+                    duration_secs: defense.lost_round_penalty_secs,
+                    sim_time_secs: sim_time,
+                    accuracy,
+                    test_loss,
+                    train_loss,
+                    sparsification_ratio: 1.0,
+                    bytes: download_bytes.iter().sum(),
+                    participants: 0,
+                    dropped,
+                    quarantined: 0,
+                    retransmitted_bytes: 0,
+                    rollbacks: 0,
+                };
+                if let Some(h) = hook.as_mut() {
+                    h(&record, self.server.global());
+                }
+                records.push(record);
+                was_active = active;
+                continue;
+            }
+
+            // 3. Collect local parameters (clients whose upload never arrives
+            // contribute the unchanged global; they are never aggregated).
+            // Corruption hits the payload after training, on the wire.
             let locals: Vec<Vec<f32>> = self
                 .clients
                 .iter()
                 .enumerate()
-                .map(|(i, c)| if active[i] { c.local_params() } else { global_snapshot.clone() })
+                .map(|(i, c)| {
+                    if returned[i] {
+                        let mut p = c.local_params();
+                        if faults.corrupts(i, round) {
+                            faults.corrupt_upload(i, round, &mut p);
+                        }
+                        p
+                    } else {
+                        global_snapshot.clone()
+                    }
+                })
                 .collect();
 
             // 4. Strategy phase A: upload volumes.
@@ -218,31 +409,109 @@ impl Experiment {
                     n
                 )));
             }
-            let upload_bytes: Vec<u64> = upload_scalars.iter().map(|&s| s * u64::from(crate::BYTES_PER_SCALAR as u32)).collect();
+            let upload_bytes: Vec<u64> = upload_scalars.iter().map(|&s| s * crate::BYTES_PER_SCALAR).collect();
 
-            // 5. Emulated timing + earliest-K selection.
-            let compute: Vec<f64> = active
+            // 5. Emulated timing + earliest-K selection, with slowdown
+            // multipliers and retry backoff charged to each client's clock.
+            let compute: Vec<f64> = returned
                 .iter()
                 .map(|&a| if a { self.config.compute_secs } else { 0.0 })
                 .collect();
-            let timing = self.timer.round_at(round, &compute, &upload_bytes, &download_bytes, &active);
+            let time_factor: Vec<f64> =
+                (0..n).map(|i| if returned[i] { faults.slowdown(i, round) } else { 1.0 }).collect();
+            let extra_secs: Vec<f64> = (0..n)
+                .map(|i| defense.retry_backoff_secs * f64::from(tx_attempts[i] - 1))
+                .collect();
+            let timing = self.timer.round_faulty(
+                round,
+                &compute,
+                &upload_bytes,
+                &download_bytes,
+                &returned,
+                &time_factor,
+                &extra_secs,
+            );
 
-            // 6. Strategy phase B: aggregate into the new global.
-            let outcome = self.strategy.aggregate(round, &locals, &timing.selected, &active, self.server.global_mut());
-            if self.server.global().iter().any(|v| !v.is_finite()) {
-                return Err(FlError::Diverged { round });
+            let mut selected = timing.selected.clone();
+            let mut duration = timing.duration_secs;
+            if defense.enabled {
+                if let Some(deadline) = defense.round_deadline_secs {
+                    let before = selected.len();
+                    selected.retain(|&i| timing.finish_secs[i] <= deadline);
+                    dropped += before - selected.len();
+                    duration = duration.min(deadline);
+                }
+            }
+
+            // Server-side validation: quarantine non-finite and norm-outlier
+            // uploads before they can reach aggregation (or a stateful
+            // strategy's per-client accumulators).
+            let valid = if defense.enabled {
+                let (valid, n_quarantined) = validate_uploads(
+                    &locals,
+                    &global_snapshot,
+                    &returned,
+                    defense.outlier_norm_factor,
+                );
+                quarantined += n_quarantined;
+                valid
+            } else {
+                returned.clone()
+            };
+            let survivors: Vec<usize> = selected.iter().copied().filter(|&i| valid[i]).collect();
+            let agg_active: Vec<bool> = (0..n).map(|i| returned[i] && valid[i]).collect();
+
+            // 6. Strategy phase B: aggregate the surviving set into the new
+            // global (or hold the global on a barren round).
+            let mut outcome;
+            if survivors.is_empty() {
+                barren_streak += 1;
+                if barren_streak > defense.max_barren_rounds {
+                    return Err(FlError::QuarantineExhausted { round });
+                }
+                outcome = AggregateOutcome {
+                    broadcast_scalars: prev_broadcast_scalars,
+                    synced_scalars: 0,
+                    total_scalars: total,
+                };
+            } else {
+                barren_streak = 0;
+                outcome = self.strategy.aggregate(
+                    round,
+                    &locals,
+                    &survivors,
+                    &agg_active,
+                    self.server.global_mut(),
+                );
+                if self.server.global().iter().any(|v| !v.is_finite()) {
+                    match checkpoint.as_ref() {
+                        Some(cp) => {
+                            self.server.global_mut().copy_from_slice(cp);
+                            rollbacks += 1;
+                            // Every client must re-download the restored
+                            // global in full next round.
+                            outcome.broadcast_scalars = total;
+                        }
+                        None => return Err(FlError::Diverged { round }),
+                    }
+                } else if let Some(cp) = checkpoint.as_mut() {
+                    cp.copy_from_slice(self.server.global());
+                }
             }
             prev_broadcast_scalars = outcome.broadcast_scalars;
 
-            // 7. Accounting and evaluation.
-            sim_time += timing.duration_secs;
-            let bytes: u64 = upload_bytes
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| active[i])
-                .map(|(_, b)| *b)
-                .sum::<u64>()
-                + download_bytes.iter().sum::<u64>();
+            // 7. Accounting and evaluation. Lost transmission attempts burn
+            // wire bytes: a payload delivered on attempt `a` cost `a` sends.
+            sim_time += duration;
+            let upload_wire: u64 = (0..n)
+                .filter(|&i| returned[i])
+                .map(|i| bytes_with_retries(upload_bytes[i], tx_attempts[i]))
+                .sum();
+            let retransmitted_bytes: u64 = (0..n)
+                .filter(|&i| returned[i])
+                .map(|i| bytes_with_retries(upload_bytes[i], tx_attempts[i]) - upload_bytes[i])
+                .sum();
+            let bytes: u64 = upload_wire + download_bytes.iter().sum::<u64>();
             let (accuracy, test_loss) = if round % self.config.eval_every == 0 || round + 1 == self.config.rounds {
                 let (a, l) = self.server.evaluate()?;
                 (Some(a), Some(l))
@@ -254,14 +523,18 @@ impl Experiment {
 
             let record = RoundRecord {
                 round,
-                duration_secs: timing.duration_secs,
+                duration_secs: duration,
                 sim_time_secs: sim_time,
                 accuracy,
                 test_loss,
                 train_loss,
                 sparsification_ratio: 1.0 - outcome.synced_scalars as f64 / outcome.total_scalars.max(1) as f64,
                 bytes,
-                participants: timing.selected.len(),
+                participants: survivors.len(),
+                dropped,
+                quarantined,
+                retransmitted_bytes,
+                rollbacks,
             };
             if let Some(h) = hook.as_mut() {
                 h(&record, self.server.global());
@@ -279,51 +552,141 @@ impl Experiment {
     }
 }
 
+/// Rejects non-finite and norm-outlier uploads among the `returned` set.
+///
+/// An upload is quarantined when it contains a non-finite scalar, or when
+/// its L2 update norm (`‖local − global‖`) exceeds `outlier_norm_factor`
+/// times the lower median of the round's finite update norms. Returns the
+/// per-client validity mask and the number of quarantined uploads.
+fn validate_uploads(
+    locals: &[Vec<f32>],
+    global: &[f32],
+    returned: &[bool],
+    outlier_norm_factor: f32,
+) -> (Vec<bool>, usize) {
+    let n = locals.len();
+    let mut valid = returned.to_vec();
+    let mut update_norm = vec![0.0f32; n];
+    let mut finite_norms: Vec<f32> = Vec::new();
+    for i in 0..n {
+        if !returned[i] {
+            continue;
+        }
+        let mut finite = true;
+        let mut sq = 0.0f64;
+        for (a, b) in locals[i].iter().zip(global) {
+            if !a.is_finite() {
+                finite = false;
+                break;
+            }
+            let d = f64::from(a - b);
+            sq += d * d;
+        }
+        if finite {
+            update_norm[i] = sq.sqrt() as f32;
+            finite_norms.push(update_norm[i]);
+        } else {
+            valid[i] = false;
+            update_norm[i] = f32::INFINITY;
+        }
+    }
+    if !finite_norms.is_empty() {
+        finite_norms.sort_by(f32::total_cmp);
+        // Lower median: with one corrupted client out of two, the honest
+        // norm anchors the threshold.
+        let median = finite_norms[(finite_norms.len() - 1) / 2].max(1e-6);
+        for i in 0..n {
+            if valid[i] && update_norm[i] > outlier_norm_factor * median {
+                valid[i] = false;
+            }
+        }
+    }
+    let quarantined = (0..n).filter(|&i| returned[i] && !valid[i]).count();
+    (valid, quarantined)
+}
+
+/// Pulls the global into one client and trains it for one round, converting
+/// a panic anywhere inside into [`FlError::ClientFailed`].
+fn train_one(client: &mut Client, id: usize, global: &[f32], round: usize) -> Result<f32> {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<f32> {
+        client.pull(global)?;
+        client.train_round(round)
+    }));
+    match caught {
+        Ok(res) => res,
+        Err(_) => Err(FlError::ClientFailed { id }),
+    }
+}
+
 /// Trains every active client for one round, spreading clients across
-/// available cores with crossbeam scoped threads. Returns per-client mean
-/// training losses (0.0 for inactive clients).
-fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usize) -> Result<Vec<f32>> {
+/// available cores with crossbeam scoped threads. Returns one result per
+/// client: `Ok(mean training loss)` (0.0 for inactive clients) or the
+/// client's individual failure — a panicking client never aborts the
+/// process.
+fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usize) -> Vec<Result<f32>> {
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(clients.len().max(1));
-    let mut losses = vec![0.0f32; clients.len()];
+    let mut out: Vec<Result<f32>> = (0..clients.len()).map(|_| Ok(0.0f32)).collect();
 
     if threads <= 1 {
         for (i, client) in clients.iter_mut().enumerate() {
             if active[i] {
-                client.pull(global)?;
-                losses[i] = client.train_round(round)?;
+                out[i] = train_one(client, i, global, round);
             }
         }
-        return Ok(losses);
+        return out;
     }
 
     let chunk = clients.len().div_ceil(threads);
-    let results: Vec<Result<Vec<(usize, f32)>>> = crossbeam::thread::scope(|s| {
+    let scope_result = crossbeam::thread::scope(|s| {
         let mut handles = Vec::new();
         for (ci, chunk_clients) in clients.chunks_mut(chunk).enumerate() {
             let base = ci * chunk;
             let active = &active;
-            handles.push(s.spawn(move |_| -> Result<Vec<(usize, f32)>> {
-                let mut out = Vec::new();
+            handles.push(s.spawn(move |_| {
+                let mut part: Vec<(usize, Result<f32>)> = Vec::new();
                 for (off, client) in chunk_clients.iter_mut().enumerate() {
                     let id = base + off;
                     if active[id] {
-                        client.pull(global)?;
-                        out.push((id, client.train_round(round)?));
+                        part.push((id, train_one(client, id, global, round)));
                     }
                 }
-                Ok(out)
+                part
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
-    })
-    .expect("crossbeam scope");
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(ci, h)| {
+                h.join().unwrap_or_else(|_| {
+                    // The chunk thread died outside the per-client capture
+                    // (should be unreachable); blame every client in it.
+                    let base = ci * chunk;
+                    (base..(base + chunk).min(active.len()))
+                        .filter(|&id| active[id])
+                        .map(|id| (id, Err(FlError::ClientFailed { id })))
+                        .collect()
+                })
+            })
+            .collect::<Vec<Vec<(usize, Result<f32>)>>>()
+    });
 
-    for r in results {
-        for (id, loss) in r? {
-            losses[id] = loss;
+    match scope_result {
+        Ok(parts) => {
+            for part in parts {
+                for (id, res) in part {
+                    out[id] = res;
+                }
+            }
+        }
+        Err(_) => {
+            for (id, slot) in out.iter_mut().enumerate() {
+                if active[id] {
+                    *slot = Err(FlError::ClientFailed { id });
+                }
+            }
         }
     }
-    Ok(losses)
+    out
 }
 
 #[cfg(test)]
@@ -331,6 +694,7 @@ mod tests {
     use super::*;
     use crate::strategy::{average_into, AggregateOutcome};
     use fedsu_data::SyntheticConfig;
+    use fedsu_netsim::FaultConfig;
 
     /// Plain FedAvg used as the reference strategy in runtime tests.
     struct TestAvg;
@@ -358,7 +722,11 @@ mod tests {
         }
     }
 
-    fn quick_experiment(n_clients: usize, rounds: usize) -> Experiment {
+    fn quick_experiment_with(
+        n_clients: usize,
+        rounds: usize,
+        tweak: impl FnOnce(&mut ExperimentConfig),
+    ) -> Experiment {
         let mut rng = StdRng::seed_from_u64(5);
         let (train, test) =
             SyntheticConfig::new(3, 1, 4, 4).samples_per_class(30).noise_std(0.4).build_split(10, &mut rng);
@@ -379,7 +747,12 @@ mod tests {
             schedule: crate::LrSchedule::Constant,
             clip_norm: None,
         };
+        tweak(&mut cfg);
         Experiment::new(cfg, factory, train, test, Box::new(TestAvg)).unwrap()
+    }
+
+    fn quick_experiment(n_clients: usize, rounds: usize) -> Experiment {
+        quick_experiment_with(n_clients, rounds, |_| {})
     }
 
     #[test]
@@ -403,6 +776,10 @@ mod tests {
             last = r.sim_time_secs;
             assert!(r.bytes > 0);
             assert_eq!(r.sparsification_ratio, 0.0); // full sync strategy
+            assert_eq!(r.dropped, 0);
+            assert_eq!(r.quarantined, 0);
+            assert_eq!(r.retransmitted_bytes, 0);
+            assert_eq!(r.rollbacks, 0);
         }
     }
 
@@ -471,11 +848,172 @@ mod tests {
     }
 
     #[test]
+    fn bad_fraction_and_alpha_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let train = Arc::new(SyntheticConfig::new(2, 1, 4, 4).samples_per_class(5).build(&mut rng));
+        let factory: ModelFactory = Arc::new(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut m = Sequential::new("probe");
+            m.push(fedsu_nn::flatten::Flatten::new());
+            m.push_boxed(Box::new(fedsu_nn::models::mlp(&[16, 2], &mut rng)?));
+            Ok(m)
+        });
+        for (fraction, alpha) in [(0.0, 1.0), (1.5, 1.0), (f64::NAN, 1.0), (0.7, 0.0), (0.7, -1.0)] {
+            let mut cfg = ExperimentConfig::quick(2, 2, "probe");
+            cfg.select_fraction = fraction;
+            cfg.alpha = alpha;
+            let err = Experiment::new(
+                cfg,
+                Arc::clone(&factory),
+                Arc::clone(&train),
+                Arc::clone(&train),
+                Box::new(TestAvg),
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, FlError::BadConfig(_)),
+                "fraction {fraction} alpha {alpha}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let mut a = quick_experiment(3, 3);
         let mut b = quick_experiment(3, 3);
         let ra = a.run(None).unwrap();
         let rb = b.run(None).unwrap();
         assert_eq!(ra.rounds, rb.rounds);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_for_bit_identical() {
+        // A zero-probability plan with a different fault seed must reproduce
+        // the default (no-plan) records exactly.
+        let mut a = quick_experiment(4, 4);
+        let mut b = quick_experiment_with(4, 4, |cfg| {
+            cfg.faults = FaultPlan::new(FaultConfig { seed: 0xDEAD_BEEF, ..FaultConfig::default() });
+        });
+        let ra = a.run(None).unwrap();
+        let rb = b.run(None).unwrap();
+        assert_eq!(ra.rounds, rb.rounds);
+    }
+
+    #[test]
+    fn faulty_run_survives_with_defenses() {
+        let mut e = quick_experiment_with(6, 8, |cfg| {
+            cfg.faults = FaultPlan::new(FaultConfig {
+                dropout_prob: 0.2,
+                upload_loss_prob: 0.15,
+                corrupt_prob: 0.1,
+                crash_prob: 0.05,
+                ..FaultConfig::default()
+            });
+            cfg.defense = DefenseConfig::on();
+        });
+        let result = e.run(None).unwrap();
+        assert_eq!(result.rounds.len(), 8);
+        assert!(
+            result.total_dropped() + result.total_quarantined() > 0,
+            "the fault plan should have injected something"
+        );
+        let mut last = 0.0;
+        for r in &result.rounds {
+            assert!(r.sim_time_secs > last, "sim time must stay strictly monotone");
+            last = r.sim_time_secs;
+        }
+    }
+
+    #[test]
+    fn retransmissions_charge_bytes_and_backoff() {
+        let clean = quick_experiment_with(4, 5, |cfg| {
+            cfg.defense = DefenseConfig::on();
+        })
+        .run(None)
+        .unwrap();
+        let lossy = quick_experiment_with(4, 5, |cfg| {
+            cfg.faults = FaultPlan::new(FaultConfig { upload_loss_prob: 0.4, ..FaultConfig::default() });
+            cfg.defense = DefenseConfig::on();
+        })
+        .run(None)
+        .unwrap();
+        assert!(lossy.total_retransmitted_bytes() > 0, "losses should force retransmissions");
+        assert!(
+            lossy.rounds.last().unwrap().sim_time_secs > clean.rounds.last().unwrap().sim_time_secs,
+            "retry backoff must cost emulated time"
+        );
+    }
+
+    #[test]
+    fn corrupted_uploads_are_quarantined_not_fatal() {
+        let mut e = quick_experiment_with(5, 6, |cfg| {
+            cfg.faults = FaultPlan::new(FaultConfig { corrupt_prob: 0.3, ..FaultConfig::default() });
+            cfg.defense = DefenseConfig::on();
+        });
+        let mut finite = true;
+        let result = {
+            let mut hook = |_r: &RoundRecord, g: &[f32]| {
+                finite &= g.iter().all(|v| v.is_finite());
+            };
+            e.run(Some(&mut hook)).unwrap()
+        };
+        assert!(finite, "the global must stay finite under corruption");
+        assert!(result.total_quarantined() > 0, "corrupted uploads should be quarantined");
+    }
+
+    #[test]
+    fn client_panic_is_captured_as_client_failed() {
+        struct PanicLayer;
+        impl fedsu_nn::Layer for PanicLayer {
+            fn name(&self) -> &str {
+                "panic"
+            }
+            fn forward(&mut self, _input: &fedsu_tensor::Tensor, _train: bool) -> fedsu_nn::Result<fedsu_tensor::Tensor> {
+                panic!("injected client fault");
+            }
+            fn backward(&mut self, _grad: &fedsu_tensor::Tensor) -> fedsu_nn::Result<fedsu_tensor::Tensor> {
+                panic!("injected client fault");
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = Arc::new(SyntheticConfig::new(2, 1, 4, 4).samples_per_class(5).build(&mut rng));
+        let n_samples = data.len();
+        let mut model = Sequential::new("boom");
+        model.push(PanicLayer);
+        let batcher = Batcher::new(data, (0..n_samples).collect(), 1);
+        let mut client = Client::new(
+            0,
+            model,
+            batcher,
+            ClientConfig {
+                batch_size: 2,
+                local_iters: 1,
+                lr: 0.1,
+                weight_decay: 0.0,
+                schedule: crate::LrSchedule::Constant,
+                clip_norm: None,
+            },
+        );
+        let err = train_one(&mut client, 0, &[], 0).unwrap_err();
+        assert_eq!(err, FlError::ClientFailed { id: 0 });
+    }
+
+    #[test]
+    fn validate_uploads_flags_nan_and_outliers() {
+        let global = vec![0.0f32; 4];
+        let locals = vec![
+            vec![0.1, 0.1, 0.1, 0.1],
+            vec![0.2, f32::NAN, 0.1, 0.1],
+            vec![1.0e8, 0.0, 0.0, 0.0],
+            vec![0.1, 0.2, 0.1, 0.0],
+        ];
+        let returned = vec![true, true, true, true];
+        let (valid, quarantined) = validate_uploads(&locals, &global, &returned, 8.0);
+        assert_eq!(valid, vec![true, false, false, true]);
+        assert_eq!(quarantined, 2);
+        // Clients that never returned are not counted as quarantined.
+        let (valid, quarantined) = validate_uploads(&locals, &global, &[true, false, false, true], 8.0);
+        assert_eq!(valid, vec![true, false, false, true]);
+        assert_eq!(quarantined, 0);
     }
 }

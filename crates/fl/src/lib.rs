@@ -32,7 +32,8 @@ pub mod strategy;
 
 pub use client::{Client, ClientConfig};
 pub use error::FlError;
-pub use experiment::{Experiment, ExperimentConfig, RoundHook};
+pub use experiment::{DefenseConfig, Experiment, ExperimentConfig, RoundHook};
+pub use fedsu_netsim::{FaultConfig, FaultPlan};
 pub use message::{RoundComm, BYTES_PER_SCALAR};
 pub use record::{ExperimentResult, RoundRecord};
 pub use schedule::LrSchedule;

@@ -46,6 +46,13 @@ pub fn scalars_to_bytes(scalars: usize) -> u64 {
     scalars as u64 * BYTES_PER_SCALAR
 }
 
+/// Wire bytes actually spent uploading `bytes` when the transfer succeeded
+/// on the `attempts`-th try (every lost attempt retransmits the payload).
+/// `attempts == 1` is the fault-free case and costs exactly `bytes`.
+pub fn bytes_with_retries(bytes: u64, attempts: u32) -> u64 {
+    bytes * u64::from(attempts.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +84,13 @@ mod tests {
     fn scalar_byte_conversion() {
         assert_eq!(scalars_to_bytes(10), 40);
         assert_eq!(scalars_to_bytes(0), 0);
+    }
+
+    #[test]
+    fn retry_bytes_accounting() {
+        assert_eq!(bytes_with_retries(100, 1), 100);
+        assert_eq!(bytes_with_retries(100, 3), 300);
+        // Attempt counts below 1 are clamped: a successful upload happened.
+        assert_eq!(bytes_with_retries(100, 0), 100);
     }
 }

@@ -24,6 +24,19 @@ pub struct RoundRecord {
     pub bytes: u64,
     /// Clients whose updates were aggregated.
     pub participants: usize,
+    /// Clients that dropped out this round (mid-round dropout, crash,
+    /// exhausted upload retries, panic, or missed deadline).
+    #[serde(default)]
+    pub dropped: usize,
+    /// Uploads rejected by validation (non-finite or norm-outlier).
+    #[serde(default)]
+    pub quarantined: usize,
+    /// Extra upload bytes spent on retransmissions after lost uploads.
+    #[serde(default)]
+    pub retransmitted_bytes: u64,
+    /// 1 if this round's aggregation was rolled back to the last checkpoint.
+    #[serde(default)]
+    pub rollbacks: usize,
 }
 
 /// A completed experiment: configuration echo plus per-round records.
@@ -84,6 +97,26 @@ impl ExperimentResult {
     pub fn total_bytes(&self) -> u64 {
         self.rounds.iter().map(|r| r.bytes).sum()
     }
+
+    /// Total client-round dropouts over the whole run.
+    pub fn total_dropped(&self) -> usize {
+        self.rounds.iter().map(|r| r.dropped).sum()
+    }
+
+    /// Total quarantined uploads over the whole run.
+    pub fn total_quarantined(&self) -> usize {
+        self.rounds.iter().map(|r| r.quarantined).sum()
+    }
+
+    /// Total retransmitted upload bytes over the whole run.
+    pub fn total_retransmitted_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.retransmitted_bytes).sum()
+    }
+
+    /// Total checkpoint rollbacks over the whole run.
+    pub fn total_rollbacks(&self) -> usize {
+        self.rounds.iter().map(|r| r.rollbacks).sum()
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +134,10 @@ mod tests {
             sparsification_ratio: 0.5,
             bytes: 100,
             participants: 4,
+            dropped: 1,
+            quarantined: 0,
+            retransmitted_bytes: 8,
+            rollbacks: 0,
         }
     }
 
@@ -133,6 +170,19 @@ mod tests {
         assert_eq!(r.mean_sparsification(), 0.5);
         assert_eq!(r.best_accuracy(), 0.7);
         assert_eq!(r.total_bytes(), 400);
+        assert_eq!(r.total_dropped(), 4);
+        assert_eq!(r.total_quarantined(), 0);
+        assert_eq!(r.total_retransmitted_bytes(), 32);
+        assert_eq!(r.total_rollbacks(), 0);
+    }
+
+    #[test]
+    fn empty_result_fault_totals_are_zero() {
+        let r = ExperimentResult { strategy: "s".into(), model: "m".into(), rounds: vec![], param_count: 0 };
+        assert_eq!(r.total_dropped(), 0);
+        assert_eq!(r.total_quarantined(), 0);
+        assert_eq!(r.total_retransmitted_bytes(), 0);
+        assert_eq!(r.total_rollbacks(), 0);
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Deterministic fault injection.
+//!
+//! The paper's dynamicity protocol (Sec. V) and time-to-accuracy claims
+//! (Table 1) are about surviving a messy fleet — clients that join late,
+//! drop mid-round, or return garbage. A [`FaultPlan`] decides, per
+//! `(client, round)`, whether that client suffers one of five fault kinds:
+//!
+//! * **mid-round dropout** — the client trains but its upload never arrives;
+//! * **upload loss** — a transmission attempt is lost and must be retried;
+//! * **upload corruption** — NaN/outlier scalars appear in the payload;
+//! * **transient slowdown** — compute and link time are multiplied;
+//! * **crash with rejoin** — the client disappears for a fixed number of
+//!   rounds and then rejoins through the dynamicity catch-up path.
+//!
+//! Every decision is a pure function of `(seed, kind, client, round)` via a
+//! splitmix64-style hash, so fault schedules are reproducible bit-for-bit
+//! regardless of query order, and a zero-probability plan is exactly the
+//! clean path.
+
+use serde::{Deserialize, Serialize};
+
+const SALT_DROPOUT: u64 = 0xD509;
+const SALT_LOSS: u64 = 0x1055;
+const SALT_CORRUPT: u64 = 0xC0BB;
+const SALT_SLOWDOWN: u64 = 0x510D;
+const SALT_CRASH: u64 = 0xCBA5;
+const SALT_POSITION: u64 = 0xB05;
+const SALT_SIGN: u64 = 0x516;
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash step.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Probabilities and shape parameters of the injected faults. All
+/// probabilities default to zero (the clean path).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Per-(client, round) probability of a mid-round dropout: the client
+    /// trains, but its upload never reaches the server.
+    pub dropout_prob: f64,
+    /// Per-transmission-attempt probability that an upload is lost and must
+    /// be retransmitted.
+    pub upload_loss_prob: f64,
+    /// Per-(client, round) probability that an upload arrives corrupted
+    /// (NaN and outlier scalars injected into the payload).
+    pub corrupt_prob: f64,
+    /// Per-(client, round) probability of a transient slowdown.
+    pub slowdown_prob: f64,
+    /// Multiplier applied to the slowed client's compute and link time.
+    pub slowdown_factor: f64,
+    /// Per-round probability that a client crashes.
+    pub crash_prob: f64,
+    /// Rounds a crashed client stays away before rejoining (and paying the
+    /// dynamicity catch-up download).
+    pub crash_down_rounds: usize,
+    /// Seed of the fault schedule, independent of the experiment's master
+    /// seed so fault sweeps hold the learning problem fixed.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            dropout_prob: 0.0,
+            upload_loss_prob: 0.0,
+            corrupt_prob: 0.0,
+            slowdown_prob: 0.0,
+            slowdown_factor: 4.0,
+            crash_prob: 0.0,
+            crash_down_rounds: 3,
+            seed: 0xFA17,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether every fault probability is zero (the clean path).
+    pub fn is_zero(&self) -> bool {
+        self.dropout_prob == 0.0
+            && self.upload_loss_prob == 0.0
+            && self.corrupt_prob == 0.0
+            && self.slowdown_prob == 0.0
+            && self.crash_prob == 0.0
+    }
+}
+
+/// A realized, deterministic fault schedule (see the module docs).
+///
+/// Cheap to clone; every query is a pure hash of `(seed, kind, client,
+/// round)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    config: FaultConfig,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan realizing `config`.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultPlan { config }
+    }
+
+    /// The zero-fault plan: injects nothing, reproducing clean runs
+    /// bit-for-bit.
+    pub fn none() -> Self {
+        FaultPlan { config: FaultConfig::default() }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Whether this plan injects nothing.
+    pub fn is_zero(&self) -> bool {
+        self.config.is_zero()
+    }
+
+    /// Uniform value in `[0, 1)` for one `(kind, client, round, extra)`
+    /// decision.
+    fn unit(&self, salt: u64, client: usize, round: usize, extra: u64) -> f64 {
+        let mut h = mix(self.config.seed ^ salt);
+        h = mix(h ^ client as u64);
+        h = mix(h ^ round as u64);
+        h = mix(h ^ extra);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether `client` drops out mid-round at `round` (trains, but its
+    /// upload never arrives).
+    pub fn dropout(&self, client: usize, round: usize) -> bool {
+        self.config.dropout_prob > 0.0
+            && self.unit(SALT_DROPOUT, client, round, 0) < self.config.dropout_prob
+    }
+
+    /// Whether `client`'s upload at `round` arrives corrupted.
+    pub fn corrupts(&self, client: usize, round: usize) -> bool {
+        self.config.corrupt_prob > 0.0
+            && self.unit(SALT_CORRUPT, client, round, 0) < self.config.corrupt_prob
+    }
+
+    /// Injects NaN and outlier scalars into an upload payload in place
+    /// (call only when [`FaultPlan::corrupts`] is true; harmless otherwise).
+    pub fn corrupt_upload(&self, client: usize, round: usize, values: &mut [f32]) {
+        if values.is_empty() {
+            return;
+        }
+        let n = values.len();
+        // Corrupt a deterministic ~1/64 slice of the payload, at least one
+        // scalar: half NaN (detectable), half finite outliers (only caught
+        // by norm validation).
+        let k = (n / 64).max(1);
+        for m in 0..k {
+            let mut h = mix(self.config.seed ^ SALT_POSITION);
+            h = mix(h ^ client as u64);
+            h = mix(h ^ round as u64);
+            h = mix(h ^ m as u64);
+            let idx = (h % n as u64) as usize;
+            if m % 2 == 0 {
+                values[idx] = f32::NAN;
+            } else {
+                let sign = if mix(h ^ SALT_SIGN) & 1 == 0 { 1.0 } else { -1.0 };
+                values[idx] = sign * 1.0e8;
+            }
+        }
+    }
+
+    /// Time multiplier for `client` at `round` (1.0 = nominal; the
+    /// configured factor during a transient slowdown).
+    pub fn slowdown(&self, client: usize, round: usize) -> f64 {
+        if self.config.slowdown_prob > 0.0
+            && self.unit(SALT_SLOWDOWN, client, round, 0) < self.config.slowdown_prob
+        {
+            self.config.slowdown_factor.max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Number of transmissions needed for `client`'s upload at `round` to
+    /// get through, given up to `max_retries` retransmissions after the
+    /// first attempt. `None` means every attempt was lost and the upload
+    /// never arrived.
+    pub fn upload_attempts(&self, client: usize, round: usize, max_retries: u32) -> Option<u32> {
+        if self.config.upload_loss_prob <= 0.0 {
+            return Some(1);
+        }
+        for attempt in 0..=max_retries {
+            if self.unit(SALT_LOSS, client, round, u64::from(attempt))
+                >= self.config.upload_loss_prob
+            {
+                return Some(attempt + 1);
+            }
+        }
+        None
+    }
+
+    /// Whether `client` crashed at exactly `round` (the start of a
+    /// down-window).
+    fn crash_event(&self, client: usize, round: usize) -> bool {
+        self.config.crash_prob > 0.0
+            && self.unit(SALT_CRASH, client, round, 0) < self.config.crash_prob
+    }
+
+    /// Whether `client` is down at `round` because of a crash in the
+    /// preceding `crash_down_rounds` window. A client that was down at
+    /// `round - 1` but not at `round` has rejoined and pays the dynamicity
+    /// catch-up download.
+    pub fn crashed(&self, client: usize, round: usize) -> bool {
+        if self.config.crash_prob <= 0.0 {
+            return false;
+        }
+        let window = self.config.crash_down_rounds.max(1);
+        (0..window).any(|back| round >= back && self.crash_event(client, round - back))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(config: FaultConfig) -> FaultPlan {
+        FaultPlan::new(config)
+    }
+
+    #[test]
+    fn zero_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_zero());
+        for c in 0..8 {
+            for r in 0..64 {
+                assert!(!p.dropout(c, r));
+                assert!(!p.corrupts(c, r));
+                assert!(!p.crashed(c, r));
+                assert_eq!(p.slowdown(c, r), 1.0);
+                assert_eq!(p.upload_attempts(c, r, 3), Some(1));
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = plan(FaultConfig { dropout_prob: 0.3, ..FaultConfig::default() });
+        let b = plan(FaultConfig { dropout_prob: 0.3, ..FaultConfig::default() });
+        let c = plan(FaultConfig { dropout_prob: 0.3, seed: 99, ..FaultConfig::default() });
+        let hits = |p: &FaultPlan| -> Vec<bool> {
+            (0..200).map(|r| p.dropout(r % 7, r)).collect()
+        };
+        assert_eq!(hits(&a), hits(&b));
+        assert_ne!(hits(&a), hits(&c), "different seeds should differ");
+    }
+
+    #[test]
+    fn dropout_rate_tracks_probability() {
+        let p = plan(FaultConfig { dropout_prob: 0.25, ..FaultConfig::default() });
+        let n = 4000;
+        let hits = (0..n).filter(|&r| p.dropout(r % 16, r / 16)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn corruption_injects_nan_and_outliers() {
+        let p = plan(FaultConfig { corrupt_prob: 1.0, ..FaultConfig::default() });
+        let mut values = vec![0.5f32; 256];
+        p.corrupt_upload(0, 0, &mut values);
+        assert!(values.iter().any(|v| v.is_nan()), "expected a NaN scalar");
+        assert!(
+            values.iter().any(|v| v.is_finite() && v.abs() > 1.0e6),
+            "expected a finite outlier"
+        );
+        // Idempotent / deterministic.
+        let mut again = vec![0.5f32; 256];
+        p.corrupt_upload(0, 0, &mut again);
+        let pattern =
+            |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(pattern(&values), pattern(&again));
+        // Tiny payloads still get at least one corrupted scalar.
+        let mut one = vec![0.5f32];
+        p.corrupt_upload(3, 9, &mut one);
+        assert!(!one[0].is_finite() || one[0].abs() > 1.0e6);
+        p.corrupt_upload(0, 0, &mut []);
+    }
+
+    #[test]
+    fn upload_attempts_respect_retry_budget() {
+        let p = plan(FaultConfig { upload_loss_prob: 0.5, ..FaultConfig::default() });
+        let mut exhausted = 0;
+        let mut total_attempts = 0u64;
+        for r in 0..500 {
+            match p.upload_attempts(r % 8, r, 2) {
+                Some(a) => {
+                    assert!((1..=3).contains(&a));
+                    total_attempts += u64::from(a);
+                }
+                None => exhausted += 1,
+            }
+        }
+        // With loss 0.5 and 2 retries, ~1/8 of uploads exhaust the budget.
+        assert!(exhausted > 10, "some uploads should exhaust retries");
+        assert!(total_attempts > 500, "some uploads should need retries");
+    }
+
+    #[test]
+    fn crash_windows_last_and_end() {
+        let p = plan(FaultConfig {
+            crash_prob: 0.05,
+            crash_down_rounds: 4,
+            ..FaultConfig::default()
+        });
+        // Find a crash event and check the down-window shape.
+        let mut checked = false;
+        'outer: for c in 0..8 {
+            for r in 0..200 {
+                if p.crash_event(c, r) {
+                    for k in 0..4 {
+                        assert!(p.crashed(c, r + k), "down within the window");
+                    }
+                    checked = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(checked, "expected at least one crash event");
+        // Crashes are rare enough that most rounds are up.
+        let up = (0..400).filter(|&r| !p.crashed(r % 8, r / 8)).count();
+        assert!(up > 200, "client should be up most of the time, up {up}");
+    }
+
+    #[test]
+    fn slowdown_multiplies_or_is_one() {
+        let p = plan(FaultConfig {
+            slowdown_prob: 0.5,
+            slowdown_factor: 3.0,
+            ..FaultConfig::default()
+        });
+        let factors: Vec<f64> = (0..200).map(|r| p.slowdown(r % 4, r)).collect();
+        assert!(factors.iter().any(|&f| f == 3.0));
+        assert!(factors.iter().any(|&f| f == 1.0));
+        assert!(factors.iter().all(|&f| f == 1.0 || f == 3.0));
+    }
+
+    #[test]
+    fn config_roundtrips_through_plan() {
+        let cfg = FaultConfig { dropout_prob: 0.1, seed: 7, ..FaultConfig::default() };
+        let p = FaultPlan::new(cfg);
+        assert_eq!(*p.config(), cfg);
+        assert!(!p.is_zero());
+    }
+}

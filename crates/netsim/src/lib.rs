@@ -29,11 +29,13 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod faults;
 mod link;
 mod round;
 mod trace;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use faults::{FaultConfig, FaultPlan};
 pub use link::Link;
 pub use round::{RoundOutcomeTiming, RoundTimer};
 pub use trace::BandwidthTrace;

@@ -95,10 +95,46 @@ impl RoundTimer {
         active: &[bool],
     ) -> RoundOutcomeTiming {
         let n = self.cluster.n_clients();
+        self.round_faulty(
+            round,
+            compute_secs,
+            upload_bytes,
+            download_bytes,
+            active,
+            &vec![1.0; n],
+            &vec![0.0; n],
+        )
+    }
+
+    /// Like [`RoundTimer::round_at`], with per-client fault penalties:
+    /// `time_factor[i]` multiplies client `i`'s whole finish time (transient
+    /// slowdown) and `extra_secs[i]` is added on top (retry backoff).
+    ///
+    /// With all factors `1.0` and all extras `0.0` this is bit-for-bit
+    /// identical to [`RoundTimer::round_at`] (`x * 1.0 + 0.0 == x` exactly
+    /// for the non-negative finish times produced here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices don't cover every client or no client is active.
+    #[allow(clippy::too_many_arguments)]
+    pub fn round_faulty(
+        &self,
+        round: usize,
+        compute_secs: &[f64],
+        upload_bytes: &[u64],
+        download_bytes: &[u64],
+        active: &[bool],
+        time_factor: &[f64],
+        extra_secs: &[f64],
+    ) -> RoundOutcomeTiming {
+        let n = self.cluster.n_clients();
         assert_eq!(compute_secs.len(), n, "compute_secs must cover all clients");
         assert_eq!(upload_bytes.len(), n, "upload_bytes must cover all clients");
         assert_eq!(download_bytes.len(), n, "download_bytes must cover all clients");
         assert_eq!(active.len(), n, "active mask must cover all clients");
+        assert_eq!(time_factor.len(), n, "time_factor must cover all clients");
+        assert_eq!(extra_secs.len(), n, "extra_secs must cover all clients");
 
         let finish: Vec<f64> = (0..n)
             .map(|i| {
@@ -108,7 +144,8 @@ impl RoundTimer {
                 let link = self.cluster.client_link_at(i, round);
                 let down = if download_bytes[i] == 0 { 0.0 } else { link.transfer_secs(download_bytes[i]) };
                 let up = if upload_bytes[i] == 0 { 0.0 } else { link.transfer_secs(upload_bytes[i]) };
-                down + compute_secs[i] * self.cluster.speed_factor(i) + up
+                (down + compute_secs[i] * self.cluster.speed_factor(i) + up) * time_factor[i]
+                    + extra_secs[i]
             })
             .collect();
 
@@ -249,5 +286,87 @@ mod active_tests {
         let c = homogeneous(2);
         let t = RoundTimer::new(&c, 1.0);
         t.round_with_active(&[1.0; 2], &[0; 2], &[0; 2], &[false, false]);
+    }
+}
+
+#[cfg(test)]
+mod faulty_tests {
+    use super::*;
+    use crate::{ClusterConfig, Link};
+
+    fn homogeneous(n: usize) -> Cluster {
+        let mut cfg = ClusterConfig::paper_like(n);
+        cfg.compute_sigma = 0.0;
+        cfg.client_link = Link { bandwidth_mbps: 8.0, latency_ms: 0.0 };
+        Cluster::build(&cfg, 0)
+    }
+
+    #[test]
+    fn unit_penalties_match_round_at_exactly() {
+        let c = Cluster::build(&ClusterConfig::paper_like(6), 7);
+        let t = RoundTimer::new(&c, 0.7);
+        let compute = [1.0, 2.5, 0.3, 4.0, 1.1, 0.9];
+        let up = [10_000u64, 0, 5_000, 20_000, 1, 999];
+        let down = [7_000u64; 6];
+        let active = [true, true, false, true, true, true];
+        for round in [0usize, 3, 17] {
+            let legacy = t.round_at(round, &compute, &up, &down, &active);
+            let faulty =
+                t.round_faulty(round, &compute, &up, &down, &active, &[1.0; 6], &[0.0; 6]);
+            assert_eq!(legacy, faulty);
+        }
+    }
+
+    #[test]
+    fn slowdown_factor_multiplies_finish_time() {
+        let c = homogeneous(2);
+        let t = RoundTimer::new(&c, 1.0);
+        let o = t.round_faulty(
+            0,
+            &[1.0, 1.0],
+            &[0; 2],
+            &[0; 2],
+            &[true; 2],
+            &[4.0, 1.0],
+            &[0.0; 2],
+        );
+        assert!((o.finish_secs[0] - 4.0).abs() < 1e-9);
+        assert!((o.finish_secs[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extra_seconds_are_added_after_the_factor() {
+        let c = homogeneous(2);
+        let t = RoundTimer::new(&c, 0.5);
+        // Client 0: 1 s * 2 + 5 s backoff = 7 s; client 1: 1 s. Earliest-1 picks 1.
+        let o = t.round_faulty(
+            0,
+            &[1.0, 1.0],
+            &[0; 2],
+            &[0; 2],
+            &[true; 2],
+            &[2.0, 1.0],
+            &[5.0, 0.0],
+        );
+        assert!((o.finish_secs[0] - 7.0).abs() < 1e-9);
+        assert_eq!(o.selected, vec![1]);
+        assert!((o.duration_secs - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inactive_clients_stay_infinite_under_penalties() {
+        let c = homogeneous(2);
+        let t = RoundTimer::new(&c, 1.0);
+        let o = t.round_faulty(
+            0,
+            &[1.0; 2],
+            &[0; 2],
+            &[0; 2],
+            &[true, false],
+            &[3.0, 3.0],
+            &[1.0, 1.0],
+        );
+        assert!(o.finish_secs[1].is_infinite());
+        assert_eq!(o.selected, vec![0]);
     }
 }

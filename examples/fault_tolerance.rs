@@ -1,0 +1,57 @@
+//! Sweeps client fault rates to show that the fault-tolerant round loop
+//! keeps both FedAvg and FedSU converging under dropout and upload
+//! corruption, and what the faults cost in accuracy and bytes.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use fedsu_repro::metrics::Table;
+use fedsu_repro::netsim::FaultConfig;
+use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Fault-tolerance sweep: FedAvg vs FedSU on the MLP task\n");
+
+    let mut table = Table::new(&[
+        "Scheme",
+        "Dropout",
+        "Best acc",
+        "Total MB",
+        "Dropped",
+        "Quarantined",
+        "Rollbacks",
+    ]);
+    for strategy in [StrategyKind::FedAvg, StrategyKind::FedSuCalibrated] {
+        for dropout in [0.0, 0.1, 0.2, 0.3] {
+            let mut scenario = Scenario::new(ModelKind::Mlp)
+                .clients(8)
+                .rounds(25)
+                .samples_per_class(40);
+            if dropout > 0.0 {
+                scenario = scenario.faults(FaultConfig {
+                    dropout_prob: dropout,
+                    corrupt_prob: 0.02,
+                    ..FaultConfig::default()
+                });
+            }
+            let mut experiment = scenario.build(strategy)?;
+            let result = experiment.run(None)?;
+            table.row(&[
+                &result.strategy,
+                &format!("{:.0}%", dropout * 100.0),
+                &format!("{:.3}", result.best_accuracy()),
+                &format!("{:.2}", result.total_bytes() as f64 / 1e6),
+                &format!("{}", result.total_dropped()),
+                &format!("{}", result.total_quarantined()),
+                &format!("{}", result.total_rollbacks()),
+            ]);
+            eprintln!("finished {} at dropout={dropout}", result.strategy);
+        }
+    }
+    println!("{table}");
+    println!("Dropped counts mid-round dropouts, lost uploads and crashed clients;");
+    println!("quarantined counts uploads rejected by the norm-outlier filter. The");
+    println!("defenses keep every run finite — no round diverges or panics.");
+    Ok(())
+}

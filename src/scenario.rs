@@ -11,8 +11,8 @@
 use fedsu_core::{FedSu, FedSuConfig};
 use fedsu_data::SyntheticConfig;
 use fedsu_fl::experiment::ModelFactory;
-use fedsu_fl::{ClientConfig, Experiment, ExperimentConfig, SyncStrategy};
-use fedsu_netsim::ClusterConfig;
+use fedsu_fl::{ClientConfig, DefenseConfig, Experiment, ExperimentConfig, SyncStrategy};
+use fedsu_netsim::{ClusterConfig, FaultConfig, FaultPlan};
 use fedsu_nn::models::{self, ModelPreset};
 use fedsu_nn::Sequential;
 use fedsu_strategies::{Apf, ApfConfig, Cmfl, CmflConfig, FedAvg, Qsgd, QsgdConfig, TopK, TopKConfig};
@@ -216,6 +216,8 @@ pub struct Scenario {
     eval_every: usize,
     select_fraction: f64,
     schedule: fedsu_fl::LrSchedule,
+    faults: FaultConfig,
+    defense: Option<DefenseConfig>,
 }
 
 impl Scenario {
@@ -235,6 +237,8 @@ impl Scenario {
             eval_every: 1,
             select_fraction: 0.7,
             schedule: fedsu_fl::LrSchedule::Constant,
+            faults: FaultConfig::default(),
+            defense: None,
         }
     }
 
@@ -304,6 +308,21 @@ impl Scenario {
         self
     }
 
+    /// Injects faults per the given configuration. Unless a defense is set
+    /// explicitly via [`Scenario::defense`], any non-zero fault plan also
+    /// turns on the default server-side defenses (a faulty fleet with no
+    /// tolerance would just abort).
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the server-side fault-tolerance configuration explicitly.
+    pub fn defense(mut self, defense: DefenseConfig) -> Self {
+        self.defense = Some(defense);
+        self
+    }
+
     /// The model kind.
     pub fn model(&self) -> ModelKind {
         self.model
@@ -336,6 +355,14 @@ impl Scenario {
             compute_secs: comm * self.model.compute_ratio(),
             model_name: self.model.name().to_string(),
             availability: None,
+            faults: FaultPlan::new(self.faults),
+            defense: self.defense.unwrap_or_else(|| {
+                if self.faults.is_zero() {
+                    DefenseConfig::default()
+                } else {
+                    DefenseConfig::on()
+                }
+            }),
         }
     }
 
@@ -424,6 +451,19 @@ mod tests {
         // communication-dominated.
         assert!(ModelKind::ResNet18.compute_ratio() > ModelKind::DenseNet.compute_ratio());
         assert!(ModelKind::DenseNet.compute_ratio() > ModelKind::Cnn.compute_ratio());
+    }
+
+    #[test]
+    fn faulty_scenario_auto_enables_defenses_and_completes() {
+        let mut e = Scenario::new(ModelKind::Mlp)
+            .clients(4)
+            .rounds(4)
+            .samples_per_class(12)
+            .faults(FaultConfig { dropout_prob: 0.3, ..FaultConfig::default() })
+            .build(StrategyKind::FedAvg)
+            .unwrap();
+        let r = e.run(None).unwrap();
+        assert_eq!(r.rounds.len(), 4);
     }
 
     #[test]

@@ -99,6 +99,8 @@ fn bandwidth_jitter_changes_timing_but_not_learning() {
             compute_secs: 1.0,
             model_name: "mlp".to_string(),
             availability: None,
+            faults: fedsu_repro::netsim::FaultPlan::none(),
+            defense: fedsu_repro::fl::DefenseConfig::default(),
         };
         Experiment::new(
             config,
@@ -158,6 +160,8 @@ fn gradient_clipping_keeps_aggressive_lr_stable() {
         compute_secs: 1.0,
         model_name: "mlp".to_string(),
         availability: None,
+        faults: fedsu_repro::netsim::FaultPlan::none(),
+        defense: fedsu_repro::fl::DefenseConfig::default(),
     };
     // Without clipping this lr diverges (checked in failure_injection.rs
     // with an even larger lr); with tight clipping it must stay finite.

@@ -118,6 +118,8 @@ fn huge_learning_rate_diverges_cleanly() {
         compute_secs: 1.0,
         model_name: "mlp".to_string(),
         availability: None,
+        faults: fedsu_repro::netsim::FaultPlan::none(),
+        defense: fedsu_repro::fl::DefenseConfig::default(),
     };
     let mut e = Experiment::new(config, factory, Arc::new(train), Arc::new(test), Box::new(FedAvg::new())).unwrap();
     assert!(matches!(e.run(None), Err(FlError::Diverged { .. })));
@@ -147,4 +149,72 @@ fn strategy_contract_violation_is_detected() {
     }
     let mut e = scenario().build_with(Box::new(ShortUploads)).unwrap();
     assert!(matches!(e.run(None), Err(FlError::StrategyContract(_))));
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection acceptance: the hardened round loop keeps both FedAvg and
+// FedSU converging under the issue's target fault mix.
+// ---------------------------------------------------------------------------
+
+fn faulty_scenario(strategy: StrategyKind) -> (f64, f64, usize) {
+    use fedsu_repro::netsim::FaultConfig;
+
+    let build = |faults: Option<FaultConfig>| {
+        let mut s =
+            Scenario::new(ModelKind::Mlp).clients(16).rounds(20).samples_per_class(40).seed(7);
+        if let Some(f) = faults {
+            s = s.faults(f);
+        }
+        s.build(strategy).unwrap()
+    };
+
+    let clean = build(None).run(None).unwrap();
+    let faulty = build(Some(FaultConfig {
+        dropout_prob: 0.15,
+        upload_loss_prob: 0.05,
+        corrupt_prob: 0.02,
+        ..FaultConfig::default()
+    }))
+    .run(None)
+    .unwrap();
+
+    assert_eq!(faulty.rounds.len(), 20, "faulty run must complete every round");
+    let injected = faulty.total_dropped() + faulty.total_quarantined();
+    (clean.best_accuracy(), faulty.best_accuracy(), injected)
+}
+
+#[test]
+fn fedavg_survives_dropout_and_corruption() {
+    let (clean, faulty, injected) = faulty_scenario(StrategyKind::FedAvg);
+    assert!(injected > 0, "fault plan must actually fire");
+    assert!(
+        (clean - faulty).abs() <= 0.05,
+        "FedAvg accuracy drifted too far under faults: clean {clean:.3} vs faulty {faulty:.3}"
+    );
+}
+
+#[test]
+fn fedsu_survives_dropout_and_corruption() {
+    let (clean, faulty, injected) = faulty_scenario(StrategyKind::FedSuCalibrated);
+    assert!(injected > 0, "fault plan must actually fire");
+    assert!(
+        (clean - faulty).abs() <= 0.05,
+        "FedSU accuracy drifted too far under faults: clean {clean:.3} vs faulty {faulty:.3}"
+    );
+}
+
+#[test]
+fn zero_fault_plan_reproduces_fault_free_records() {
+    use fedsu_repro::netsim::FaultConfig;
+
+    let baseline = scenario().build(StrategyKind::FedSuCalibrated).unwrap().run(None).unwrap();
+    let zeroed = scenario()
+        .faults(FaultConfig { seed: 0x5EED, ..FaultConfig::default() })
+        .build(StrategyKind::FedSuCalibrated)
+        .unwrap()
+        .run(None)
+        .unwrap();
+    // A fault plan whose probabilities are all zero must be bit-for-bit
+    // indistinguishable from no fault plan at all.
+    assert_eq!(baseline.rounds, zeroed.rounds);
 }

@@ -1,0 +1,85 @@
+//! Property-based tests of the fault-tolerant round loop: for random fault
+//! plans the experiment must complete, keep the global model finite, keep
+//! simulated time strictly monotone, and stay fully deterministic.
+
+use fedsu_repro::fl::DefenseConfig;
+use fedsu_repro::netsim::FaultConfig;
+use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};
+use proptest::prelude::*;
+
+const ROUNDS: usize = 6;
+
+fn run_faulty(faults: FaultConfig) -> (fedsu_repro::fl::ExperimentResult, bool) {
+    let mut saw_nonfinite = false;
+    let mut experiment = Scenario::new(ModelKind::Mlp)
+        .clients(5)
+        .rounds(ROUNDS)
+        .samples_per_class(12)
+        .seed(3)
+        .faults(faults)
+        .defense(DefenseConfig::on())
+        .build(StrategyKind::FedSuCalibrated)
+        .unwrap();
+    let mut hook = |_record: &fedsu_repro::fl::RoundRecord, global: &[f32]| {
+        if !global.iter().all(|v| v.is_finite()) {
+            saw_nonfinite = true;
+        }
+    };
+    let result = experiment.run(Some(&mut hook)).unwrap();
+    (result, saw_nonfinite)
+}
+
+fn fault_config_strategy() -> impl Strategy<Value = FaultConfig> {
+    (
+        0.0f64..0.35,
+        0.0f64..0.3,
+        0.0f64..0.1,
+        0.0f64..0.3,
+        0.0f64..0.1,
+        0u64..1000,
+    )
+        .prop_map(|(dropout, loss, corrupt, slowdown, crash, seed)| FaultConfig {
+            dropout_prob: dropout,
+            upload_loss_prob: loss,
+            corrupt_prob: corrupt,
+            slowdown_prob: slowdown,
+            crash_prob: crash,
+            seed,
+            ..FaultConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_fault_plans_never_break_the_run(faults in fault_config_strategy()) {
+        let (result, saw_nonfinite) = run_faulty(faults);
+
+        // The run completes every round and the global model stays finite.
+        prop_assert_eq!(result.rounds.len(), ROUNDS);
+        prop_assert!(!saw_nonfinite, "global model went non-finite mid-run");
+        prop_assert!(result.rounds.iter().all(|r| r.train_loss.is_finite()));
+
+        // Simulated time is strictly monotone: every round costs time, even
+        // barren ones (they are charged the lost-round penalty).
+        let mut prev = 0.0;
+        for r in &result.rounds {
+            prop_assert!(
+                r.sim_time_secs > prev,
+                "sim time not strictly monotone at round {}: {} <= {}",
+                r.round,
+                r.sim_time_secs,
+                prev
+            );
+            prev = r.sim_time_secs;
+        }
+    }
+
+    #[test]
+    fn same_fault_plan_is_deterministic(faults in fault_config_strategy()) {
+        let (a, _) = run_faulty(faults);
+        let (b, _) = run_faulty(faults);
+        prop_assert_eq!(a.rounds, b.rounds);
+    }
+}
