@@ -8,6 +8,10 @@
 //! rounds as FedAvg but far less time per round, for a 28-46% total-time
 //! win over the second-best scheme.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_bench::{e2e_models, Scale};
 use fedsu_metrics::Table;
 use fedsu_repro::fl::ExperimentResult;

@@ -100,14 +100,19 @@ pub struct MaskEvent {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundStats {
     /// Round index.
+    #[serde(default)]
     pub round: usize,
     /// Scalars in speculative mode during the round.
+    #[serde(default)]
     pub predictable: usize,
     /// Error checks performed (scalar aggregations paid).
+    #[serde(default)]
     pub checks: usize,
     /// Parameters that entered speculation this round.
+    #[serde(default)]
     pub enters: usize,
     /// Parameters demoted to regular updating this round.
+    #[serde(default)]
     pub exits: usize,
 }
 
@@ -396,6 +401,39 @@ impl FedSu {
             self.events.push(MaskEvent { round, param: j, kind: MaskEventKind::Exit { feedback } });
         }
     }
+
+    /// Verifies the mask/no-check-period coupling after a round (armed by
+    /// `FEDSU_CHECK_INVARIANTS=1`): a speculative scalar always has a live
+    /// no-checking period `1 ≤ remaining ≤ len`, and a regular scalar has
+    /// none at all. [`promote`]/[`demote`]/period-extension are the only
+    /// writers, so any divergence means the state machine itself broke.
+    ///
+    /// [`promote`]: FedSu::promote
+    /// [`demote`]: FedSu::demote
+    fn check_mask_invariants(&self, round: usize) {
+        if !fedsu_tensor::invariant::enabled() {
+            return;
+        }
+        for (j, &p) in self.predictable.iter().enumerate() {
+            let len = self.no_check_len[j];
+            let remaining = self.no_check_remaining[j];
+            if p {
+                assert!(
+                    (1..=len).contains(&remaining),
+                    "invariant violation [fedsu-mask]: round {round}, scalar {j}: \
+                     predictable but no-check period is remaining={remaining} of \
+                     len={len} (expected 1 <= remaining <= len)"
+                );
+            } else {
+                assert!(
+                    len == 0 && remaining == 0,
+                    "invariant violation [fedsu-mask]: round {round}, scalar {j}: \
+                     regular-updating scalar carries a no-check period \
+                     (len={len}, remaining={remaining})"
+                );
+            }
+        }
+    }
 }
 
 impl Default for FedSu {
@@ -551,6 +589,7 @@ impl SyncStrategy for FedSu {
             enters: (self.total_enters - enters_before) as usize,
             exits: (self.total_exits - exits_before) as usize,
         });
+        self.check_mask_invariants(round);
         AggregateOutcome {
             broadcast_scalars: synced + checked,
             synced_scalars: synced + checked,

@@ -86,7 +86,9 @@ fn read_header<R: Read>(reader: &mut R, expected_rank: u8) -> Result<Vec<usize>,
     for _ in 0..rank {
         let mut b = [0u8; 4];
         reader.read_exact(&mut b)?;
-        dims.push(u32::from_be_bytes(b) as usize);
+        let dim = usize::try_from(u32::from_be_bytes(b))
+            .expect("u32 dimension fits in usize on all supported targets");
+        dims.push(dim);
     }
     Ok(dims)
 }

@@ -9,7 +9,7 @@ use crate::server::Server;
 use crate::strategy::{AggregateOutcome, SyncStrategy};
 use crate::{FlError, Result};
 use fedsu_data::{dirichlet_partition, Batcher, InMemoryDataset};
-use fedsu_netsim::{Cluster, ClusterConfig, FaultPlan, RoundTimer};
+use fedsu_netsim::{Cluster, ClusterConfig, FaultPenalties, FaultPlan, RoundTimer};
 use fedsu_nn::Sequential;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -283,7 +283,9 @@ impl Experiment {
 
             // Joining clients additionally download the strategy's replicated
             // state (the paper's dynamicity protocol, Sec. V).
-            let join_state_bytes = self.strategy.join_state().map_or(0, |s| s.len() as u64);
+            let join_state_bytes = self.strategy.join_state().map_or(0, |s| {
+                u64::try_from(s.len()).expect("join-state size fits in u64 on supported targets")
+            });
             let mut download_bytes = vec![0u64; n];
             for i in 0..n {
                 if active[i] {
@@ -428,8 +430,7 @@ impl Experiment {
                 &upload_bytes,
                 &download_bytes,
                 &returned,
-                &time_factor,
-                &extra_secs,
+                FaultPenalties { time_factor: &time_factor, extra_secs: &extra_secs },
             );
 
             let mut selected = timing.selected.clone();
@@ -512,6 +513,38 @@ impl Experiment {
                 .map(|i| bytes_with_retries(upload_bytes[i], tx_attempts[i]) - upload_bytes[i])
                 .sum();
             let bytes: u64 = upload_wire + download_bytes.iter().sum::<u64>();
+
+            // Runtime invariant guards (armed by FEDSU_CHECK_INVARIANTS=1):
+            // the emulated clock only moves forward, and every uploaded wire
+            // byte is accounted for exactly once — aggregated, quarantined,
+            // late (missed the round deadline), or burnt on retransmission.
+            if fedsu_tensor::invariant::enabled() {
+                assert!(
+                    duration.is_finite() && duration >= 0.0,
+                    "invariant violation [sim-time]: round {round} duration \
+                     {duration} is negative or non-finite"
+                );
+                assert!(
+                    sim_time.is_finite(),
+                    "invariant violation [sim-time]: cumulative sim time became \
+                     non-finite at round {round}"
+                );
+                let aggregated_bytes: u64 = survivors.iter().map(|&i| upload_bytes[i]).sum();
+                let quarantined_bytes: u64 =
+                    (0..n).filter(|&i| returned[i] && !valid[i]).map(|i| upload_bytes[i]).sum();
+                let late_bytes: u64 = (0..n)
+                    .filter(|&i| returned[i] && valid[i] && !survivors.contains(&i))
+                    .map(|i| upload_bytes[i])
+                    .sum();
+                assert_eq!(
+                    upload_wire,
+                    aggregated_bytes + quarantined_bytes + late_bytes + retransmitted_bytes,
+                    "invariant violation [wire-conservation]: round {round} upload \
+                     wire bytes do not decompose into aggregated + quarantined + \
+                     late + retransmitted"
+                );
+            }
+
             let (accuracy, test_loss) = if round % self.config.eval_every == 0 || round + 1 == self.config.rounds {
                 let (a, l) = self.server.evaluate()?;
                 (Some(a), Some(l))

@@ -43,7 +43,8 @@ impl RoundComm {
 
 /// Converts a scalar count to wire bytes.
 pub fn scalars_to_bytes(scalars: usize) -> u64 {
-    scalars as u64 * BYTES_PER_SCALAR
+    u64::try_from(scalars).expect("scalar count fits in u64 on all supported targets")
+        * BYTES_PER_SCALAR
 }
 
 /// Wire bytes actually spent uploading `bytes` when the transfer succeeded

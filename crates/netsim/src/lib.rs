@@ -37,5 +37,5 @@ mod trace;
 pub use cluster::{Cluster, ClusterConfig};
 pub use faults::{FaultConfig, FaultPlan};
 pub use link::Link;
-pub use round::{RoundOutcomeTiming, RoundTimer};
+pub use round::{FaultPenalties, RoundOutcomeTiming, RoundTimer};
 pub use trace::BandwidthTrace;

@@ -15,6 +15,16 @@ pub struct RoundOutcomeTiming {
     pub finish_secs: Vec<f64>,
 }
 
+/// Per-client fault penalties applied to one round's finish times by
+/// [`RoundTimer::round_faulty`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPenalties<'a> {
+    /// Multiplies client `i`'s whole finish time (transient slowdown).
+    pub time_factor: &'a [f64],
+    /// Seconds added after the factor (retry backoff).
+    pub extra_secs: &'a [f64],
+}
+
 /// Computes per-round timings for a cluster under the paper's
 /// "aggregate the earliest fraction" rule (Sec. VI-A uses 70%).
 #[derive(Debug, Clone)]
@@ -95,20 +105,19 @@ impl RoundTimer {
         active: &[bool],
     ) -> RoundOutcomeTiming {
         let n = self.cluster.n_clients();
+        let (ones, zeros) = (vec![1.0; n], vec![0.0; n]);
         self.round_faulty(
             round,
             compute_secs,
             upload_bytes,
             download_bytes,
             active,
-            &vec![1.0; n],
-            &vec![0.0; n],
+            FaultPenalties { time_factor: &ones, extra_secs: &zeros },
         )
     }
 
-    /// Like [`RoundTimer::round_at`], with per-client fault penalties:
-    /// `time_factor[i]` multiplies client `i`'s whole finish time (transient
-    /// slowdown) and `extra_secs[i]` is added on top (retry backoff).
+    /// Like [`RoundTimer::round_at`], with per-client [`FaultPenalties`]
+    /// applied to each finish time.
     ///
     /// With all factors `1.0` and all extras `0.0` this is bit-for-bit
     /// identical to [`RoundTimer::round_at`] (`x * 1.0 + 0.0 == x` exactly
@@ -117,7 +126,6 @@ impl RoundTimer {
     /// # Panics
     ///
     /// Panics if the slices don't cover every client or no client is active.
-    #[allow(clippy::too_many_arguments)]
     pub fn round_faulty(
         &self,
         round: usize,
@@ -125,9 +133,9 @@ impl RoundTimer {
         upload_bytes: &[u64],
         download_bytes: &[u64],
         active: &[bool],
-        time_factor: &[f64],
-        extra_secs: &[f64],
+        penalties: FaultPenalties<'_>,
     ) -> RoundOutcomeTiming {
+        let FaultPenalties { time_factor, extra_secs } = penalties;
         let n = self.cluster.n_clients();
         assert_eq!(compute_secs.len(), n, "compute_secs must cover all clients");
         assert_eq!(upload_bytes.len(), n, "upload_bytes must cover all clients");
@@ -311,8 +319,14 @@ mod faulty_tests {
         let active = [true, true, false, true, true, true];
         for round in [0usize, 3, 17] {
             let legacy = t.round_at(round, &compute, &up, &down, &active);
-            let faulty =
-                t.round_faulty(round, &compute, &up, &down, &active, &[1.0; 6], &[0.0; 6]);
+            let faulty = t.round_faulty(
+                round,
+                &compute,
+                &up,
+                &down,
+                &active,
+                FaultPenalties { time_factor: &[1.0; 6], extra_secs: &[0.0; 6] },
+            );
             assert_eq!(legacy, faulty);
         }
     }
@@ -327,8 +341,7 @@ mod faulty_tests {
             &[0; 2],
             &[0; 2],
             &[true; 2],
-            &[4.0, 1.0],
-            &[0.0; 2],
+            FaultPenalties { time_factor: &[4.0, 1.0], extra_secs: &[0.0; 2] },
         );
         assert!((o.finish_secs[0] - 4.0).abs() < 1e-9);
         assert!((o.finish_secs[1] - 1.0).abs() < 1e-9);
@@ -345,8 +358,7 @@ mod faulty_tests {
             &[0; 2],
             &[0; 2],
             &[true; 2],
-            &[2.0, 1.0],
-            &[5.0, 0.0],
+            FaultPenalties { time_factor: &[2.0, 1.0], extra_secs: &[5.0, 0.0] },
         );
         assert!((o.finish_secs[0] - 7.0).abs() < 1e-9);
         assert_eq!(o.selected, vec![1]);
@@ -363,8 +375,7 @@ mod faulty_tests {
             &[0; 2],
             &[0; 2],
             &[true, false],
-            &[3.0, 3.0],
-            &[1.0, 1.0],
+            FaultPenalties { time_factor: &[3.0, 3.0], extra_secs: &[1.0, 1.0] },
         );
         assert!(o.finish_secs[1].is_infinite());
         assert_eq!(o.selected, vec![0]);

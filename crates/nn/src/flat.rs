@@ -148,7 +148,9 @@ pub fn save_checkpoint(model: &dyn Layer) -> Vec<u8> {
     let flat = flatten_params(model);
     let mut out = Vec::with_capacity(8 + flat.len() * 4);
     out.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
-    out.extend_from_slice(&(flat.len() as u32).to_le_bytes());
+    let count = u32::try_from(flat.len())
+        .expect("checkpoint format caps the parameter count at u32::MAX");
+    out.extend_from_slice(&count.to_le_bytes());
     for v in flat {
         out.extend_from_slice(&v.to_le_bytes());
     }
@@ -165,11 +167,12 @@ pub fn load_checkpoint(model: &mut dyn Layer, bytes: &[u8]) -> std::result::Resu
     if bytes.len() < 8 {
         return Err(CheckpointError::Truncated);
     }
-    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("sliced"));
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("slice is exactly 4 bytes"));
     if magic != CHECKPOINT_MAGIC {
         return Err(CheckpointError::BadMagic(magic));
     }
-    let n = u32::from_le_bytes(bytes[4..8].try_into().expect("sliced")) as usize;
+    let count = u32::from_le_bytes(bytes[4..8].try_into().expect("slice is exactly 4 bytes"));
+    let n = usize::try_from(count).expect("u32 count fits in usize on all supported targets");
     let expected = param_count(model);
     if n != expected {
         return Err(CheckpointError::WrongSize { checkpoint: n, model: expected });
@@ -178,7 +181,12 @@ pub fn load_checkpoint(model: &mut dyn Layer, bytes: &[u8]) -> std::result::Resu
         return Err(CheckpointError::Truncated);
     }
     let flat: Vec<f32> = (0..n)
-        .map(|i| f32::from_le_bytes(bytes[8 + i * 4..12 + i * 4].try_into().expect("sliced")))
+        .map(|i| {
+            let word = bytes[8 + i * 4..12 + i * 4]
+                .try_into()
+                .expect("slice is exactly 4 bytes");
+            f32::from_le_bytes(word)
+        })
         .collect();
     load_params(model, &flat).expect("length checked above");
     Ok(())

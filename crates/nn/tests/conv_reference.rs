@@ -1,6 +1,10 @@
 //! Cross-checks the im2col convolution against a naive direct convolution
 //! reference, over randomized geometries.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_nn::conv2d::Conv2d;
 use fedsu_nn::{Layer, Param};
 use fedsu_tensor::Tensor;
@@ -8,12 +12,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Direct (quadruple-loop) 2-D convolution over NCHW input.
-#[allow(clippy::too_many_arguments)]
-fn naive_conv(
-    input: &[f32],
-    weight: &[f32],
-    bias: &[f32],
+/// Geometry of the naive reference convolution (NCHW input, square kernel).
+#[derive(Debug, Clone, Copy)]
+struct NaiveConvGeom {
     batch: usize,
     in_c: usize,
     h: usize,
@@ -22,7 +23,11 @@ fn naive_conv(
     k: usize,
     stride: usize,
     pad: usize,
-) -> Vec<f32> {
+}
+
+/// Direct (quadruple-loop) 2-D convolution over NCHW input.
+fn naive_conv(input: &[f32], weight: &[f32], bias: &[f32], g: NaiveConvGeom) -> Vec<f32> {
+    let NaiveConvGeom { batch, in_c, h, w, out_c, k, stride, pad } = g;
     let oh = (h + 2 * pad - k) / stride + 1;
     let ow = (w + 2 * pad - k) / stride + 1;
     let mut out = vec![0.0f32; batch * out_c * oh * ow];
@@ -79,7 +84,8 @@ proptest! {
         let weight = buffers.pop().unwrap();
 
         let fast = conv.forward(&x, false).unwrap();
-        let reference = naive_conv(x.data(), &weight, &bias, batch, in_c, h, w, out_c, k, stride, pad);
+        let geom = NaiveConvGeom { batch, in_c, h, w, out_c, k, stride, pad };
+        let reference = naive_conv(x.data(), &weight, &bias, geom);
         prop_assert_eq!(fast.len(), reference.len());
         for (a, b) in fast.data().iter().zip(&reference) {
             prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");

@@ -1,6 +1,10 @@
 //! Property-based tests for the NN substrate: gradient checks on random
 //! layer configurations and structural invariants.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_nn::activation::Relu;
 use fedsu_nn::dense::Dense;
 use fedsu_nn::flat::{flatten_params, load_params, param_count};

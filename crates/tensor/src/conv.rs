@@ -115,6 +115,7 @@ pub fn im2col(image: &[f32], dims: &ConvDims) -> Result<Tensor> {
             }
         }
     }
+    crate::invariant::check_op_output("im2col", &[image], &out);
     Tensor::from_vec(out, &[rows, cols])
 }
 
@@ -146,6 +147,10 @@ pub fn col2im(cols: &Tensor, image: &mut [f32], dims: &ConvDims) -> Result<()> {
     let (out_h, out_w) = (dims.out_h(), dims.out_w());
     let n_cols = out_h * out_w;
     let data = cols.data();
+    // `image` is mutated in place, so its pre-state must be classified as an
+    // input *before* the scatter-add to keep the finite-kernel guard honest.
+    let inputs_finite = crate::invariant::enabled()
+        && data.iter().chain(image.iter()).all(|v| v.is_finite());
 
     let mut row = 0usize;
     for c in 0..dims.in_channels {
@@ -172,6 +177,9 @@ pub fn col2im(cols: &Tensor, image: &mut [f32], dims: &ConvDims) -> Result<()> {
                 row += 1;
             }
         }
+    }
+    if inputs_finite {
+        crate::invariant::check_op_output("col2im", &[], image);
     }
     Ok(())
 }

@@ -27,6 +27,7 @@
 mod conv;
 mod error;
 mod init;
+pub mod invariant;
 mod matmul;
 mod stats;
 mod tensor;

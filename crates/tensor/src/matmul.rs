@@ -46,6 +46,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     }
+    crate::invariant::check_op_output("matmul", &[ad, bd], &out);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -80,6 +81,7 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     }
+    crate::invariant::check_op_output("matmul_transpose_a", &[ad, bd], &out);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -112,6 +114,7 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             out[i * n + j] = acc;
         }
     }
+    crate::invariant::check_op_output("matmul_transpose_b", &[ad, bd], &out);
     Tensor::from_vec(out, &[m, n])
 }
 

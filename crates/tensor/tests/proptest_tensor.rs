@@ -1,5 +1,9 @@
 //! Property-based tests for tensor algebra and the convolution helpers.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_tensor::{col2im, im2col, matmul, matmul_transpose_a, matmul_transpose_b, ConvDims, Tensor};
 use proptest::prelude::*;
 

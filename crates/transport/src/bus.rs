@@ -29,12 +29,12 @@ struct Counter {
 impl Counter {
     fn sent(&self, bytes: usize) {
         let mut s = self.stats.lock();
-        s.bytes_sent += bytes as u64;
+        s.bytes_sent += u64::try_from(bytes).expect("usize payload length fits in u64");
         s.messages_sent += 1;
     }
     fn received(&self, bytes: usize) {
         let mut s = self.stats.lock();
-        s.bytes_received += bytes as u64;
+        s.bytes_received += u64::try_from(bytes).expect("usize payload length fits in u64");
         s.messages_received += 1;
     }
 }

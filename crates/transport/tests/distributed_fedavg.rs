@@ -3,6 +3,10 @@
 //! analytical emulation computes, and the measured wire bytes match the
 //! 4-bytes-per-scalar accounting the `fedsu-fl` runtime assumes.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_transport::{LocalBus, Message, SparseValues};
 use std::time::Duration;
 

@@ -1,6 +1,10 @@
 //! Property-based tests of the wire format: arbitrary messages round-trip,
 //! and corrupted/truncated payloads never panic.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_transport::{DecodeError, Message, SparseValues};
 use proptest::prelude::*;
 

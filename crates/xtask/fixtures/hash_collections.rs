@@ -1,0 +1,11 @@
+//! Lint fixture: seeds exactly one `hash-collections` violation.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+fn aggregate(updates: &std::collections::HashMap<usize, f32>) -> f32 {
+    // Iteration order of the map is nondeterministic: summing floats in it
+    // makes the aggregate run-dependent. (The signature above is the single
+    // seeded violation; this HashMap mention is in a comment and a
+    // "HashSet" in a string below must not fire either.)
+    let _decoy = "HashSet";
+    updates.values().sum()
+}

@@ -1,0 +1,16 @@
+//! Lint fixture: seeds exactly one `no-unwrap` violation.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+fn last(values: &[f32]) -> f32 {
+    *values.last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_here_is_fine() {
+        // Inside #[cfg(test)]: must NOT fire.
+        let v = vec![1.0f32];
+        let _ = *v.last().unwrap();
+    }
+}

@@ -1,0 +1,19 @@
+//! Lint fixture: seeds exactly one `serde-default` violation.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// Covered field: must NOT fire.
+    #[serde(default)]
+    pub round: usize,
+    /// Uncovered field: the single seeded violation.
+    pub wire_total: u64,
+}
+
+/// No `Deserialize` derive: never persisted, must NOT fire.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScratchStats {
+    pub hits: usize,
+}

@@ -1,0 +1,7 @@
+//! Lint fixture: seeds exactly one `truncating-cast` violation.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+fn upload_total(scalars: usize) -> u32 {
+    let total_bytes = (scalars * 4) as u32;
+    total_bytes
+}

@@ -1,0 +1,7 @@
+//! Lint fixture: seeds exactly one `wall-clock` violation.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+fn round_duration() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,227 @@
+//! Parser for `xtask/lint-allow.toml`, the only sanctioned way to suppress a
+//! lint finding. Each suppression is an `[[allow]]` table naming the rule,
+//! the file, a `contains` substring that must appear on the offending line,
+//! and a mandatory human-readable `reason` — so every exception is reviewed
+//! and greppable.
+//!
+//! The parser handles exactly the TOML subset the allow file needs (array of
+//! tables with single-line string keys) to stay dependency-free.
+
+use crate::rules::Diagnostic;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses (must be one of [`crate::rules::RULE_IDS`]).
+    pub rule: String,
+    /// Workspace-relative path the entry applies to.
+    pub path: String,
+    /// Substring that must occur on the offending line.
+    pub contains: String,
+    /// Why this violation is acceptable.
+    pub reason: String,
+}
+
+/// Parse failure with a 1-based line number into the allow file.
+#[derive(Debug, PartialEq, Eq)]
+pub struct AllowParseError {
+    /// Line in `lint-allow.toml` where parsing failed.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint-allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// Parses the allow-file text into entries.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, AllowParseError> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(done) = current.take() {
+                validate(done, lineno).map(|e| entries.push(e))?;
+            }
+            current = Some(AllowEntry::default());
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(AllowParseError {
+                line: lineno,
+                message: format!("unexpected table `{line}`; only [[allow]] is supported"),
+            });
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(AllowParseError {
+                line: lineno,
+                message: format!("expected `key = \"value\"`, got `{line}`"),
+            });
+        };
+        let key = line[..eq].trim();
+        let value = line[eq + 1..].trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| AllowParseError {
+                line: lineno,
+                message: format!("value for `{key}` must be a double-quoted string"),
+            })?;
+        let Some(entry) = current.as_mut() else {
+            return Err(AllowParseError {
+                line: lineno,
+                message: "key outside any [[allow]] table".to_string(),
+            });
+        };
+        match key {
+            "rule" => entry.rule = value.to_string(),
+            "path" => entry.path = value.to_string(),
+            "contains" => entry.contains = value.to_string(),
+            "reason" => entry.reason = value.to_string(),
+            other => {
+                return Err(AllowParseError {
+                    line: lineno,
+                    message: format!(
+                        "unknown key `{other}` (expected rule/path/contains/reason)"
+                    ),
+                });
+            }
+        }
+    }
+    let last_line = text.lines().count();
+    if let Some(done) = current.take() {
+        validate(done, last_line).map(|e| entries.push(e))?;
+    }
+    Ok(entries)
+}
+
+/// Rejects entries missing required keys or naming unknown rules.
+fn validate(entry: AllowEntry, line: usize) -> Result<AllowEntry, AllowParseError> {
+    if entry.rule.is_empty() || entry.path.is_empty() || entry.reason.is_empty() {
+        return Err(AllowParseError {
+            line,
+            message: "every [[allow]] entry needs non-empty rule, path, and reason".to_string(),
+        });
+    }
+    if !crate::rules::RULE_IDS.contains(&entry.rule.as_str()) {
+        return Err(AllowParseError {
+            line,
+            message: format!(
+                "unknown rule `{}` (known: {})",
+                entry.rule,
+                crate::rules::RULE_IDS.join(", ")
+            ),
+        });
+    }
+    Ok(entry)
+}
+
+/// Splits diagnostics into (kept, suppressed) and reports entries that
+/// matched nothing — a stale allow entry is itself a finding, otherwise the
+/// allow file rots into a blanket waiver.
+pub fn apply(
+    diags: Vec<Diagnostic>,
+    entries: &[AllowEntry],
+) -> (Vec<Diagnostic>, Vec<Diagnostic>, Vec<AllowEntry>) {
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut used = vec![false; entries.len()];
+    for d in diags {
+        let hit = entries.iter().position(|e| {
+            e.rule == d.rule
+                && e.path == d.path
+                && (e.contains.is_empty() || d.snippet.contains(&e.contains))
+        });
+        match hit {
+            Some(idx) => {
+                used[idx] = true;
+                suppressed.push(d);
+            }
+            None => kept.push(d),
+        }
+    }
+    let unused = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (kept, suppressed, unused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line: 1,
+            rule,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_with_comments() {
+        let text = "# header comment\n\n[[allow]]\nrule = \"no-unwrap\"\npath = \"crates/fl/src/x.rs\"\ncontains = \"unwrap\"\nreason = \"mutex poisoning is fatal by design\"\n";
+        let entries = parse(text).expect("well-formed allow file must parse");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "no-unwrap");
+        assert_eq!(entries[0].reason, "mutex poisoning is fatal by design");
+    }
+
+    #[test]
+    fn empty_file_parses_to_no_entries() {
+        assert_eq!(parse("# nothing suppressed\n").expect("comment-only file parses"), vec![]);
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let text = "[[allow]]\nrule = \"no-unwrap\"\npath = \"a.rs\"\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let text = "[[allow]]\nrule = \"bogus\"\npath = \"a.rs\"\nreason = \"x\"\n";
+        let err = parse(text).expect_err("unknown rule must be rejected");
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn apply_suppresses_matching_and_reports_unused() {
+        let entries = vec![
+            AllowEntry {
+                rule: "no-unwrap".to_string(),
+                path: "a.rs".to_string(),
+                contains: "lock()".to_string(),
+                reason: "poisoning fatal".to_string(),
+            },
+            AllowEntry {
+                rule: "wall-clock".to_string(),
+                path: "b.rs".to_string(),
+                contains: String::new(),
+                reason: "stale".to_string(),
+            },
+        ];
+        let diags = vec![
+            diag("no-unwrap", "a.rs", "m.lock().unwrap();"),
+            diag("no-unwrap", "a.rs", "v.pop().unwrap();"),
+        ];
+        let (kept, suppressed, unused) = apply(diags, &entries);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, "wall-clock");
+    }
+}

@@ -1,0 +1,111 @@
+//! Static-analysis pass for the FedSU reproduction workspace.
+//!
+//! `cargo run -p fedsu-xtask -- lint` walks every workspace `.rs` source and
+//! reports the five determinism/safety hazards the emulation's accounting
+//! depends on (see [`rules`]): nondeterministic hash-collection iteration,
+//! wall-clock reads in sim paths, truncating casts in byte/time accounting,
+//! undocumented panics in library code, and record structs that cannot
+//! deserialize older persisted runs.
+//!
+//! Deliberately std-only: the gate must build in seconds on an offline CI
+//! runner. Suppressions live exclusively in the checked-in
+//! `crates/xtask/lint-allow.toml` ([`allowlist`]), so every exception has a
+//! reviewed, greppable reason.
+
+pub mod allowlist;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+use rules::Diagnostic;
+use std::path::Path;
+use workspace::{SourceFile, SourceKind};
+
+/// Result of a full lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Violations not covered by any allow entry (nonzero exit when non-empty).
+    pub violations: Vec<Diagnostic>,
+    /// Violations waived by `lint-allow.toml`.
+    pub suppressed: Vec<Diagnostic>,
+    /// Allow entries that matched nothing (also fail the run: stale waivers rot).
+    pub unused_allows: Vec<allowlist::AllowEntry>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// `true` when the gate should pass.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.unused_allows.is_empty()
+    }
+}
+
+/// Lints `files`, applying the allow entries parsed from `allow_text`.
+///
+/// # Errors
+/// Returns a message when a file cannot be read or the allow file is
+/// malformed.
+pub fn lint_files(files: &[SourceFile], allow_text: &str) -> Result<LintReport, String> {
+    let entries = allowlist::parse(allow_text).map_err(|e| e.to_string())?;
+    let mut diags = Vec::new();
+    for f in files {
+        let text = std::fs::read_to_string(&f.abs)
+            .map_err(|e| format!("{}: cannot read: {e}", f.rel))?;
+        diags.extend(lint_source(&f.rel, f.kind, &text));
+    }
+    let (violations, suppressed, unused_allows) = allowlist::apply(diags, &entries);
+    Ok(LintReport { violations, suppressed, unused_allows, files_scanned: files.len() })
+}
+
+/// Lints one source text with the rule subset appropriate to its target kind:
+/// library code gets the full set; examples skip the no-panic rule (a demo
+/// may unwrap); tests and benches are exempt entirely (rules already skip
+/// `#[cfg(test)]` spans inside library files — this extends the same policy
+/// to whole test targets).
+pub fn lint_source(rel: &str, kind: SourceKind, text: &str) -> Vec<Diagnostic> {
+    if kind == SourceKind::TestOrBench {
+        return Vec::new();
+    }
+    let prepared = scan::prepare(text);
+    let mut diags = rules::check_all(rel, &prepared);
+    if kind == SourceKind::Example {
+        diags.retain(|d| d.rule != "no-unwrap");
+    }
+    diags
+}
+
+/// Default location of the allow file, relative to the workspace root.
+pub const ALLOW_FILE: &str = "crates/xtask/lint-allow.toml";
+
+/// Reads the allow file, treating a missing file as empty (nothing waived).
+///
+/// # Errors
+/// Returns a message for I/O errors other than "not found".
+pub fn read_allow_file(path: &Path) -> Result<String, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(String::new()),
+        Err(e) => Err(format!("{}: cannot read allow file: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_targets_are_exempt() {
+        let src = "fn helper() { v.pop().unwrap(); }\n";
+        assert!(lint_source("crates/nn/tests/x.rs", SourceKind::TestOrBench, src).is_empty());
+        assert_eq!(lint_source("crates/nn/src/x.rs", SourceKind::Library, src).len(), 1);
+    }
+
+    #[test]
+    fn examples_skip_only_the_panic_rule() {
+        let src = "use std::collections::HashMap;\nfn main() { x.unwrap(); }\n";
+        let diags = lint_source("examples/demo.rs", SourceKind::Example, src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "hash-collections");
+    }
+}

@@ -1,0 +1,188 @@
+//! CLI entry point: `cargo run -p fedsu-xtask -- lint [--allow FILE] [PATH...]`.
+//!
+//! Exit codes: `0` clean, `1` unsuppressed violations or stale allow entries,
+//! `2` usage or I/O error.
+
+use fedsu_xtask::workspace::{self, SourceFile};
+use fedsu_xtask::{lint_files, read_allow_file, ALLOW_FILE};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_command(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown subcommand `{other}`");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo run -p fedsu-xtask -- lint [--allow FILE] [PATH...]");
+    eprintln!();
+    eprintln!("Lints workspace .rs sources for determinism/safety hazards.");
+    eprintln!("With no PATH arguments, walks the whole workspace.");
+    eprintln!("Suppressions: {ALLOW_FILE} (rule/path/contains/reason entries).");
+}
+
+fn lint_command(args: &[String]) -> ExitCode {
+    let mut allow_override: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--allow" => match it.next() {
+                Some(p) => allow_override = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --allow requires a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag `{flag}`");
+                return ExitCode::from(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    // `cargo run -p` sets the cwd to the invocation dir; fall back to the
+    // manifest dir baked in at compile time so the binary also works when
+    // invoked from outside the workspace.
+    let start = std::env::current_dir()
+        .ok()
+        .or_else(|| option_env!("CARGO_MANIFEST_DIR").map(PathBuf::from));
+    let Some(root) = start.as_deref().and_then(workspace::find_root) else {
+        eprintln!("error: no workspace root (Cargo.toml with [workspace]) above cwd");
+        return ExitCode::from(2);
+    };
+
+    let files = if paths.is_empty() {
+        match workspace::collect_sources(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: walking workspace sources: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match explicit_files(&root, &paths) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    // The checked-in default may legitimately be absent (fresh checkout with
+    // no waivers), but an explicitly named file must exist: a typo'd path
+    // would otherwise silently disable every suppression.
+    if let Some(p) = &allow_override {
+        if !p.is_file() {
+            eprintln!("error: --allow {}: no such file", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    let allow_path = allow_override.unwrap_or_else(|| root.join(ALLOW_FILE));
+    let allow_text = match read_allow_file(&allow_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_files(&files, &allow_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.violations {
+        println!("{}:{}: error[{}]: {}", d.path, d.line, d.rule, d.message);
+        println!("    | {}", d.snippet);
+    }
+    for e in &report.unused_allows {
+        println!(
+            "{}: error[stale-allow]: [[allow]] entry for rule `{}` matched nothing \
+             (reason was: {}); remove it",
+            e.path, e.rule, e.reason
+        );
+    }
+    println!(
+        "fedsu-xtask lint: {} file(s), {} violation(s), {} suppressed, {} stale allow(s)",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len(),
+        report.unused_allows.len()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Resolves explicitly-passed paths (files or directories) into lintable
+/// sources, classified by their workspace-relative location.
+fn explicit_files(root: &Path, paths: &[PathBuf]) -> Result<Vec<SourceFile>, String> {
+    let mut out = Vec::new();
+    for p in paths {
+        let abs = if p.is_absolute() { p.clone() } else { root.join(p) };
+        if abs.is_dir() {
+            collect_dir(&abs, root, &mut out)?;
+        } else if abs.is_file() {
+            out.push(to_source(root, &abs));
+        } else {
+            return Err(format!("{}: no such file or directory", p.display()));
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+/// Recursive `.rs` collection for an explicit directory argument.
+fn collect_dir(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("{}: cannot read: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| format!("{}: cannot read: {e}", dir.display()))?.path();
+        if path.is_dir() {
+            collect_dir(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(to_source(root, &path));
+        }
+    }
+    Ok(())
+}
+
+/// Builds a [`SourceFile`] for an explicit path, classifying it by its
+/// location relative to the workspace root (paths outside the root are
+/// treated as library code — the strictest interpretation).
+fn to_source(root: &Path, abs: &Path) -> SourceFile {
+    let rel = abs
+        .strip_prefix(root)
+        .unwrap_or(abs)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    let kind = if rel.split('/').any(|seg| seg == "tests" || seg == "benches") {
+        workspace::SourceKind::TestOrBench
+    } else if rel.split('/').any(|seg| seg == "examples") {
+        workspace::SourceKind::Example
+    } else {
+        workspace::SourceKind::Library
+    };
+    SourceFile { abs: abs.to_path_buf(), rel, kind }
+}

@@ -1,0 +1,414 @@
+//! The lint rules: each scans a [`PreparedSource`] and reports
+//! reproducibility or safety hazards with `file:line` positions.
+//!
+//! All rules skip test code (`#[cfg(test)]` spans) because the hazards they
+//! guard against — nondeterministic iteration order, wall-clock reads,
+//! silently-truncating arithmetic, panicking accessors, and
+//! non-evolvable record schemas — only threaten the *emulation and its
+//! persisted results*, not assertions inside tests.
+
+use crate::scan::PreparedSource;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (used by `lint-allow.toml`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line (trimmed), for allow-entry matching.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    fn new(path: &str, line0: usize, rule: &'static str, message: String, raw: &str) -> Self {
+        Diagnostic {
+            path: path.to_string(),
+            line: line0 + 1,
+            rule,
+            message,
+            snippet: raw.trim().to_string(),
+        }
+    }
+}
+
+/// Stable identifiers of every rule, in reporting order.
+pub const RULE_IDS: [&str; 5] =
+    ["hash-collections", "wall-clock", "truncating-cast", "no-unwrap", "serde-default"];
+
+/// Runs every rule over one prepared source file.
+pub fn check_all(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(check_hash_collections(path, src));
+    out.extend(check_wall_clock(path, src));
+    out.extend(check_truncating_cast(path, src));
+    out.extend(check_no_unwrap(path, src));
+    out.extend(check_serde_default(path, src));
+    out
+}
+
+/// `true` when `needle` occurs in `line` as a whole identifier (not as a
+/// substring of a longer identifier).
+fn contains_word(line: &str, needle: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(rel) = line[start..].find(needle) {
+        let at = start + rel;
+        let before_ok = at == 0
+            || !line[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= line.len()
+            || !line[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Rule `hash-collections`: `std::collections::HashMap`/`HashSet` in library
+/// code. Their iteration order is randomized per process, so any aggregation,
+/// selection, or serialization driven by it silently breaks run-to-run
+/// reproducibility. Use `BTreeMap`/`BTreeSet`, or index by dense ids.
+fn check_hash_collections(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, line) in src.code_lines.iter().enumerate() {
+        if src.in_test[i] {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            if contains_word(line, ty) {
+                out.push(Diagnostic::new(
+                    path,
+                    i,
+                    "hash-collections",
+                    format!(
+                        "{ty} has nondeterministic iteration order; use BTreeMap/BTreeSet \
+                         or dense-id indexing so emulation results stay reproducible"
+                    ),
+                    &src.raw_lines[i],
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Rule `wall-clock`: `Instant::now`/`SystemTime` in library code. The
+/// emulator owns its own clock (`sim_time_secs`); reading the host clock in a
+/// sim path couples results to machine speed and scheduling.
+fn check_wall_clock(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, line) in src.code_lines.iter().enumerate() {
+        if src.in_test[i] {
+            continue;
+        }
+        if line.contains("Instant::now") || contains_word(line, "SystemTime") {
+            out.push(Diagnostic::new(
+                path,
+                i,
+                "wall-clock",
+                "wall-clock read in emulation code; sim paths must derive every \
+                 duration from the deterministic sim clock"
+                    .to_string(),
+                &src.raw_lines[i],
+            ));
+        }
+    }
+    out
+}
+
+/// Identifier fragments that mark a line as byte- or time-accounting code.
+const ACCOUNTING_MARKERS: [&str; 8] =
+    ["byte", "secs", "duration", "latency", "millis", "deadline", "elapsed", "bandwidth"];
+
+/// Rule `truncating-cast`: `as <integer>` casts on byte/time-accounting
+/// lines. `as` silently truncates and wraps; traffic totals and emulated
+/// clocks must use `u64::from`/`try_from` (or widen the accumulator) so a
+/// unit bug becomes a loud error instead of a wrong paper figure.
+fn check_truncating_cast(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
+    const INT_TARGETS: [&str; 10] =
+        ["u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize"];
+    let mut out = Vec::new();
+    for (i, line) in src.code_lines.iter().enumerate() {
+        if src.in_test[i] {
+            continue;
+        }
+        let lower = line.to_lowercase();
+        if !ACCOUNTING_MARKERS.iter().any(|m| lower.contains(m)) {
+            continue;
+        }
+        let mut from = 0usize;
+        while let Some(rel) = line[from..].find(" as ") {
+            let at = from + rel;
+            from = at + 4;
+            let rest = line[at + 4..].trim_start();
+            let target: String =
+                rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if !INT_TARGETS.contains(&target.as_str()) {
+                continue;
+            }
+            // Casting a bare literal (e.g. `0 as u64`) can't truncate
+            // anything that matters; skip it.
+            let before = line[..at].trim_end();
+            let src_token: String = before
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.')
+                .collect();
+            if src_token.chars().last().is_some_and(|c| c.is_ascii_digit())
+                && src_token.chars().all(|c| c.is_ascii_digit() || c == '_' || c == '.')
+            {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                path,
+                i,
+                "truncating-cast",
+                format!(
+                    "`as {target}` on a byte/time-accounting line silently truncates; \
+                     use `u64::from`/`try_from` or widen the accumulator"
+                ),
+                &src.raw_lines[i],
+            ));
+        }
+    }
+    out
+}
+
+/// Minimum `.expect("...")` message length that counts as documented.
+const MIN_EXPECT_MESSAGE: usize = 10;
+
+/// Rule `no-unwrap`: `.unwrap()` (always) and `.expect()` with an empty or
+/// trivially short literal message in library code. Panics inside the
+/// emulation abort whole multi-hour sweeps; fallible paths must return
+/// `Result`, and the remaining panics must document the invariant that makes
+/// them unreachable.
+fn check_no_unwrap(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, line) in src.code_lines.iter().enumerate() {
+        if src.in_test[i] {
+            continue;
+        }
+        if line.contains(".unwrap()") {
+            out.push(Diagnostic::new(
+                path,
+                i,
+                "no-unwrap",
+                "`.unwrap()` in library code; return a Result or use `.expect(...)` \
+                 with a message documenting why failure is impossible"
+                    .to_string(),
+                &src.raw_lines[i],
+            ));
+        }
+        let mut from = 0usize;
+        while let Some(rel) = line[from..].find(".expect(") {
+            let at = from + rel;
+            from = at + ".expect(".len();
+            let arg = &line[from..];
+            // Only literal messages are measurable; dynamic messages
+            // (format!, variables) count as documented.
+            if let Some(q) = arg.strip_prefix('"') {
+                let msg_len = q.find('"').unwrap_or(q.len());
+                if msg_len < MIN_EXPECT_MESSAGE {
+                    out.push(Diagnostic::new(
+                        path,
+                        i,
+                        "no-unwrap",
+                        format!(
+                            "`.expect()` message shorter than {MIN_EXPECT_MESSAGE} chars does \
+                             not document the invariant; explain why failure is impossible"
+                        ),
+                        &src.raw_lines[i],
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Struct-name suffixes that mark persisted experiment records.
+const RECORD_SUFFIXES: [&str; 3] = ["Record", "Result", "Stats"];
+
+/// Rule `serde-default`: persisted record structs (`*Record`, `*Result`,
+/// `*Stats` deriving `Deserialize`) must mark every field `#[serde(default)]`
+/// (or carry a container-level default). Records written by an older binary
+/// must stay loadable after fields are added — PR 1's fault columns were
+/// exactly such an evolution.
+fn check_serde_default(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = src.code_lines.len();
+    for i in 0..n {
+        if src.in_test[i] {
+            continue;
+        }
+        let line = src.code_lines[i].trim_start();
+        let Some(rest) = line.strip_prefix("pub struct ").or_else(|| line.strip_prefix("struct "))
+        else {
+            continue;
+        };
+        let name: String =
+            rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        if !RECORD_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            continue;
+        }
+        if !rest[name.len()..].trim_start().starts_with('{') {
+            // Tuple/unit structs have no named fields to default.
+            continue;
+        }
+        // Attributes directly above the struct.
+        let mut attrs = String::new();
+        let mut j = i;
+        while j > 0 {
+            let prev = src.code_lines[j - 1].trim();
+            if prev.starts_with("#[") || prev.starts_with("#!") || prev.ends_with(']') && prev.contains('#') {
+                attrs.push_str(prev);
+                attrs.push('\n');
+                j -= 1;
+            } else if prev.is_empty() {
+                // Blanked doc comment.
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if !attrs.contains("Deserialize") {
+            continue;
+        }
+        if attrs.contains("serde(default") {
+            continue; // container-level default covers every field
+        }
+        // Walk the struct body; depth 1 = field level.
+        let mut depth = 0usize;
+        let mut field_attrs = String::new();
+        let mut k = i;
+        'body: while k < n {
+            for c in src.code_lines[k].chars() {
+                if c == '{' {
+                    depth += 1;
+                } else if c == '}' {
+                    depth -= 1;
+                    if depth == 0 {
+                        break 'body;
+                    }
+                }
+            }
+            if k > i && depth == 1 {
+                let t = src.code_lines[k].trim();
+                if t.starts_with('#') {
+                    field_attrs.push_str(t);
+                } else {
+                    let field = t.strip_prefix("pub ").unwrap_or(t);
+                    let ident: String = field
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !ident.is_empty() && field[ident.len()..].trim_start().starts_with(':') {
+                        if !field_attrs.contains("serde(default") {
+                            out.push(Diagnostic::new(
+                                path,
+                                k,
+                                "serde-default",
+                                format!(
+                                    "field `{ident}` of record struct `{name}` lacks \
+                                     #[serde(default)]; persisted records from older \
+                                     binaries must stay loadable when fields are added"
+                                ),
+                                &src.raw_lines[k],
+                            ));
+                        }
+                        field_attrs.clear();
+                    }
+                }
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::prepare;
+
+    fn run(rule: &str, src: &str) -> Vec<Diagnostic> {
+        let p = prepare(src);
+        check_all("test.rs", &p).into_iter().filter(|d| d.rule == rule).collect()
+    }
+
+    #[test]
+    fn hashmap_fires_outside_tests_only() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod t { use std::collections::HashSet; }\n";
+        let d = run("hash-collections", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn hashmap_in_string_or_comment_is_ignored() {
+        let src = "// a HashMap here\nlet s = \"HashMap\";\n";
+        assert!(run("hash-collections", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_fires_on_instant_and_system_time() {
+        let src = "let t0 = std::time::Instant::now();\nlet st: SystemTime = x;\n";
+        assert_eq!(run("wall-clock", src).len(), 2);
+    }
+
+    #[test]
+    fn truncating_cast_needs_accounting_context() {
+        // Cast without byte/time identifiers: not flagged.
+        assert!(run("truncating-cast", "let k = (x * y) as usize;").is_empty());
+        // Same cast feeding byte accounting: flagged.
+        let d = run("truncating-cast", "let total_bytes = (x * y) as u64;");
+        assert_eq!(d.len(), 1);
+        // Float targets never truncate to integers.
+        assert!(run("truncating-cast", "let secs = bytes as f64 / rate;").is_empty());
+        // Literal casts are inert.
+        assert!(run("truncating-cast", "let zero_bytes = 0 as u64;").is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_expect_documented_passes() {
+        assert_eq!(run("no-unwrap", "let x = v.pop().unwrap();").len(), 1);
+        assert!(run("no-unwrap", "let x = v.pop().expect(\"ring buffer is never empty\");")
+            .is_empty());
+        assert_eq!(run("no-unwrap", "let x = v.pop().expect(\"x\");").len(), 1);
+        // Dynamic messages count as documented.
+        assert!(run("no-unwrap", "let x = v.pop().expect(&msg);").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_module_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { v.pop().unwrap(); }\n}\n";
+        assert!(run("no-unwrap", src).is_empty());
+    }
+
+    #[test]
+    fn serde_default_flags_undefaulted_record_field() {
+        let src = "#[derive(Serialize, Deserialize)]\npub struct FooRecord {\n    pub a: u64,\n    #[serde(default)]\n    pub b: u64,\n}\n";
+        let d = run("serde-default", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("`a`"));
+    }
+
+    #[test]
+    fn serde_default_container_level_is_enough() {
+        let src = "#[derive(Serialize, Deserialize)]\n#[serde(default)]\npub struct FooRecord {\n    pub a: u64,\n}\n";
+        assert!(run("serde-default", src).is_empty());
+    }
+
+    #[test]
+    fn serde_default_ignores_non_record_and_non_serde_structs() {
+        let src = "#[derive(Serialize, Deserialize)]\npub struct Config {\n    pub a: u64,\n}\npub struct BareStats {\n    pub a: u64,\n}\n";
+        assert!(run("serde-default", src).is_empty());
+    }
+}

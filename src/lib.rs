@@ -31,3 +31,4 @@ pub use fedsu_netsim as netsim;
 pub use fedsu_nn as nn;
 pub use fedsu_strategies as strategies;
 pub use fedsu_tensor as tensor;
+pub use fedsu_transport as transport;

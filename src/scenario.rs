@@ -335,7 +335,8 @@ impl Scenario {
         let cluster = ClusterConfig::paper_like(self.n_clients);
         // Two-way full-model transfer time on the client link, from which
         // the compute constant is derived via the paper-calibrated ratio.
-        let full_bytes = (param_count * 4) as u64;
+        let full_bytes =
+            u64::try_from(param_count * 4).expect("model byte size fits in u64 on all targets");
         let comm = cluster.client_link.transfer_secs(full_bytes) * 2.0;
         ExperimentConfig {
             cluster,

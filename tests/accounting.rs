@@ -1,6 +1,10 @@
 //! Communication-accounting invariants across strategies: conservation of
 //! scalars, byte arithmetic, and sparsification-ratio bounds.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_repro::fl::RoundRecord;
 use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};
 

@@ -2,6 +2,10 @@
 //! synthetic task to high accuracy, and the paper's headline orderings hold
 //! (FedSU sparsifies more than APF without losing accuracy).
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};
 
 fn scenario() -> Scenario {

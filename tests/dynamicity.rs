@@ -1,6 +1,10 @@
 //! Participant dynamicity end-to-end (Sec. V): clients joining and leaving
 //! mid-run, join-state downloads, and mask consistency for joiners.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_repro::core::{FedSu, FedSuConfig, JoinState};
 use fedsu_repro::fl::experiment::AvailabilityFn;
 use fedsu_repro::fl::SyncStrategy;

@@ -1,6 +1,10 @@
 //! Integration tests for the extension features: QSGD/Top-K baselines,
 //! learning-rate schedules, gradient clipping, and bandwidth traces.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_repro::fl::LrSchedule;
 use fedsu_repro::netsim::BandwidthTrace;
 use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};

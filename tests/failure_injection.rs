@@ -1,6 +1,10 @@
 //! Failure injection: divergence detection, degenerate cluster shapes, and
 //! hostile strategy behaviour.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_repro::fl::strategy::average_into;
 use fedsu_repro::fl::{AggregateOutcome, FlError, SyncStrategy};
 use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};

@@ -3,6 +3,10 @@
 //! linearity test it replaces, both on constructed trajectories and on real
 //! FL parameter trajectories.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_repro::core::diagnosis::OscillationDiagnostic;
 use fedsu_repro::metrics::{linear_fit, TrajectoryRecorder};
 use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};

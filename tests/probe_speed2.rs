@@ -1,5 +1,12 @@
 //! Wall-clock probe for tiny-preset round costs (run manually).
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+// This probe's whole purpose is to measure real wall time; the
+// disallowed-methods ban on Instant::now protects sim code, not this file.
+#![allow(clippy::disallowed_methods)]
+
 use fedsu_repro::nn::models::ModelPreset;
 use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};
 use std::time::Instant;

@@ -2,6 +2,10 @@
 //! plans the experiment must complete, keep the global model finite, keep
 //! simulated time strictly monotone, and stay fully deterministic.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_repro::fl::DefenseConfig;
 use fedsu_repro::netsim::FaultConfig;
 use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};

@@ -1,6 +1,10 @@
 //! Property-based tests of the FedSU manager's invariants under random
 //! client dynamics.
 
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsu_repro::core::{FedSu, FedSuConfig, JoinState};
 use fedsu_repro::fl::SyncStrategy;
 use proptest::prelude::*;
