@@ -122,7 +122,14 @@ impl JoinState {
         let n = data.get_u32_le() as usize;
         let rounds_seen = data.get_u64_le();
         let mask_bytes = n.div_ceil(8);
-        if data.remaining() < mask_bytes + n * (16 + 6) {
+        // Checked math: `n` comes off the wire, so an adversarial or corrupt
+        // count must surface as Truncated, not as a usize overflow panic (or
+        // a silent wrap admitting an undersized payload on 32-bit targets).
+        let needed_bytes = n
+            .checked_mul(16 + 6)
+            .and_then(|per_client| per_client.checked_add(mask_bytes))
+            .ok_or(JoinStateError::Truncated)?;
+        if data.remaining() < needed_bytes {
             return Err(JoinStateError::Truncated);
         }
         let mut predictable = Vec::with_capacity(n);

@@ -600,7 +600,9 @@ impl SyncStrategy for FedSu {
     fn state_bytes(&self) -> usize {
         // Per-client replicated state, times the number of client replicas
         // the emulation is standing in for.
-        self.per_client_state_bytes() * self.errors.len().max(1)
+        self.per_client_state_bytes()
+            .checked_mul(self.errors.len().max(1))
+            .expect("replicated state total fits in usize: per-client state is a few KB")
     }
 
     fn join_state(&self) -> Option<Vec<u8>> {

@@ -291,7 +291,9 @@ impl Experiment {
                 if active[i] {
                     download_bytes[i] = scalars_to_bytes(prev_broadcast_scalars);
                     if !was_active[i] && round > 0 {
-                        download_bytes[i] = scalars_to_bytes(total) + join_state_bytes;
+                        download_bytes[i] = scalars_to_bytes(total)
+                            .checked_add(join_state_bytes)
+                            .expect("rejoin payload fits in u64: model bytes plus a small join state");
                     }
                 }
             }
@@ -512,7 +514,9 @@ impl Experiment {
                 .filter(|&i| returned[i])
                 .map(|i| bytes_with_retries(upload_bytes[i], tx_attempts[i]) - upload_bytes[i])
                 .sum();
-            let bytes: u64 = upload_wire + download_bytes.iter().sum::<u64>();
+            let bytes: u64 = upload_wire
+                .checked_add(download_bytes.iter().sum::<u64>())
+                .expect("round wire total fits in u64: both directions are bounded by model size");
 
             // Runtime invariant guards (armed by FEDSU_CHECK_INVARIANTS=1):
             // the emulated clock only moves forward, and every uploaded wire
@@ -536,9 +540,13 @@ impl Experiment {
                     .filter(|&i| returned[i] && valid[i] && !survivors.contains(&i))
                     .map(|i| upload_bytes[i])
                     .sum();
+                let decomposed_bytes = aggregated_bytes
+                    .checked_add(quarantined_bytes)
+                    .and_then(|b| b.checked_add(late_bytes))
+                    .and_then(|b| b.checked_add(retransmitted_bytes))
+                    .expect("wire decomposition fits in u64: every term is bounded by upload wire");
                 assert_eq!(
-                    upload_wire,
-                    aggregated_bytes + quarantined_bytes + late_bytes + retransmitted_bytes,
+                    upload_wire, decomposed_bytes,
                     "invariant violation [wire-conservation]: round {round} upload \
                      wire bytes do not decompose into aggregated + quarantined + \
                      late + retransmitted"

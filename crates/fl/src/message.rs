@@ -37,7 +37,11 @@ impl RoundComm {
 
     /// Total bytes moved this round, both directions, all clients.
     pub fn total_bytes(&self) -> u64 {
-        self.upload_bytes.iter().sum::<u64>() + self.download_bytes.iter().sum::<u64>()
+        self.upload_bytes
+            .iter()
+            .sum::<u64>()
+            .checked_add(self.download_bytes.iter().sum::<u64>())
+            .expect("round byte total fits in u64: per-client payloads are model-sized")
     }
 }
 
@@ -51,7 +55,9 @@ pub fn scalars_to_bytes(scalars: usize) -> u64 {
 /// on the `attempts`-th try (every lost attempt retransmits the payload).
 /// `attempts == 1` is the fault-free case and costs exactly `bytes`.
 pub fn bytes_with_retries(bytes: u64, attempts: u32) -> u64 {
-    bytes * u64::from(attempts.max(1))
+    bytes
+        .checked_mul(u64::from(attempts.max(1)))
+        .expect("retry-inflated wire bytes fit in u64: attempts is a small bounded count")
 }
 
 #[cfg(test)]

@@ -1,0 +1,22 @@
+//! Fixture for the `float-determinism` rule: linted AS IF it were under
+//! `crates/nn/src/` (the test passes that rel path). Exactly one finding:
+//! the float sum over `.values()`. The slice-ordered sums below must NOT
+//! fire, and nothing fires when the same text is linted outside the scoped
+//! crates.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+fn unstable_mean(per_client_loss: &ClientMap) -> f64 {
+    per_client_loss.values().sum::<f64>()
+}
+
+fn stable_mean(losses: &[f64]) -> f64 {
+    losses.iter().sum::<f64>() / losses.len() as f64
+}
+
+fn stable_fold(losses: &[f32]) -> f32 {
+    losses.iter().fold(0.0, |acc, l| acc + l)
+}
+
+fn integer_tally(counts: &ClientMap) -> usize {
+    counts.values().map(|v| v.len()).fold(0, |a, b| a + b)
+}

@@ -1,0 +1,27 @@
+//! Lexer fixture: hazards inside `#[cfg(test)]` items must yield ZERO
+//! diagnostics. Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+fn library_code() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let t0 = std::time::Instant::now();
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        let total_bytes = 4u64;
+        let doubled = total_bytes + total_bytes;
+        assert!(doubled == 8 && t0.elapsed().as_nanos() < u128::MAX);
+        m.get(&1).unwrap();
+    }
+}
+
+#[cfg(any(test, feature = "bench-helpers"))]
+fn helper_with_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,15 @@
+//! Lexer fixture: hazards inside doc comments must yield ZERO diagnostics.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+/// Never call `Instant::now()` here; the emulator clock replaces it.
+/// A `HashMap<ClientId, f32>` would also be wrong: iteration order.
+///
+/// ```
+/// let t = std::time::Instant::now(); // doc-test code is doc text to us
+/// let v = series.last().unwrap();
+/// ```
+fn documented() -> u32 {
+    42
+}
+
+//! (trailing inner doc mention of SystemTime for good measure)

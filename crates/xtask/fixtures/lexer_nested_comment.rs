@@ -1,0 +1,13 @@
+//! Lexer fixture: hazards inside nested block comments must yield ZERO
+//! diagnostics. Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+/* outer comment
+   /* nested: use std::collections::HashMap;
+      let t0 = std::time::Instant::now();
+   */
+   still inside the OUTER comment after the nested close:
+   x.unwrap(); total_bytes + extra_bytes; SystemTime::now()
+*/
+fn clean() -> u32 {
+    41
+}

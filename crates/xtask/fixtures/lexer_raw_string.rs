@@ -1,0 +1,16 @@
+//! Lexer fixture: hazard names inside raw strings must yield ZERO
+//! diagnostics. Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+fn describe() -> &'static str {
+    r#"use std::collections::HashMap; let t = Instant::now(); x.unwrap()"#
+}
+
+fn describe_hashes() -> &'static str {
+    // Raw string with extra hashes, containing a quote-hash sequence that a
+    // naive scanner would treat as the terminator.
+    r##"HashSet "# still inside " SystemTime"##
+}
+
+fn byte_raw() -> &'static [u8] {
+    br#"total_bytes + retry_bytes"#
+}

@@ -1,0 +1,24 @@
+//! Fixture for the `panic-path` rule: linted AS IF it were
+//! `crates/fl/src/experiment.rs` (the test passes that rel path), so `run`
+//! is a hot-path root. Exactly one finding: the indexing inside `train_one`,
+//! two call hops from `run`. The same indexing in `offline_report` must NOT
+//! fire — nothing reaches it from a root.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn run(plan: &[usize]) -> usize {
+    train_all(plan)
+}
+
+fn train_all(plan: &[usize]) -> usize {
+    train_one(plan)
+}
+
+fn train_one(plan: &[usize]) -> usize {
+    plan[0]
+}
+
+fn offline_report(plan: &[usize]) -> Option<usize> {
+    let first = plan.first().copied();
+    let _cold_index = plan.len().checked_sub(1).map(|i| plan[i]);
+    first
+}

@@ -1,0 +1,30 @@
+//! Fixture for the `unchecked-arith` rule: exactly one finding, on the bare
+//! `+=` over wire-byte totals. The checked, saturating, and float sites
+//! below must NOT fire.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+fn account(upload_bytes: u64, retry_bytes: u64) -> u64 {
+    let mut total_bytes = upload_bytes;
+    total_bytes += retry_bytes;
+    total_bytes
+}
+
+fn account_checked(upload_bytes: u64, retry_bytes: u64) -> u64 {
+    upload_bytes
+        .checked_add(retry_bytes)
+        .expect("wire totals stay far below u64::MAX by construction")
+}
+
+fn account_saturating(window_ms: u64, grace_ms: u64) -> u64 {
+    window_ms.saturating_add(grace_ms)
+}
+
+fn sim_clock(sim_time: f64, round_secs: f64) -> f64 {
+    // Float sim time is accumulated with float ops on purpose.
+    sim_time + round_secs
+}
+
+fn unrelated(count: usize, extra: usize) -> usize {
+    // No accounting identifier in the operand chains: must NOT fire.
+    count + extra
+}

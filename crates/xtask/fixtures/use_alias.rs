@@ -1,0 +1,9 @@
+//! Fixture: a renamed import is still the same hazardous type. Seeds two
+//! `hash-collections` findings: the `use … as` line and the aliased usage.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+use std::collections::HashMap as Map;
+
+fn select_clients(weights: &Map<usize, f32>) -> usize {
+    weights.len()
+}

@@ -1,0 +1,183 @@
+//! Name-based call-graph approximation over parsed files.
+//!
+//! The panic-path rule needs "is this function transitively reachable from
+//! the experiment round loop" — without type resolution, the useful (and
+//! sound-for-linting) over-approximation is by name: a call to `foo` may
+//! reach *every* function named `foo` in the workspace. That errs toward
+//! flagging too much, which is the right direction for a panic audit; false
+//! positives land in the baseline, never silently pass.
+
+use crate::ast::ParsedFile;
+use crate::lexer::TokenKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Hot-path roots: function name + required path suffix of its file.
+const ROOTS: [(&str, &str); 3] = [
+    ("run", "fl/src/experiment.rs"),
+    ("aggregate", "core/src/manager.rs"),
+    ("prepare_uploads", "core/src/manager.rs"),
+];
+
+/// Reachability result: for each file (by workspace-relative path), which
+/// function indices (into `ParsedFile::fns`) are on a hot path.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    hot: BTreeMap<String, BTreeSet<usize>>,
+}
+
+impl CallGraph {
+    /// Builds reachability from the fixed roots over all `files`
+    /// (`(workspace-relative path, parsed file)` pairs).
+    pub fn build(files: &[(String, &ParsedFile)]) -> Self {
+        // Node = (file index, fn index). Resolve call names to all
+        // same-named nodes.
+        let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+        for (fi, (_, pf)) in files.iter().enumerate() {
+            for (ni, f) in pf.fns.iter().enumerate() {
+                by_name.entry(f.name.as_str()).or_default().push((fi, ni));
+            }
+        }
+
+        let mut queue: Vec<(usize, usize)> = Vec::new();
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (fi, (rel, pf)) in files.iter().enumerate() {
+            for (ni, f) in pf.fns.iter().enumerate() {
+                if !f.in_test && is_root(&f.name, rel) && seen.insert((fi, ni)) {
+                    queue.push((fi, ni));
+                }
+            }
+        }
+
+        while let Some((fi, ni)) = queue.pop() {
+            let pf = files[fi].1;
+            let Some(body) = pf.fns[ni].body else { continue };
+            for callee in called_names(pf, body) {
+                if let Some(targets) = by_name.get(callee.as_str()) {
+                    for &t in targets {
+                        if seen.insert(t) {
+                            queue.push(t);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut hot: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+        for (fi, ni) in seen {
+            hot.entry(files[fi].0.clone()).or_default().insert(ni);
+        }
+        CallGraph { hot }
+    }
+
+    /// `true` when function `fn_idx` of file `rel` is on a hot path.
+    pub fn is_hot(&self, rel: &str, fn_idx: usize) -> bool {
+        self.hot.get(rel).is_some_and(|s| s.contains(&fn_idx))
+    }
+
+    /// `true` when any hot function exists at all (lets single-file lint
+    /// runs skip the rule when no root is in scope).
+    pub fn has_roots(&self) -> bool {
+        !self.hot.is_empty()
+    }
+}
+
+/// `true` when `name` in file `rel` is one of the fixed hot-path roots.
+fn is_root(name: &str, rel: &str) -> bool {
+    ROOTS.iter().any(|(n, suffix)| *n == name && rel.ends_with(suffix))
+}
+
+/// Collects names syntactically called inside the token range `body`
+/// (inclusive braces): `name(…)` free/assoc calls and `.name(…)` method
+/// calls; `name!(…)` macros are not calls.
+fn called_names(pf: &ParsedFile, body: (usize, usize)) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let toks = &pf.tokens;
+    let (start, end) = body;
+    for i in start..=end.min(toks.len().saturating_sub(1)) {
+        if toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else { continue };
+        if !next.is_punct("(") {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if matches!(
+            name,
+            "if" | "while" | "for" | "match" | "return" | "loop" | "fn" | "move" | "in" | "as"
+        ) {
+            continue;
+        }
+        // `fn name(` directly inside the body is a nested definition.
+        if i > 0 && toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        out.insert(name.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::lex;
+
+    fn graph(srcs: &[(&str, &str)]) -> (Vec<(String, ParsedFile)>, CallGraph) {
+        let parsed: Vec<(String, ParsedFile)> =
+            srcs.iter().map(|(rel, s)| (rel.to_string(), parse(lex(s)))).collect();
+        let refs: Vec<(String, &ParsedFile)> =
+            parsed.iter().map(|(r, p)| (r.clone(), p)).collect();
+        let g = CallGraph::build(&refs);
+        (parsed, g)
+    }
+
+    #[test]
+    fn transitive_reachability_from_run() {
+        let (parsed, g) = graph(&[(
+            "crates/fl/src/experiment.rs",
+            "pub fn run() { step(); }\nfn step() { inner_helper(); }\nfn inner_helper() {}\nfn unrelated() {}",
+        )]);
+        let rel = &parsed[0].0;
+        assert!(g.is_hot(rel, 0), "root itself is hot");
+        assert!(g.is_hot(rel, 1));
+        assert!(g.is_hot(rel, 2), "two hops from root");
+        assert!(!g.is_hot(rel, 3), "uncalled fn is cold");
+    }
+
+    #[test]
+    fn method_calls_cross_files() {
+        let (_, g) = graph(&[
+            ("crates/core/src/manager.rs", "impl FedSu { pub fn aggregate(&self) { self.helper_m(); } }"),
+            ("crates/core/src/other.rs", "impl Other { pub fn helper_m(&self) { deep(); } }\nfn deep() {}"),
+        ]);
+        assert!(g.is_hot("crates/core/src/other.rs", 0), "same-named method reached");
+        assert!(g.is_hot("crates/core/src/other.rs", 1));
+    }
+
+    #[test]
+    fn macros_are_not_calls() {
+        let (_, g) = graph(&[(
+            "crates/fl/src/experiment.rs",
+            "pub fn run() { log!(target_fn()); helper!(); }\nfn helper() {}",
+        )]);
+        // `helper!()` is a macro, not a call to fn helper — but
+        // `target_fn()` inside the macro args still counts (token-level).
+        assert!(!g.is_hot("crates/fl/src/experiment.rs", 1));
+    }
+
+    #[test]
+    fn no_roots_in_scope() {
+        let (_, g) = graph(&[("crates/nn/src/lib.rs", "pub fn run() { helper(); }\nfn helper() {}")]);
+        assert!(!g.has_roots(), "`run` outside fl/src/experiment.rs is not a root");
+    }
+
+    #[test]
+    fn test_fns_never_seed_reachability() {
+        let (_, g) = graph(&[(
+            "crates/fl/src/experiment.rs",
+            "#[cfg(test)]\nmod t { pub fn run() { secret(); } }\nfn secret() {}",
+        )]);
+        assert!(!g.has_roots());
+    }
+}

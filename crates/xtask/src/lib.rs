@@ -1,35 +1,54 @@
 //! Static-analysis pass for the FedSU reproduction workspace.
 //!
-//! `cargo run -p fedsu-xtask -- lint` walks every workspace `.rs` source and
-//! reports the five determinism/safety hazards the emulation's accounting
-//! depends on (see [`rules`]): nondeterministic hash-collection iteration,
-//! wall-clock reads in sim paths, truncating casts in byte/time accounting,
-//! undocumented panics in library code, and record structs that cannot
-//! deserialize older persisted runs.
+//! `cargo run -p fedsu-xtask -- lint` lexes every workspace `.rs` source
+//! ([`lexer`]), parses a lightweight item tree ([`ast`]), resolves `use`
+//! aliases and local type hints ([`resolve`]), builds a name-based call
+//! graph ([`callgraph`]), and runs the token-level rules ([`rules`]):
+//! nondeterministic hash-collection iteration, wall-clock reads, truncating
+//! casts in accounting statements, undocumented panics, non-evolvable record
+//! schemas, panics on hot experiment paths, unchecked wire-byte/sim-time
+//! arithmetic, and order-nondeterministic float accumulation.
+//!
+//! Findings are gated two ways: the empty-by-policy allow file
+//! (`lint-allow.toml`, [`allowlist`]) and the ratchet baseline
+//! (`lint-baseline.toml`, [`baseline`]) that tolerates pre-existing findings
+//! while rejecting new ones and stale entries. `--format sarif` ([`sarif`])
+//! emits SARIF 2.1.0 for CI annotation.
 //!
 //! Deliberately std-only: the gate must build in seconds on an offline CI
-//! runner. Suppressions live exclusively in the checked-in
-//! `crates/xtask/lint-allow.toml` ([`allowlist`]), so every exception has a
-//! reviewed, greppable reason.
+//! runner.
 
 pub mod allowlist;
+pub mod ast;
+pub mod baseline;
+pub mod callgraph;
+pub mod lexer;
+pub mod resolve;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
 pub mod workspace;
 
+use callgraph::CallGraph;
 use rules::Diagnostic;
+use std::collections::BTreeSet;
 use std::path::Path;
 use workspace::{SourceFile, SourceKind};
 
 /// Result of a full lint run.
 #[derive(Debug)]
 pub struct LintReport {
-    /// Violations not covered by any allow entry (nonzero exit when non-empty).
+    /// New findings: not baselined, not allow-listed (fail the run).
     pub violations: Vec<Diagnostic>,
-    /// Violations waived by `lint-allow.toml`.
+    /// Findings matched by a `lint-baseline.toml` entry (tolerated).
+    pub baselined: Vec<Diagnostic>,
+    /// Findings waived by `lint-allow.toml`.
     pub suppressed: Vec<Diagnostic>,
-    /// Allow entries that matched nothing (also fail the run: stale waivers rot).
+    /// Allow entries that matched nothing (fail the run: stale waivers rot).
     pub unused_allows: Vec<allowlist::AllowEntry>,
+    /// Baseline entries in scanned files that matched nothing (fail the run:
+    /// the ratchet must shrink when findings are fixed).
+    pub stale_baseline: Vec<baseline::BaselineEntry>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -37,57 +56,114 @@ pub struct LintReport {
 impl LintReport {
     /// `true` when the gate should pass.
     pub fn clean(&self) -> bool {
-        self.violations.is_empty() && self.unused_allows.is_empty()
+        self.violations.is_empty()
+            && self.unused_allows.is_empty()
+            && self.stale_baseline.is_empty()
     }
 }
 
-/// Lints `files`, applying the allow entries parsed from `allow_text`.
+/// Lints `files` applying allow entries from `allow_text` and the ratchet
+/// entries from `baseline_text`.
 ///
 /// # Errors
-/// Returns a message when a file cannot be read or the allow file is
+/// Returns a message when a file cannot be read or either gate file is
 /// malformed.
-pub fn lint_files(files: &[SourceFile], allow_text: &str) -> Result<LintReport, String> {
-    let entries = allowlist::parse(allow_text).map_err(|e| e.to_string())?;
-    let mut diags = Vec::new();
+pub fn lint_files(
+    files: &[SourceFile],
+    allow_text: &str,
+    baseline_text: &str,
+) -> Result<LintReport, String> {
+    let allow_entries = allowlist::parse(allow_text).map_err(|e| e.to_string())?;
+    let baseline_entries = baseline::parse(baseline_text).map_err(|e| e.to_string())?;
+
+    // Phase 1: lex + parse every lintable file (the call graph needs the
+    // whole workspace before any rule can run).
+    let mut prepared: Vec<(&SourceFile, scan::PreparedSource)> = Vec::new();
     for f in files {
+        if f.kind == SourceKind::TestOrBench {
+            continue;
+        }
         let text = std::fs::read_to_string(&f.abs)
             .map_err(|e| format!("{}: cannot read: {e}", f.rel))?;
-        diags.extend(lint_source(&f.rel, f.kind, &text));
+        prepared.push((f, scan::prepare(&text)));
     }
-    let (violations, suppressed, unused_allows) = allowlist::apply(diags, &entries);
-    Ok(LintReport { violations, suppressed, unused_allows, files_scanned: files.len() })
+    let graph_input: Vec<(String, &ast::ParsedFile)> =
+        prepared.iter().map(|(f, p)| (f.rel.clone(), &p.file)).collect();
+    let graph = CallGraph::build(&graph_input);
+
+    // Phase 2: run the rules per file against the shared graph.
+    let mut diags = Vec::new();
+    for (f, p) in &prepared {
+        diags.extend(check_prepared(&f.rel, f.kind, p, &graph));
+    }
+
+    let (kept, suppressed, unused_allows) = allowlist::apply(diags, &allow_entries);
+    let scanned: BTreeSet<String> = files.iter().map(|f| f.rel.clone()).collect();
+    let (violations, baselined, stale_baseline) =
+        baseline::apply(kept, &baseline_entries, &scanned);
+    Ok(LintReport {
+        violations,
+        baselined,
+        suppressed,
+        unused_allows,
+        stale_baseline,
+        files_scanned: files.len(),
+    })
 }
 
-/// Lints one source text with the rule subset appropriate to its target kind:
-/// library code gets the full set; examples skip the no-panic rule (a demo
-/// may unwrap); tests and benches are exempt entirely (rules already skip
-/// `#[cfg(test)]` spans inside library files — this extends the same policy
-/// to whole test targets).
-pub fn lint_source(rel: &str, kind: SourceKind, text: &str) -> Vec<Diagnostic> {
-    if kind == SourceKind::TestOrBench {
-        return Vec::new();
-    }
-    let prepared = scan::prepare(text);
-    let mut diags = rules::check_all(rel, &prepared);
+/// Rule pass for one prepared file, with the target-kind policy applied:
+/// library code gets the full set; examples skip the panic-centric rules (a
+/// demo may unwrap, and nothing reaches it from the round loop anyway);
+/// tests and benches are exempt entirely (rules already skip `#[cfg(test)]`
+/// spans inside library files — this extends the same policy to whole test
+/// targets).
+fn check_prepared(
+    rel: &str,
+    kind: SourceKind,
+    p: &scan::PreparedSource,
+    graph: &CallGraph,
+) -> Vec<Diagnostic> {
+    let mut diags = rules::check_all(rel, p, graph);
     if kind == SourceKind::Example {
-        diags.retain(|d| d.rule != "no-unwrap");
+        diags.retain(|d| d.rule != "no-unwrap" && d.rule != "panic-path");
     }
     diags
 }
 
+/// Lints one source text in isolation (fixture tests and single-file use).
+/// The call graph is built from this file alone, so `panic-path` only fires
+/// when the file itself contains a hot-path root.
+pub fn lint_source(rel: &str, kind: SourceKind, text: &str) -> Vec<Diagnostic> {
+    if kind == SourceKind::TestOrBench {
+        return Vec::new();
+    }
+    let p = scan::prepare(text);
+    let graph_input = vec![(rel.to_string(), &p.file)];
+    let graph = CallGraph::build(&graph_input);
+    check_prepared(rel, kind, &p, &graph)
+}
+
 /// Default location of the allow file, relative to the workspace root.
 pub const ALLOW_FILE: &str = "crates/xtask/lint-allow.toml";
+
+/// Reads a gate file (allow or baseline), treating a missing file as empty.
+///
+/// # Errors
+/// Returns a message for I/O errors other than "not found".
+pub fn read_gate_file(path: &Path) -> Result<String, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(String::new()),
+        Err(e) => Err(format!("{}: cannot read: {e}", path.display())),
+    }
+}
 
 /// Reads the allow file, treating a missing file as empty (nothing waived).
 ///
 /// # Errors
 /// Returns a message for I/O errors other than "not found".
 pub fn read_allow_file(path: &Path) -> Result<String, String> {
-    match std::fs::read_to_string(path) {
-        Ok(text) => Ok(text),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(String::new()),
-        Err(e) => Err(format!("{}: cannot read allow file: {e}", path.display())),
-    }
+    read_gate_file(path)
 }
 
 #[cfg(test)]
@@ -102,10 +178,20 @@ mod tests {
     }
 
     #[test]
-    fn examples_skip_only_the_panic_rule() {
+    fn examples_skip_only_the_panic_rules() {
         let src = "use std::collections::HashMap;\nfn main() { x.unwrap(); }\n";
         let diags = lint_source("examples/demo.rs", SourceKind::Example, src);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "hash-collections");
+    }
+
+    #[test]
+    fn panic_path_activates_when_root_file_is_linted() {
+        let src = "pub fn run() { let x = plan[0]; }\n";
+        let diags = lint_source("crates/fl/src/experiment.rs", SourceKind::Library, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "panic-path");
+        // The same body in a non-root file has no hot path.
+        assert!(lint_source("crates/fl/src/other.rs", SourceKind::Library, src).is_empty());
     }
 }

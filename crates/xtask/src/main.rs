@@ -1,10 +1,14 @@
-//! CLI entry point: `cargo run -p fedsu-xtask -- lint [--allow FILE] [PATH...]`.
+//! CLI entry point:
+//! `cargo run -p fedsu-xtask -- lint [--allow FILE] [--baseline FILE]
+//! [--format text|sarif] [--fix-baseline] [PATH...]`.
 //!
-//! Exit codes: `0` clean, `1` unsuppressed violations or stale allow entries,
-//! `2` usage or I/O error.
+//! Exit codes: `0` clean (new findings absent, no stale allow/baseline
+//! entries), `1` gate failure, `2` usage or I/O error. `--fix-baseline`
+//! rewrites `crates/xtask/lint-baseline.toml` deterministically and exits 0.
 
+use fedsu_xtask::baseline::BASELINE_FILE;
 use fedsu_xtask::workspace::{self, SourceFile};
-use fedsu_xtask::{lint_files, read_allow_file, ALLOW_FILE};
+use fedsu_xtask::{baseline, lint_files, read_gate_file, sarif, ALLOW_FILE};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -25,33 +29,82 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: cargo run -p fedsu-xtask -- lint [--allow FILE] [PATH...]");
+    eprintln!(
+        "usage: cargo run -p fedsu-xtask -- lint [--allow FILE] [--baseline FILE]\n\
+         \x20                                       [--format text|sarif] [--fix-baseline]\n\
+         \x20                                       [PATH...]"
+    );
     eprintln!();
     eprintln!("Lints workspace .rs sources for determinism/safety hazards.");
     eprintln!("With no PATH arguments, walks the whole workspace.");
     eprintln!("Suppressions: {ALLOW_FILE} (rule/path/contains/reason entries).");
+    eprintln!("Ratchet:      {BASELINE_FILE} (regenerate with --fix-baseline).");
+    eprintln!("--format sarif emits SARIF 2.1.0 on stdout for CI annotation.");
 }
 
-fn lint_command(args: &[String]) -> ExitCode {
-    let mut allow_override: Option<PathBuf> = None;
-    let mut paths: Vec<PathBuf> = Vec::new();
+/// Parsed `lint` flags.
+struct LintArgs {
+    allow_override: Option<PathBuf>,
+    baseline_override: Option<PathBuf>,
+    format: OutputFormat,
+    fix_baseline: bool,
+    paths: Vec<PathBuf>,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum OutputFormat {
+    Text,
+    Sarif,
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
+    let mut out = LintArgs {
+        allow_override: None,
+        baseline_override: None,
+        format: OutputFormat::Text,
+        fix_baseline: false,
+        paths: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--allow" => match it.next() {
-                Some(p) => allow_override = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("error: --allow requires a file argument");
-                    return ExitCode::from(2);
-                }
-            },
-            flag if flag.starts_with('-') => {
-                eprintln!("error: unknown flag `{flag}`");
-                return ExitCode::from(2);
+            "--allow" => {
+                let p = it.next().ok_or("--allow requires a file argument")?;
+                out.allow_override = Some(PathBuf::from(p));
             }
-            p => paths.push(PathBuf::from(p)),
+            "--baseline" => {
+                let p = it.next().ok_or("--baseline requires a file argument")?;
+                out.baseline_override = Some(PathBuf::from(p));
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => out.format = OutputFormat::Text,
+                Some("sarif") => out.format = OutputFormat::Sarif,
+                Some(other) => return Err(format!("unknown format `{other}` (text|sarif)")),
+                None => return Err("--format requires text|sarif".to_string()),
+            },
+            "--fix-baseline" => out.fix_baseline = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            p => out.paths.push(PathBuf::from(p)),
         }
     }
+    if out.fix_baseline && !out.paths.is_empty() {
+        return Err(
+            "--fix-baseline regenerates the whole-workspace baseline; \
+             explicit PATH arguments would silently drop entries"
+                .to_string(),
+        );
+    }
+    Ok(out)
+}
+
+fn lint_command(raw_args: &[String]) -> ExitCode {
+    let args = match parse_lint_args(raw_args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     // `cargo run -p` sets the cwd to the invocation dir; fall back to the
     // manifest dir baked in at compile time so the binary also works when
@@ -64,7 +117,7 @@ fn lint_command(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let files = if paths.is_empty() {
+    let files = if args.paths.is_empty() {
         match workspace::collect_sources(&root) {
             Ok(f) => f,
             Err(e) => {
@@ -73,7 +126,7 @@ fn lint_command(args: &[String]) -> ExitCode {
             }
         }
     } else {
-        match explicit_files(&root, &paths) {
+        match explicit_files(&root, &args.paths) {
             Ok(f) => f,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -82,17 +135,35 @@ fn lint_command(args: &[String]) -> ExitCode {
         }
     };
 
-    // The checked-in default may legitimately be absent (fresh checkout with
-    // no waivers), but an explicitly named file must exist: a typo'd path
-    // would otherwise silently disable every suppression.
-    if let Some(p) = &allow_override {
-        if !p.is_file() {
-            eprintln!("error: --allow {}: no such file", p.display());
-            return ExitCode::from(2);
+    // The checked-in defaults may legitimately be absent (fresh checkout
+    // with no waivers / no debt), but an explicitly named file must exist: a
+    // typo'd path would otherwise silently disable every suppression.
+    for (flag, p) in
+        [("--allow", &args.allow_override), ("--baseline", &args.baseline_override)]
+    {
+        if let Some(p) = p {
+            if !p.is_file() {
+                eprintln!("error: {flag} {}: no such file", p.display());
+                return ExitCode::from(2);
+            }
         }
     }
-    let allow_path = allow_override.unwrap_or_else(|| root.join(ALLOW_FILE));
-    let allow_text = match read_allow_file(&allow_path) {
+    let allow_path = args.allow_override.clone().unwrap_or_else(|| root.join(ALLOW_FILE));
+    let allow_text = match read_gate_file(&allow_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path =
+        args.baseline_override.clone().unwrap_or_else(|| root.join(BASELINE_FILE));
+
+    if args.fix_baseline {
+        return fix_baseline(&files, &allow_text, &baseline_path);
+    }
+
+    let baseline_text = match read_gate_file(&baseline_path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
@@ -100,7 +171,7 @@ fn lint_command(args: &[String]) -> ExitCode {
         }
     };
 
-    let report = match lint_files(&files, &allow_text) {
+    let report = match lint_files(&files, &allow_text, &baseline_text) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -108,29 +179,76 @@ fn lint_command(args: &[String]) -> ExitCode {
         }
     };
 
-    for d in &report.violations {
-        println!("{}:{}: error[{}]: {}", d.path, d.line, d.rule, d.message);
-        println!("    | {}", d.snippet);
-    }
-    for e in &report.unused_allows {
+    if args.format == OutputFormat::Sarif {
+        println!("{}", sarif::render(&report));
+    } else {
+        for d in &report.violations {
+            println!("{}:{}: error[{}]: {}", d.path, d.line, d.rule, d.message);
+            println!("    | {}", d.snippet);
+        }
+        for e in &report.unused_allows {
+            println!(
+                "{}: error[stale-allow]: [[allow]] entry for rule `{}` matched nothing \
+                 (reason was: {}); remove it",
+                e.path, e.rule, e.reason
+            );
+        }
+        for e in &report.stale_baseline {
+            println!(
+                "{}:{}: error[stale-baseline]: [[finding]] entry for rule `{}` matched \
+                 nothing — the finding moved or was fixed; rerun `lint --fix-baseline` \
+                 and commit the shrunken file",
+                e.path, e.line, e.rule
+            );
+        }
         println!(
-            "{}: error[stale-allow]: [[allow]] entry for rule `{}` matched nothing \
-             (reason was: {}); remove it",
-            e.path, e.rule, e.reason
+            "fedsu-xtask lint: {} file(s), {} new violation(s), {} baselined, \
+             {} suppressed, {} stale allow(s), {} stale baseline entr(ies)",
+            report.files_scanned,
+            report.violations.len(),
+            report.baselined.len(),
+            report.suppressed.len(),
+            report.unused_allows.len(),
+            report.stale_baseline.len()
         );
     }
-    println!(
-        "fedsu-xtask lint: {} file(s), {} violation(s), {} suppressed, {} stale allow(s)",
-        report.files_scanned,
-        report.violations.len(),
-        report.suppressed.len(),
-        report.unused_allows.len()
-    );
     if report.clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `lint --fix-baseline`: lints against an empty baseline and writes every
+/// remaining (non-allow-listed) finding to `baseline_path`, deterministically
+/// sorted. Exits 0 even when findings exist — recording them is the point.
+fn fix_baseline(files: &[SourceFile], allow_text: &str, baseline_path: &Path) -> ExitCode {
+    let report = match lint_files(files, allow_text, "") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !report.unused_allows.is_empty() {
+        eprintln!(
+            "error: {} stale [[allow]] entr(ies); fix {ALLOW_FILE} before regenerating \
+             the baseline",
+            report.unused_allows.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let text = baseline::render(&report.violations);
+    if let Err(e) = std::fs::write(baseline_path, &text) {
+        eprintln!("error: {}: cannot write baseline: {e}", baseline_path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "fedsu-xtask lint: baseline regenerated with {} finding(s) at {}",
+        report.violations.len(),
+        baseline_path.display()
+    );
+    ExitCode::SUCCESS
 }
 
 /// Resolves explicitly-passed paths (files or directories) into lintable

@@ -1,13 +1,21 @@
-//! The lint rules: each scans a [`PreparedSource`] and reports
+//! The lint rules: each scans a [`PreparedSource`] token stream and reports
 //! reproducibility or safety hazards with `file:line` positions.
 //!
-//! All rules skip test code (`#[cfg(test)]` spans) because the hazards they
-//! guard against — nondeterministic iteration order, wall-clock reads,
-//! silently-truncating arithmetic, panicking accessors, and
-//! non-evolvable record schemas — only threaten the *emulation and its
-//! persisted results*, not assertions inside tests.
+//! All rules skip test code (`#[cfg(test)]` items, `#[test]` functions)
+//! because the hazards they guard against — nondeterministic iteration
+//! order, wall-clock reads, silently-truncating or wrapping arithmetic,
+//! panicking accessors, and non-evolvable record schemas — only threaten the
+//! *emulation and its persisted results*, not assertions inside tests.
+//!
+//! Rules operate on tokens, never on raw text: a `HashMap` inside a string
+//! literal or comment does not exist at this layer, and `use … as` aliases
+//! are resolved through the per-file [`crate::resolve::SymbolTable`].
 
+use crate::callgraph::CallGraph;
+use crate::lexer::{Token, TokenKind};
+use crate::resolve::TypeHint;
 use crate::scan::PreparedSource;
+use std::collections::BTreeSet;
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,167 +24,190 @@ pub struct Diagnostic {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
-    /// Stable rule identifier (used by `lint-allow.toml`).
+    /// Stable rule identifier (used by `lint-allow.toml` and the baseline).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
-    /// The offending source line (trimmed), for allow-entry matching.
+    /// The offending source line (trimmed), for allow/baseline matching.
     pub snippet: String,
 }
 
 impl Diagnostic {
-    fn new(path: &str, line0: usize, rule: &'static str, message: String, raw: &str) -> Self {
+    fn at(src: &PreparedSource, path: &str, line: usize, rule: &'static str, message: String) -> Self {
         Diagnostic {
             path: path.to_string(),
-            line: line0 + 1,
+            line,
             rule,
             message,
-            snippet: raw.trim().to_string(),
+            snippet: src.snippet(line).to_string(),
         }
     }
 }
 
 /// Stable identifiers of every rule, in reporting order.
-pub const RULE_IDS: [&str; 5] =
-    ["hash-collections", "wall-clock", "truncating-cast", "no-unwrap", "serde-default"];
+pub const RULE_IDS: [&str; 8] = [
+    "hash-collections",
+    "wall-clock",
+    "truncating-cast",
+    "no-unwrap",
+    "serde-default",
+    "panic-path",
+    "unchecked-arith",
+    "float-determinism",
+];
 
-/// Runs every rule over one prepared source file.
-pub fn check_all(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
+/// Runs every rule over one prepared source file. `graph` supplies hot-path
+/// reachability for the `panic-path` rule (built over all files in the run).
+pub fn check_all(path: &str, src: &PreparedSource, graph: &CallGraph) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     out.extend(check_hash_collections(path, src));
     out.extend(check_wall_clock(path, src));
     out.extend(check_truncating_cast(path, src));
     out.extend(check_no_unwrap(path, src));
     out.extend(check_serde_default(path, src));
+    out.extend(check_panic_path(path, src, graph));
+    out.extend(check_unchecked_arith(path, src));
+    out.extend(check_float_determinism(path, src));
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
 
-/// `true` when `needle` occurs in `line` as a whole identifier (not as a
-/// substring of a longer identifier).
-fn contains_word(line: &str, needle: &str) -> bool {
-    let mut start = 0usize;
-    while let Some(rel) = line[start..].find(needle) {
-        let at = start + rel;
-        let before_ok = at == 0
-            || !line[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = at + needle.len();
-        let after_ok = after >= line.len()
-            || !line[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + needle.len();
-    }
-    false
-}
-
-/// Rule `hash-collections`: `std::collections::HashMap`/`HashSet` in library
-/// code. Their iteration order is randomized per process, so any aggregation,
-/// selection, or serialization driven by it silently breaks run-to-run
-/// reproducibility. Use `BTreeMap`/`BTreeSet`, or index by dense ids.
+/// Rule `hash-collections`: `HashMap`/`HashSet` (under any `use … as` alias)
+/// in library code. Their iteration order is randomized per process, so any
+/// aggregation, selection, or serialization driven by it silently breaks
+/// run-to-run reproducibility. Use `BTreeMap`/`BTreeSet`, or dense-id
+/// indexing.
 fn check_hash_collections(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for (i, line) in src.code_lines.iter().enumerate() {
-        if src.in_test[i] {
+    let mut fired_lines = BTreeSet::new();
+    for (i, t) in src.file.tokens.iter().enumerate() {
+        if src.tok_in_test(i) || t.kind != TokenKind::Ident {
             continue;
         }
-        for ty in ["HashMap", "HashSet"] {
-            if contains_word(line, ty) {
-                out.push(Diagnostic::new(
-                    path,
-                    i,
-                    "hash-collections",
-                    format!(
-                        "{ty} has nondeterministic iteration order; use BTreeMap/BTreeSet \
-                         or dense-id indexing so emulation results stay reproducible"
-                    ),
-                    &src.raw_lines[i],
-                ));
-                break;
-            }
+        let canon = src.symbols.canonical(&t.text);
+        if (canon == "HashMap" || canon == "HashSet") && fired_lines.insert(t.line) {
+            let via = if t.text == canon {
+                String::new()
+            } else {
+                format!(" (via alias `{}`)", t.text)
+            };
+            out.push(Diagnostic::at(
+                src,
+                path,
+                t.line,
+                "hash-collections",
+                format!(
+                    "{canon}{via} has nondeterministic iteration order; use \
+                     BTreeMap/BTreeSet or dense-id indexing so emulation results \
+                     stay reproducible"
+                ),
+            ));
         }
     }
     out
 }
 
-/// Rule `wall-clock`: `Instant::now`/`SystemTime` in library code. The
-/// emulator owns its own clock (`sim_time_secs`); reading the host clock in a
-/// sim path couples results to machine speed and scheduling.
+/// Rule `wall-clock`: `Instant::now`/`SystemTime` (under any alias) in
+/// library code. The emulator owns its own clock (`sim_time_secs`); reading
+/// the host clock in a sim path couples results to machine speed and
+/// scheduling.
 fn check_wall_clock(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
+    let toks = &src.file.tokens;
     let mut out = Vec::new();
-    for (i, line) in src.code_lines.iter().enumerate() {
-        if src.in_test[i] {
+    let mut fired_lines = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if src.tok_in_test(i) || t.kind != TokenKind::Ident {
             continue;
         }
-        if line.contains("Instant::now") || contains_word(line, "SystemTime") {
-            out.push(Diagnostic::new(
+        let canon = src.symbols.canonical(&t.text);
+        let hit = canon == "SystemTime"
+            || (canon == "Instant"
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("now")));
+        if hit && fired_lines.insert(t.line) {
+            out.push(Diagnostic::at(
+                src,
                 path,
-                i,
+                t.line,
                 "wall-clock",
                 "wall-clock read in emulation code; sim paths must derive every \
                  duration from the deterministic sim clock"
                     .to_string(),
-                &src.raw_lines[i],
             ));
         }
     }
     out
 }
 
-/// Identifier fragments that mark a line as byte- or time-accounting code.
+/// Identifier fragments that mark a statement as byte/time-accounting code.
 const ACCOUNTING_MARKERS: [&str; 8] =
     ["byte", "secs", "duration", "latency", "millis", "deadline", "elapsed", "bandwidth"];
 
-/// Rule `truncating-cast`: `as <integer>` casts on byte/time-accounting
-/// lines. `as` silently truncates and wraps; traffic totals and emulated
-/// clocks must use `u64::from`/`try_from` (or widen the accumulator) so a
-/// unit bug becomes a loud error instead of a wrong paper figure.
+/// Integer cast targets that can truncate.
+const INT_TARGETS: [&str; 10] =
+    ["u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize"];
+
+/// Token range of the statement containing token `i`: bounded by the nearest
+/// `;`/`{`/`}` on each side (exclusive). Coarse, but statements in this
+/// workspace don't nest blocks inside accounting expressions.
+fn statement_span(toks: &[Token], i: usize) -> (usize, usize) {
+    let mut s = i;
+    while s > 0 && !matches!(toks[s - 1].text.as_str(), ";" | "{" | "}") {
+        s -= 1;
+    }
+    let mut e = i;
+    while e + 1 < toks.len() && !matches!(toks[e + 1].text.as_str(), ";" | "{" | "}") {
+        e += 1;
+    }
+    (s, e)
+}
+
+/// `true` when any identifier in `[s, e]` contains an accounting marker.
+fn span_has_marker(toks: &[Token], s: usize, e: usize) -> bool {
+    toks[s..=e].iter().any(|t| {
+        t.kind == TokenKind::Ident && {
+            let lower = t.text.to_lowercase();
+            ACCOUNTING_MARKERS.iter().any(|m| lower.contains(m))
+        }
+    })
+}
+
+/// Rule `truncating-cast`: `as <integer>` casts inside byte/time-accounting
+/// statements. `as` silently truncates and wraps; traffic totals and
+/// emulated clocks must use `u64::from`/`try_from` (or widen the
+/// accumulator) so a unit bug becomes a loud error instead of a wrong paper
+/// figure. Statement-scoped, so multi-line accounting expressions are seen.
 fn check_truncating_cast(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
-    const INT_TARGETS: [&str; 10] =
-        ["u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize"];
+    let toks = &src.file.tokens;
     let mut out = Vec::new();
-    for (i, line) in src.code_lines.iter().enumerate() {
-        if src.in_test[i] {
+    for i in 0..toks.len() {
+        if src.tok_in_test(i) || !toks[i].is_ident("as") {
             continue;
         }
-        let lower = line.to_lowercase();
-        if !ACCOUNTING_MARKERS.iter().any(|m| lower.contains(m)) {
+        let Some(target) = toks.get(i + 1) else { continue };
+        if target.kind != TokenKind::Ident || !INT_TARGETS.contains(&target.text.as_str()) {
             continue;
         }
-        let mut from = 0usize;
-        while let Some(rel) = line[from..].find(" as ") {
-            let at = from + rel;
-            from = at + 4;
-            let rest = line[at + 4..].trim_start();
-            let target: String =
-                rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
-            if !INT_TARGETS.contains(&target.as_str()) {
-                continue;
-            }
-            // Casting a bare literal (e.g. `0 as u64`) can't truncate
-            // anything that matters; skip it.
-            let before = line[..at].trim_end();
-            let src_token: String = before
-                .chars()
-                .rev()
-                .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.')
-                .collect();
-            if src_token.chars().last().is_some_and(|c| c.is_ascii_digit())
-                && src_token.chars().all(|c| c.is_ascii_digit() || c == '_' || c == '.')
-            {
-                continue;
-            }
-            out.push(Diagnostic::new(
-                path,
-                i,
-                "truncating-cast",
-                format!(
-                    "`as {target}` on a byte/time-accounting line silently truncates; \
-                     use `u64::from`/`try_from` or widen the accumulator"
-                ),
-                &src.raw_lines[i],
-            ));
+        // Casting a bare literal (e.g. `0 as u64`) can't truncate anything
+        // that matters; skip it.
+        if i > 0 && matches!(toks[i - 1].kind, TokenKind::Int | TokenKind::Float) {
+            continue;
         }
+        let (s, e) = statement_span(toks, i);
+        if !span_has_marker(toks, s, e) {
+            continue;
+        }
+        out.push(Diagnostic::at(
+            src,
+            path,
+            toks[i].line,
+            "truncating-cast",
+            format!(
+                "`as {}` on a byte/time-accounting statement silently truncates; \
+                 use `u64::from`/`try_from` or widen the accumulator",
+                target.text
+            ),
+        ));
     }
     out
 }
@@ -190,43 +221,45 @@ const MIN_EXPECT_MESSAGE: usize = 10;
 /// `Result`, and the remaining panics must document the invariant that makes
 /// them unreachable.
 fn check_no_unwrap(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
+    let toks = &src.file.tokens;
     let mut out = Vec::new();
-    for (i, line) in src.code_lines.iter().enumerate() {
-        if src.in_test[i] {
+    for i in 0..toks.len() {
+        if src.tok_in_test(i) || !toks[i].is_punct(".") {
             continue;
         }
-        if line.contains(".unwrap()") {
-            out.push(Diagnostic::new(
+        let Some(name) = toks.get(i + 1) else { continue };
+        if !toks.get(i + 2).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        if name.is_ident("unwrap") && toks.get(i + 3).is_some_and(|t| t.is_punct(")")) {
+            out.push(Diagnostic::at(
+                src,
                 path,
-                i,
+                name.line,
                 "no-unwrap",
                 "`.unwrap()` in library code; return a Result or use `.expect(...)` \
                  with a message documenting why failure is impossible"
                     .to_string(),
-                &src.raw_lines[i],
             ));
-        }
-        let mut from = 0usize;
-        while let Some(rel) = line[from..].find(".expect(") {
-            let at = from + rel;
-            from = at + ".expect(".len();
-            let arg = &line[from..];
+        } else if name.is_ident("expect") {
             // Only literal messages are measurable; dynamic messages
             // (format!, variables) count as documented.
-            if let Some(q) = arg.strip_prefix('"') {
-                let msg_len = q.find('"').unwrap_or(q.len());
-                if msg_len < MIN_EXPECT_MESSAGE {
-                    out.push(Diagnostic::new(
-                        path,
-                        i,
-                        "no-unwrap",
-                        format!(
-                            "`.expect()` message shorter than {MIN_EXPECT_MESSAGE} chars does \
-                             not document the invariant; explain why failure is impossible"
-                        ),
-                        &src.raw_lines[i],
-                    ));
-                }
+            let Some(arg) = toks.get(i + 3) else { continue };
+            if matches!(arg.kind, TokenKind::Str | TokenKind::RawStr)
+                && arg
+                    .str_content()
+                    .is_some_and(|msg| msg.chars().count() < MIN_EXPECT_MESSAGE)
+            {
+                out.push(Diagnostic::at(
+                    src,
+                    path,
+                    name.line,
+                    "no-unwrap",
+                    format!(
+                        "`.expect()` message shorter than {MIN_EXPECT_MESSAGE} chars does \
+                         not document the invariant; explain why failure is impossible"
+                    ),
+                ));
             }
         }
     }
@@ -236,6 +269,13 @@ fn check_no_unwrap(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
 /// Struct-name suffixes that mark persisted experiment records.
 const RECORD_SUFFIXES: [&str; 3] = ["Record", "Result", "Stats"];
 
+/// `true` when an attribute text (tokens joined by spaces) is a
+/// `#[serde(default…)]`-style container/field default.
+fn attr_is_serde_default(attr: &str) -> bool {
+    let t = attr.trim_start();
+    t.starts_with("serde") && t.contains("default")
+}
+
 /// Rule `serde-default`: persisted record structs (`*Record`, `*Result`,
 /// `*Stats` deriving `Deserialize`) must mark every field `#[serde(default)]`
 /// (or carry a container-level default). Records written by an older binary
@@ -243,91 +283,344 @@ const RECORD_SUFFIXES: [&str; 3] = ["Record", "Result", "Stats"];
 /// exactly such an evolution.
 fn check_serde_default(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    let n = src.code_lines.len();
-    for i in 0..n {
-        if src.in_test[i] {
+    for s in &src.file.structs {
+        if s.in_test || !s.braced {
             continue;
         }
-        let line = src.code_lines[i].trim_start();
-        let Some(rest) = line.strip_prefix("pub struct ").or_else(|| line.strip_prefix("struct "))
-        else {
-            continue;
-        };
-        let name: String =
-            rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
-        if !RECORD_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+        if !RECORD_SUFFIXES.iter().any(|suf| s.name.ends_with(suf)) {
             continue;
         }
-        if !rest[name.len()..].trim_start().starts_with('{') {
-            // Tuple/unit structs have no named fields to default.
+        if !s.attrs.iter().any(|a| a.contains("Deserialize")) {
             continue;
         }
-        // Attributes directly above the struct.
-        let mut attrs = String::new();
-        let mut j = i;
-        while j > 0 {
-            let prev = src.code_lines[j - 1].trim();
-            if prev.starts_with("#[") || prev.starts_with("#!") || prev.ends_with(']') && prev.contains('#') {
-                attrs.push_str(prev);
-                attrs.push('\n');
-                j -= 1;
-            } else if prev.is_empty() {
-                // Blanked doc comment.
-                j -= 1;
-            } else {
-                break;
-            }
-        }
-        if !attrs.contains("Deserialize") {
-            continue;
-        }
-        if attrs.contains("serde(default") {
+        if s.attrs.iter().any(|a| attr_is_serde_default(a)) {
             continue; // container-level default covers every field
         }
-        // Walk the struct body; depth 1 = field level.
-        let mut depth = 0usize;
-        let mut field_attrs = String::new();
-        let mut k = i;
-        'body: while k < n {
-            for c in src.code_lines[k].chars() {
-                if c == '{' {
+        for f in &s.fields {
+            if f.attrs.iter().any(|a| attr_is_serde_default(a)) {
+                continue;
+            }
+            out.push(Diagnostic::at(
+                src,
+                path,
+                f.line,
+                "serde-default",
+                format!(
+                    "field `{}` of record struct `{}` lacks #[serde(default)]; \
+                     persisted records from older binaries must stay loadable \
+                     when fields are added",
+                    f.name, s.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Rule `panic-path`: `panic!`/`unreachable!`, slice/array indexing, and
+/// `.expect(…)` inside functions transitively reachable (by the name-based
+/// call-graph approximation) from `fl::experiment::run` or the
+/// `core::manager` hot loops. A panic on these paths aborts a whole
+/// multi-hour sweep; hot code must use `get()`/`get_mut()` or propagate
+/// `FlError`, and any remaining panic needs a baseline entry reviewed in PR.
+fn check_panic_path(path: &str, src: &PreparedSource, graph: &CallGraph) -> Vec<Diagnostic> {
+    let toks = &src.file.tokens;
+    let mut out = Vec::new();
+    let mut fired_lines = BTreeSet::new();
+    for (ni, f) in src.file.fns.iter().enumerate() {
+        if f.in_test || !graph.is_hot(path, ni) {
+            continue;
+        }
+        let Some((bs, be)) = f.body else { continue };
+        for i in bs..=be.min(toks.len().saturating_sub(1)) {
+            if src.tok_in_test(i) {
+                continue;
+            }
+            let t = &toks[i];
+            let what: Option<&str> = if t.kind == TokenKind::Ident
+                && matches!(t.text.as_str(), "panic" | "unreachable")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            {
+                Some("explicit panic")
+            } else if t.is_punct("[")
+                && i > bs
+                && (matches!(toks[i - 1].kind, TokenKind::Ident)
+                    || toks[i - 1].is_punct(")")
+                    || toks[i - 1].is_punct("]"))
+            {
+                Some("slice indexing")
+            } else if t.is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_ident("expect"))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+            {
+                Some("`.expect()`")
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                if fired_lines.insert(t.line) {
+                    out.push(Diagnostic::at(
+                        src,
+                        path,
+                        t.line,
+                        "panic-path",
+                        format!(
+                            "{what} in `{}`, which is reachable from the experiment \
+                             round loop; a panic here aborts the whole sweep — use \
+                             get()/checked ops or propagate the error",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `true` when `name` matches the wire-byte / sim-time naming contract.
+fn matches_accounting_contract(name: &str) -> bool {
+    name == "bytes"
+        || name.ends_with("_bytes")
+        || name.ends_with("_ms")
+        || name.starts_with("sim_time")
+}
+
+/// Skips backward over one balanced `(…)`/`[…]` group ending at `j`
+/// (which holds a `)` or `]`), returning the opener's index.
+fn skip_group_back(toks: &[Token], j: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut k = j;
+    loop {
+        if toks[k].is_punct(close) {
+            depth += 1;
+        } else if toks[k].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        if k == 0 {
+            return 0;
+        }
+        k -= 1;
+    }
+}
+
+/// Identifiers in the operand chain immediately left of token `i`.
+fn left_chain_idents(toks: &[Token], i: usize, stop: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut j = i;
+    while j > stop {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(")") {
+            j = skip_group_back(toks, j, "(", ")");
+        } else if t.is_punct("]") {
+            j = skip_group_back(toks, j, "[", "]");
+        } else if t.kind == TokenKind::Ident {
+            out.push(t.text.clone());
+        } else if !(t.is_punct(".") || t.is_punct("::") || matches!(t.kind, TokenKind::Int)) {
+            break;
+        }
+    }
+    out
+}
+
+/// Identifiers in the operand chain immediately right of token `i`.
+fn right_chain_idents(toks: &[Token], i: usize, stop: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut j = i + 1;
+    while j <= stop && j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("(") {
+            let mut depth = 0usize;
+            while j <= stop && j < toks.len() {
+                if toks[j].is_punct("(") {
                     depth += 1;
-                } else if c == '}' {
+                } else if toks[j].is_punct(")") {
                     depth -= 1;
                     if depth == 0 {
-                        break 'body;
+                        break;
                     }
                 }
+                j += 1;
             }
-            if k > i && depth == 1 {
-                let t = src.code_lines[k].trim();
-                if t.starts_with('#') {
-                    field_attrs.push_str(t);
-                } else {
-                    let field = t.strip_prefix("pub ").unwrap_or(t);
-                    let ident: String = field
-                        .chars()
-                        .take_while(|c| c.is_alphanumeric() || *c == '_')
-                        .collect();
-                    if !ident.is_empty() && field[ident.len()..].trim_start().starts_with(':') {
-                        if !field_attrs.contains("serde(default") {
-                            out.push(Diagnostic::new(
-                                path,
-                                k,
-                                "serde-default",
-                                format!(
-                                    "field `{ident}` of record struct `{name}` lacks \
-                                     #[serde(default)]; persisted records from older \
-                                     binaries must stay loadable when fields are added"
-                                ),
-                                &src.raw_lines[k],
-                            ));
-                        }
-                        field_attrs.clear();
+        } else if t.kind == TokenKind::Ident {
+            out.push(t.text.clone());
+        } else if !(t.is_punct(".") || t.is_punct("::") || matches!(t.kind, TokenKind::Int)) {
+            break;
+        }
+        j += 1;
+    }
+    out
+}
+
+/// `true` when token `i` sits inside the argument list of a
+/// `checked_*`/`saturating_*`/`wrapping_*` call within the statement.
+fn inside_checked_call(toks: &[Token], stmt_start: usize, i: usize) -> bool {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j > stmt_start {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(")") {
+            depth += 1;
+        } else if t.is_punct("(") {
+            if depth == 0 {
+                if j > 0 && toks[j - 1].kind == TokenKind::Ident {
+                    let n = toks[j - 1].text.as_str();
+                    if n.starts_with("checked_")
+                        || n.starts_with("saturating_")
+                        || n.starts_with("wrapping_")
+                        || n.starts_with("overflowing_")
+                    {
+                        return true;
                     }
                 }
+            } else {
+                depth -= 1;
             }
-            k += 1;
+        }
+    }
+    false
+}
+
+/// `true` when a float literal or `f32`/`f64` appears within `window` tokens
+/// of `i` — the statement is float arithmetic, where wrapping overflow does
+/// not exist and the rule must stay silent.
+fn float_context(toks: &[Token], i: usize, window: usize) -> bool {
+    let lo = i.saturating_sub(window);
+    let hi = (i + window).min(toks.len().saturating_sub(1));
+    toks[lo..=hi].iter().any(|t| {
+        t.kind == TokenKind::Float || t.is_ident("f32") || t.is_ident("f64")
+    })
+}
+
+/// Rule `unchecked-arith`: bare `+`/`+=`/`*`/`*=` whose operand chain
+/// touches an identifier matching the wire-byte/sim-time naming contract
+/// (`bytes`, `*_bytes`, `*_ms`, `sim_time*`) outside a
+/// `checked_`/`saturating_` call and outside float arithmetic. Wire-byte
+/// conservation is a paper-level invariant (PR 1/2); overflow must be loud.
+fn check_unchecked_arith(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
+    let toks = &src.file.tokens;
+    let mut out = Vec::new();
+    let mut fired_lines = BTreeSet::new();
+    for i in 0..toks.len() {
+        if src.tok_in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let op = t.text.as_str();
+        if t.kind != TokenKind::Punct || !matches!(op, "+" | "+=" | "*" | "*=") {
+            continue;
+        }
+        // `+`/`*` must be binary: something value-like on the left.
+        if matches!(op, "+" | "*")
+            && !(i > 0
+                && (matches!(toks[i - 1].kind, TokenKind::Ident | TokenKind::Int | TokenKind::Float)
+                    || toks[i - 1].is_punct(")")
+                    || toks[i - 1].is_punct("]")))
+        {
+            continue;
+        }
+        let (s, e) = statement_span(toks, i);
+        let mut operands = left_chain_idents(toks, i, s.saturating_sub(1));
+        operands.extend(right_chain_idents(toks, i, e));
+        let hits: Vec<&String> =
+            operands.iter().filter(|n| matches_accounting_contract(n)).collect();
+        if hits.is_empty() {
+            continue;
+        }
+        if inside_checked_call(toks, s.saturating_sub(1), i) {
+            continue;
+        }
+        if float_context(toks, i, 6)
+            || hits.iter().any(|n| src.symbols.hint(n) == Some(TypeHint::Float))
+        {
+            continue;
+        }
+        if fired_lines.insert(t.line) {
+            out.push(Diagnostic::at(
+                src,
+                path,
+                t.line,
+                "unchecked-arith",
+                format!(
+                    "bare `{op}` on accounting value `{}` can wrap silently; use \
+                     `checked_add`/`checked_mul` (with an invariant-documenting \
+                     expect) or `saturating_*` so wire-byte totals stay exact",
+                    hits[0]
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Crate path prefixes where float accumulation order matters for the paper's
+/// numeric claims.
+const FLOAT_DET_SCOPE: [&str; 3] = ["crates/tensor/", "crates/nn/", "crates/strategies/"];
+
+/// Iterator sources whose order is nondeterministic (or at least
+/// insertion-order-dependent) when the underlying collection is a map/set.
+const UNORDERED_SOURCES: [&str; 5] = ["values", "keys", "into_values", "into_keys", "par_iter"];
+
+/// Rule `float-determinism`: `f32`/`f64` accumulation (`.sum::<fN>()`,
+/// `.product::<fN>()`, float-seeded `.fold(…)`) over an iterator whose order
+/// is not deterministic — map/set `values()`/`keys()` chains or `par_iter`.
+/// Float addition is not associative; summing in a nondeterministic order
+/// changes the aggregate bit pattern between runs, which breaks the
+/// bit-for-bit reproducibility the evaluation claims rest on. Scoped to
+/// `tensor`, `nn`, and `strategies`, the crates that feed model numerics.
+fn check_float_determinism(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
+    if !FLOAT_DET_SCOPE.iter().any(|p| path.starts_with(p)) {
+        return Vec::new();
+    }
+    let toks = &src.file.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if src.tok_in_test(i) || !toks[i].is_punct(".") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else { continue };
+        let is_float_agg = if name.is_ident("sum") || name.is_ident("product") {
+            // Require a float turbofish: `.sum::<f64>()`.
+            toks.get(i + 2).is_some_and(|t| t.is_punct("::"))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct("<"))
+                && toks.get(i + 4).is_some_and(|t| t.is_ident("f32") || t.is_ident("f64"))
+        } else if name.is_ident("fold") {
+            // `.fold(0.0, …)` — float seed (optionally negated).
+            toks.get(i + 2).is_some_and(|t| t.is_punct("("))
+                && (toks.get(i + 3).is_some_and(|t| t.kind == TokenKind::Float)
+                    || (toks.get(i + 3).is_some_and(|t| t.is_punct("-"))
+                        && toks.get(i + 4).is_some_and(|t| t.kind == TokenKind::Float)))
+        } else {
+            false
+        };
+        if !is_float_agg {
+            continue;
+        }
+        let (s, _) = statement_span(toks, i);
+        let chain = left_chain_idents(toks, i, s.saturating_sub(1));
+        let unordered = chain.iter().any(|n| UNORDERED_SOURCES.contains(&n.as_str()))
+            || chain
+                .iter()
+                .any(|n| src.symbols.hint(n) == Some(TypeHint::MapLike));
+        if unordered {
+            out.push(Diagnostic::at(
+                src,
+                path,
+                name.line,
+                "float-determinism",
+                format!(
+                    "float `.{}` over an iteration whose order is nondeterministic; \
+                     collect into a Vec sorted by a stable key (or iterate a \
+                     BTreeMap) before accumulating so results stay bit-for-bit \
+                     reproducible",
+                    name.text
+                ),
+            ));
         }
     }
     out
@@ -336,11 +629,18 @@ fn check_serde_default(path: &str, src: &PreparedSource) -> Vec<Diagnostic> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::callgraph::CallGraph;
     use crate::scan::prepare;
 
-    fn run(rule: &str, src: &str) -> Vec<Diagnostic> {
+    fn run_at(rule: &str, path: &str, src: &str) -> Vec<Diagnostic> {
         let p = prepare(src);
-        check_all("test.rs", &p).into_iter().filter(|d| d.rule == rule).collect()
+        let files = vec![(path.to_string(), &p.file)];
+        let g = CallGraph::build(&files);
+        check_all(path, &p, &g).into_iter().filter(|d| d.rule == rule).collect()
+    }
+
+    fn run(rule: &str, src: &str) -> Vec<Diagnostic> {
+        run_at(rule, "test.rs", src)
     }
 
     #[test]
@@ -353,42 +653,82 @@ mod tests {
 
     #[test]
     fn hashmap_in_string_or_comment_is_ignored() {
-        let src = "// a HashMap here\nlet s = \"HashMap\";\n";
+        let src = "// a HashMap here\nfn f() { let s = \"HashMap\"; let r = r#\"HashSet too\"#; }\n";
         assert!(run("hash-collections", src).is_empty());
     }
 
     #[test]
+    fn hashmap_alias_is_still_caught() {
+        let src = "use std::collections::HashMap as Map;\nfn f() { let m: Map<u32, u32> = Map::new(); }\n";
+        let d = run("hash-collections", src);
+        assert_eq!(d.len(), 2, "the use line and the usage line: {d:?}");
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 2);
+        assert!(d[1].message.contains("via alias `Map`"));
+    }
+
+    #[test]
     fn wall_clock_fires_on_instant_and_system_time() {
-        let src = "let t0 = std::time::Instant::now();\nlet st: SystemTime = x;\n";
+        let src = "fn f() { let t0 = std::time::Instant::now(); }\nfn g(st: SystemTime) {}\n";
         assert_eq!(run("wall-clock", src).len(), 2);
+    }
+
+    #[test]
+    fn instant_without_now_is_quiet_but_alias_read_fires() {
+        // A bare `Instant` type mention is not a clock read…
+        assert!(run("wall-clock", "fn f(t: Instant) {}").is_empty());
+        // …but `Clock::now()` through an alias is.
+        let src = "use std::time::Instant as Clock;\nfn f() { let t = Clock::now(); }\n";
+        let d = run("wall-clock", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
     }
 
     #[test]
     fn truncating_cast_needs_accounting_context() {
         // Cast without byte/time identifiers: not flagged.
-        assert!(run("truncating-cast", "let k = (x * y) as usize;").is_empty());
+        assert!(run("truncating-cast", "fn f() { let k = (x * y) as usize; }").is_empty());
         // Same cast feeding byte accounting: flagged.
-        let d = run("truncating-cast", "let total_bytes = (x * y) as u64;");
+        let d = run("truncating-cast", "fn f() { let total_bytes = (x * y) as u64; }");
         assert_eq!(d.len(), 1);
         // Float targets never truncate to integers.
-        assert!(run("truncating-cast", "let secs = bytes as f64 / rate;").is_empty());
+        assert!(run("truncating-cast", "fn f() { let secs = total as f64 / rate; }").is_empty());
         // Literal casts are inert.
-        assert!(run("truncating-cast", "let zero_bytes = 0 as u64;").is_empty());
+        assert!(run("truncating-cast", "fn f() { let zero_bytes = 0 as u64; }").is_empty());
+    }
+
+    #[test]
+    fn truncating_cast_sees_multiline_statements() {
+        // The marker is on a different line than the cast — the old
+        // line-regex scanner missed exactly this.
+        let src = "fn f() {\n    let wire_total_bytes =\n        (scalars * 4)\n        as u32;\n}\n";
+        let d = run("truncating-cast", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4, "diagnostic points at the cast line");
     }
 
     #[test]
     fn unwrap_flagged_expect_documented_passes() {
-        assert_eq!(run("no-unwrap", "let x = v.pop().unwrap();").len(), 1);
-        assert!(run("no-unwrap", "let x = v.pop().expect(\"ring buffer is never empty\");")
-            .is_empty());
-        assert_eq!(run("no-unwrap", "let x = v.pop().expect(\"x\");").len(), 1);
+        assert_eq!(run("no-unwrap", "fn f() { let x = v.pop().unwrap(); }").len(), 1);
+        assert!(run(
+            "no-unwrap",
+            "fn f() { let x = v.pop().expect(\"ring buffer is never empty\"); }"
+        )
+        .is_empty());
+        assert_eq!(run("no-unwrap", "fn f() { let x = v.pop().expect(\"x\"); }").len(), 1);
         // Dynamic messages count as documented.
-        assert!(run("no-unwrap", "let x = v.pop().expect(&msg);").is_empty());
+        assert!(run("no-unwrap", "fn f() { let x = v.pop().expect(&msg); }").is_empty());
     }
 
     #[test]
     fn unwrap_in_cfg_test_module_is_fine() {
         let src = "#[cfg(test)]\nmod tests {\n  fn t() { v.pop().unwrap(); }\n}\n";
+        assert!(run("no-unwrap", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_mentioned_in_comment_or_string_is_fine() {
+        let src = "fn f() { // please don't .unwrap() here\n  let s = \"x.unwrap()\"; }\n";
         assert!(run("no-unwrap", src).is_empty());
     }
 
@@ -410,5 +750,78 @@ mod tests {
     fn serde_default_ignores_non_record_and_non_serde_structs() {
         let src = "#[derive(Serialize, Deserialize)]\npub struct Config {\n    pub a: u64,\n}\npub struct BareStats {\n    pub a: u64,\n}\n";
         assert!(run("serde-default", src).is_empty());
+    }
+
+    #[test]
+    fn panic_path_fires_only_in_hot_functions() {
+        let src = "pub fn run() { helper(); }\n\
+                   fn helper() { let x = table[idx]; panic!(\"boom\"); }\n\
+                   fn cold() { let y = table[idx]; }\n";
+        let d = run_at("panic-path", "crates/fl/src/experiment.rs", src);
+        assert_eq!(d.len(), 1, "indexing and panic on line 2 dedup to one: {d:?}");
+        assert_eq!(d[0].line, 2);
+        // Same file without a root in scope: silent.
+        assert!(run_at("panic-path", "crates/nn/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_path_flags_expect_even_when_documented() {
+        let src = "pub fn run() { v.pop().expect(\"queue seeded with one entry per client\"); }\n";
+        let d = run_at("panic-path", "crates/fl/src/experiment.rs", src);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn panic_path_ignores_attrs_and_macro_brackets() {
+        let src = "pub fn run() {\n    #[allow(dead_code)]\n    let v = vec![1, 2];\n}\n";
+        assert!(run_at("panic-path", "crates/fl/src/experiment.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unchecked_arith_flags_contract_idents() {
+        assert_eq!(run("unchecked-arith", "fn f() { total_bytes += chunk; }").len(), 1);
+        assert_eq!(run("unchecked-arith", "fn f() { let t = upload_bytes + download_bytes; }").len(), 1);
+        assert_eq!(run("unchecked-arith", "fn f() { let b = bytes * retries; }").len(), 1);
+        // Non-contract identifiers: silent.
+        assert!(run("unchecked-arith", "fn f() { let t = count + extra; }").is_empty());
+    }
+
+    #[test]
+    fn unchecked_arith_skips_checked_and_float() {
+        assert!(run(
+            "unchecked-arith",
+            "fn f() { let t = a_bytes.checked_add(b_bytes).expect(\"fits in u64 by construction\"); }"
+        )
+        .is_empty());
+        // Float sim time is accumulated with float ops on purpose.
+        assert!(run("unchecked-arith", "fn f() { let mut sim_time = 0.0f64; sim_time += dt; }")
+            .is_empty());
+        assert!(run("unchecked-arith", "fn f(latency_ms: f64) { let x = latency_ms + 0.5; }")
+            .is_empty());
+    }
+
+    #[test]
+    fn float_determinism_scoped_and_chain_sensitive() {
+        let hot = "fn f(m: &BTreeMap<u32, f64>) -> f64 { weights.values().sum::<f64>() }\n";
+        // Out of scope: silent even with the hazardous chain.
+        assert!(run_at("float-determinism", "crates/fl/src/x.rs", hot).is_empty());
+        // In scope with values(): fires. (BTreeMap values are ordered, but
+        // order-by-key is still data-dependent for floats; the rule is
+        // deliberately conservative about values() chains.)
+        let d = run_at("float-determinism", "crates/nn/src/layer.rs", hot);
+        assert_eq!(d.len(), 1);
+        // Slice iteration is ordered: silent.
+        let vec_src = "fn f(w: &[f64]) -> f64 { w.iter().sum::<f64>() }\n";
+        assert!(run_at("float-determinism", "crates/nn/src/layer.rs", vec_src).is_empty());
+    }
+
+    #[test]
+    fn float_determinism_fold_with_float_seed() {
+        let src = "fn f() -> f64 { scores.values().fold(0.0, |a, b| a + b) }\n";
+        let d = run_at("float-determinism", "crates/strategies/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        // Integer fold is not a float hazard.
+        let int_src = "fn f() -> u64 { scores.values().fold(0, |a, b| a + b) }\n";
+        assert!(run_at("float-determinism", "crates/strategies/src/x.rs", int_src).is_empty());
     }
 }

@@ -1,312 +1,46 @@
-//! Source preparation for the lint rules: a lightweight Rust lexer that
-//! blanks comments and string-literal *contents* (preserving byte offsets and
-//! line structure), plus `#[cfg(test)]` span detection so rules can
-//! distinguish library code from test code without a full parser.
+//! Source preparation for the lint rules: lexes the file ([`crate::lexer`]),
+//! parses the item tree ([`crate::ast`]), and builds the per-file symbol
+//! table ([`crate::resolve`]). Rules consume the token stream directly, so
+//! string and comment contents can never produce findings — tokens carry
+//! positions, and `#[cfg(test)]` spans are flags on the tokens themselves.
+
+use crate::ast::{self, ParsedFile};
+use crate::resolve::SymbolTable;
 
 /// A source file preprocessed for linting.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PreparedSource {
-    /// Original lines, 0-indexed (diagnostics add 1).
+    /// Original lines, 0-indexed (token lines are 1-based).
     pub raw_lines: Vec<String>,
-    /// Lines with comments removed and string/char contents blanked to
-    /// spaces. Delimiters (`"`, `'`, `r#"`) are kept, so spans keep their
-    /// width and `.expect("...")` message lengths stay measurable.
-    pub code_lines: Vec<String>,
-    /// `true` for every line inside a `#[cfg(test)]` item (module, fn, impl).
-    pub in_test: Vec<bool>,
+    /// Token stream + item tree.
+    pub file: ParsedFile,
+    /// Use-alias resolution and local type hints.
+    pub symbols: SymbolTable,
 }
 
-/// Lexes `source` into [`PreparedSource`].
+/// Lexes and parses `source` into a [`PreparedSource`].
 pub fn prepare(source: &str) -> PreparedSource {
-    let blanked = blank_comments_and_strings(source);
-    let raw_lines: Vec<String> = source.lines().map(str::to_string).collect();
-    let code_lines: Vec<String> = blanked.lines().map(str::to_string).collect();
-    let mut in_test = vec![false; code_lines.len()];
-    mark_test_spans(&code_lines, &mut in_test);
-    PreparedSource { raw_lines, code_lines, in_test }
-}
-
-/// States of the little lexer below.
-enum LexState {
-    Code,
-    LineComment,
-    BlockComment { depth: usize },
-    Str,
-    RawStr { hashes: usize },
-    Char,
-}
-
-/// Replaces comment bytes and string/char literal contents with spaces,
-/// keeping newlines and delimiter characters so line/column structure is
-/// unchanged.
-fn blank_comments_and_strings(source: &str) -> String {
-    let bytes: Vec<char> = source.chars().collect();
-    let mut out = String::with_capacity(source.len());
-    let mut state = LexState::Code;
-    let mut i = 0usize;
-    while i < bytes.len() {
-        let c = bytes[i];
-        let next = bytes.get(i + 1).copied();
-        match state {
-            LexState::Code => match c {
-                '/' if next == Some('/') => {
-                    state = LexState::LineComment;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                }
-                '/' if next == Some('*') => {
-                    state = LexState::BlockComment { depth: 1 };
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                }
-                '"' => {
-                    state = LexState::Str;
-                    out.push('"');
-                    i += 1;
-                }
-                'r' if next == Some('"') || next == Some('#') => {
-                    // Possible raw string: r"..." or r#"..."# (any hash count).
-                    let mut j = i + 1;
-                    let mut hashes = 0usize;
-                    while bytes.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if bytes.get(j) == Some(&'"') {
-                        out.push('r');
-                        for _ in 0..hashes {
-                            out.push('#');
-                        }
-                        out.push('"');
-                        i = j + 1;
-                        state = LexState::RawStr { hashes };
-                    } else {
-                        out.push(c);
-                        i += 1;
-                    }
-                }
-                '\'' => {
-                    // Char literal vs lifetime. A char literal closes with a
-                    // `'` within a few chars; a lifetime never does.
-                    let is_char = if next == Some('\\') {
-                        true
-                    } else {
-                        bytes.get(i + 2) == Some(&'\'')
-                    };
-                    if is_char {
-                        state = LexState::Char;
-                        out.push('\'');
-                        i += 1;
-                    } else {
-                        out.push('\'');
-                        i += 1;
-                    }
-                }
-                _ => {
-                    out.push(c);
-                    i += 1;
-                }
-            },
-            LexState::LineComment => {
-                if c == '\n' {
-                    state = LexState::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                i += 1;
-            }
-            LexState::BlockComment { depth } => {
-                if c == '*' && next == Some('/') {
-                    if depth == 1 {
-                        state = LexState::Code;
-                    } else {
-                        state = LexState::BlockComment { depth: depth - 1 };
-                    }
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = LexState::BlockComment { depth: depth + 1 };
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            LexState::Str => {
-                if c == '\\' {
-                    out.push(' ');
-                    if next.is_some() {
-                        out.push(' ');
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                } else if c == '"' {
-                    state = LexState::Code;
-                    out.push('"');
-                    i += 1;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            LexState::RawStr { hashes } => {
-                if c == '"' {
-                    let mut j = i + 1;
-                    let mut seen = 0usize;
-                    while seen < hashes && bytes.get(j) == Some(&'#') {
-                        seen += 1;
-                        j += 1;
-                    }
-                    if seen == hashes {
-                        out.push('"');
-                        for _ in 0..hashes {
-                            out.push('#');
-                        }
-                        state = LexState::Code;
-                        i = j;
-                    } else {
-                        out.push(' ');
-                        i += 1;
-                    }
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            LexState::Char => {
-                if c == '\\' {
-                    out.push(' ');
-                    if next.is_some() {
-                        out.push(' ');
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                } else if c == '\'' {
-                    state = LexState::Code;
-                    out.push('\'');
-                    i += 1;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Marks every line covered by a `#[cfg(test)]` (or `#[cfg(any(.., test, ..))]`
-/// etc.) item: from the attribute to the end of the following brace-matched
-/// block, or to the terminating `;` for block-less items.
-fn mark_test_spans(code_lines: &[String], in_test: &mut [bool]) {
-    let joined: String = code_lines.join("\n");
-    let chars: Vec<char> = joined.chars().collect();
-    // Byte-position -> line mapping (by newline counting over chars).
-    let mut line_of = Vec::with_capacity(chars.len() + 1);
-    let mut ln = 0usize;
-    for &c in &chars {
-        line_of.push(ln);
-        if c == '\n' {
-            ln += 1;
-        }
-    }
-    line_of.push(ln);
-
-    let hay: String = chars.iter().collect();
-    let mut search_from = 0usize;
-    while let Some(rel) = hay[search_from..].find("#[cfg(") {
-        let attr_start = search_from + rel;
-        // Extract the parenthesized condition.
-        let cond_start = attr_start + "#[cfg(".len();
-        let mut depth = 1usize;
-        let mut k = cond_start;
-        let hchars: Vec<char> = hay[cond_start..].chars().collect();
-        let mut cond = String::new();
-        for &c in &hchars {
-            if c == '(' {
-                depth += 1;
-            } else if c == ')' {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            }
-            cond.push(c);
-            k += c.len_utf8();
-        }
-        search_from = k.max(attr_start + 1);
-        if !mentions_test(&cond) {
-            continue;
-        }
-        // Walk from the end of the attribute to the item it decorates: skip
-        // further attributes, then span either a brace block or a `;` item.
-        let mut pos = k;
-        let bytes = hay.as_bytes();
-        let mut brace_depth = 0usize;
-        let mut started = false;
-        let mut end = hay.len();
-        while pos < bytes.len() {
-            let c = bytes[pos] as char;
-            if !started {
-                if c == '{' {
-                    started = true;
-                    brace_depth = 1;
-                } else if c == ';' {
-                    end = pos;
-                    break;
-                }
-            } else if c == '{' {
-                brace_depth += 1;
-            } else if c == '}' {
-                brace_depth -= 1;
-                if brace_depth == 0 {
-                    end = pos;
-                    break;
-                }
-            }
-            pos += 1;
-        }
-        let start_line = char_index_line(&hay, attr_start, &line_of);
-        let end_line = char_index_line(&hay, end.min(hay.len().saturating_sub(1)), &line_of);
-        for flag in in_test.iter_mut().take(end_line + 1).skip(start_line) {
-            *flag = true;
-        }
+    let file = ast::parse(crate::lexer::lex(source));
+    let symbols = SymbolTable::build(&file);
+    PreparedSource {
+        raw_lines: source.lines().map(str::to_string).collect(),
+        file,
+        symbols,
     }
 }
 
-/// `true` when a `cfg(...)` condition involves the `test` predicate.
-fn mentions_test(cond: &str) -> bool {
-    let mut word = String::new();
-    for c in cond.chars().chain(std::iter::once(',')) {
-        if c.is_alphanumeric() || c == '_' {
-            word.push(c);
-        } else {
-            if word == "test" {
-                return true;
-            }
-            word.clear();
-        }
+impl PreparedSource {
+    /// `true` when token `i` is inside test-only code.
+    pub fn tok_in_test(&self, i: usize) -> bool {
+        self.file.in_test.get(i).copied().unwrap_or(false)
     }
-    false
-}
 
-/// Line index of byte offset `idx` (offsets here are byte offsets into the
-/// ASCII-safe joined text; non-ASCII only appears inside already-blanked
-/// spans, so byte and char offsets agree where it matters).
-fn char_index_line(hay: &str, idx: usize, line_of: &[usize]) -> usize {
-    let chars_before = hay
-        .char_indices()
-        .take_while(|(b, _)| *b < idx)
-        .count();
-    line_of.get(chars_before).copied().unwrap_or_else(|| line_of.last().copied().unwrap_or(0))
+    /// The trimmed raw source of 1-based `line` (for diagnostics).
+    pub fn snippet(&self, line: usize) -> &str {
+        self.raw_lines
+            .get(line.saturating_sub(1))
+            .map_or("", |l| l.trim())
+    }
 }
 
 #[cfg(test)]
@@ -314,64 +48,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn strings_are_blanked_but_keep_width() {
-        let p = prepare("let x = \"HashMap inside\".len();");
-        assert!(!p.code_lines[0].contains("HashMap"));
-        assert_eq!(p.code_lines[0].len(), p.raw_lines[0].len());
+    fn tokens_skip_strings_and_comments() {
+        let p = prepare("let x = \"HashMap inside\".len(); // HashMap\n/* SystemTime */");
+        assert!(!p.file.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!p.file.tokens.iter().any(|t| t.is_ident("SystemTime")));
     }
 
     #[test]
-    fn comments_are_blanked() {
-        let p = prepare("let y = 1; // uses HashMap\n/* SystemTime */ let z = 2;");
-        assert!(!p.code_lines[0].contains("HashMap"));
-        assert!(!p.code_lines[1].contains("SystemTime"));
-        assert!(p.code_lines[1].contains("let z"));
+    fn cfg_test_tokens_are_flagged() {
+        let p = prepare("fn lib() {}\n#[cfg(test)]\nmod t {\n    fn x() { y.unwrap(); }\n}\n");
+        let unwrap_at =
+            p.file.tokens.iter().position(|t| t.is_ident("unwrap")).expect("unwrap token");
+        assert!(p.tok_in_test(unwrap_at));
+        assert!(!p.tok_in_test(0));
     }
 
     #[test]
-    fn raw_strings_and_chars() {
-        let p = prepare("let s = r#\"Instant::now\"#; let c = '\\n'; let l: &'static str = s;");
-        assert!(!p.code_lines[0].contains("Instant"));
-        assert!(p.code_lines[0].contains("&'static str"));
-    }
-
-    #[test]
-    fn cfg_test_module_is_marked() {
-        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
-        let p = prepare(src);
-        assert!(!p.in_test[0]);
-        assert!(p.in_test[1]);
-        assert!(p.in_test[2]);
-        assert!(p.in_test[3]);
-        assert!(p.in_test[4]);
-        assert!(!p.in_test[5]);
-    }
-
-    #[test]
-    fn cfg_any_test_is_marked() {
-        let src = "#[cfg(any(test, feature = \"x\"))]\nmod helpers {\n}\nfn lib() {}\n";
-        let p = prepare(src);
-        assert!(p.in_test[0]);
-        assert!(p.in_test[2]);
-        assert!(!p.in_test[3]);
-    }
-
-    #[test]
-    fn cfg_not_test_is_not_confused_with_non_test() {
-        // `not(test)` still mentions the test predicate; the conservative
-        // choice is to treat the item as test-related and skip it. Library
-        // code gated on `not(test)` is rare enough that this never hides a
-        // real violation in this workspace.
-        let src = "#[cfg(feature = \"simd\")]\nfn lib() { x.unwrap(); }\n";
-        let p = prepare(src);
-        assert!(!p.in_test[1]);
-    }
-
-    #[test]
-    fn blockless_cfg_test_item_spans_to_semicolon() {
-        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() {}\n";
-        let p = prepare(src);
-        assert!(p.in_test[1]);
-        assert!(!p.in_test[2]);
+    fn snippet_is_trimmed_raw_line() {
+        let p = prepare("fn f() {\n    let x = 1;\n}\n");
+        assert_eq!(p.snippet(2), "let x = 1;");
+        assert_eq!(p.snippet(99), "");
     }
 }

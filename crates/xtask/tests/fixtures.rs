@@ -1,6 +1,8 @@
 //! End-to-end tests of the lint rules against the seeded fixture files in
-//! `crates/xtask/fixtures/`: each rule fires exactly once on its fixture,
-//! and a `lint-allow.toml` entry suppresses it.
+//! `crates/xtask/fixtures/`: each rule fires exactly once on its fixture
+//! (at the exact file:line the fixture documents), the adversarial lexer
+//! fixtures yield zero diagnostics, and a `lint-allow.toml` entry
+//! suppresses seeded findings.
 
 // Tests and benches may unwrap: a panic here IS the failure report
 // (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
@@ -10,15 +12,26 @@ use fedsu_xtask::workspace::SourceKind;
 use fedsu_xtask::{allowlist, lint_source, rules::Diagnostic};
 use std::path::PathBuf;
 
-/// Reads a fixture and lints it as library code (fixtures model `src/`
-/// files; their location under `fixtures/` is irrelevant to the rules).
-fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+/// Reads a fixture's text from disk.
+fn fixture_text(name: &str) -> String {
     let dir = option_env!("CARGO_MANIFEST_DIR").unwrap_or("crates/xtask");
     let path = PathBuf::from(dir).join("fixtures").join(name);
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("fixture {} must be readable: {e}", path.display()));
-    let rel = format!("crates/xtask/fixtures/{name}");
-    lint_source(&rel, SourceKind::Library, &text)
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} must be readable: {e}", path.display()))
+}
+
+/// Lints a fixture under an arbitrary workspace-relative path — the
+/// `panic-path` and `float-determinism` rules key off the path (hot-path
+/// roots, scoped crates), so their fixtures are linted as if they lived at
+/// the path whose policy they exercise.
+fn lint_fixture_as(name: &str, rel: &str) -> Vec<Diagnostic> {
+    lint_source(rel, SourceKind::Library, &fixture_text(name))
+}
+
+/// Reads a fixture and lints it as library code (fixtures model `src/`
+/// files; their location under `fixtures/` is irrelevant to most rules).
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    lint_fixture_as(name, &format!("crates/xtask/fixtures/{name}"))
 }
 
 /// Asserts the fixture yields exactly one diagnostic, of the expected rule.
@@ -97,6 +110,104 @@ fn non_matching_allow_entry_is_reported_stale() {
 }
 
 #[test]
+fn raw_strings_hide_hazard_text_from_every_rule() {
+    let diags = lint_fixture("lexer_raw_string.rs");
+    assert!(diags.is_empty(), "hazards inside raw strings are data, not code: {diags:?}");
+}
+
+#[test]
+fn nested_block_comments_hide_hazard_text_from_every_rule() {
+    let diags = lint_fixture("lexer_nested_comment.rs");
+    assert!(diags.is_empty(), "hazards inside nested comments are prose, not code: {diags:?}");
+}
+
+#[test]
+fn doc_comments_hide_hazard_text_from_every_rule() {
+    let diags = lint_fixture("lexer_doc_comment.rs");
+    assert!(diags.is_empty(), "hazards inside doc comments are prose, not code: {diags:?}");
+}
+
+#[test]
+fn cfg_test_spans_are_exempt_in_library_files() {
+    let diags = lint_fixture("lexer_cfg_test.rs");
+    assert!(diags.is_empty(), "test-gated code follows the test policy: {diags:?}");
+}
+
+#[test]
+fn use_alias_is_resolved_to_the_hazardous_type() {
+    let diags = lint_fixture("use_alias.rs");
+    let got: Vec<(&str, usize)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+    assert_eq!(
+        got,
+        vec![("hash-collections", 5), ("hash-collections", 7)],
+        "both the renamed import and the aliased usage must fire: {diags:?}"
+    );
+    assert!(
+        diags[1].message.contains("via alias `Map`"),
+        "the usage finding should explain the alias hop: {:?}",
+        diags[1]
+    );
+}
+
+#[test]
+fn panic_path_fires_only_on_functions_reachable_from_a_root() {
+    // Linted as the real hot-path root file so `run` seeds reachability.
+    let diags = lint_fixture_as("panic_path.rs", "crates/fl/src/experiment.rs");
+    let got: Vec<(&str, usize)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+    assert_eq!(
+        got,
+        vec![("panic-path", 17)],
+        "only the indexing two hops below `run` may fire: {diags:?}"
+    );
+    assert!(
+        diags[0].message.contains("train_one"),
+        "the finding should name the hot function: {:?}",
+        diags[0]
+    );
+}
+
+#[test]
+fn panic_path_is_silent_when_no_root_is_in_the_linted_set() {
+    // Same text under a non-root path: no roots, so no hot functions.
+    let diags = lint_fixture("panic_path.rs");
+    assert!(diags.is_empty(), "no root in scope means no panic-path findings: {diags:?}");
+}
+
+#[test]
+fn unchecked_arith_fires_exactly_once_on_the_bare_accumulation() {
+    let diags = lint_fixture("unchecked_arith.rs");
+    let got: Vec<(&str, usize)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+    assert_eq!(
+        got,
+        vec![("unchecked-arith", 8)],
+        "only the bare `+=` over `*_bytes` may fire: {diags:?}"
+    );
+    assert!(
+        diags[0].snippet.contains("total_bytes += retry_bytes"),
+        "should point at the accumulation: {:?}",
+        diags[0]
+    );
+}
+
+#[test]
+fn float_determinism_fires_exactly_once_inside_scoped_crates() {
+    // Linted as an nn source file so the rule's crate scope applies.
+    let diags = lint_fixture_as("float_determinism.rs", "crates/nn/src/float_determinism.rs");
+    let got: Vec<(&str, usize)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+    assert_eq!(
+        got,
+        vec![("float-determinism", 9)],
+        "only the float sum over `.values()` may fire: {diags:?}"
+    );
+}
+
+#[test]
+fn float_determinism_is_silent_outside_scoped_crates() {
+    let diags = lint_fixture("float_determinism.rs");
+    assert!(diags.is_empty(), "the rule is scoped to numeric crates: {diags:?}");
+}
+
+#[test]
 fn checked_in_allow_file_parses_and_is_empty() {
     let dir = option_env!("CARGO_MANIFEST_DIR").unwrap_or("crates/xtask");
     let path = PathBuf::from(dir).join("lint-allow.toml");
@@ -107,4 +218,19 @@ fn checked_in_allow_file_parses_and_is_empty() {
         entries.is_empty(),
         "the workspace should need zero waivers; justify any addition in review"
     );
+}
+
+#[test]
+fn checked_in_baseline_parses_and_is_canonically_ordered() {
+    let dir = option_env!("CARGO_MANIFEST_DIR").unwrap_or("crates/xtask");
+    let path = PathBuf::from(dir).join("lint-baseline.toml");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} must exist: {e}", path.display()));
+    let entries = fedsu_xtask::baseline::parse(&text).expect("checked-in baseline must parse");
+    assert!(!entries.is_empty(), "the ratchet starts from the seeded findings");
+    let mut sorted = entries.clone();
+    sorted.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.snippet).cmp(&(&b.path, b.line, &b.rule, &b.snippet))
+    });
+    assert_eq!(entries, sorted, "regenerate with `cargo run -p fedsu-xtask -- lint --fix-baseline`");
 }
