@@ -21,7 +21,7 @@ fedsu — communication-efficient federated learning with speculative updating
 
 USAGE:
   fedsu run     [--model M] [--strategy S] [--clients N] [--rounds R]
-                [--alpha A] [--seed K] [--csv PATH]
+                [--alpha A] [--seed K] [--csv PATH] [--kernel-threads N]
                 [--fault-dropout P] [--fault-corrupt P] [--fault-seed K]
   fedsu compare [--model M] [--clients N] [--rounds R] [--alpha A] [--seed K]
   fedsu sweep   --param t_r|t_s --values a,b,c [--model M] [--rounds R] ...
@@ -35,11 +35,22 @@ FAULTS:     --fault-dropout/--fault-corrupt inject per-round client dropout
             and upload corruption with the given probability; a non-zero rate
             auto-enables the server-side defenses (retry, quarantine,
             rollback). --fault-seed picks the deterministic fault plan.
+
+THREADS:    --kernel-threads N caps the tensor-kernel thread pool (0 = auto,
+            the default; 1 = serial). A pure performance knob: parallel
+            kernels are bit-identical to serial ones, and the round loop
+            forces kernels serial while clients train on separate threads so
+            the two layers never oversubscribe. The FEDSU_KERNEL_THREADS
+            environment variable provides the same control.
 ";
 
 fn scenario_of(a: &RunArgs) -> Scenario {
-    let mut scenario =
-        Scenario::new(a.model).clients(a.clients).rounds(a.rounds).alpha(a.alpha).seed(a.seed);
+    let mut scenario = Scenario::new(a.model)
+        .clients(a.clients)
+        .rounds(a.rounds)
+        .alpha(a.alpha)
+        .seed(a.seed)
+        .kernel_threads(a.kernel_threads);
     if a.fault_dropout > 0.0 || a.fault_corrupt > 0.0 {
         scenario = scenario.faults(FaultConfig {
             dropout_prob: a.fault_dropout,

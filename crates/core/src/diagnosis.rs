@@ -187,6 +187,23 @@ mod tests {
     }
 
     #[test]
+    fn empty_window_ratio_is_zero_not_nan() {
+        // Before any observation both EMA terms are zero: the raw ratio is
+        // 0/0 and the documented sentinel is 0.0, never NaN.
+        let e = EmaPair::default();
+        assert_eq!(e.ratio(), 0.0);
+        assert!(!e.ratio().is_nan());
+
+        let d = OscillationDiagnostic::new(3, 0.9);
+        for j in 0..3 {
+            assert_eq!(d.ratio(j), 0.0, "scalar {j}");
+            assert!(!d.ratio(j).is_nan(), "scalar {j}");
+        }
+        assert!(d.ratios().iter().all(|r| r.is_finite()));
+        assert!(!d.is_linear(0, 0.5), "needs >= 3 observations");
+    }
+
+    #[test]
     fn ratio_is_bounded() {
         let mut e = EmaPair::default();
         for v in [-1.0f32, 5.0, -0.1, 2.0, -7.0] {

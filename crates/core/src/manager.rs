@@ -243,6 +243,10 @@ impl FedSu {
     /// Mean length (rounds) of the speculative periods observed so far:
     /// total speculative rounds over total entries. The paper measures this
     /// to parameterize its fixed-period ablation variants (Sec. VI-D).
+    ///
+    /// Before any scalar has entered speculation the statistic is undefined
+    /// (0/0); this returns the documented sentinel `0.0` — never NaN — so
+    /// downstream reports and ablation parameterization stay finite.
     pub fn mean_speculation_period(&self) -> f64 {
         if self.total_enters == 0 {
             0.0
@@ -254,6 +258,10 @@ impl FedSu {
     /// Empirical per-round, per-scalar speculation-entry probability: total
     /// entries over (scalars × rounds). Parameterizes the random-entry
     /// ablation variant v2, as the paper measured it.
+    ///
+    /// With zero scalars or before the first observed round the denominator
+    /// is zero and the bare division would yield NaN; this returns the
+    /// documented sentinel `0.0` — never NaN — instead.
     pub fn empirical_entry_probability(&self) -> f64 {
         let denom = (self.predictable.len() * self.rounds_seen) as f64;
         if denom == 0.0 {
@@ -273,13 +281,26 @@ impl FedSu {
         self.predictable.iter().filter(|&&p| p).count()
     }
 
-    /// Current oscillation ratio of scalar `j` (1.0 before any estimate).
+    /// Current oscillation ratio of scalar `j`.
+    ///
+    /// With an empty observation window (before any update has been
+    /// absorbed) the EMA magnitudes are both zero and the raw ratio would be
+    /// 0/0; the estimator returns its documented sentinel `0.0` — never NaN
+    /// (see `EmaPair::ratio`).
     ///
     /// # Panics
     ///
-    /// Panics if `j` is out of range.
+    /// Panics if `j` is out of range; use [`Self::try_oscillation_ratio`]
+    /// for a non-panicking variant.
     pub fn oscillation_ratio(&self, j: usize) -> f64 {
-        self.ema[j].ratio()
+        self.try_oscillation_ratio(j)
+            .expect("scalar index within model parameter count")
+    }
+
+    /// Non-panicking [`Self::oscillation_ratio`]: `None` when `j` is out of
+    /// range, otherwise the same documented-sentinel semantics.
+    pub fn try_oscillation_ratio(&self, j: usize) -> Option<f64> {
+        self.ema.get(j).map(EmaPair::ratio)
     }
 
     /// Bytes of FedSU state resident on *one* client: the predictability
@@ -653,6 +674,34 @@ mod tests {
 
     fn quick_config() -> FedSuConfig {
         FedSuConfig { warmup_updates: 3, ..FedSuConfig::default() }
+    }
+
+    #[test]
+    fn empty_window_statistics_return_finite_sentinels() {
+        // A fresh manager has seen nothing: every statistic's denominator is
+        // zero and the bare division would be NaN. The documented sentinel
+        // is 0.0.
+        let f = FedSu::new(quick_config());
+        assert_eq!(f.mean_speculation_period(), 0.0);
+        assert_eq!(f.empirical_entry_probability(), 0.0);
+        assert!(f.try_oscillation_ratio(0).is_none(), "no scalars allocated yet");
+    }
+
+    #[test]
+    fn oscillation_ratio_is_zero_not_nan_before_any_signal() {
+        let mut f = FedSu::new(quick_config());
+        let mut global = vec![0.0, 0.0];
+        // Identically-zero updates keep both EMA terms at zero (raw 0/0).
+        drive_round(&mut f, &mut global, &[vec![0.0, 0.0]], 0);
+        for j in 0..2 {
+            let r = f.oscillation_ratio(j);
+            assert_eq!(r, 0.0, "scalar {j}");
+            assert!(!r.is_nan(), "scalar {j}");
+            assert_eq!(f.try_oscillation_ratio(j), Some(r));
+        }
+        assert!(f.try_oscillation_ratio(2).is_none(), "out of range is None, not a panic");
+        assert!(f.mean_speculation_period().is_finite());
+        assert!(f.empirical_entry_probability().is_finite());
     }
 
     #[test]

@@ -107,6 +107,13 @@ pub struct ExperimentConfig {
     pub faults: FaultPlan,
     /// Server-side fault-tolerance configuration (default: disabled).
     pub defense: DefenseConfig,
+    /// Kernel-level thread budget for tensor matmuls (`0` = auto-detect).
+    /// Installed once at the start of [`Experiment::run`]; when the round
+    /// loop is already training clients on separate threads it temporarily
+    /// forces kernels serial so the two layers never oversubscribe. Parallel
+    /// kernels are bit-identical to serial ones, so this never changes
+    /// results.
+    pub kernel_threads: usize,
 }
 
 impl std::fmt::Debug for ExperimentConfig {
@@ -124,6 +131,7 @@ impl std::fmt::Debug for ExperimentConfig {
             .field("availability", &self.availability.is_some())
             .field("faults", &self.faults)
             .field("defense", &self.defense)
+            .field("kernel_threads", &self.kernel_threads)
             .finish()
     }
 }
@@ -152,6 +160,7 @@ impl ExperimentConfig {
             availability: None,
             faults: FaultPlan::none(),
             defense: DefenseConfig::default(),
+            kernel_threads: 0,
         }
     }
 }
@@ -253,6 +262,10 @@ impl Experiment {
     /// many consecutive rounds produce no usable update, or any underlying
     /// training error.
     pub fn run(&mut self, mut hook: Option<RoundHook<'_>>) -> Result<ExperimentResult> {
+        // Install the kernel thread budget before any training work; `0`
+        // resolves to auto-detect. Safe at any value: parallel kernels are
+        // bit-identical to serial ones.
+        fedsu_tensor::set_kernel_threads(self.config.kernel_threads);
         let n = self.clients.len();
         let total = self.param_count();
         let faults = self.config.faults;
@@ -678,6 +691,13 @@ fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usi
     }
 
     let chunk = clients.len().div_ceil(threads);
+    // Client-level parallelism owns the cores for this round: force tensor
+    // kernels serial while the scope is live so the two layers compose
+    // without oversubscription, then restore the configured policy. Kernel
+    // outputs are bit-identical at every thread count, so this only affects
+    // scheduling, never results.
+    let saved_kernel_threads = fedsu_tensor::kernel_threads_setting();
+    fedsu_tensor::set_kernel_threads(1);
     let scope_result = crossbeam::thread::scope(|s| {
         let mut handles = Vec::new();
         for (ci, chunk_clients) in clients.chunks_mut(chunk).enumerate() {
@@ -710,6 +730,7 @@ fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usi
             })
             .collect::<Vec<Vec<(usize, Result<f32>)>>>()
     });
+    fedsu_tensor::set_kernel_threads(saved_kernel_threads);
 
     match scope_result {
         Ok(parts) => {

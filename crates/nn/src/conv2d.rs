@@ -2,7 +2,10 @@
 
 use crate::layer::{Layer, Param};
 use crate::{NnError, Result};
-use fedsu_tensor::{col2im, im2col, kaiming_uniform, matmul, matmul_transpose_a, matmul_transpose_b, ConvDims, Tensor};
+use fedsu_tensor::{
+    col2im_into, im2col_into, kaiming_uniform, matmul_into, matmul_transpose_a_into,
+    matmul_transpose_b_into, ConvDims, Tensor,
+};
 use rand::Rng;
 
 /// A 2-D convolution over `NCHW` inputs with square kernels.
@@ -11,7 +14,9 @@ use rand::Rng;
 /// the forward pass is one matmul against the im2col matrix per sample. The
 /// backward pass re-runs `im2col` on the cached input rather than caching the
 /// (much larger) column matrices, trading a little compute for memory — the
-/// same trade edge devices make.
+/// same trade edge devices make. Column/gradient matrices live in scratch
+/// buffers owned by the layer, so steady-state forward/backward passes do no
+/// per-sample allocation.
 #[derive(Debug)]
 pub struct Conv2d {
     weight: Param,
@@ -22,6 +27,12 @@ pub struct Conv2d {
     padding: usize,
     in_channels: usize,
     cached_input: Option<Tensor>,
+    /// im2col scratch, reused across samples and calls.
+    cols: Vec<f32>,
+    /// Column-gradient scratch for the backward pass.
+    dcols: Vec<f32>,
+    /// Per-sample weight-gradient scratch for the backward pass.
+    dw: Vec<f32>,
 }
 
 impl Conv2d {
@@ -54,25 +65,31 @@ impl Conv2d {
             padding,
             in_channels,
             cached_input: None,
+            cols: Vec::new(),
+            dcols: Vec::new(),
+            dw: Vec::new(),
         })
     }
 
-    fn dims_for(&self, input: &Tensor) -> Result<ConvDims> {
-        if input.rank() != 4 || input.shape()[1] != self.in_channels {
-            return Err(NnError::BadInput {
+    fn dims_for(&self, input: &Tensor) -> Result<(usize, ConvDims)> {
+        match input.shape() {
+            &[batch, chans, in_h, in_w] if chans == self.in_channels => Ok((
+                batch,
+                ConvDims {
+                    in_channels: self.in_channels,
+                    in_h,
+                    in_w,
+                    kernel: self.kernel,
+                    stride: self.stride,
+                    padding: self.padding,
+                },
+            )),
+            _ => Err(NnError::BadInput {
                 layer: "conv2d".to_string(),
                 expected: format!("[batch, {}, h, w]", self.in_channels),
                 actual: input.shape().to_vec(),
-            });
+            }),
         }
-        Ok(ConvDims {
-            in_channels: self.in_channels,
-            in_h: input.shape()[2],
-            in_w: input.shape()[3],
-            kernel: self.kernel,
-            stride: self.stride,
-            padding: self.padding,
-        })
     }
 
     /// Output channel count.
@@ -87,22 +104,23 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
-        let dims = self.dims_for(input)?;
-        let batch = input.shape()[0];
+        let (batch, dims) = self.dims_for(input)?;
         let (out_h, out_w) = (dims.out_h(), dims.out_w());
         let plane = out_h * out_w;
+        let fan_in = self.in_channels * self.kernel * self.kernel;
         let sample_in = self.in_channels * dims.in_h * dims.in_w;
-        let mut out = vec![0.0f32; batch * self.out_channels * plane];
+        let out_sample = self.out_channels * plane;
+        let mut out = vec![0.0f32; batch * out_sample];
 
         for n in 0..batch {
-            let img = &input.data()[n * sample_in..(n + 1) * sample_in];
-            let cols = im2col(img, &dims)?;
-            let y = matmul(&self.weight.value, &cols)?; // [out_c, plane]
-            let dst = &mut out[n * self.out_channels * plane..(n + 1) * self.out_channels * plane];
-            for c in 0..self.out_channels {
-                let b = self.bias.value.data()[c];
-                for (d, s) in dst[c * plane..(c + 1) * plane].iter_mut().zip(&y.data()[c * plane..(c + 1) * plane]) {
-                    *d = s + b;
+            let img = input.data().get(n * sample_in..(n + 1) * sample_in).unwrap_or(&[]);
+            im2col_into(img, &dims, &mut self.cols)?;
+            let dst = out.get_mut(n * out_sample..(n + 1) * out_sample).unwrap_or_default();
+            // y = W · cols, written straight into the output sample.
+            matmul_into(self.weight.value.data(), &self.cols, dst, self.out_channels, fan_in, plane)?;
+            for (drow, &b) in dst.chunks_exact_mut(plane).zip(self.bias.value.data()) {
+                for d in drow.iter_mut() {
+                    *d += b;
                 }
             }
         }
@@ -117,8 +135,7 @@ impl Layer for Conv2d {
             .cached_input
             .take()
             .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
-        let dims = self.dims_for(&input)?;
-        let batch = input.shape()[0];
+        let (batch, dims) = self.dims_for(&input)?;
         let (out_h, out_w) = (dims.out_h(), dims.out_w());
         let plane = out_h * out_w;
         let expected = [batch, self.out_channels, out_h, out_w];
@@ -129,27 +146,37 @@ impl Layer for Conv2d {
                 actual: grad_output.shape().to_vec(),
             });
         }
+        let fan_in = self.in_channels * self.kernel * self.kernel;
         let sample_in = self.in_channels * dims.in_h * dims.in_w;
+        let out_sample = self.out_channels * plane;
         let mut grad_in = vec![0.0f32; input.len()];
+        self.dw.resize(self.out_channels * fan_in, 0.0);
+        self.dcols.resize(fan_in * plane, 0.0);
 
         for n in 0..batch {
-            let img = &input.data()[n * sample_in..(n + 1) * sample_in];
-            let cols = im2col(img, &dims)?;
-            let dy = Tensor::from_vec(
-                grad_output.data()[n * self.out_channels * plane..(n + 1) * self.out_channels * plane].to_vec(),
-                &[self.out_channels, plane],
-            )?;
+            let img = input.data().get(n * sample_in..(n + 1) * sample_in).unwrap_or(&[]);
+            im2col_into(img, &dims, &mut self.cols)?;
+            let dy = grad_output.data().get(n * out_sample..(n + 1) * out_sample).unwrap_or(&[]);
             // dW += dY · colsᵀ
-            let dw = matmul_transpose_b(&dy, &cols)?;
-            self.weight.grad.add_assign(&dw)?;
+            matmul_transpose_b_into(dy, &self.cols, &mut self.dw, self.out_channels, plane, fan_in)?;
+            for (g, d) in self.weight.grad.data_mut().iter_mut().zip(&self.dw) {
+                *g += d;
+            }
             // db += row-sums of dY
-            for c in 0..self.out_channels {
-                let s: f32 = dy.data()[c * plane..(c + 1) * plane].iter().sum();
-                self.bias.grad.data_mut()[c] += s;
+            for (bg, dy_row) in self.bias.grad.data_mut().iter_mut().zip(dy.chunks_exact(plane)) {
+                *bg += dy_row.iter().sum::<f32>();
             }
             // dcols = Wᵀ · dY, then scatter back to image space.
-            let dcols = matmul_transpose_a(&self.weight.value, &dy)?;
-            col2im(&dcols, &mut grad_in[n * sample_in..(n + 1) * sample_in], &dims)?;
+            matmul_transpose_a_into(
+                self.weight.value.data(),
+                dy,
+                &mut self.dcols,
+                self.out_channels,
+                fan_in,
+                plane,
+            )?;
+            let dst = grad_in.get_mut(n * sample_in..(n + 1) * sample_in).unwrap_or_default();
+            col2im_into(&self.dcols, dst, &dims)?;
         }
         Ok(Tensor::from_vec(grad_in, input.shape())?)
     }

@@ -57,7 +57,7 @@ impl Layer for Dense {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
-        if input.rank() != 2 || input.shape()[1] != self.in_features {
+        if !matches!(input.shape(), &[_, f] if f == self.in_features) {
             return Err(NnError::BadInput {
                 layer: self.name().to_string(),
                 expected: format!("[batch, {}]", self.in_features),
@@ -65,11 +65,9 @@ impl Layer for Dense {
             });
         }
         let mut out = matmul_transpose_b(input, &self.weight.value)?;
-        let batch = input.shape()[0];
         let b = self.bias.value.data();
-        let od = out.data_mut();
-        for n in 0..batch {
-            for (o, bv) in od[n * self.out_features..(n + 1) * self.out_features].iter_mut().zip(b) {
+        for orow in out.data_mut().chunks_exact_mut(self.out_features) {
+            for (o, bv) in orow.iter_mut().zip(b) {
                 *o += bv;
             }
         }
@@ -84,7 +82,7 @@ impl Layer for Dense {
             .cached_input
             .take()
             .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
-        if grad_output.rank() != 2 || grad_output.shape()[1] != self.out_features {
+        if !matches!(grad_output.shape(), &[_, f] if f == self.out_features) {
             return Err(NnError::BadInput {
                 layer: self.name().to_string(),
                 expected: format!("grad [batch, {}]", self.out_features),
@@ -95,11 +93,9 @@ impl Layer for Dense {
         let dw = matmul_transpose_a(grad_output, &input)?;
         self.weight.grad.add_assign(&dw)?;
         // db = column-sum of dY
-        let batch = grad_output.shape()[0];
-        let gd = grad_output.data();
         let bg = self.bias.grad.data_mut();
-        for n in 0..batch {
-            for (b, g) in bg.iter_mut().zip(&gd[n * self.out_features..(n + 1) * self.out_features]) {
+        for grow in grad_output.data().chunks_exact(self.out_features) {
+            for (b, g) in bg.iter_mut().zip(grow) {
                 *b += g;
             }
         }

@@ -4,6 +4,11 @@
 //! a 2-D convolution becomes a single matrix multiplication; `col2im`
 //! scatter-adds a column matrix back into image space (the adjoint of
 //! `im2col`, used in the backward pass).
+//!
+//! Both directions come in slice `_into` forms that write into
+//! caller-provided buffers, so per-sample forward/backward loops can reuse
+//! one scratch allocation instead of allocating a fresh column matrix per
+//! call.
 
 use crate::{Result, Tensor, TensorError};
 
@@ -66,6 +71,99 @@ impl ConvDims {
         }
         Ok(())
     }
+
+    fn check_image_len(&self, len: usize) -> Result<()> {
+        let expected = self.in_channels * self.in_h * self.in_w;
+        if len != expected {
+            return Err(TensorError::LengthMismatch {
+                len,
+                shape: vec![self.in_channels, self.in_h, self.in_w],
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Copies one kernel tap `(ky, kx)` of `chan` into its im2col row:
+/// `out_row[oy·out_w + ox] = chan[iy, ix]` for every in-bounds input
+/// position, leaving padded positions at their pre-zeroed value.
+fn gather_tap(chan: &[f32], out_row: &mut [f32], dims: &ConvDims, ky: usize, kx: usize) {
+    let out_w = dims.out_w();
+    for (oy, orow) in out_row.chunks_exact_mut(out_w).enumerate() {
+        let Some(iy) = (oy * dims.stride + ky).checked_sub(dims.padding) else {
+            continue;
+        };
+        if iy >= dims.in_h {
+            continue;
+        }
+        let Some(irow) = chan.get(iy * dims.in_w..(iy + 1) * dims.in_w) else {
+            continue;
+        };
+        for (ox, o) in orow.iter_mut().enumerate() {
+            if let Some(ix) = (ox * dims.stride + kx).checked_sub(dims.padding) {
+                if let Some(&v) = irow.get(ix) {
+                    *o = v;
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds one im2col row back onto its kernel tap `(ky, kx)` of
+/// `chan`: the adjoint of [`gather_tap`], in the same traversal order.
+fn scatter_tap(chan: &mut [f32], in_row: &[f32], dims: &ConvDims, ky: usize, kx: usize) {
+    let out_w = dims.out_w();
+    for (oy, irow_vals) in in_row.chunks_exact(out_w).enumerate() {
+        let Some(iy) = (oy * dims.stride + ky).checked_sub(dims.padding) else {
+            continue;
+        };
+        if iy >= dims.in_h {
+            continue;
+        }
+        let Some(dst_row) = chan.get_mut(iy * dims.in_w..(iy + 1) * dims.in_w) else {
+            continue;
+        };
+        for (ox, &v) in irow_vals.iter().enumerate() {
+            if let Some(ix) = (ox * dims.stride + kx).checked_sub(dims.padding) {
+                if let Some(d) = dst_row.get_mut(ix) {
+                    *d += v;
+                }
+            }
+        }
+    }
+}
+
+/// Unrolls one image (`[C, H, W]`, flattened) into an im2col matrix of
+/// shape `[C*k*k, out_h*out_w]`, written into `out`. The buffer is resized
+/// and fully overwritten, so it can be reused across calls to avoid
+/// per-forward allocations.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when `image.len()` disagrees with
+/// the geometry and [`TensorError::InvalidArgument`] for degenerate geometry.
+pub fn im2col_into(image: &[f32], dims: &ConvDims, out: &mut Vec<f32>) -> Result<()> {
+    dims.validate()?;
+    dims.check_image_len(image.len())?;
+    let cols = dims.col_cols();
+    let rows = dims.col_rows();
+    out.clear();
+    out.resize(rows * cols, 0.0);
+    let plane = dims.in_h * dims.in_w;
+    if plane > 0 {
+        let mut tap_rows = out.chunks_exact_mut(cols);
+        for chan in image.chunks_exact(plane) {
+            for ky in 0..dims.kernel {
+                for kx in 0..dims.kernel {
+                    if let Some(out_row) = tap_rows.next() {
+                        gather_tap(chan, out_row, dims, ky, kx);
+                    }
+                }
+            }
+        }
+    }
+    crate::invariant::check_op_output("im2col", &[image], out);
+    Ok(())
 }
 
 /// Unrolls one image (`[C, H, W]`, flattened) into an im2col matrix of shape
@@ -76,47 +174,50 @@ impl ConvDims {
 /// Returns [`TensorError::LengthMismatch`] when `image.len()` disagrees with
 /// the geometry and [`TensorError::InvalidArgument`] for degenerate geometry.
 pub fn im2col(image: &[f32], dims: &ConvDims) -> Result<Tensor> {
-    dims.validate()?;
-    let expected = dims.in_channels * dims.in_h * dims.in_w;
-    if image.len() != expected {
-        return Err(TensorError::LengthMismatch {
-            len: image.len(),
-            shape: vec![dims.in_channels, dims.in_h, dims.in_w],
-        });
-    }
-    let (out_h, out_w) = (dims.out_h(), dims.out_w());
-    let cols = out_h * out_w;
-    let rows = dims.col_rows();
-    let mut out = vec![0.0f32; rows * cols];
+    let mut out = Vec::new();
+    im2col_into(image, dims, &mut out)?;
+    Tensor::from_vec(out, &[dims.col_rows(), dims.col_cols()])
+}
 
-    let mut row = 0usize;
-    for c in 0..dims.in_channels {
-        let chan = &image[c * dims.in_h * dims.in_w..(c + 1) * dims.in_h * dims.in_w];
-        for ky in 0..dims.kernel {
-            for kx in 0..dims.kernel {
-                let out_row = &mut out[row * cols..(row + 1) * cols];
-                let mut col = 0usize;
-                for oy in 0..out_h {
-                    let iy = (oy * dims.stride + ky) as isize - dims.padding as isize;
-                    if iy < 0 || iy as usize >= dims.in_h {
-                        col += out_w;
-                        continue;
-                    }
-                    let iy = iy as usize;
-                    for ox in 0..out_w {
-                        let ix = (ox * dims.stride + kx) as isize - dims.padding as isize;
-                        if ix >= 0 && (ix as usize) < dims.in_w {
-                            out_row[col] = chan[iy * dims.in_w + ix as usize];
-                        }
-                        col += 1;
+/// Scatter-adds an im2col-format matrix (`[C*k*k, out_h*out_w]`, flattened)
+/// back into an image buffer of `[C, H, W]`: the slice form of [`col2im`],
+/// used by hot loops that keep the column matrix in a reused scratch buffer.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when either buffer length
+/// disagrees with the geometry and [`TensorError::InvalidArgument`] for
+/// degenerate geometry.
+pub fn col2im_into(cols: &[f32], image: &mut [f32], dims: &ConvDims) -> Result<()> {
+    dims.validate()?;
+    let rows = dims.col_rows();
+    let n_cols = dims.col_cols();
+    if cols.len() != rows * n_cols {
+        return Err(TensorError::LengthMismatch { len: cols.len(), shape: vec![rows, n_cols] });
+    }
+    dims.check_image_len(image.len())?;
+    // `image` is mutated in place, so its pre-state must be classified as an
+    // input *before* the scatter-add to keep the finite-kernel guard honest.
+    let inputs_finite = crate::invariant::enabled()
+        && cols.iter().chain(image.iter()).all(|v| v.is_finite());
+
+    let plane = dims.in_h * dims.in_w;
+    if plane > 0 && n_cols > 0 {
+        let mut tap_rows = cols.chunks_exact(n_cols);
+        for chan in image.chunks_exact_mut(plane) {
+            for ky in 0..dims.kernel {
+                for kx in 0..dims.kernel {
+                    if let Some(in_row) = tap_rows.next() {
+                        scatter_tap(chan, in_row, dims, ky, kx);
                     }
                 }
-                row += 1;
             }
         }
     }
-    crate::invariant::check_op_output("im2col", &[image], &out);
-    Tensor::from_vec(out, &[rows, cols])
+    if inputs_finite {
+        crate::invariant::check_op_output("col2im", &[], image);
+    }
+    Ok(())
 }
 
 /// Scatter-adds an im2col-format matrix (`[C*k*k, out_h*out_w]`) back into an
@@ -137,51 +238,7 @@ pub fn col2im(cols: &Tensor, image: &mut [f32], dims: &ConvDims) -> Result<()> {
             op: "col2im",
         });
     }
-    let expected_len = dims.in_channels * dims.in_h * dims.in_w;
-    if image.len() != expected_len {
-        return Err(TensorError::LengthMismatch {
-            len: image.len(),
-            shape: vec![dims.in_channels, dims.in_h, dims.in_w],
-        });
-    }
-    let (out_h, out_w) = (dims.out_h(), dims.out_w());
-    let n_cols = out_h * out_w;
-    let data = cols.data();
-    // `image` is mutated in place, so its pre-state must be classified as an
-    // input *before* the scatter-add to keep the finite-kernel guard honest.
-    let inputs_finite = crate::invariant::enabled()
-        && data.iter().chain(image.iter()).all(|v| v.is_finite());
-
-    let mut row = 0usize;
-    for c in 0..dims.in_channels {
-        let chan = &mut image[c * dims.in_h * dims.in_w..(c + 1) * dims.in_h * dims.in_w];
-        for ky in 0..dims.kernel {
-            for kx in 0..dims.kernel {
-                let in_row = &data[row * n_cols..(row + 1) * n_cols];
-                let mut col = 0usize;
-                for oy in 0..out_h {
-                    let iy = (oy * dims.stride + ky) as isize - dims.padding as isize;
-                    if iy < 0 || iy as usize >= dims.in_h {
-                        col += out_w;
-                        continue;
-                    }
-                    let iy = iy as usize;
-                    for ox in 0..out_w {
-                        let ix = (ox * dims.stride + kx) as isize - dims.padding as isize;
-                        if ix >= 0 && (ix as usize) < dims.in_w {
-                            chan[iy * dims.in_w + ix as usize] += in_row[col];
-                        }
-                        col += 1;
-                    }
-                }
-                row += 1;
-            }
-        }
-    }
-    if inputs_finite {
-        crate::invariant::check_op_output("col2im", &[], image);
-    }
-    Ok(())
+    col2im_into(cols.data(), image, dims)
 }
 
 #[cfg(test)]
@@ -224,6 +281,19 @@ mod tests {
     }
 
     #[test]
+    fn im2col_into_reuses_and_fully_overwrites_the_buffer() {
+        let d = ConvDims { in_channels: 1, in_h: 2, in_w: 2, kernel: 1, stride: 1, padding: 0 };
+        let mut buf = vec![f32::NAN; 64]; // stale, oversized scratch
+        im2col_into(&[1.0, 2.0, 3.0, 4.0], &d, &mut buf).unwrap();
+        assert_eq!(buf, vec![1.0, 2.0, 3.0, 4.0]);
+        // Same buffer, different geometry: still exactly the fresh result.
+        let d2 = ConvDims { in_channels: 1, in_h: 2, in_w: 2, kernel: 3, stride: 1, padding: 1 };
+        im2col_into(&[1.0, 2.0, 3.0, 4.0], &d2, &mut buf).unwrap();
+        let fresh = im2col(&[1.0, 2.0, 3.0, 4.0], &d2).unwrap();
+        assert_eq!(buf.as_slice(), fresh.data());
+    }
+
+    #[test]
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
         let d = ConvDims { in_channels: 2, in_h: 5, in_w: 4, kernel: 3, stride: 2, padding: 1 };
@@ -244,6 +314,18 @@ mod tests {
     }
 
     #[test]
+    fn col2im_into_matches_tensor_form() {
+        let d = ConvDims { in_channels: 1, in_h: 3, in_w: 3, kernel: 2, stride: 1, padding: 0 };
+        let vals: Vec<f32> = (0..d.col_rows() * d.col_cols()).map(|i| i as f32 * 0.5).collect();
+        let yt = Tensor::from_vec(vals.clone(), &[d.col_rows(), d.col_cols()]).unwrap();
+        let mut via_tensor = vec![0.0f32; 9];
+        col2im(&yt, &mut via_tensor, &d).unwrap();
+        let mut via_slice = vec![0.0f32; 9];
+        col2im_into(&vals, &mut via_slice, &d).unwrap();
+        assert_eq!(via_tensor, via_slice);
+    }
+
+    #[test]
     fn invalid_geometry_rejected() {
         let d = ConvDims { in_channels: 1, in_h: 2, in_w: 2, kernel: 5, stride: 1, padding: 0 };
         assert!(im2col(&[0.0; 4], &d).is_err());
@@ -258,5 +340,7 @@ mod tests {
         let cols = Tensor::zeros(&[1, 4]);
         let mut img = vec![0.0; 3];
         assert!(col2im(&cols, &mut img, &d).is_err());
+        assert!(col2im_into(&[0.0; 3], &mut [0.0; 4], &d).is_err());
+        assert!(col2im_into(&[0.0; 4], &mut [0.0; 3], &d).is_err());
     }
 }

@@ -29,13 +29,18 @@ mod error;
 mod init;
 pub mod invariant;
 mod matmul;
+pub mod par;
 mod stats;
 mod tensor;
 
-pub use conv::{col2im, im2col, ConvDims};
+pub use conv::{col2im, col2im_into, im2col, im2col_into, ConvDims};
 pub use error::TensorError;
 pub use init::{kaiming_uniform, xavier_uniform};
-pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
+pub use matmul::{
+    matmul, matmul_into, matmul_transpose_a, matmul_transpose_a_into, matmul_transpose_b,
+    matmul_transpose_b_into, reference,
+};
+pub use par::{kernel_threads, kernel_threads_setting, set_kernel_threads};
 pub use stats::{dot, l2_norm, max_abs};
 pub use tensor::Tensor;
 

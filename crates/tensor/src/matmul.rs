@@ -1,17 +1,280 @@
 //! Rank-2 matrix multiplication kernels.
 //!
 //! Three variants are provided so the NN layers never have to materialize a
-//! transposed copy: `C = A·B`, `C = Aᵀ·B`, and `C = A·Bᵀ`. All use a simple
-//! ikj loop order, which keeps the innermost loop contiguous in both `B` and
-//! `C` and lets the compiler auto-vectorize.
+//! transposed copy: `C = A·B`, `C = Aᵀ·B`, and `C = A·Bᵀ`. Each comes in a
+//! [`Tensor`] form and a slice `_into` form that writes into a
+//! caller-provided buffer (so hot loops can reuse scratch storage).
+//!
+//! ## Execution strategy
+//!
+//! All variants run cache-blocked micro-kernels over blocks of output rows
+//! ([`MC`] rows at a time, with the shared dimension additionally tiled by
+//! [`KC`] in the ikj kernel), and dispatch those row blocks across the
+//! persistent worker pool in [`crate::par`] when the matrix is large enough
+//! to pay for it.
+//!
+//! ## Determinism contract
+//!
+//! For every output element `(i, j)` the kernels perform exactly one
+//! `c += a·b` accumulation per index `p` of the shared dimension, in
+//! ascending `p` order, starting from `+0.0` — the same sequence as the
+//! naive serial kernels in [`reference`]. Row blocking, `k`-tiling and
+//! row-partitioned parallel dispatch all preserve that per-element order, so
+//! outputs are bit-identical to the reference at every thread count
+//! (including signed zeros and NaN payloads). No sparsity shortcuts are
+//! taken: a zero operand still multiplies, so NaN/inf propagate per
+//! IEEE 754 and the `FEDSU_CHECK_INVARIANTS` guards can observe them.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Rows of output processed per cache block; also the sub-block size a
+/// parallel task iterates internally, so serial and parallel execution tile
+/// the output identically.
+const MC: usize = 64;
+
+/// Tile length along the shared `k` dimension in the ikj kernel: one tile of
+/// `B` (`KC × n` scalars) stays cache-hot across a whole row block.
+const KC: usize = 256;
+
+/// Minimum multiply-accumulate count before parallel dispatch pays for its
+/// input snapshots and scheduling; smaller problems run the serial blocked
+/// path. Calibrated so ~64³ matmuls (where dispatch overhead measurably
+/// loses) stay serial and ~96³ and up go parallel.
+const PAR_MIN_MACS: usize = (1 << 18) + 1;
+
+/// Which of the three kernels a dispatch runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// `C = A·B` with `A: [m, k]`, `B: [k, n]`.
+    Nn,
+    /// `C = Aᵀ·B` with `A: [k, m]`, `B: [k, n]`.
+    TransposeA,
+    /// `C = A·Bᵀ` with `A: [m, k]`, `B: [n, k]`.
+    TransposeB,
+}
+
+impl Kind {
+    fn op(self) -> &'static str {
+        match self {
+            Kind::Nn => "matmul",
+            Kind::TransposeA => "matmul_transpose_a",
+            Kind::TransposeB => "matmul_transpose_b",
+        }
+    }
+}
 
 fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
-    if t.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: t.rank(), op });
+    match t.shape() {
+        &[rows, cols] => Ok((rows, cols)),
+        _ => Err(TensorError::RankMismatch { expected: 2, actual: t.rank(), op }),
     }
-    Ok((t.shape()[0], t.shape()[1]))
+}
+
+fn check_len(buf: &[f32], rows: usize, cols: usize) -> Result<()> {
+    if buf.len() != rows * cols {
+        return Err(TensorError::LengthMismatch { len: buf.len(), shape: vec![rows, cols] });
+    }
+    Ok(())
+}
+
+/// ikj micro-kernel for `C = A·B` over output rows `rows`: `out` holds
+/// exactly those rows (`rows.len() × n`), pre-zeroed by the caller.
+fn chunk_nn(a: &[f32], b: &[f32], rows: Range<usize>, out: &mut [f32], k: usize, n: usize) {
+    if k == 0 || n == 0 || rows.is_empty() {
+        return;
+    }
+    let a_rows = a.get(rows.start * k..rows.end * k).unwrap_or(&[]);
+    for pb in (0..k).step_by(KC) {
+        let pe = (pb + KC).min(k);
+        let b_tile = b.get(pb * n..pe * n).unwrap_or(&[]);
+        for (a_row, c_row) in a_rows.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+            let a_tile = a_row.get(pb..pe).unwrap_or(&[]);
+            for (&av, b_row) in a_tile.iter().zip(b_tile.chunks_exact(n)) {
+                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// pij micro-kernel for `C = Aᵀ·B` over output rows `rows` (columns of the
+/// stored `A: [k, m]`); `out` holds exactly those rows, pre-zeroed. The row
+/// block is the cache tile: it stays resident while `A` and `B` stream
+/// through once in ascending `p` order.
+fn chunk_ta(a: &[f32], b: &[f32], rows: Range<usize>, out: &mut [f32], m: usize, n: usize) {
+    if m == 0 || n == 0 || rows.is_empty() {
+        return;
+    }
+    for (a_row, b_row) in a.chunks_exact(m).zip(b.chunks_exact(n)) {
+        let a_seg = a_row.get(rows.clone()).unwrap_or(&[]);
+        for (&av, c_row) in a_seg.iter().zip(out.chunks_exact_mut(n)) {
+            for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *c += av * bv;
+            }
+        }
+    }
+}
+
+/// Dot-product micro-kernel for `C = A·Bᵀ` over output rows `rows`; each
+/// element is one sequential dot in ascending `p` order. The row block keeps
+/// a small set of `A` rows hot while `B` streams through once per row.
+fn chunk_tb(a: &[f32], b: &[f32], rows: Range<usize>, out: &mut [f32], k: usize, n: usize) {
+    if n == 0 || rows.is_empty() {
+        return;
+    }
+    if k == 0 {
+        // Every dot product is empty; the pre-zeroed output is the answer.
+        return;
+    }
+    let a_rows = a.get(rows.start * k..rows.end * k).unwrap_or(&[]);
+    for (a_row, c_row) in a_rows.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+        for (c, b_row) in c_row.iter_mut().zip(b.chunks_exact(k)) {
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *c = acc;
+        }
+    }
+}
+
+fn run_chunk(kind: Kind, a: &[f32], b: &[f32], rows: Range<usize>, out: &mut [f32], m: usize, k: usize, n: usize) {
+    match kind {
+        Kind::Nn => chunk_nn(a, b, rows, out, k, n),
+        Kind::TransposeA => {
+            let _ = k;
+            chunk_ta(a, b, rows, out, m, n);
+        }
+        Kind::TransposeB => chunk_tb(a, b, rows, out, k, n),
+    }
+}
+
+/// Runs the blocked kernel over output rows `rows`, tiling them in [`MC`]
+/// blocks; `out` holds exactly those rows (`rows.len() × n`), pre-zeroed.
+fn run_range(kind: Kind, a: &[f32], b: &[f32], rows: Range<usize>, out: &mut [f32], m: usize, k: usize, n: usize) {
+    if out.is_empty() {
+        return;
+    }
+    for (ci, sub) in out.chunks_mut(MC * n).enumerate() {
+        let start = rows.start + ci * MC;
+        let end = rows.end.min(start + MC);
+        run_chunk(kind, a, b, start..end, sub, m, k, n);
+    }
+}
+
+/// Full-output driver: serial blocked execution, or row-partitioned
+/// dispatch on the persistent pool when the problem is large enough and the
+/// configured thread count allows it. `out` must be `m × n`, pre-zeroed.
+fn run_rows(kind: Kind, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let threads = par::kernel_threads();
+    let macs = m.saturating_mul(k).saturating_mul(n);
+    if threads <= 1 || macs < PAR_MIN_MACS || m < 2 || n == 0 {
+        run_range(kind, a, b, 0..m, out, m, k, n);
+        return;
+    }
+    // 'static jobs for the persistent pool: snapshot the operands once and
+    // share them across every chunk (an O(mk + kn) copy against O(mkn)
+    // compute; the threshold above keeps tiny problems off this path).
+    let a_shared: Arc<[f32]> = Arc::from(a);
+    let b_shared: Arc<[f32]> = Arc::from(b);
+    let rows_per = m.div_ceil(threads).max(1);
+    let ranges: Vec<Range<usize>> =
+        (0..m).step_by(rows_per).map(|s| s..(s + rows_per).min(m)).collect();
+    let jobs: Vec<par::ChunkJob> = ranges
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(idx, rows)| {
+            let a = Arc::clone(&a_shared);
+            let b = Arc::clone(&b_shared);
+            let job: par::ChunkJob = Box::new(move || {
+                let mut chunk = vec![0.0f32; rows.len() * n];
+                run_range(kind, &a, &b, rows, &mut chunk, m, k, n);
+                (idx, chunk)
+            });
+            job
+        })
+        .collect();
+    let results = par::run_chunks(jobs);
+    for ((range, slot), out_chunk) in ranges.iter().zip(results).zip(out.chunks_mut(rows_per * n)) {
+        match slot {
+            Some(chunk) => out_chunk.copy_from_slice(&chunk),
+            // The chunk's worker died mid-job: recompute inline so a
+            // degraded pool can never change results or hang the caller.
+            None => run_range(kind, a, b, range.clone(), out_chunk, m, k, n),
+        }
+    }
+}
+
+fn run_into(kind: Kind, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    out.fill(0.0);
+    run_rows(kind, a, b, out, m, k, n);
+    crate::invariant::check_op_output(kind.op(), &[a, b], out);
+}
+
+/// Computes `C = A · B` on raw row-major slices, `A: [m, k]`, `B: [k, n]`,
+/// overwriting `out: [m, n]`. Bit-identical to [`reference::matmul`] at
+/// every thread count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when a buffer length disagrees
+/// with its stated shape.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) -> Result<()> {
+    check_len(a, m, k)?;
+    check_len(b, k, n)?;
+    check_len(out, m, n)?;
+    run_into(Kind::Nn, a, b, out, m, k, n);
+    Ok(())
+}
+
+/// Computes `C = Aᵀ · B` on raw row-major slices, `A: [k, m]`, `B: [k, n]`,
+/// overwriting `out: [m, n]`. Bit-identical to
+/// [`reference::matmul_transpose_a`] at every thread count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when a buffer length disagrees
+/// with its stated shape.
+pub fn matmul_transpose_a_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+) -> Result<()> {
+    check_len(a, k, m)?;
+    check_len(b, k, n)?;
+    check_len(out, m, n)?;
+    run_into(Kind::TransposeA, a, b, out, m, k, n);
+    Ok(())
+}
+
+/// Computes `C = A · Bᵀ` on raw row-major slices, `A: [m, k]`, `B: [n, k]`,
+/// overwriting `out: [m, n]`. Bit-identical to
+/// [`reference::matmul_transpose_b`] at every thread count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when a buffer length disagrees
+/// with its stated shape.
+pub fn matmul_transpose_b_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<()> {
+    check_len(a, m, k)?;
+    check_len(b, n, k)?;
+    check_len(out, m, n)?;
+    run_into(Kind::TransposeB, a, b, out, m, k, n);
+    Ok(())
 }
 
 /// Computes `C = A · B` for rank-2 tensors, `A: [m, k]`, `B: [k, n]`.
@@ -31,22 +294,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let a_row = &ad[i * ka..(i + 1) * ka];
-        let c_row = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &bd[p * n..(p + 1) * n];
-            for (c, &bv) in c_row.iter_mut().zip(b_row) {
-                *c += av * bv;
-            }
-        }
-    }
-    crate::invariant::check_op_output("matmul", &[ad, bd], &out);
+    matmul_into(a.data(), b.data(), &mut out, m, ka, n)?;
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -66,22 +314,7 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for p in 0..ka {
-        let a_row = &ad[p * m..(p + 1) * m];
-        let b_row = &bd[p * n..(p + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let c_row = &mut out[i * n..(i + 1) * n];
-            for (c, &bv) in c_row.iter_mut().zip(b_row) {
-                *c += av * bv;
-            }
-        }
-    }
-    crate::invariant::check_op_output("matmul_transpose_a", &[ad, bd], &out);
+    matmul_transpose_a_into(a.data(), b.data(), &mut out, ka, m, n)?;
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -101,21 +334,72 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let a_row = &ad[i * ka..(i + 1) * ka];
-        for j in 0..n {
-            let b_row = &bd[j * kb..(j + 1) * kb];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            out[i * n + j] = acc;
-        }
-    }
-    crate::invariant::check_op_output("matmul_transpose_b", &[ad, bd], &out);
+    matmul_transpose_b_into(a.data(), b.data(), &mut out, m, ka, n)?;
     Tensor::from_vec(out, &[m, n])
+}
+
+/// Naive single-threaded reference kernels: the semantic ground truth the
+/// blocked/parallel kernels must match bit-for-bit. Used by the
+/// bit-identity tests and the kernel benchmark harness; never by the
+/// runtime.
+///
+/// Buffer lengths must agree with the stated shapes; short buffers simply
+/// truncate the iteration (the production entry points validate lengths
+/// before ever reaching a kernel).
+pub mod reference {
+    /// `C = A·B` with `A: [m, k]`, `B: [k, n]`, in the canonical ikj order:
+    /// each element accumulates `a[i][p] * b[p][j]` for ascending `p` from
+    /// `+0.0`.
+    pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        if k == 0 || n == 0 {
+            return out;
+        }
+        for (a_row, c_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+            for (&av, b_row) in a_row.iter().zip(b.chunks_exact(n)) {
+                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `C = Aᵀ·B` with `A: [k, m]`, `B: [k, n]`: each element accumulates
+    /// `a[p][i] * b[p][j]` for ascending `p` from `+0.0`.
+    pub fn matmul_transpose_a(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        if m == 0 || n == 0 || k == 0 {
+            return out;
+        }
+        for (a_row, b_row) in a.chunks_exact(m).zip(b.chunks_exact(n)) {
+            for (&av, c_row) in a_row.iter().zip(out.chunks_exact_mut(n)) {
+                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `C = A·Bᵀ` with `A: [m, k]`, `B: [n, k]`: each element is one
+    /// sequential dot product in ascending `p` order from `+0.0`.
+    pub fn matmul_transpose_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        if k == 0 || n == 0 {
+            return out;
+        }
+        for (a_row, c_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+            for (c, b_row) in c_row.iter_mut().zip(b.chunks_exact(k)) {
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                    acc += av * bv;
+                }
+                *c = acc;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +471,60 @@ mod tests {
         let i = t(&[1.0, 0.0, 0.0, 1.0], &[2, 2]);
         assert_eq!(matmul(&a, &i).unwrap().data(), a.data());
         assert_eq!(matmul(&i, &a).unwrap().data(), a.data());
+    }
+
+    #[test]
+    fn into_variants_validate_lengths() {
+        let mut out = vec![0.0f32; 4];
+        assert!(matmul_into(&[0.0; 3], &[0.0; 4], &mut out, 2, 2, 2).is_err());
+        assert!(matmul_into(&[0.0; 4], &[0.0; 3], &mut out, 2, 2, 2).is_err());
+        let mut short = vec![0.0f32; 3];
+        assert!(matmul_into(&[0.0; 4], &[0.0; 4], &mut short, 2, 2, 2).is_err());
+        assert!(matmul_transpose_a_into(&[0.0; 3], &[0.0; 4], &mut out, 2, 2, 2).is_err());
+        assert!(matmul_transpose_b_into(&[0.0; 3], &[0.0; 4], &mut out, 2, 2, 2).is_err());
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_output() {
+        let a = [1.0f32, 0.0, 0.0, 1.0];
+        let b = [3.0f32, 4.0, 5.0, 6.0];
+        let mut out = vec![f32::NAN; 4];
+        matmul_into(&a, &b, &mut out, 2, 2, 2).unwrap();
+        assert_eq!(out, b);
+    }
+
+    /// The NaN-propagation regression: the old kernels skipped `av == 0.0`
+    /// multiplications as a sparsity shortcut, which silently suppressed
+    /// IEEE propagation — a zero row in `A` masked a NaN planted in `B`.
+    /// IEEE 754 requires `0.0 × NaN = NaN`.
+    #[test]
+    fn zero_row_in_a_does_not_mask_nan_in_b() {
+        // Row 0 of A is all zeros; B carries a NaN in row 0.
+        let a = t(&[0.0, 0.0, 1.0, 1.0], &[2, 2]);
+        let b = t(&[f32::NAN, 5.0, 6.0, 7.0], &[2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        let got = c.data().first().copied().unwrap_or(0.0);
+        assert!(got.is_nan(), "0·NaN must propagate, got {got}");
+        // The unaffected column keeps its ordinary value: 0·5 + 0·7 = 0.
+        assert_eq!(c.data().get(1).copied(), Some(0.0));
+    }
+
+    #[test]
+    fn zero_column_in_a_does_not_mask_nan_in_b_transpose_a() {
+        // Column 0 of A (= row 0 of Aᵀ) is all zeros; B carries a NaN.
+        let a = t(&[0.0, 1.0, 0.0, 1.0], &[2, 2]); // A: [k=2, m=2]
+        let b = t(&[f32::NAN, 5.0, 6.0, 7.0], &[2, 2]);
+        let c = matmul_transpose_a(&a, &b).unwrap();
+        let got = c.data().first().copied().unwrap_or(0.0);
+        assert!(got.is_nan(), "0·NaN must propagate through Aᵀ·B, got {got}");
+    }
+
+    #[test]
+    fn zero_times_infinity_is_nan_not_zero() {
+        let a = t(&[0.0, 0.0], &[1, 2]);
+        let b = t(&[f32::INFINITY, 1.0], &[2, 1]);
+        let c = matmul(&a, &b).unwrap();
+        let got = c.data().first().copied().unwrap_or(0.0);
+        assert!(got.is_nan(), "0·inf must yield NaN, got {got}");
     }
 }

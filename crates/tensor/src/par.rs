@@ -1,0 +1,276 @@
+//! Persistent worker pool and kernel thread-count control.
+//!
+//! The matmul kernels in this crate can split their output rows across a
+//! process-wide pool of worker threads. The pool is spawned once, on first
+//! parallel dispatch, and reused for every subsequent kernel call — no
+//! per-call thread spawning, no dependencies beyond `std`.
+//!
+//! ## Determinism contract
+//!
+//! Parallel dispatch partitions *output rows*: every output element is
+//! computed by exactly one task, with exactly the same accumulation order as
+//! the serial kernel. Results are therefore bit-identical at every thread
+//! count, so the setting below is a pure performance knob — it can never
+//! change what an experiment computes.
+//!
+//! ## Thread-count policy
+//!
+//! [`set_kernel_threads`] installs the policy (`0` = auto, `1` = serial,
+//! `n` = split across up to `n` tasks). When nothing has been set
+//! explicitly, the `FEDSU_KERNEL_THREADS` environment variable is consulted
+//! once, on first use. The federated runtime composes this with its own
+//! client-level parallelism: `fedsu-fl` forces the kernel setting to `1`
+//! while it is already training clients on separate threads, so the two
+//! layers never oversubscribe the machine.
+//!
+//! ## Failure policy
+//!
+//! A panicking job must not hang or poison the pool: workers run jobs under
+//! `catch_unwind`, and [`run_chunks`] reports lost chunks back to the caller
+//! as `None` so the dispatching kernel can recompute them inline. A degraded
+//! pool can cost throughput, never correctness.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A pool job: computes one output chunk and returns it with its index.
+pub(crate) type ChunkJob = Box<dyn FnOnce() -> (usize, Vec<f32>) + Send + 'static>;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Sentinel meaning "no explicit setting yet": the environment is consulted
+/// on first use.
+const UNSET: usize = usize::MAX;
+
+/// Upper bound on both the worker count and the thread setting; far above
+/// any sensible CPU count, it only exists to keep the partition arithmetic
+/// comfortable.
+const MAX_THREADS: usize = 256;
+
+/// Workers spawned into the persistent pool (bounded by the hardware).
+const MAX_WORKERS: usize = 16;
+
+static SETTING: AtomicUsize = AtomicUsize::new(UNSET);
+
+struct Pool {
+    jobs: Mutex<Sender<Job>>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Parses a `FEDSU_KERNEL_THREADS` value; anything unparsable means auto.
+fn resolve_env(value: Option<&str>) -> usize {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).unwrap_or(0).min(MAX_THREADS)
+}
+
+fn setting() -> usize {
+    let raw = SETTING.load(Ordering::SeqCst);
+    if raw != UNSET {
+        return raw;
+    }
+    let from_env = resolve_env(std::env::var("FEDSU_KERNEL_THREADS").ok().as_deref());
+    // First resolution wins; racing threads agree because the environment
+    // cannot change between their reads.
+    let _ = SETTING.compare_exchange(UNSET, from_env, Ordering::SeqCst, Ordering::SeqCst);
+    SETTING.load(Ordering::SeqCst)
+}
+
+/// Installs the kernel thread-count policy: `0` = auto (one task per
+/// hardware thread), `1` = serial, `n` = split across up to `n` tasks.
+///
+/// Because parallel kernels are bit-identical to serial ones, changing this
+/// at any point is always safe — it affects speed only.
+pub fn set_kernel_threads(n: usize) {
+    SETTING.store(n.min(MAX_THREADS), Ordering::SeqCst);
+}
+
+/// The raw configured policy (`0` = auto), after environment resolution.
+/// Used by callers that need to save and restore the setting.
+pub fn kernel_threads_setting() -> usize {
+    setting()
+}
+
+/// The effective number of kernel-level tasks a parallel dispatch will use.
+/// Resolves `0` (auto) to the hardware thread count, capped at the pool
+/// size.
+pub fn kernel_threads() -> usize {
+    match setting() {
+        0 => hardware_threads().min(MAX_WORKERS).max(1),
+        n => n,
+    }
+}
+
+fn worker_loop(jobs: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let next = {
+            let guard = match jobs.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        match next {
+            // A panicking job must not take the worker down with it; the
+            // dispatcher notices the missing chunk and recomputes it inline.
+            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+            // Channel closed: the process is shutting down.
+            Err(_) => return,
+        }
+    }
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let target = hardware_threads().min(MAX_WORKERS).max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut spawned = 0usize;
+        for idx in 0..target {
+            let rx = Arc::clone(&rx);
+            let builder = std::thread::Builder::new().name(format!("fedsu-kernel-{idx}"));
+            if builder.spawn(move || worker_loop(&rx)).is_ok() {
+                spawned += 1;
+            }
+        }
+        Pool { jobs: Mutex::new(tx), workers: spawned }
+    })
+}
+
+/// Runs `jobs` on the worker pool, collecting each chunk under the index the
+/// job reports. Chunks whose job was lost (worker panic, failed scheduling)
+/// come back as `None`; the caller recomputes those inline, so pool failures
+/// degrade throughput, never correctness. Jobs must not dispatch nested pool
+/// work (the kernels never do), or a full pool could deadlock on itself.
+pub(crate) fn run_chunks(jobs: Vec<ChunkJob>) -> Vec<Option<Vec<f32>>> {
+    let mut slots: Vec<Option<Vec<f32>>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    if jobs.is_empty() {
+        return slots;
+    }
+    let pool = pool();
+    if pool.workers == 0 {
+        // No worker could ever be spawned: run everything inline.
+        for job in jobs {
+            let (idx, chunk) = job();
+            if let Some(slot) = slots.get_mut(idx) {
+                *slot = Some(chunk);
+            }
+        }
+        return slots;
+    }
+    let (tx, rx) = channel::<(usize, Vec<f32>)>();
+    {
+        let sender = match pool.jobs.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for job in jobs {
+            let tx = tx.clone();
+            let wrapped: Job = Box::new(move || {
+                let (idx, chunk) = job();
+                let _ = tx.send((idx, chunk));
+            });
+            // A send can only fail if every worker exited; the chunk then
+            // stays `None` and the caller recomputes it.
+            let _ = sender.send(wrapped);
+        }
+    }
+    // Once the local sender is dropped, `recv` ends as soon as every job has
+    // either reported or been dropped by a panicking worker — no hangs.
+    drop(tx);
+    while let Ok((idx, chunk)) = rx.recv() {
+        if let Some(slot) = slots.get_mut(idx) {
+            *slot = Some(chunk);
+        }
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_resolution_rules() {
+        assert_eq!(resolve_env(None), 0);
+        assert_eq!(resolve_env(Some("")), 0);
+        assert_eq!(resolve_env(Some("garbage")), 0);
+        assert_eq!(resolve_env(Some("4")), 4);
+        assert_eq!(resolve_env(Some(" 8 ")), 8);
+        assert_eq!(resolve_env(Some("999999")), MAX_THREADS);
+    }
+
+    #[test]
+    fn setting_roundtrip_and_effective_count() {
+        let prior = kernel_threads_setting();
+        set_kernel_threads(3);
+        assert_eq!(kernel_threads_setting(), 3);
+        assert_eq!(kernel_threads(), 3);
+        set_kernel_threads(0);
+        assert!(kernel_threads() >= 1);
+        set_kernel_threads(prior);
+    }
+
+    #[test]
+    fn run_chunks_returns_every_chunk() {
+        let jobs: Vec<ChunkJob> = (0..8)
+            .map(|idx| {
+                let job: ChunkJob = Box::new(move || (idx, vec![idx as f32; 3]));
+                job
+            })
+            .collect();
+        let out = run_chunks(jobs);
+        assert_eq!(out.len(), 8);
+        for (idx, slot) in out.into_iter().enumerate() {
+            assert_eq!(slot, Some(vec![idx as f32; 3]));
+        }
+    }
+
+    #[test]
+    fn run_chunks_survives_a_panicking_job() {
+        let jobs: Vec<ChunkJob> = (0..3)
+            .map(|idx| {
+                let job: ChunkJob = Box::new(move || {
+                    assert!(idx != 1, "injected job failure");
+                    (idx, vec![1.0])
+                });
+                job
+            })
+            .collect();
+        let out = run_chunks(jobs);
+        assert_eq!(out.len(), 3);
+        assert!(out.first().is_some_and(Option::is_some));
+        assert!(out.get(1).is_some_and(Option::is_none), "lost chunk must surface as None");
+        assert!(out.get(2).is_some_and(Option::is_some));
+        // The pool must still be serviceable after the panic.
+        let jobs: Vec<ChunkJob> = vec![Box::new(|| (0, vec![2.0]))];
+        assert_eq!(run_chunks(jobs), vec![Some(vec![2.0])]);
+    }
+
+    #[test]
+    fn concurrent_dispatches_do_not_interfere() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let jobs: Vec<ChunkJob> = (0..4)
+                        .map(|idx| {
+                            let job: ChunkJob = Box::new(move || (idx, vec![idx as f32]));
+                            job
+                        })
+                        .collect();
+                    let out = run_chunks(jobs);
+                    for (idx, slot) in out.into_iter().enumerate() {
+                        assert_eq!(slot, Some(vec![idx as f32]));
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,176 @@
+//! Bit-identity contract for the blocked/parallel matmul kernels.
+//!
+//! Every kernel in `fedsu_tensor` must produce bit-identical output to the
+//! naive serial reference at every thread-count setting — that is the
+//! determinism contract that makes `--kernel-threads` a pure performance
+//! knob. These tests sweep thread counts {1, 2, 4, 8} and shapes from
+//! degenerate (empty, 1×k, k×1) through sizes large enough to cross the
+//! parallel-dispatch threshold, with ±0.0, NaN, and ±inf planted in the
+//! operands.
+//!
+//! Tests deliberately never assert *which* execution path ran (the global
+//! thread setting is process-wide and tests run concurrently); they assert
+//! only bit-equality against the reference, which must hold at any setting.
+
+use fedsu_tensor::{
+    matmul, matmul_into, matmul_transpose_a_into, matmul_transpose_b_into, reference,
+    set_kernel_threads, Tensor,
+};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// (m, k, n) shapes: degenerate, small, awkward odd sizes, and sizes big
+/// enough to trigger parallel dispatch (m·k·n above the internal threshold).
+const SHAPES: [(usize, usize, usize); 9] = [
+    (0, 3, 2),
+    (3, 0, 2),
+    (3, 4, 0),
+    (1, 5, 1),
+    (5, 1, 3),
+    (3, 4, 5),
+    (17, 9, 13),
+    (64, 64, 64),
+    (33, 129, 65),
+];
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_f32(&mut self) -> f32 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        // Map to roughly [-4, 4) so products stay comfortably finite.
+        ((self.0 >> 40) as f32) / (1u32 << 21) as f32 - 4.0
+    }
+}
+
+/// Deterministic matrix fill with IEEE special values sprinkled in.
+fn filled(len: usize, seed: u64, specials: bool) -> Vec<f32> {
+    let mut rng = XorShift(seed | 1);
+    let mut v: Vec<f32> = (0..len).map(|_| rng.next_f32()).collect();
+    if specials {
+        for (i, x) in v.iter_mut().enumerate() {
+            match i % 97 {
+                13 => *x = 0.0,
+                29 => *x = -0.0,
+                53 => *x = f32::NAN,
+                71 => *x = f32::INFINITY,
+                89 => *x = f32::NEG_INFINITY,
+                _ => {}
+            }
+        }
+    }
+    v
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} differs: {g:?} (bits {:#010x}) vs reference {w:?} (bits {:#010x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+fn sweep(specials: bool) {
+    for &(m, k, n) in &SHAPES {
+        let a = filled(m * k, 0x9E37_79B9 ^ (m as u64) << 32 | k as u64, specials);
+        let b = filled(k * n, 0xDEAD_BEEF ^ (k as u64) << 32 | n as u64, specials);
+        let want_nn = reference::matmul(&a, &b, m, k, n);
+        // For the transpose kernels, reinterpret the same buffers under the
+        // transposed shapes: A:[k,m] for ᵀA, B:[n,k] for ᵀB.
+        let a_t = filled(k * m, 0x1234_5678 ^ (m as u64) << 32 | k as u64, specials);
+        let want_ta = reference::matmul_transpose_a(&a_t, &b, k, m, n);
+        let b_t = filled(n * k, 0x0F0F_F0F0 ^ (n as u64) << 32 | k as u64, specials);
+        let want_tb = reference::matmul_transpose_b(&a, &b_t, m, k, n);
+
+        for &threads in &THREAD_COUNTS {
+            set_kernel_threads(threads);
+            let mut out = vec![f32::NAN; m * n]; // stale garbage must be overwritten
+            matmul_into(&a, &b, &mut out, m, k, n).expect("matmul_into");
+            assert_bits_eq(&out, &want_nn, &format!("matmul {m}x{k}x{n} t={threads}"));
+
+            let mut out = vec![f32::NAN; m * n];
+            matmul_transpose_a_into(&a_t, &b, &mut out, k, m, n).expect("matmul_transpose_a_into");
+            assert_bits_eq(&out, &want_ta, &format!("matmul_ta {m}x{k}x{n} t={threads}"));
+
+            let mut out = vec![f32::NAN; m * n];
+            matmul_transpose_b_into(&a, &b_t, &mut out, m, k, n).expect("matmul_transpose_b_into");
+            assert_bits_eq(&out, &want_tb, &format!("matmul_tb {m}x{k}x{n} t={threads}"));
+        }
+    }
+    set_kernel_threads(0);
+}
+
+#[test]
+fn kernels_bit_identical_to_reference_across_thread_counts() {
+    sweep(false);
+}
+
+#[test]
+fn kernels_bit_identical_with_ieee_specials_planted() {
+    sweep(true);
+}
+
+#[test]
+fn tensor_wrappers_match_reference_across_thread_counts() {
+    let (m, k, n) = (37, 23, 29);
+    let a = Tensor::from_vec(filled(m * k, 7, true), &[m, k]).expect("a");
+    let b = Tensor::from_vec(filled(k * n, 11, true), &[k, n]).expect("b");
+    let want = reference::matmul(a.data(), b.data(), m, k, n);
+    for &threads in &THREAD_COUNTS {
+        set_kernel_threads(threads);
+        let c = matmul(&a, &b).expect("matmul");
+        assert_bits_eq(c.data(), &want, &format!("tensor matmul t={threads}"));
+    }
+    set_kernel_threads(0);
+}
+
+#[test]
+fn nan_in_b_behind_zero_row_of_a_propagates_at_every_thread_count() {
+    // Regression for the removed `av == 0.0` sparsity shortcut: a zero row in
+    // A must NOT mask a NaN in B (IEEE 754: 0.0 * NaN = NaN). Use a shape big
+    // enough that the parallel path is exercised at multi-thread settings.
+    let (m, k, n) = (96, 64, 64);
+    let mut a = filled(m * k, 42, false);
+    for v in a.iter_mut().take(k) {
+        *v = 0.0; // first row of A entirely zero
+    }
+    let mut b = filled(k * n, 43, false);
+    b[0] = f32::NAN; // B[0,0]
+    for &threads in &THREAD_COUNTS {
+        set_kernel_threads(threads);
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut out, m, k, n).expect("matmul_into");
+        assert!(
+            out[0].is_nan(),
+            "t={threads}: zero row in A masked a NaN in B: got {}",
+            out[0]
+        );
+        // The rest of row 0 multiplies the zero row against finite columns.
+        assert!(out[1..n].iter().all(|v| *v == 0.0), "t={threads}: row 0 tail not zero");
+    }
+    set_kernel_threads(0);
+}
+
+#[test]
+fn signed_zero_semantics_match_reference() {
+    // (-0.0) * x accumulated from +0.0 keeps IEEE signed-zero behaviour
+    // identical between reference and blocked/parallel kernels.
+    let (m, k, n) = (4, 3, 4);
+    let a = vec![-0.0f32; m * k];
+    let b = filled(k * n, 99, false);
+    let want = reference::matmul(&a, &b, m, k, n);
+    for &threads in &THREAD_COUNTS {
+        set_kernel_threads(threads);
+        let mut out = vec![f32::NAN; m * n];
+        matmul_into(&a, &b, &mut out, m, k, n).expect("matmul_into");
+        assert_bits_eq(&out, &want, &format!("signed zero t={threads}"));
+    }
+    set_kernel_threads(0);
+}

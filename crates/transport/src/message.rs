@@ -238,10 +238,8 @@ impl Message {
             5 => Ok(Message::JoinRequest { client: need_u32(&mut data)? }),
             6 => {
                 let n = need_u32(&mut data)? as usize;
-                if data.remaining() < n {
-                    return Err(DecodeError::Truncated);
-                }
-                Ok(Message::JoinState { payload: data[..n].to_vec() })
+                let payload = data.get(..n).ok_or(DecodeError::Truncated)?.to_vec();
+                Ok(Message::JoinState { payload })
             }
             7 => Ok(Message::Shutdown),
             other => Err(DecodeError::BadTag(other)),

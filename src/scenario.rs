@@ -218,6 +218,7 @@ pub struct Scenario {
     schedule: fedsu_fl::LrSchedule,
     faults: FaultConfig,
     defense: Option<DefenseConfig>,
+    kernel_threads: usize,
 }
 
 impl Scenario {
@@ -239,6 +240,7 @@ impl Scenario {
             schedule: fedsu_fl::LrSchedule::Constant,
             faults: FaultConfig::default(),
             defense: None,
+            kernel_threads: 0,
         }
     }
 
@@ -323,6 +325,14 @@ impl Scenario {
         self
     }
 
+    /// Sets the kernel-level thread budget for tensor matmuls (`0` = auto).
+    /// A pure performance knob: parallel kernels are bit-identical to the
+    /// serial ones, so results never depend on this value.
+    pub fn kernel_threads(mut self, n: usize) -> Self {
+        self.kernel_threads = n;
+        self
+    }
+
     /// The model kind.
     pub fn model(&self) -> ModelKind {
         self.model
@@ -364,6 +374,7 @@ impl Scenario {
                     DefenseConfig::on()
                 }
             }),
+            kernel_threads: self.kernel_threads,
         }
     }
 

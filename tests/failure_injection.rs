@@ -124,6 +124,7 @@ fn huge_learning_rate_diverges_cleanly() {
         availability: None,
         faults: fedsu_repro::netsim::FaultPlan::none(),
         defense: fedsu_repro::fl::DefenseConfig::default(),
+        kernel_threads: 0,
     };
     let mut e = Experiment::new(config, factory, Arc::new(train), Arc::new(test), Box::new(FedAvg::new())).unwrap();
     assert!(matches!(e.run(None), Err(FlError::Diverged { .. })));
@@ -160,7 +161,7 @@ fn strategy_contract_violation_is_detected() {
 // FedSU converging under the issue's target fault mix.
 // ---------------------------------------------------------------------------
 
-fn faulty_scenario(strategy: StrategyKind) -> (f64, f64, usize) {
+fn faulty_scenario(strategy: StrategyKind) -> (f32, f32, usize) {
     use fedsu_repro::netsim::FaultConfig;
 
     let build = |faults: Option<FaultConfig>| {
