@@ -523,9 +523,12 @@ impl Experiment {
                 .filter(|&i| returned[i])
                 .map(|i| bytes_with_retries(upload_bytes[i], tx_attempts[i]))
                 .sum();
-            let retransmitted_bytes: u64 = (0..n)
-                .filter(|&i| returned[i])
-                .map(|i| bytes_with_retries(upload_bytes[i], tx_attempts[i]) - upload_bytes[i])
+            let retransmitted_bytes: u64 = returned
+                .iter()
+                .zip(&upload_bytes)
+                .zip(&tx_attempts)
+                .filter(|((&r, _), _)| r)
+                .map(|((_, &b), &a)| crate::message::retransmitted_bytes(b, a))
                 .sum();
             let bytes: u64 = upload_wire
                 .checked_add(download_bytes.iter().sum::<u64>())

@@ -26,6 +26,12 @@ const SALT_SLOWDOWN: u64 = 0x510D;
 const SALT_CRASH: u64 = 0xCBA5;
 const SALT_POSITION: u64 = 0xB05;
 const SALT_SIGN: u64 = 0x516;
+const SALT_WIRE_DROP: u64 = 0xD20F;
+const SALT_WIRE_CORRUPT: u64 = 0xF11F;
+const SALT_WIRE_DUP: u64 = 0xD0BF;
+const SALT_WIRE_REORDER: u64 = 0x2E02;
+const SALT_WIRE_DELAY: u64 = 0xDE1A;
+const SALT_WIRE_BIT: u64 = 0xB17;
 
 /// splitmix64 finalizer: a cheap, well-mixed 64-bit hash step.
 fn mix(mut z: u64) -> u64 {
@@ -57,9 +63,40 @@ pub struct FaultConfig {
     /// Rounds a crashed client stays away before rejoining (and paying the
     /// dynamicity catch-up download).
     pub crash_down_rounds: usize,
+    /// Per-frame probability that the wire silently drops an outbound frame
+    /// (data or ack). Consumed by the transport chaos bus; the emulation
+    /// models the same loss analytically via [`FaultConfig::upload_loss_prob`].
+    #[serde(default)]
+    pub wire_drop_prob: f64,
+    /// Per-frame probability that a delivered frame arrives bit-corrupted
+    /// (the session layer's checksum must reject it).
+    #[serde(default)]
+    pub wire_corrupt_prob: f64,
+    /// Per-frame probability that a frame is delivered twice (the session
+    /// layer's dedup must drop the copy).
+    #[serde(default)]
+    pub wire_duplicate_prob: f64,
+    /// Per-frame probability that a frame is held back one slot and
+    /// delivered after the next frame on the same link (adjacent reorder).
+    #[serde(default)]
+    pub wire_reorder_prob: f64,
+    /// Per-frame probability that a frame is delayed
+    /// [`FaultConfig::wire_delay_depth`] subsequent sends before delivery.
+    #[serde(default)]
+    pub wire_delay_prob: f64,
+    /// How many subsequent sends on the same link a delayed frame waits
+    /// before it is released (clamped to at least 1 when a delay fires).
+    #[serde(default = "default_wire_delay_depth")]
+    pub wire_delay_depth: usize,
     /// Seed of the fault schedule, independent of the experiment's master
     /// seed so fault sweeps hold the learning problem fixed.
     pub seed: u64,
+}
+
+/// Serde default for [`FaultConfig::wire_delay_depth`], matching
+/// [`FaultConfig::default`].
+fn default_wire_delay_depth() -> usize {
+    2
 }
 
 impl Default for FaultConfig {
@@ -72,20 +109,60 @@ impl Default for FaultConfig {
             slowdown_factor: 4.0,
             crash_prob: 0.0,
             crash_down_rounds: 3,
+            wire_drop_prob: 0.0,
+            wire_corrupt_prob: 0.0,
+            wire_duplicate_prob: 0.0,
+            wire_reorder_prob: 0.0,
+            wire_delay_prob: 0.0,
+            wire_delay_depth: default_wire_delay_depth(),
             seed: 0xFA17,
         }
     }
 }
 
 impl FaultConfig {
-    /// Whether every fault probability is zero (the clean path).
+    /// Whether every fault probability — emulation-level *and* wire-level —
+    /// is zero (the clean path). Honest about the wire knobs so zero-fault
+    /// fast paths stay exact: a config that injects anything anywhere is
+    /// never treated as clean.
     pub fn is_zero(&self) -> bool {
         self.dropout_prob == 0.0
             && self.upload_loss_prob == 0.0
             && self.corrupt_prob == 0.0
             && self.slowdown_prob == 0.0
             && self.crash_prob == 0.0
+            && self.wire_is_zero()
     }
+
+    /// Whether every wire-level fault probability is zero (the chaos bus is
+    /// a transparent pass-through).
+    pub fn wire_is_zero(&self) -> bool {
+        self.wire_drop_prob == 0.0
+            && self.wire_corrupt_prob == 0.0
+            && self.wire_duplicate_prob == 0.0
+            && self.wire_reorder_prob == 0.0
+            && self.wire_delay_prob == 0.0
+    }
+}
+
+/// Identity of one wire-level fault decision: a frame on a directed link,
+/// in a session epoch, with a sequence number and a retransmission attempt.
+///
+/// Keying decisions on the *attempt* is what makes retransmission
+/// effective under a deterministic plan: the retry of a dropped frame is a
+/// different key and rolls fresh fault decisions, exactly like
+/// [`FaultPlan::upload_attempts`] rolls per attempt on the emulation side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFrame {
+    /// Directed-link identity (the chaos bus folds client id, direction and
+    /// frame kind into this).
+    pub link: u64,
+    /// Session epoch (the round the frame belongs to).
+    pub epoch: u64,
+    /// Sequence number within the epoch.
+    pub seq: u64,
+    /// Transmission attempt, 0-based (0 = first send).
+    pub attempt: u64,
 }
 
 /// A realized, deterministic fault schedule (see the module docs).
@@ -165,11 +242,13 @@ impl FaultPlan {
             h = mix(h ^ round as u64);
             h = mix(h ^ m as u64);
             let idx = (h % n as u64) as usize;
-            if m % 2 == 0 {
-                values[idx] = f32::NAN;
-            } else {
-                let sign = if mix(h ^ SALT_SIGN) & 1 == 0 { 1.0 } else { -1.0 };
-                values[idx] = sign * 1.0e8;
+            if let Some(v) = values.get_mut(idx) {
+                if m % 2 == 0 {
+                    *v = f32::NAN;
+                } else {
+                    let sign = if mix(h ^ SALT_SIGN) & 1 == 0 { 1.0 } else { -1.0 };
+                    *v = sign * 1.0e8;
+                }
             }
         }
     }
@@ -221,6 +300,85 @@ impl FaultPlan {
         }
         let window = self.config.crash_down_rounds.max(1);
         (0..window).any(|back| round >= back && self.crash_event(client, round - back))
+    }
+
+    /// Whether this plan's wire-level knobs inject nothing (the chaos bus
+    /// may take its transparent fast path).
+    pub fn wire_is_zero(&self) -> bool {
+        self.config.wire_is_zero()
+    }
+
+    /// Uniform value in `[0, 1)` for one wire-frame decision.
+    fn wire_unit(&self, salt: u64, frame: &WireFrame) -> f64 {
+        let mut h = mix(self.config.seed ^ salt);
+        h = mix(h ^ frame.link);
+        h = mix(h ^ frame.epoch);
+        h = mix(h ^ frame.seq);
+        h = mix(h ^ frame.attempt);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether the wire silently drops `frame`.
+    pub fn wire_drops(&self, frame: &WireFrame) -> bool {
+        self.config.wire_drop_prob > 0.0
+            && self.wire_unit(SALT_WIRE_DROP, frame) < self.config.wire_drop_prob
+    }
+
+    /// Whether `frame` arrives bit-corrupted (apply with
+    /// [`FaultPlan::corrupt_frame`]).
+    pub fn wire_corrupts(&self, frame: &WireFrame) -> bool {
+        self.config.wire_corrupt_prob > 0.0
+            && self.wire_unit(SALT_WIRE_CORRUPT, frame) < self.config.wire_corrupt_prob
+    }
+
+    /// Whether `frame` is delivered twice.
+    pub fn wire_duplicates(&self, frame: &WireFrame) -> bool {
+        self.config.wire_duplicate_prob > 0.0
+            && self.wire_unit(SALT_WIRE_DUP, frame) < self.config.wire_duplicate_prob
+    }
+
+    /// Whether `frame` is held back one slot (delivered after the next
+    /// frame on the same link).
+    pub fn wire_reorders(&self, frame: &WireFrame) -> bool {
+        self.config.wire_reorder_prob > 0.0
+            && self.wire_unit(SALT_WIRE_REORDER, frame) < self.config.wire_reorder_prob
+    }
+
+    /// How many subsequent sends on the same link `frame` is delayed for
+    /// (`0` = delivered immediately; a fired delay is at least 1 slot).
+    pub fn wire_delay(&self, frame: &WireFrame) -> usize {
+        if self.config.wire_delay_prob > 0.0
+            && self.wire_unit(SALT_WIRE_DELAY, frame) < self.config.wire_delay_prob
+        {
+            self.config.wire_delay_depth.max(1)
+        } else {
+            0
+        }
+    }
+
+    /// Flips deterministic bits of a frame payload in place: roughly one
+    /// flipped bit per 64 bytes, always at least one on a non-empty frame.
+    /// Call only when [`FaultPlan::wire_corrupts`] is true; harmless (but
+    /// still mutating) otherwise.
+    pub fn corrupt_frame(&self, frame: &WireFrame, bytes: &mut [u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let n = bytes.len();
+        let flips = (n / 64).max(1);
+        for m in 0..flips {
+            let mut h = mix(self.config.seed ^ SALT_WIRE_BIT);
+            h = mix(h ^ frame.link);
+            h = mix(h ^ frame.epoch);
+            h = mix(h ^ frame.seq);
+            h = mix(h ^ frame.attempt);
+            h = mix(h ^ m as u64);
+            let idx = (h % n as u64) as usize;
+            let bit = ((h >> 17) % 8) as u8;
+            if let Some(b) = bytes.get_mut(idx) {
+                *b ^= 1 << bit;
+            }
+        }
     }
 }
 
@@ -355,5 +513,120 @@ mod tests {
         let p = FaultPlan::new(cfg);
         assert_eq!(*p.config(), cfg);
         assert!(!p.is_zero());
+    }
+
+    fn frame(link: u64, epoch: u64, seq: u64, attempt: u64) -> WireFrame {
+        WireFrame { link, epoch, seq, attempt }
+    }
+
+    #[test]
+    fn zero_plan_wire_knobs_inject_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.wire_is_zero());
+        for s in 0..200 {
+            let f = frame(s % 5, s % 7, s, s % 3);
+            assert!(!p.wire_drops(&f));
+            assert!(!p.wire_corrupts(&f));
+            assert!(!p.wire_duplicates(&f));
+            assert!(!p.wire_reorders(&f));
+            assert_eq!(p.wire_delay(&f), 0);
+        }
+    }
+
+    #[test]
+    fn wire_knobs_make_is_zero_honest() {
+        for tweak in [
+            |c: &mut FaultConfig| c.wire_drop_prob = 0.1,
+            |c: &mut FaultConfig| c.wire_corrupt_prob = 0.1,
+            |c: &mut FaultConfig| c.wire_duplicate_prob = 0.1,
+            |c: &mut FaultConfig| c.wire_reorder_prob = 0.1,
+            |c: &mut FaultConfig| c.wire_delay_prob = 0.1,
+        ] {
+            let mut cfg = FaultConfig::default();
+            assert!(cfg.is_zero() && cfg.wire_is_zero());
+            tweak(&mut cfg);
+            assert!(!cfg.is_zero(), "a wire knob must make the config non-clean");
+            assert!(!cfg.wire_is_zero());
+        }
+        // Emulation-level knobs alone leave the wire clean.
+        let cfg = FaultConfig { dropout_prob: 0.5, ..FaultConfig::default() };
+        assert!(!cfg.is_zero());
+        assert!(cfg.wire_is_zero());
+    }
+
+    #[test]
+    fn wire_decisions_are_deterministic_and_attempt_keyed() {
+        let p = plan(FaultConfig { wire_drop_prob: 0.5, ..FaultConfig::default() });
+        let q = plan(FaultConfig { wire_drop_prob: 0.5, ..FaultConfig::default() });
+        let hits = |p: &FaultPlan| -> Vec<bool> {
+            (0..400).map(|s| p.wire_drops(&frame(s % 4, s % 9, s, 0))).collect()
+        };
+        assert_eq!(hits(&p), hits(&q), "same plan, same schedule");
+        // Attempts roll fresh decisions: some frame dropped on attempt 0
+        // must pass on a later attempt (this is what makes retries work).
+        let recovered = (0..400).any(|s| {
+            let f0 = frame(1, 2, s, 0);
+            let f1 = frame(1, 2, s, 1);
+            p.wire_drops(&f0) && !p.wire_drops(&f1)
+        });
+        assert!(recovered, "a retry should survive where the first attempt dropped");
+    }
+
+    #[test]
+    fn wire_rates_track_probabilities() {
+        let p = plan(FaultConfig {
+            wire_drop_prob: 0.25,
+            wire_duplicate_prob: 0.25,
+            ..FaultConfig::default()
+        });
+        let n = 4000u64;
+        let drops = (0..n).filter(|&s| p.wire_drops(&frame(s % 8, 0, s, 0))).count();
+        let dups = (0..n).filter(|&s| p.wire_duplicates(&frame(s % 8, 0, s, 0))).count();
+        for (name, hits) in [("drop", drops), ("dup", dups)] {
+            let rate = hits as f64 / n as f64;
+            assert!((rate - 0.25).abs() < 0.05, "empirical {name} rate {rate}");
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_flips_bits_deterministically() {
+        let p = plan(FaultConfig { wire_corrupt_prob: 1.0, ..FaultConfig::default() });
+        let f = frame(3, 1, 7, 0);
+        let clean = vec![0xA5u8; 256];
+        let mut a = clean.clone();
+        p.corrupt_frame(&f, &mut a);
+        assert_ne!(a, clean, "corruption must change the payload");
+        let mut b = clean.clone();
+        p.corrupt_frame(&f, &mut b);
+        assert_eq!(a, b, "corruption is deterministic per frame");
+        // A different attempt corrupts differently.
+        let mut c = clean.clone();
+        p.corrupt_frame(&frame(3, 1, 7, 1), &mut c);
+        assert_ne!(a, c, "attempt must be part of the corruption key");
+        // Tiny and empty payloads are safe.
+        let mut one = vec![0u8];
+        p.corrupt_frame(&f, &mut one);
+        assert_ne!(one[0], 0);
+        p.corrupt_frame(&f, &mut []);
+    }
+
+    #[test]
+    fn wire_delay_respects_depth_and_reorder_is_one_slot() {
+        let p = plan(FaultConfig {
+            wire_delay_prob: 0.5,
+            wire_delay_depth: 3,
+            ..FaultConfig::default()
+        });
+        let delays: Vec<usize> = (0..200).map(|s| p.wire_delay(&frame(0, 0, s, 0))).collect();
+        assert!(delays.iter().any(|&d| d == 3));
+        assert!(delays.iter().any(|&d| d == 0));
+        assert!(delays.iter().all(|&d| d == 0 || d == 3));
+        // Depth 0 clamps to 1 when a delay fires.
+        let p = plan(FaultConfig {
+            wire_delay_prob: 1.0,
+            wire_delay_depth: 0,
+            ..FaultConfig::default()
+        });
+        assert!((0..50).all(|s| p.wire_delay(&frame(0, 0, s, 0)) == 1));
     }
 }

@@ -35,7 +35,7 @@ mod round;
 mod trace;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use faults::{FaultConfig, FaultPlan};
+pub use faults::{FaultConfig, FaultPlan, WireFrame};
 pub use link::Link;
 pub use round::{FaultPenalties, RoundOutcomeTiming, RoundTimer};
 pub use trace::BandwidthTrace;

@@ -30,14 +30,16 @@ impl Counter {
     fn sent(&self, bytes: usize) {
         let mut s = self.stats.lock();
         // usize -> u64 is infallible on every supported target; saturate
-        // rather than panic so accounting can never abort a transfer.
-        s.bytes_sent += u64::try_from(bytes).unwrap_or(u64::MAX);
-        s.messages_sent += 1;
+        // the conversion *and* the accumulation rather than panic so
+        // accounting can never abort a transfer (a bare `+=` still aborts
+        // debug builds on overflow, contradicting that guarantee).
+        s.bytes_sent = s.bytes_sent.saturating_add(u64::try_from(bytes).unwrap_or(u64::MAX));
+        s.messages_sent = s.messages_sent.saturating_add(1);
     }
     fn received(&self, bytes: usize) {
         let mut s = self.stats.lock();
-        s.bytes_received += u64::try_from(bytes).unwrap_or(u64::MAX);
-        s.messages_received += 1;
+        s.bytes_received = s.bytes_received.saturating_add(u64::try_from(bytes).unwrap_or(u64::MAX));
+        s.messages_received = s.messages_received.saturating_add(1);
     }
 }
 
@@ -64,6 +66,50 @@ impl std::fmt::Display for BusError {
 
 impl std::error::Error for BusError {}
 
+/// A directed byte-moving endpoint from one client toward the server: the
+/// primitive the session and chaos layers stack on. [`ClientEndpoint`]
+/// implements it directly; [`crate::ChaosClient`] decorates any
+/// implementation with deterministic wire faults.
+pub trait ByteLink {
+    /// Sends one opaque frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Disconnected`] when the peer is gone.
+    fn send_bytes(&self, bytes: Vec<u8>) -> Result<(), BusError>;
+
+    /// Receives the next frame (blocking with timeout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Timeout`] / [`BusError::Disconnected`].
+    fn recv_bytes(&self, timeout: Duration) -> Result<Vec<u8>, BusError>;
+}
+
+/// The server-side byte-moving endpoint: one shared inbox, per-client
+/// outboxes. [`ServerEndpoint`] implements it directly;
+/// [`crate::ChaosServer`] decorates any implementation with deterministic
+/// wire faults.
+pub trait ServerByteLink {
+    /// Sends one opaque frame to `client`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Disconnected`] when the client is gone or
+    /// unknown.
+    fn send_bytes_to(&self, client: usize, bytes: Vec<u8>) -> Result<(), BusError>;
+
+    /// Receives the next frame from any client (blocking with timeout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Timeout`] / [`BusError::Disconnected`].
+    fn recv_bytes(&self, timeout: Duration) -> Result<Vec<u8>, BusError>;
+
+    /// Number of connected clients.
+    fn client_count(&self) -> usize;
+}
+
 /// The server's side of the bus: receives from all clients on one queue,
 /// sends to each client individually.
 pub struct ServerEndpoint {
@@ -85,13 +131,7 @@ impl ServerEndpoint {
     ///
     /// Returns [`BusError::Disconnected`] if the client endpoint is gone.
     pub fn send(&self, client: usize, msg: &Message) -> Result<(), BusError> {
-        let bytes = msg.encode();
-        self.counter.sent(bytes.len());
-        self.to_clients
-            .get(client)
-            .ok_or(BusError::Disconnected)?
-            .send(bytes)
-            .map_err(|_| BusError::Disconnected)
+        self.send_bytes_to(client, msg.encode())
     }
 
     /// Broadcasts a message to every client.
@@ -113,11 +153,7 @@ impl ServerEndpoint {
     /// Returns [`BusError::Timeout`] / [`BusError::Disconnected`] /
     /// [`BusError::Decode`] accordingly.
     pub fn recv(&self, timeout: Duration) -> Result<Message, BusError> {
-        let bytes = self.inbox.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => BusError::Timeout,
-            RecvTimeoutError::Disconnected => BusError::Disconnected,
-        })?;
-        self.counter.received(bytes.len());
+        let bytes = ServerByteLink::recv_bytes(self, timeout)?;
         Message::decode(&bytes).map_err(BusError::Decode)
     }
 
@@ -129,6 +165,30 @@ impl ServerEndpoint {
     /// Traffic counters for this endpoint.
     pub fn stats(&self) -> TransportStats {
         *self.counter.stats.lock()
+    }
+}
+
+impl ServerByteLink for ServerEndpoint {
+    fn send_bytes_to(&self, client: usize, bytes: Vec<u8>) -> Result<(), BusError> {
+        self.counter.sent(bytes.len());
+        self.to_clients
+            .get(client)
+            .ok_or(BusError::Disconnected)?
+            .send(bytes)
+            .map_err(|_| BusError::Disconnected)
+    }
+
+    fn recv_bytes(&self, timeout: Duration) -> Result<Vec<u8>, BusError> {
+        let bytes = self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => BusError::Timeout,
+            RecvTimeoutError::Disconnected => BusError::Disconnected,
+        })?;
+        self.counter.received(bytes.len());
+        Ok(bytes)
+    }
+
+    fn client_count(&self) -> usize {
+        self.to_clients.len()
     }
 }
 
@@ -158,9 +218,7 @@ impl ClientEndpoint {
     ///
     /// Returns [`BusError::Disconnected`] if the server endpoint is gone.
     pub fn send(&self, msg: &Message) -> Result<(), BusError> {
-        let bytes = msg.encode();
-        self.counter.sent(bytes.len());
-        self.to_server.send(bytes).map_err(|_| BusError::Disconnected)
+        self.send_bytes(msg.encode())
     }
 
     /// Receives the next server message (blocking with timeout).
@@ -170,17 +228,29 @@ impl ClientEndpoint {
     /// Returns [`BusError::Timeout`] / [`BusError::Disconnected`] /
     /// [`BusError::Decode`] accordingly.
     pub fn recv(&self, timeout: Duration) -> Result<Message, BusError> {
-        let bytes = self.inbox.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => BusError::Timeout,
-            RecvTimeoutError::Disconnected => BusError::Disconnected,
-        })?;
-        self.counter.received(bytes.len());
+        let bytes = ByteLink::recv_bytes(self, timeout)?;
         Message::decode(&bytes).map_err(BusError::Decode)
     }
 
     /// Traffic counters for this endpoint.
     pub fn stats(&self) -> TransportStats {
         *self.counter.stats.lock()
+    }
+}
+
+impl ByteLink for ClientEndpoint {
+    fn send_bytes(&self, bytes: Vec<u8>) -> Result<(), BusError> {
+        self.counter.sent(bytes.len());
+        self.to_server.send(bytes).map_err(|_| BusError::Disconnected)
+    }
+
+    fn recv_bytes(&self, timeout: Duration) -> Result<Vec<u8>, BusError> {
+        let bytes = self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => BusError::Timeout,
+            RecvTimeoutError::Disconnected => BusError::Disconnected,
+        })?;
+        self.counter.received(bytes.len());
+        Ok(bytes)
     }
 }
 

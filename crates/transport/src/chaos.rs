@@ -1,0 +1,542 @@
+//! Deterministic wire-fault injection: a decorator over any byte link.
+//!
+//! [`ChaosClient`] and [`ChaosServer`] wrap a [`ByteLink`] /
+//! [`ServerByteLink`] and apply a [`FaultPlan`]'s wire knobs to every
+//! frame the wrapped link *sends*: drop, bit corruption, duplication,
+//! one-slot reordering, and multi-slot delay. Receiving passes through
+//! untouched (each direction of a link is chaos'd by its sender, so no
+//! frame is faulted twice).
+//!
+//! Every decision is a pure hash of `(seed, link, epoch, seq, attempt)` —
+//! the same splitmix-style scheme the emulation uses for client dropouts
+//! and corruption — read from the envelope header of the frame being
+//! sent. Two consequences:
+//!
+//! * runs are exactly reproducible: same seed, same traffic, same faults,
+//!   regardless of thread interleaving;
+//! * a *retransmission* carries a fresh attempt number and therefore rolls
+//!   a fresh decision, so the session layer's retries genuinely make
+//!   progress instead of replaying the identical fate.
+//!
+//! Delay and reorder are modelled with a tick-based holdback queue: the
+//! link's logical clock advances once per send, and a held frame is
+//! released after the frame that advances the clock past its release tick
+//! — i.e. a reordered frame is delivered right *after* its successor.
+//! Because every release needs a later send, liveness comes from the
+//! session layer's retransmissions (each retry ticks the clock); a final
+//! [`ChaosClient::flush`] drains anything still held at shutdown.
+
+use crate::bus::{ByteLink, ServerByteLink};
+use crate::session::{Envelope, FrameKind};
+use crate::BusError;
+use fedsu_netsim::{FaultPlan, WireFrame};
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Counters of what the chaos decorator did to one link (or, from
+/// [`ChaosServer::stats`], all links summed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Frames offered to the decorator.
+    pub frames: u64,
+    /// Frames silently dropped.
+    pub drops: u64,
+    /// Bytes of the dropped frames (these never reach the inner link's
+    /// counters).
+    pub dropped_bytes: u64,
+    /// Frames delivered with deterministically flipped bits.
+    pub corruptions: u64,
+    /// Extra copies injected by duplication.
+    pub duplicates: u64,
+    /// Frames held back one slot (delivered after their successor).
+    pub reorders: u64,
+    /// Frames held back `wire_delay_depth` slots.
+    pub delays: u64,
+}
+
+impl ChaosStats {
+    /// Element-wise saturating sum of two stats blocks.
+    pub fn merged(&self, other: &ChaosStats) -> ChaosStats {
+        ChaosStats {
+            frames: self.frames.saturating_add(other.frames),
+            drops: self.drops.saturating_add(other.drops),
+            dropped_bytes: self.dropped_bytes.saturating_add(other.dropped_bytes),
+            corruptions: self.corruptions.saturating_add(other.corruptions),
+            duplicates: self.duplicates.saturating_add(other.duplicates),
+            reorders: self.reorders.saturating_add(other.reorders),
+            delays: self.delays.saturating_add(other.delays),
+        }
+    }
+}
+
+/// A frame awaiting release from the holdback queue.
+#[derive(Debug)]
+struct Pending {
+    release: u64,
+    order: u64,
+    bytes: Vec<u8>,
+}
+
+/// Per-direction chaos state: a logical clock (one tick per send), the
+/// holdback queue, and a counter that keys fault decisions for frames
+/// without a readable envelope header.
+#[derive(Debug, Default)]
+struct LinkState {
+    tick: u64,
+    order: u64,
+    fallback_seq: u64,
+    pending: Vec<Pending>,
+    stats: ChaosStats,
+}
+
+const DIR_TO_SERVER: u64 = 0;
+const DIR_TO_CLIENT: u64 = 1;
+
+/// Folds destination client, direction, and frame kind into one link id so
+/// e.g. a data frame and the ack it provokes never share a fault decision.
+fn link_id(client: u64, dir: u64, kind: Option<FrameKind>) -> u64 {
+    let kind_bit = match kind {
+        Some(FrameKind::Ack) => 1,
+        _ => 0,
+    };
+    client.wrapping_mul(4).wrapping_add(dir.wrapping_mul(2)).wrapping_add(kind_bit)
+}
+
+/// Derives the deterministic fault key for `bytes` on the (client, dir)
+/// link: the envelope header when one is readable, else a per-link counter
+/// (still deterministic for a fixed traffic order).
+fn frame_key(client: u64, dir: u64, bytes: &[u8], state: &mut LinkState) -> WireFrame {
+    if let Some((kind, _, epoch, seq, attempt)) = Envelope::peek_header(bytes) {
+        WireFrame {
+            link: link_id(client, dir, Some(kind)),
+            epoch: u64::from(epoch),
+            seq: u64::from(seq),
+            attempt: u64::from(attempt),
+        }
+    } else {
+        state.fallback_seq = state.fallback_seq.wrapping_add(1);
+        WireFrame { link: link_id(client, dir, None), epoch: u64::MAX, seq: state.fallback_seq, attempt: 0 }
+    }
+}
+
+/// Applies the plan's wire faults to one outgoing frame, then releases any
+/// held frames whose tick has matured. `deliver` performs the actual send
+/// on the wrapped link.
+fn chaos_send(
+    plan: &FaultPlan,
+    client: u64,
+    dir: u64,
+    state: &mut LinkState,
+    mut bytes: Vec<u8>,
+    deliver: &mut dyn FnMut(Vec<u8>) -> Result<(), BusError>,
+) -> Result<(), BusError> {
+    state.tick = state.tick.wrapping_add(1);
+    state.stats.frames = state.stats.frames.saturating_add(1);
+    let key = frame_key(client, dir, &bytes, state);
+    if plan.wire_drops(&key) {
+        state.stats.drops = state.stats.drops.saturating_add(1);
+        state.stats.dropped_bytes = state
+            .stats
+            .dropped_bytes
+            .saturating_add(u64::try_from(bytes.len()).unwrap_or(u64::MAX));
+    } else {
+        if plan.wire_corrupts(&key) {
+            plan.corrupt_frame(&key, &mut bytes);
+            state.stats.corruptions = state.stats.corruptions.saturating_add(1);
+        }
+        let duplicate = plan.wire_duplicates(&key);
+        if duplicate {
+            state.stats.duplicates = state.stats.duplicates.saturating_add(1);
+        }
+        let hold = {
+            let d = plan.wire_delay(&key);
+            if d > 0 {
+                state.stats.delays = state.stats.delays.saturating_add(1);
+                d
+            } else if plan.wire_reorders(&key) {
+                state.stats.reorders = state.stats.reorders.saturating_add(1);
+                1
+            } else {
+                0
+            }
+        };
+        if hold == 0 {
+            if duplicate {
+                deliver(bytes.clone())?;
+            }
+            deliver(bytes)?;
+        } else {
+            let release = state.tick.wrapping_add(u64::try_from(hold).unwrap_or(u64::MAX));
+            let copies = if duplicate { 2 } else { 1 };
+            for i in 0..copies {
+                state.order = state.order.wrapping_add(1);
+                let payload = if i + 1 < copies { bytes.clone() } else { std::mem::take(&mut bytes) };
+                state.pending.push(Pending { release, order: state.order, bytes: payload });
+            }
+        }
+    }
+    release_matured(state, deliver)
+}
+
+/// Delivers every held frame whose release tick has passed, oldest first.
+fn release_matured(
+    state: &mut LinkState,
+    deliver: &mut dyn FnMut(Vec<u8>) -> Result<(), BusError>,
+) -> Result<(), BusError> {
+    if state.pending.is_empty() {
+        return Ok(());
+    }
+    let tick = state.tick;
+    let mut due = Vec::new();
+    let mut keep = Vec::new();
+    for p in state.pending.drain(..) {
+        if p.release <= tick {
+            due.push(p);
+        } else {
+            keep.push(p);
+        }
+    }
+    state.pending = keep;
+    due.sort_by_key(|p| (p.release, p.order));
+    for p in due {
+        deliver(p.bytes)?;
+    }
+    Ok(())
+}
+
+/// Drains the holdback queue unconditionally (shutdown / end-of-round).
+fn release_all(
+    state: &mut LinkState,
+    deliver: &mut dyn FnMut(Vec<u8>) -> Result<(), BusError>,
+) -> Result<(), BusError> {
+    let mut due = std::mem::take(&mut state.pending);
+    due.sort_by_key(|p| (p.release, p.order));
+    for p in due {
+        deliver(p.bytes)?;
+    }
+    Ok(())
+}
+
+/// A [`ByteLink`] decorator injecting the plan's deterministic wire faults
+/// into everything the wrapped client endpoint sends.
+#[derive(Debug)]
+pub struct ChaosClient<L: ByteLink> {
+    inner: L,
+    plan: FaultPlan,
+    client: u64,
+    state: Mutex<LinkState>,
+}
+
+impl<L: ByteLink> ChaosClient<L> {
+    /// Wraps client `client`'s link with `plan`'s wire faults.
+    pub fn new(inner: L, plan: FaultPlan, client: usize) -> Self {
+        ChaosClient {
+            inner,
+            plan,
+            client: u64::try_from(client).unwrap_or(u64::MAX),
+            state: Mutex::new(LinkState::default()),
+        }
+    }
+
+    /// What the decorator has done so far on this link.
+    pub fn stats(&self) -> ChaosStats {
+        self.state.lock().stats
+    }
+
+    /// The wrapped link.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    /// Delivers every frame still held in the delay queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped link's send failure.
+    pub fn flush(&self) -> Result<(), BusError> {
+        let mut state = self.state.lock();
+        let inner = &self.inner;
+        release_all(&mut state, &mut |b| inner.send_bytes(b))
+    }
+}
+
+impl<L: ByteLink> ByteLink for ChaosClient<L> {
+    fn send_bytes(&self, bytes: Vec<u8>) -> Result<(), BusError> {
+        if self.plan.wire_is_zero() {
+            return self.inner.send_bytes(bytes);
+        }
+        let mut state = self.state.lock();
+        let inner = &self.inner;
+        chaos_send(&self.plan, self.client, DIR_TO_SERVER, &mut state, bytes, &mut |b| {
+            inner.send_bytes(b)
+        })
+    }
+
+    fn recv_bytes(&self, timeout: Duration) -> Result<Vec<u8>, BusError> {
+        self.inner.recv_bytes(timeout)
+    }
+}
+
+/// A [`ServerByteLink`] decorator injecting the plan's deterministic wire
+/// faults into everything the wrapped server endpoint sends, with
+/// independent per-destination chaos state.
+#[derive(Debug)]
+pub struct ChaosServer<L: ServerByteLink> {
+    inner: L,
+    plan: FaultPlan,
+    states: Vec<Mutex<LinkState>>,
+}
+
+impl<L: ServerByteLink> ChaosServer<L> {
+    /// Wraps the server link with `plan`'s wire faults.
+    pub fn new(inner: L, plan: FaultPlan) -> Self {
+        let n = inner.client_count();
+        ChaosServer { inner, plan, states: (0..n).map(|_| Mutex::new(LinkState::default())).collect() }
+    }
+
+    /// Decorator counters summed over every destination link.
+    pub fn stats(&self) -> ChaosStats {
+        self.states
+            .iter()
+            .fold(ChaosStats::default(), |acc, s| acc.merged(&s.lock().stats))
+    }
+
+    /// Decorator counters for the link toward one client.
+    pub fn stats_for(&self, client: usize) -> ChaosStats {
+        self.states.get(client).map(|s| s.lock().stats).unwrap_or_default()
+    }
+
+    /// The wrapped link.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    /// Delivers every frame still held in any destination's delay queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first send failure.
+    pub fn flush(&self) -> Result<(), BusError> {
+        for (client, state) in self.states.iter().enumerate() {
+            let mut state = state.lock();
+            let inner = &self.inner;
+            release_all(&mut state, &mut |b| inner.send_bytes_to(client, b))?;
+        }
+        Ok(())
+    }
+}
+
+impl<L: ServerByteLink> ServerByteLink for ChaosServer<L> {
+    fn send_bytes_to(&self, client: usize, bytes: Vec<u8>) -> Result<(), BusError> {
+        if self.plan.wire_is_zero() {
+            return self.inner.send_bytes_to(client, bytes);
+        }
+        let Some(state) = self.states.get(client) else {
+            return Err(BusError::Disconnected);
+        };
+        let mut state = state.lock();
+        let inner = &self.inner;
+        chaos_send(
+            &self.plan,
+            u64::try_from(client).unwrap_or(u64::MAX),
+            DIR_TO_CLIENT,
+            &mut state,
+            bytes,
+            &mut |b| inner.send_bytes_to(client, b),
+        )
+    }
+
+    fn recv_bytes(&self, timeout: Duration) -> Result<Vec<u8>, BusError> {
+        self.inner.recv_bytes(timeout)
+    }
+
+    fn client_count(&self) -> usize {
+        self.inner.client_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LocalBus, Message};
+    use fedsu_netsim::FaultConfig;
+
+    const T: Duration = Duration::from_millis(500);
+
+    fn plan(config: FaultConfig) -> FaultPlan {
+        FaultPlan::new(config)
+    }
+
+    fn frame(seq: u32) -> Vec<u8> {
+        Envelope::data(0, 0, seq, 0, Message::Pull { client: 0 }.encode()).encode()
+    }
+
+    #[test]
+    fn zero_plan_is_fully_transparent() {
+        let (server, mut clients) = LocalBus::star(1);
+        let chaos = ChaosClient::new(clients.remove(0), plan(FaultConfig::default()), 0);
+        for seq in 0..8 {
+            chaos.send_bytes(frame(seq)).unwrap();
+        }
+        for seq in 0..8 {
+            let got = ServerByteLink::recv_bytes(&server, T).unwrap();
+            assert_eq!(got, frame(seq), "zero plan must not drop, mutate, or reorder");
+        }
+        assert_eq!(chaos.stats(), ChaosStats::default());
+    }
+
+    #[test]
+    fn chaos_is_deterministic_across_runs() {
+        let config = FaultConfig {
+            wire_drop_prob: 0.2,
+            wire_corrupt_prob: 0.2,
+            wire_duplicate_prob: 0.2,
+            wire_reorder_prob: 0.2,
+            wire_delay_prob: 0.1,
+            seed: 7,
+            ..FaultConfig::default()
+        };
+        let run = || {
+            let (server, mut clients) = LocalBus::star(1);
+            let chaos = ChaosClient::new(clients.remove(0), plan(config.clone()), 0);
+            for seq in 0..64 {
+                chaos.send_bytes(frame(seq)).unwrap();
+            }
+            chaos.flush().unwrap();
+            let mut out = Vec::new();
+            while let Ok(bytes) = ServerByteLink::recv_bytes(&server, Duration::from_millis(10)) {
+                out.push(bytes);
+            }
+            (out, chaos.stats())
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b, "same plan + traffic must give byte-identical wire output");
+        assert_eq!(sa, sb);
+        assert!(sa.drops > 0 || sa.corruptions > 0 || sa.duplicates > 0, "plan should act at these rates");
+    }
+
+    #[test]
+    fn drops_never_reach_the_inner_link() {
+        let config =
+            FaultConfig { wire_drop_prob: 1.0, seed: 3, ..FaultConfig::default() };
+        let (server, mut clients) = LocalBus::star(1);
+        let chaos = ChaosClient::new(clients.remove(0), plan(config), 0);
+        for seq in 0..4 {
+            chaos.send_bytes(frame(seq)).unwrap();
+        }
+        assert!(ServerByteLink::recv_bytes(&server, Duration::from_millis(10)).is_err());
+        let stats = chaos.stats();
+        assert_eq!(stats.drops, 4);
+        assert!(stats.dropped_bytes > 0);
+        assert_eq!(chaos.inner().stats().messages_sent, 0, "dropped frames never hit the wire");
+    }
+
+    #[test]
+    fn duplicates_arrive_twice_and_delays_release_on_later_sends() {
+        let config =
+            FaultConfig { wire_duplicate_prob: 1.0, seed: 11, ..FaultConfig::default() };
+        let (server, mut clients) = LocalBus::star(1);
+        let chaos = ChaosClient::new(clients.remove(0), plan(config), 0);
+        chaos.send_bytes(frame(0)).unwrap();
+        let a = ServerByteLink::recv_bytes(&server, T).unwrap();
+        let b = ServerByteLink::recv_bytes(&server, T).unwrap();
+        assert_eq!(a, frame(0));
+        assert_eq!(b, frame(0));
+
+        let config = FaultConfig {
+            wire_delay_prob: 1.0,
+            wire_delay_depth: 2,
+            seed: 11,
+            ..FaultConfig::default()
+        };
+        let (server, mut clients) = LocalBus::star(1);
+        let chaos = ChaosClient::new(clients.remove(0), plan(config), 0);
+        // Every frame is held 2 ticks: frame 0 (sent at tick 1, release 3)
+        // must come out only after the tick-3 send.
+        chaos.send_bytes(frame(0)).unwrap();
+        chaos.send_bytes(frame(1)).unwrap();
+        assert!(
+            ServerByteLink::recv_bytes(&server, Duration::from_millis(10)).is_err(),
+            "nothing released before its tick"
+        );
+        chaos.send_bytes(frame(2)).unwrap();
+        let got = ServerByteLink::recv_bytes(&server, T).unwrap();
+        assert_eq!(got, frame(0), "held frame released once the clock passes its tick");
+        chaos.flush().unwrap();
+        assert_eq!(ServerByteLink::recv_bytes(&server, T).unwrap(), frame(1));
+        assert_eq!(ServerByteLink::recv_bytes(&server, T).unwrap(), frame(2));
+        assert_eq!(chaos.stats().delays, 3);
+    }
+
+    #[test]
+    fn server_side_chaos_is_per_destination() {
+        let config = FaultConfig { wire_drop_prob: 0.5, seed: 5, ..FaultConfig::default() };
+        let (server, clients) = LocalBus::star(4);
+        let chaos = ChaosServer::new(server, plan(config));
+        let payload = Message::Shutdown.encode();
+        for round in 0..16u32 {
+            for c in 0..4 {
+                let env = Envelope::data(u32::try_from(c).unwrap_or(0), 0, round, 0, payload.clone());
+                chaos.send_bytes_to(c, env.encode()).unwrap();
+            }
+        }
+        let total = chaos.stats();
+        assert_eq!(total.frames, 64);
+        assert!(total.drops > 0 && total.drops < 64, "p=0.5 must land strictly between");
+        let mut per_client_drops = Vec::new();
+        for c in 0..4 {
+            per_client_drops.push(chaos.stats_for(c).drops);
+        }
+        assert!(
+            per_client_drops.iter().any(|&d| d != per_client_drops[0])
+                || per_client_drops.iter().all(|&d| d > 0),
+            "destinations draw independent fates: {per_client_drops:?}"
+        );
+        let mut received = 0;
+        for c in &clients {
+            while ByteLink::recv_bytes(c, Duration::from_millis(5)).is_ok() {
+                received += 1;
+            }
+        }
+        assert_eq!(received, 64 - total.drops, "every non-dropped frame arrives exactly once");
+    }
+
+    #[test]
+    fn corruption_flips_bits_but_keeps_length() {
+        let config = FaultConfig { wire_corrupt_prob: 1.0, seed: 2, ..FaultConfig::default() };
+        let (server, mut clients) = LocalBus::star(1);
+        let chaos = ChaosClient::new(clients.remove(0), plan(config), 0);
+        chaos.send_bytes(frame(0)).unwrap();
+        let got = ServerByteLink::recv_bytes(&server, T).unwrap();
+        assert_eq!(got.len(), frame(0).len());
+        assert_ne!(got, frame(0));
+        assert!(Envelope::decode(&got).is_err(), "checksum catches the flip");
+        assert_eq!(chaos.stats().corruptions, 1);
+    }
+
+    #[test]
+    fn retransmissions_roll_fresh_fates() {
+        // With p(drop)=0.6 some (seq, attempt=0) frame is dropped while the
+        // same seq at attempt=1 passes — the property that makes bounded
+        // retries converge under a deterministic plan.
+        let config = FaultConfig { wire_drop_prob: 0.6, seed: 13, ..FaultConfig::default() };
+        let p = plan(config);
+        let (server, mut clients) = LocalBus::star(1);
+        let chaos = ChaosClient::new(clients.remove(0), p, 0);
+        let mut recovered = false;
+        for seq in 0..32u32 {
+            chaos.send_bytes(Envelope::data(0, 0, seq, 0, Vec::new()).encode()).unwrap();
+            let first = ServerByteLink::recv_bytes(&server, Duration::from_millis(5));
+            if first.is_ok() {
+                continue;
+            }
+            chaos.send_bytes(Envelope::data(0, 0, seq, 1, Vec::new()).encode()).unwrap();
+            if ServerByteLink::recv_bytes(&server, Duration::from_millis(5)).is_ok() {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "some retransmission must survive where attempt 0 was dropped");
+    }
+}

@@ -10,7 +10,24 @@
 //! The `fedsu-fl` runtime deliberately does *not* route its inner loop
 //! through this transport (the emulation counts bytes analytically, which
 //! is what the paper measures); the transport exists to demonstrate that
-//! the message protocol is complete and self-consistent.
+//! the message protocol is complete and self-consistent — and, since the
+//! fault-tolerant session layer landed, that the protocol survives an
+//! actively hostile wire.
+//!
+//! The crate is a small stack:
+//!
+//! * [`LocalBus`] endpoints move opaque frames between threads and count
+//!   bytes ([`ByteLink`] / [`ServerByteLink`] are the seams);
+//! * [`ChaosClient`] / [`ChaosServer`] optionally decorate a link with a
+//!   seeded [`FaultPlan`]'s wire faults — drop, corruption, duplication,
+//!   reordering, delay — every decision a pure hash of
+//!   `(client, round epoch, seq, attempt)`, shared with the emulator's
+//!   fault model;
+//! * [`ClientSession`] / [`ServerSession`] restore exactly-once delivery
+//!   on top with acks, bounded deterministic retransmission, `(epoch,
+//!   seq)` dedup, and stale-epoch rejection, reporting
+//!   [`ReliabilityStats`] whose `retransmitted_bytes` matches the fl
+//!   runtime's per-round accounting.
 //!
 //! ```
 //! use fedsu_transport::{Message, SparseValues};
@@ -23,7 +40,17 @@
 #![warn(missing_docs)]
 
 mod bus;
+mod chaos;
 mod message;
+mod session;
 
-pub use bus::{BusError, ClientEndpoint, LocalBus, ServerEndpoint, TransportStats};
+pub use bus::{
+    BusError, ByteLink, ClientEndpoint, LocalBus, ServerByteLink, ServerEndpoint, TransportStats,
+};
+pub use chaos::{ChaosClient, ChaosServer, ChaosStats};
+pub use fedsu_netsim::{FaultConfig, FaultPlan, WireFrame};
 pub use message::{DecodeError, Message, SparseValues};
+pub use session::{
+    ClientSession, Envelope, EnvelopeError, FrameKind, ReliabilityStats, ServerSession,
+    SessionConfig, SessionError, ENVELOPE_OVERHEAD,
+};

@@ -1,0 +1,1019 @@
+//! Reliable session protocol over an unreliable byte link.
+//!
+//! The [`crate::LocalBus`] (and any future socket transport) moves opaque
+//! frames; the [`crate::ChaosBus`](crate::ChaosClient) may lose, corrupt,
+//! duplicate, reorder, or delay them. This module restores exactly-once,
+//! integrity-checked delivery on top:
+//!
+//! * every [`Message`] travels inside a framed [`Envelope`] carrying a
+//!   round **epoch**, a **sequence number**, a retransmission **attempt**
+//!   counter, and an FNV-1a **checksum**;
+//! * receivers acknowledge every accepted data frame (including duplicates
+//!   and stale frames, so a retransmitting peer always converges);
+//! * senders retransmit unacknowledged frames with a deterministic linear
+//!   backoff schedule, up to a bounded retry budget — mirroring
+//!   `DefenseConfig::{max_retries, retry_backoff_secs}` on the emulation
+//!   side;
+//! * receivers deduplicate by `(epoch, seq)` and reject frames from past
+//!   epochs, so a round's update can never be aggregated twice and a
+//!   straggler's retransmission can never leak into a later round.
+//!
+//! Every endpoint keeps [`ReliabilityStats`]; `retransmitted_bytes` counts
+//! payload (encoded [`Message`]) bytes re-sent after the first attempt,
+//! the same quantity the `fedsu-fl` runtime records per round in
+//! `RoundRecord::retransmitted_bytes`.
+
+use crate::bus::{ByteLink, ServerByteLink};
+use crate::{BusError, Message};
+use std::collections::{BTreeSet, VecDeque};
+use std::time::Duration;
+
+const ENV_MAGIC: u16 = 0x5EF5;
+const ENV_VERSION: u8 = 1;
+const KIND_DATA: u8 = 1;
+const KIND_ACK: u8 = 2;
+
+/// Fixed envelope bytes around every payload: header (magic, version,
+/// kind, client, epoch, seq, attempt, payload length) plus the trailing
+/// checksum.
+pub const ENVELOPE_OVERHEAD: usize = 2 + 1 + 1 + 4 + 4 + 4 + 2 + 4 + 4;
+
+/// What an [`Envelope`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// An application payload that must be acknowledged.
+    Data,
+    /// An acknowledgement of one `(epoch, seq)` data frame.
+    Ack,
+}
+
+/// A framed wire unit: the session protocol's header around the existing
+/// versioned [`Message`] encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Data or ack.
+    pub kind: FrameKind,
+    /// The client slot this session belongs to (same value in both
+    /// directions of one client's session).
+    pub client: u32,
+    /// Round epoch the frame belongs to.
+    pub epoch: u32,
+    /// Sequence number within the epoch (per direction).
+    pub seq: u32,
+    /// Retransmission attempt, 0-based.
+    pub attempt: u16,
+    /// Encoded [`Message`] bytes (empty for acks).
+    pub payload: Vec<u8>,
+}
+
+/// Envelope decoding errors. All are survivable: the session layer treats
+/// an undecodable frame as lost and lets retransmission recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Frame shorter than its declared contents.
+    Truncated,
+    /// Magic header mismatch.
+    BadMagic(u16),
+    /// Unsupported envelope version.
+    BadVersion(u8),
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// Checksum mismatch (bit corruption on the wire).
+    BadChecksum {
+        /// Checksum carried by the frame.
+        carried: u32,
+        /// Checksum recomputed over the received bytes.
+        computed: u32,
+    },
+    /// Bytes left over after the declared payload (e.g. two spliced
+    /// frames).
+    TrailingBytes,
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeError::Truncated => write!(f, "envelope truncated"),
+            EnvelopeError::BadMagic(m) => write!(f, "bad envelope magic {m:#x}"),
+            EnvelopeError::BadVersion(v) => write!(f, "unsupported envelope version {v}"),
+            EnvelopeError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            EnvelopeError::BadChecksum { carried, computed } => {
+                write!(f, "checksum mismatch: frame says {carried:#x}, computed {computed:#x}")
+            }
+            EnvelopeError::TrailingBytes => write!(f, "trailing bytes after envelope payload"),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+/// FNV-1a 32-bit over `bytes` — cheap, deterministic, and plenty to catch
+/// the chaos bus's bit flips.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn take<'a>(data: &mut &'a [u8], n: usize) -> Result<&'a [u8], EnvelopeError> {
+    if data.len() < n {
+        return Err(EnvelopeError::Truncated);
+    }
+    let (head, tail) = data.split_at(n);
+    *data = tail;
+    Ok(head)
+}
+
+fn take_u16(data: &mut &[u8]) -> Result<u16, EnvelopeError> {
+    take(data, 2)?
+        .try_into()
+        .map(u16::from_le_bytes)
+        .map_err(|_| EnvelopeError::Truncated)
+}
+
+fn take_u32(data: &mut &[u8]) -> Result<u32, EnvelopeError> {
+    take(data, 4)?
+        .try_into()
+        .map(u32::from_le_bytes)
+        .map_err(|_| EnvelopeError::Truncated)
+}
+
+fn take_u8(data: &mut &[u8]) -> Result<u8, EnvelopeError> {
+    take(data, 1).map(|h| h.first().copied().unwrap_or(0))
+}
+
+impl Envelope {
+    /// A data frame.
+    pub fn data(client: u32, epoch: u32, seq: u32, attempt: u16, payload: Vec<u8>) -> Self {
+        Envelope { kind: FrameKind::Data, client, epoch, seq, attempt, payload }
+    }
+
+    /// An acknowledgement of the `(epoch, seq)` data frame.
+    ///
+    /// The ack echoes the `attempt` of the data frame it acknowledges.
+    /// Receivers match acks on `(epoch, seq)` alone, but a chaos bus keys
+    /// wire fates on the attempt too — echoing it means the ack for a
+    /// retransmission rolls a fresh fate instead of deterministically
+    /// repeating the fate that lost the first ack.
+    pub fn ack(client: u32, epoch: u32, seq: u32, attempt: u16) -> Self {
+        Envelope { kind: FrameKind::Ack, client, epoch, seq, attempt, payload: Vec::new() }
+    }
+
+    fn kind_byte(&self) -> u8 {
+        match self.kind {
+            FrameKind::Data => KIND_DATA,
+            FrameKind::Ack => KIND_ACK,
+        }
+    }
+
+    /// Serializes the envelope: header, payload, trailing FNV-1a checksum
+    /// over everything before it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ENVELOPE_OVERHEAD + self.payload.len());
+        out.extend_from_slice(&ENV_MAGIC.to_le_bytes());
+        out.push(ENV_VERSION);
+        out.push(self.kind_byte());
+        out.extend_from_slice(&self.client.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.attempt.to_le_bytes());
+        let len = u32::try_from(self.payload.len()).unwrap_or(u32::MAX);
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parses an envelope produced by [`Envelope::encode`]. Never panics on
+    /// arbitrary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvelopeError`] on truncation, bad magic/version/kind, a
+    /// checksum mismatch, or trailing bytes after the declared payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, EnvelopeError> {
+        let mut data = bytes;
+        let magic = take_u16(&mut data)?;
+        if magic != ENV_MAGIC {
+            return Err(EnvelopeError::BadMagic(magic));
+        }
+        let version = take_u8(&mut data)?;
+        if version != ENV_VERSION {
+            return Err(EnvelopeError::BadVersion(version));
+        }
+        let kind_byte = take_u8(&mut data)?;
+        let kind = match kind_byte {
+            KIND_DATA => FrameKind::Data,
+            KIND_ACK => FrameKind::Ack,
+            other => return Err(EnvelopeError::BadKind(other)),
+        };
+        let client = take_u32(&mut data)?;
+        let epoch = take_u32(&mut data)?;
+        let seq = take_u32(&mut data)?;
+        let attempt = take_u16(&mut data)?;
+        let payload_len = take_u32(&mut data)? as usize;
+        // `data` now holds payload + 4-byte checksum; reject splices.
+        if data.len() < 4 {
+            return Err(EnvelopeError::Truncated);
+        }
+        if data.len() - 4 < payload_len {
+            return Err(EnvelopeError::Truncated);
+        }
+        if data.len() - 4 > payload_len {
+            return Err(EnvelopeError::TrailingBytes);
+        }
+        let payload = take(&mut data, payload_len)?.to_vec();
+        let carried = take_u32(&mut data)?;
+        let computed = fnv1a(bytes.get(..bytes.len() - 4).unwrap_or(&[]));
+        if carried != computed {
+            return Err(EnvelopeError::BadChecksum { carried, computed });
+        }
+        Ok(Envelope { kind, client, epoch, seq, attempt, payload })
+    }
+
+    /// Parses just the fixed header `(kind, client, epoch, seq, attempt)`
+    /// without verifying the checksum — the chaos bus uses this to key its
+    /// per-(client, round, attempt) fault decisions on well-formed frames
+    /// it is *about* to corrupt.
+    pub fn peek_header(bytes: &[u8]) -> Option<(FrameKind, u32, u32, u32, u16)> {
+        let mut data = bytes;
+        let magic = take_u16(&mut data).ok()?;
+        if magic != ENV_MAGIC {
+            return None;
+        }
+        if take_u8(&mut data).ok()? != ENV_VERSION {
+            return None;
+        }
+        let kind = match take_u8(&mut data).ok()? {
+            KIND_DATA => FrameKind::Data,
+            KIND_ACK => FrameKind::Ack,
+            _ => return None,
+        };
+        let client = take_u32(&mut data).ok()?;
+        let epoch = take_u32(&mut data).ok()?;
+        let seq = take_u32(&mut data).ok()?;
+        let attempt = take_u16(&mut data).ok()?;
+        Some((kind, client, epoch, seq, attempt))
+    }
+}
+
+/// Knobs of the reliable session protocol. The defaults suit in-process
+/// links; raise the timeout for real networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Retransmissions allowed after the first attempt before
+    /// [`SessionError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// How long to wait for an ack on the first attempt.
+    pub ack_timeout: Duration,
+    /// Deterministic linear backoff: attempt `k` waits
+    /// `ack_timeout + k × backoff`.
+    pub backoff: Duration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            max_retries: 8,
+            ack_timeout: Duration::from_millis(40),
+            backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl SessionConfig {
+    fn wait_for(&self, attempt: u32) -> Duration {
+        self.ack_timeout.saturating_add(self.backoff.saturating_mul(attempt))
+    }
+}
+
+/// Per-endpoint counters of the reliability machinery. Additive across
+/// endpoints via [`ReliabilityStats::merged`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Data frames sent, including retransmissions.
+    pub data_frames_sent: u64,
+    /// Data frames delivered to the application exactly once.
+    pub data_frames_delivered: u64,
+    /// Retransmission attempts after a frame's first send.
+    pub retransmits: u64,
+    /// Payload (encoded message) bytes re-sent after the first attempt —
+    /// the wire-side analogue of `RoundRecord::retransmitted_bytes`.
+    pub retransmitted_bytes: u64,
+    /// Duplicate data frames dropped by `(epoch, seq)` dedup.
+    pub dups_dropped: u64,
+    /// Frames rejected as undecodable (truncation, bad checksum, garbage).
+    pub corrupt_frames_rejected: u64,
+    /// Data frames rejected because their epoch predates the current one.
+    pub stale_epoch_rejected: u64,
+    /// Acknowledgements sent.
+    pub acks_sent: u64,
+    /// Acknowledgements received.
+    pub acks_received: u64,
+}
+
+impl ReliabilityStats {
+    /// Element-wise saturating sum of two stats blocks.
+    pub fn merged(&self, other: &ReliabilityStats) -> ReliabilityStats {
+        ReliabilityStats {
+            data_frames_sent: self.data_frames_sent.saturating_add(other.data_frames_sent),
+            data_frames_delivered: self
+                .data_frames_delivered
+                .saturating_add(other.data_frames_delivered),
+            retransmits: self.retransmits.saturating_add(other.retransmits),
+            retransmitted_bytes: self.retransmitted_bytes.saturating_add(other.retransmitted_bytes),
+            dups_dropped: self.dups_dropped.saturating_add(other.dups_dropped),
+            corrupt_frames_rejected: self
+                .corrupt_frames_rejected
+                .saturating_add(other.corrupt_frames_rejected),
+            stale_epoch_rejected: self.stale_epoch_rejected.saturating_add(other.stale_epoch_rejected),
+            acks_sent: self.acks_sent.saturating_add(other.acks_sent),
+            acks_received: self.acks_received.saturating_add(other.acks_received),
+        }
+    }
+}
+
+/// Session protocol errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The underlying transport failed (timeout or disconnect).
+    Bus(BusError),
+    /// A reliable send exhausted its retry budget without an ack.
+    RetriesExhausted {
+        /// Client slot of the session.
+        client: u32,
+        /// Epoch of the unacknowledged frame.
+        epoch: u32,
+        /// Sequence number of the unacknowledged frame.
+        seq: u32,
+        /// Total transmission attempts made.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Bus(e) => write!(f, "transport failure: {e}"),
+            SessionError::RetriesExhausted { client, epoch, seq, attempts } => write!(
+                f,
+                "no ack for client {client} epoch {epoch} seq {seq} after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<BusError> for SessionError {
+    fn from(e: BusError) -> Self {
+        SessionError::Bus(e)
+    }
+}
+
+/// How the receive side classified an incoming data frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admit {
+    /// Epoch predates the receiver's current epoch.
+    Stale,
+    /// `(epoch, seq)` already delivered.
+    Dup,
+    /// First sighting: deliver.
+    Fresh,
+}
+
+/// Receive-side dedup state for one peer: current epoch plus the set of
+/// `(epoch, seq)` pairs already delivered. Entries from finished epochs are
+/// pruned on every epoch advance, so memory stays bounded by one round's
+/// traffic.
+#[derive(Debug, Default)]
+struct RxState {
+    epoch: u32,
+    seen: BTreeSet<(u32, u32)>,
+}
+
+impl RxState {
+    fn begin_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+        self.seen.retain(|&(e, _)| e >= epoch);
+    }
+
+    fn admit(&mut self, epoch: u32, seq: u32) -> Admit {
+        if epoch < self.epoch {
+            return Admit::Stale;
+        }
+        if !self.seen.insert((epoch, seq)) {
+            return Admit::Dup;
+        }
+        Admit::Fresh
+    }
+}
+
+/// One client's reliable session over any [`ByteLink`].
+#[derive(Debug)]
+pub struct ClientSession<L: ByteLink> {
+    link: L,
+    client: u32,
+    epoch: u32,
+    next_seq: u32,
+    rx: RxState,
+    inbox: VecDeque<Message>,
+    config: SessionConfig,
+    stats: ReliabilityStats,
+}
+
+impl<L: ByteLink> ClientSession<L> {
+    /// Wraps `link` as the reliable session of client `client`.
+    pub fn new(link: L, client: u32, config: SessionConfig) -> Self {
+        ClientSession {
+            link,
+            client,
+            epoch: 0,
+            next_seq: 0,
+            rx: RxState::default(),
+            inbox: VecDeque::new(),
+            config,
+            stats: ReliabilityStats::default(),
+        }
+    }
+
+    /// Advances the session to round `epoch`: frames from earlier epochs
+    /// are rejected as stale from now on, and dedup memory for them is
+    /// released.
+    pub fn begin_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+        self.next_seq = 0;
+        self.rx.begin_epoch(epoch);
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Reliability counters of this endpoint.
+    pub fn stats(&self) -> ReliabilityStats {
+        self.stats
+    }
+
+    /// The wrapped link (e.g. to read its transport or chaos stats).
+    pub fn link(&self) -> &L {
+        &self.link
+    }
+
+    /// Sends `msg` with at-least-once retransmission and waits for the
+    /// ack; combined with receiver dedup this yields exactly-once
+    /// delivery. Data frames arriving while waiting are admitted, acked,
+    /// and buffered for [`ClientSession::recv_reliable`].
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::RetriesExhausted`] when the retry budget runs out;
+    /// [`SessionError::Bus`] on disconnect.
+    pub fn send_reliable(&mut self, msg: &Message) -> Result<(), SessionError> {
+        let payload = msg.encode();
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let mut attempt: u32 = 0;
+        loop {
+            let env = Envelope::data(
+                self.client,
+                self.epoch,
+                seq,
+                u16::try_from(attempt).unwrap_or(u16::MAX),
+                payload.clone(),
+            );
+            self.link.send_bytes(env.encode())?;
+            self.stats.data_frames_sent = self.stats.data_frames_sent.saturating_add(1);
+            if attempt > 0 {
+                self.stats.retransmits = self.stats.retransmits.saturating_add(1);
+                self.stats.retransmitted_bytes = self
+                    .stats
+                    .retransmitted_bytes
+                    .saturating_add(u64::try_from(payload.len()).unwrap_or(u64::MAX));
+            }
+            let wait = self.config.wait_for(attempt);
+            loop {
+                match self.read_one(wait) {
+                    Err(SessionError::Bus(BusError::Timeout)) => break,
+                    Err(e) => return Err(e),
+                    Ok(Some((e, s))) if e == self.epoch && s == seq => return Ok(()),
+                    Ok(_) => {}
+                }
+            }
+            if attempt >= self.config.max_retries {
+                return Err(SessionError::RetriesExhausted {
+                    client: self.client,
+                    epoch: self.epoch,
+                    seq,
+                    attempts: attempt.saturating_add(1),
+                });
+            }
+            attempt = attempt.saturating_add(1);
+        }
+    }
+
+    /// Receives the next exactly-once message from the server.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Bus`] with [`BusError::Timeout`] when nothing
+    /// deliverable arrives within one quiet `timeout` window.
+    pub fn recv_reliable(&mut self, timeout: Duration) -> Result<Message, SessionError> {
+        loop {
+            if let Some(m) = self.inbox.pop_front() {
+                return Ok(m);
+            }
+            self.read_one(timeout)?;
+        }
+    }
+
+    /// Services the link until `grace` elapses with no traffic, re-acking
+    /// late retransmissions so the peer's in-flight [`send_reliable`]
+    /// calls can complete after this side's last logical receive — the
+    /// TIME_WAIT analog. Call before dropping the session at the end of a
+    /// run; a disconnect also ends the linger (quietly: the peer is gone,
+    /// so there is nothing left to service).
+    ///
+    /// [`send_reliable`]: ServerSession::send_reliable
+    pub fn linger(&mut self, grace: Duration) {
+        while self.read_one(grace).is_ok() {}
+    }
+
+    /// Reads and processes one frame. Returns `Ok(Some((epoch, seq)))`
+    /// when the frame was an ack, `Ok(None)` otherwise (data frames are
+    /// admitted into the inbox as a side effect).
+    fn read_one(&mut self, timeout: Duration) -> Result<Option<(u32, u32)>, SessionError> {
+        let bytes = self.link.recv_bytes(timeout)?;
+        let env = match Envelope::decode(&bytes) {
+            Ok(env) => env,
+            Err(_) => {
+                self.stats.corrupt_frames_rejected =
+                    self.stats.corrupt_frames_rejected.saturating_add(1);
+                return Ok(None);
+            }
+        };
+        match env.kind {
+            FrameKind::Ack => {
+                self.stats.acks_received = self.stats.acks_received.saturating_add(1);
+                Ok(Some((env.epoch, env.seq)))
+            }
+            FrameKind::Data => {
+                match self.rx.admit(env.epoch, env.seq) {
+                    Admit::Stale => {
+                        self.stats.stale_epoch_rejected =
+                            self.stats.stale_epoch_rejected.saturating_add(1);
+                        self.send_ack(env.client, env.epoch, env.seq, env.attempt);
+                    }
+                    Admit::Dup => {
+                        self.stats.dups_dropped = self.stats.dups_dropped.saturating_add(1);
+                        self.send_ack(env.client, env.epoch, env.seq, env.attempt);
+                    }
+                    Admit::Fresh => match Message::decode(&env.payload) {
+                        Ok(msg) => {
+                            self.send_ack(env.client, env.epoch, env.seq, env.attempt);
+                            self.stats.data_frames_delivered =
+                                self.stats.data_frames_delivered.saturating_add(1);
+                            self.inbox.push_back(msg);
+                        }
+                        Err(_) => {
+                            // Checksummed frame with an undecodable payload:
+                            // a sender-side framing bug. Un-admit so a good
+                            // copy could still deliver, never ack garbage.
+                            self.rx.seen.remove(&(env.epoch, env.seq));
+                            self.stats.corrupt_frames_rejected =
+                                self.stats.corrupt_frames_rejected.saturating_add(1);
+                        }
+                    },
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn send_ack(&mut self, client: u32, epoch: u32, seq: u32, attempt: u16) {
+        // Ack loss is recovered by peer retransmission; a disconnect will
+        // surface on the session's next send/recv.
+        if self.link.send_bytes(Envelope::ack(client, epoch, seq, attempt).encode()).is_ok() {
+            self.stats.acks_sent = self.stats.acks_sent.saturating_add(1);
+        }
+    }
+}
+
+/// The server's reliable session over any [`ServerByteLink`]: per-client
+/// sequence numbers and dedup state, one shared inbox.
+#[derive(Debug)]
+pub struct ServerSession<L: ServerByteLink> {
+    link: L,
+    epoch: u32,
+    next_seq: Vec<u32>,
+    rx: Vec<RxState>,
+    inbox: VecDeque<(usize, Message)>,
+    config: SessionConfig,
+    stats: ReliabilityStats,
+}
+
+impl<L: ServerByteLink> ServerSession<L> {
+    /// Wraps `link` (sizing per-client state from its client count).
+    pub fn new(link: L, config: SessionConfig) -> Self {
+        let n = link.client_count();
+        ServerSession {
+            link,
+            epoch: 0,
+            next_seq: vec![0; n],
+            rx: (0..n).map(|_| RxState::default()).collect(),
+            inbox: VecDeque::new(),
+            config,
+            stats: ReliabilityStats::default(),
+        }
+    }
+
+    /// Advances every client session to round `epoch` (see
+    /// [`ClientSession::begin_epoch`]).
+    pub fn begin_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+        for s in &mut self.next_seq {
+            *s = 0;
+        }
+        for rx in &mut self.rx {
+            rx.begin_epoch(epoch);
+        }
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Aggregate reliability counters across all client sessions.
+    pub fn stats(&self) -> ReliabilityStats {
+        self.stats
+    }
+
+    /// The wrapped link (e.g. to read its transport or chaos stats).
+    pub fn link(&self) -> &L {
+        &self.link
+    }
+
+    /// Number of client sessions.
+    pub fn client_count(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Reliably sends `msg` to `client` (see
+    /// [`ClientSession::send_reliable`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::RetriesExhausted`] when the retry budget runs out;
+    /// [`SessionError::Bus`] on disconnect or unknown client.
+    pub fn send_reliable(&mut self, client: usize, msg: &Message) -> Result<(), SessionError> {
+        let client_u32 = u32::try_from(client).unwrap_or(u32::MAX);
+        let payload = msg.encode();
+        let seq = {
+            let slot = self.next_seq.get_mut(client).ok_or(BusError::Disconnected)?;
+            let seq = *slot;
+            *slot = slot.wrapping_add(1);
+            seq
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            let env = Envelope::data(
+                client_u32,
+                self.epoch,
+                seq,
+                u16::try_from(attempt).unwrap_or(u16::MAX),
+                payload.clone(),
+            );
+            self.link.send_bytes_to(client, env.encode())?;
+            self.stats.data_frames_sent = self.stats.data_frames_sent.saturating_add(1);
+            if attempt > 0 {
+                self.stats.retransmits = self.stats.retransmits.saturating_add(1);
+                self.stats.retransmitted_bytes = self
+                    .stats
+                    .retransmitted_bytes
+                    .saturating_add(u64::try_from(payload.len()).unwrap_or(u64::MAX));
+            }
+            let wait = self.config.wait_for(attempt);
+            loop {
+                match self.read_one(wait) {
+                    Err(SessionError::Bus(BusError::Timeout)) => break,
+                    Err(e) => return Err(e),
+                    Ok(Some((c, e, s))) if c == client && e == self.epoch && s == seq => {
+                        return Ok(())
+                    }
+                    Ok(_) => {}
+                }
+            }
+            if attempt >= self.config.max_retries {
+                return Err(SessionError::RetriesExhausted {
+                    client: client_u32,
+                    epoch: self.epoch,
+                    seq,
+                    attempts: attempt.saturating_add(1),
+                });
+            }
+            attempt = attempt.saturating_add(1);
+        }
+    }
+
+    /// Reliably sends `msg` to every client, in client order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-client failure.
+    pub fn broadcast_reliable(&mut self, msg: &Message) -> Result<(), SessionError> {
+        for c in 0..self.client_count() {
+            self.send_reliable(c, msg)?;
+        }
+        Ok(())
+    }
+
+    /// Receives the next exactly-once `(client, message)` pair.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Bus`] with [`BusError::Timeout`] when nothing
+    /// deliverable arrives within one quiet `timeout` window.
+    pub fn recv_reliable(&mut self, timeout: Duration) -> Result<(usize, Message), SessionError> {
+        loop {
+            if let Some(pair) = self.inbox.pop_front() {
+                return Ok(pair);
+            }
+            self.read_one(timeout)?;
+        }
+    }
+
+    /// Services the link until `grace` elapses with no traffic, re-acking
+    /// late retransmissions so clients' in-flight
+    /// [`ClientSession::send_reliable`] calls can complete after the
+    /// server's last logical receive — the TIME_WAIT analog. Call in a
+    /// loop until every client is done; a disconnect also ends the linger
+    /// (quietly: the peers are gone, so there is nothing left to service).
+    pub fn linger(&mut self, grace: Duration) {
+        while self.read_one(grace).is_ok() {}
+    }
+
+    /// Reads and processes one frame. Returns `Ok(Some((client, epoch,
+    /// seq)))` for an ack, `Ok(None)` otherwise.
+    fn read_one(&mut self, timeout: Duration) -> Result<Option<(usize, u32, u32)>, SessionError> {
+        let bytes = self.link.recv_bytes(timeout)?;
+        let env = match Envelope::decode(&bytes) {
+            Ok(env) => env,
+            Err(_) => {
+                self.stats.corrupt_frames_rejected =
+                    self.stats.corrupt_frames_rejected.saturating_add(1);
+                return Ok(None);
+            }
+        };
+        let client = usize::try_from(env.client).unwrap_or(usize::MAX);
+        if self.rx.get(client).is_none() {
+            // A well-formed frame for a client slot we do not have is
+            // indistinguishable from corruption that survived the checksum.
+            self.stats.corrupt_frames_rejected =
+                self.stats.corrupt_frames_rejected.saturating_add(1);
+            return Ok(None);
+        }
+        match env.kind {
+            FrameKind::Ack => {
+                self.stats.acks_received = self.stats.acks_received.saturating_add(1);
+                Ok(Some((client, env.epoch, env.seq)))
+            }
+            FrameKind::Data => {
+                let admit = self
+                    .rx
+                    .get_mut(client)
+                    .map(|rx| rx.admit(env.epoch, env.seq))
+                    .unwrap_or(Admit::Stale);
+                match admit {
+                    Admit::Stale => {
+                        self.stats.stale_epoch_rejected =
+                            self.stats.stale_epoch_rejected.saturating_add(1);
+                        self.send_ack(client, env.epoch, env.seq, env.attempt);
+                    }
+                    Admit::Dup => {
+                        self.stats.dups_dropped = self.stats.dups_dropped.saturating_add(1);
+                        self.send_ack(client, env.epoch, env.seq, env.attempt);
+                    }
+                    Admit::Fresh => match Message::decode(&env.payload) {
+                        Ok(msg) => {
+                            self.send_ack(client, env.epoch, env.seq, env.attempt);
+                            self.stats.data_frames_delivered =
+                                self.stats.data_frames_delivered.saturating_add(1);
+                            self.inbox.push_back((client, msg));
+                        }
+                        Err(_) => {
+                            if let Some(rx) = self.rx.get_mut(client) {
+                                rx.seen.remove(&(env.epoch, env.seq));
+                            }
+                            self.stats.corrupt_frames_rejected =
+                                self.stats.corrupt_frames_rejected.saturating_add(1);
+                        }
+                    },
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn send_ack(&mut self, client: usize, epoch: u32, seq: u32, attempt: u16) {
+        let client_u32 = u32::try_from(client).unwrap_or(u32::MAX);
+        if self
+            .link
+            .send_bytes_to(client, Envelope::ack(client_u32, epoch, seq, attempt).encode())
+            .is_ok()
+        {
+            self.stats.acks_sent = self.stats.acks_sent.saturating_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LocalBus, SparseValues};
+
+    const T: Duration = Duration::from_millis(500);
+
+    fn cfg() -> SessionConfig {
+        SessionConfig {
+            max_retries: 4,
+            ack_timeout: Duration::from_millis(30),
+            backoff: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrips() {
+        for env in [
+            Envelope::data(3, 7, 11, 2, Message::Pull { client: 3 }.encode()),
+            Envelope::data(0, 0, 0, 0, Vec::new()),
+            Envelope::ack(9, 1, 5, 2),
+        ] {
+            let bytes = env.encode();
+            assert_eq!(bytes.len(), ENVELOPE_OVERHEAD + env.payload.len());
+            assert_eq!(Envelope::decode(&bytes).unwrap(), env);
+            let (kind, client, epoch, seq, attempt) = Envelope::peek_header(&bytes).unwrap();
+            assert_eq!(
+                (kind, client, epoch, seq, attempt),
+                (env.kind, env.client, env.epoch, env.seq, env.attempt)
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_rejects_corruption_truncation_and_splices() {
+        let env = Envelope::data(1, 2, 3, 0, Message::Shutdown.encode());
+        let good = env.encode();
+        // Every single-bit flip is caught (checksum or structure).
+        for pos in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[pos] ^= 1 << bit;
+                assert_ne!(Envelope::decode(&bad).ok(), Some(env.clone()), "flip at {pos}:{bit}");
+            }
+        }
+        // Every truncation errors.
+        for cut in 1..good.len() {
+            assert!(Envelope::decode(&good[..good.len() - cut]).is_err(), "cut {cut}");
+        }
+        // A splice of two whole frames is rejected, not half-decoded.
+        let mut spliced = good.clone();
+        spliced.extend_from_slice(&Envelope::ack(1, 2, 3, 0).encode());
+        assert_eq!(Envelope::decode(&spliced), Err(EnvelopeError::TrailingBytes));
+        // Garbage never panics.
+        assert!(Envelope::decode(&[]).is_err());
+        assert!(Envelope::decode(&[0xF5, 0x5E, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn reliable_roundtrip_over_clean_bus() {
+        // send_reliable blocks until the peer acks, so (as with the raw
+        // bus) each side of the session lives on its own thread.
+        let (server, mut clients) = LocalBus::star(2);
+        let mut srv = ServerSession::new(server, cfg());
+        let c1 = clients.remove(1);
+        let model = Message::Model { round: 0, values: SparseValues::dense(vec![1.0, 2.0]) };
+        let expect = model.clone();
+        let handle = std::thread::spawn(move || {
+            let mut cs = ClientSession::new(c1, 1, cfg());
+            cs.send_reliable(&Message::Pull { client: 1 }).unwrap();
+            assert_eq!(cs.recv_reliable(T).unwrap(), expect);
+            cs.stats()
+        });
+        let (from, msg) = srv.recv_reliable(T).unwrap();
+        assert_eq!((from, msg), (1, Message::Pull { client: 1 }));
+        srv.send_reliable(1, &model).unwrap();
+        let client_stats = handle.join().unwrap();
+
+        // Clean path: no retries, no dups, one data frame + ack each way.
+        for s in [client_stats, srv.stats()] {
+            assert_eq!(s.retransmits, 0);
+            assert_eq!(s.retransmitted_bytes, 0);
+            assert_eq!(s.dups_dropped, 0);
+            assert_eq!(s.corrupt_frames_rejected, 0);
+            assert_eq!(s.data_frames_sent, 1);
+            assert_eq!(s.data_frames_delivered, 1);
+            assert_eq!(s.acks_sent, 1);
+            assert_eq!(s.acks_received, 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_data_frames_are_delivered_once_and_reacked() {
+        let (server, mut clients) = LocalBus::star(1);
+        let mut srv = ServerSession::new(server, cfg());
+        let client = clients.remove(0);
+        // Hand-craft the same data frame twice (a wire duplicate).
+        let payload = Message::Pull { client: 0 }.encode();
+        let frame = Envelope::data(0, 0, 0, 0, payload).encode();
+        crate::bus::ByteLink::send_bytes(&client, frame.clone()).unwrap();
+        crate::bus::ByteLink::send_bytes(&client, frame).unwrap();
+        let (from, msg) = srv.recv_reliable(T).unwrap();
+        assert_eq!((from, msg), (0, Message::Pull { client: 0 }));
+        // No second delivery; the dup was dropped but still acked.
+        assert!(srv.recv_reliable(Duration::from_millis(20)).is_err());
+        assert_eq!(srv.stats().data_frames_delivered, 1);
+        assert_eq!(srv.stats().dups_dropped, 1);
+        assert_eq!(srv.stats().acks_sent, 2);
+        // Both acks arrived at the client endpoint.
+        let a = crate::bus::ByteLink::recv_bytes(&client, T).unwrap();
+        let b = crate::bus::ByteLink::recv_bytes(&client, T).unwrap();
+        assert_eq!(Envelope::decode(&a).unwrap(), Envelope::ack(0, 0, 0, 0));
+        assert_eq!(Envelope::decode(&b).unwrap(), Envelope::ack(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn stale_epoch_frames_are_rejected_but_acked() {
+        let (server, mut clients) = LocalBus::star(1);
+        let mut srv = ServerSession::new(server, cfg());
+        srv.begin_epoch(3);
+        let client = clients.remove(0);
+        let frame = Envelope::data(0, 2, 0, 0, Message::Pull { client: 0 }.encode()).encode();
+        crate::bus::ByteLink::send_bytes(&client, frame).unwrap();
+        assert!(srv.recv_reliable(Duration::from_millis(20)).is_err());
+        assert_eq!(srv.stats().stale_epoch_rejected, 1);
+        assert_eq!(srv.stats().data_frames_delivered, 0);
+        assert_eq!(srv.stats().acks_sent, 1, "stale frames still ack so the sender stops");
+    }
+
+    #[test]
+    fn lost_ack_causes_retransmit_and_dedup_absorbs_it() {
+        // Server endpoint that never sends acks: drop the server->client
+        // direction by receiving raw and never replying, then check the
+        // client gives up after its budget.
+        let (server, mut clients) = LocalBus::star(1);
+        let client = clients.remove(0);
+        let mut cs = ClientSession::new(
+            client,
+            0,
+            SessionConfig {
+                max_retries: 2,
+                ack_timeout: Duration::from_millis(10),
+                backoff: Duration::from_millis(5),
+            },
+        );
+        let err = cs.send_reliable(&Message::Pull { client: 0 }).unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::RetriesExhausted { client: 0, epoch: 0, seq: 0, attempts: 3 }
+        );
+        assert_eq!(cs.stats().retransmits, 2);
+        assert!(cs.stats().retransmitted_bytes > 0);
+        // All three attempts are on the server inbox; attempts are marked.
+        let mut attempts = Vec::new();
+        for _ in 0..3 {
+            let bytes = crate::bus::ServerByteLink::recv_bytes(&server, T).unwrap();
+            attempts.push(Envelope::decode(&bytes).unwrap().attempt);
+        }
+        assert_eq!(attempts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn corrupt_frames_are_counted_and_survived() {
+        let (server, mut clients) = LocalBus::star(1);
+        let mut srv = ServerSession::new(server, cfg());
+        let client = clients.remove(0);
+        crate::bus::ByteLink::send_bytes(&client, vec![1, 2, 3, 4]).unwrap();
+        let mut good = Envelope::data(0, 0, 0, 0, Message::Pull { client: 0 }.encode()).encode();
+        let last = good.len() - 1;
+        good[last] ^= 0xFF; // break the checksum
+        crate::bus::ByteLink::send_bytes(&client, good).unwrap();
+        assert!(srv.recv_reliable(Duration::from_millis(20)).is_err());
+        assert_eq!(srv.stats().corrupt_frames_rejected, 2);
+        assert_eq!(srv.stats().data_frames_delivered, 0);
+    }
+
+    #[test]
+    fn stats_merge_saturates() {
+        let a = ReliabilityStats { retransmitted_bytes: u64::MAX - 1, ..Default::default() };
+        let b = ReliabilityStats { retransmitted_bytes: 100, acks_sent: 3, ..Default::default() };
+        let m = a.merged(&b);
+        assert_eq!(m.retransmitted_bytes, u64::MAX);
+        assert_eq!(m.acks_sent, 3);
+    }
+}

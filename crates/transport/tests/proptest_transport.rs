@@ -1,11 +1,12 @@
-//! Property-based tests of the wire format: arbitrary messages round-trip,
-//! and corrupted/truncated payloads never panic.
+//! Property-based tests of the wire format: arbitrary messages and session
+//! envelopes round-trip, and corrupted/truncated/spliced payloads never
+//! panic.
 
 // Tests and benches may unwrap: a panic here IS the failure report
 // (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
 #![allow(clippy::unwrap_used)]
 
-use fedsu_transport::{DecodeError, Message, SparseValues};
+use fedsu_transport::{DecodeError, Envelope, Message, SparseValues, ENVELOPE_OVERHEAD};
 use proptest::prelude::*;
 
 fn arb_sparse() -> impl Strategy<Value = SparseValues> {
@@ -78,5 +79,73 @@ proptest! {
     fn wire_size_formula_holds_for_dense_updates(n in 0usize..128) {
         let msg = Message::Update { round: 1, client: 2, values: SparseValues::dense(vec![0.5; n]) };
         prop_assert_eq!(msg.encode().len(), 4 + 8 + 1 + 4 + 4 * n);
+    }
+}
+
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (any::<u32>(), any::<u32>(), any::<u32>(), any::<u16>(), arb_message(), any::<bool>()).prop_map(
+        |(client, epoch, seq, attempt, msg, is_data)| {
+            if is_data {
+                Envelope::data(client, epoch, seq, attempt, msg.encode())
+            } else {
+                Envelope::ack(client, epoch, seq, attempt)
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_envelope_roundtrips(env in arb_envelope()) {
+        let bytes = env.encode();
+        prop_assert_eq!(bytes.len(), ENVELOPE_OVERHEAD + env.payload.len());
+        prop_assert_eq!(Envelope::decode(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn envelope_truncation_never_panics(env in arb_envelope(), cut in 0usize..64) {
+        let bytes = env.encode();
+        let cut = cut.min(bytes.len());
+        match Envelope::decode(&bytes[..bytes.len() - cut]) {
+            Ok(decoded) => prop_assert!(cut == 0 && decoded == env),
+            Err(_) => prop_assert!(cut > 0),
+        }
+        // The chaos-keying peek must also survive any prefix.
+        let _ = Envelope::peek_header(&bytes[..bytes.len() - cut]);
+    }
+
+    #[test]
+    fn envelope_bitflips_are_always_detected(env in arb_envelope(), pos in 0usize..4096, bit in 0u8..8) {
+        let mut bytes = env.encode();
+        let len = bytes.len();
+        bytes[pos % len] ^= 1 << bit;
+        // A single flipped bit can never silently decode back to the
+        // original: either the structure breaks or the checksum catches it.
+        match Envelope::decode(&bytes) {
+            Ok(decoded) => prop_assert_ne!(decoded, env),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn envelope_splices_never_panic_and_never_half_decode(a in arb_envelope(), b in arb_envelope(), split in 0usize..4096) {
+        // Two frames glued together: strict framing must reject the splice
+        // rather than decode frame `a` and silently drop frame `b`.
+        let mut spliced = a.encode();
+        spliced.extend_from_slice(&b.encode());
+        prop_assert!(Envelope::decode(&spliced).is_err());
+        // Any resegmentation of the splice (a torn read) must not panic.
+        let split = split % (spliced.len() + 1);
+        let _ = Envelope::decode(&spliced[..split]);
+        let _ = Envelope::decode(&spliced[split..]);
+        let _ = Envelope::peek_header(&spliced[split..]);
+    }
+
+    #[test]
+    fn envelope_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Envelope::decode(&data);
+        let _ = Envelope::peek_header(&data);
     }
 }

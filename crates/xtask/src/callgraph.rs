@@ -12,10 +12,14 @@ use crate::lexer::TokenKind;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Hot-path roots: function name + required path suffix of its file.
-const ROOTS: [(&str, &str); 3] = [
+const ROOTS: [(&str, &str); 5] = [
     ("run", "fl/src/experiment.rs"),
     ("aggregate", "core/src/manager.rs"),
     ("prepare_uploads", "core/src/manager.rs"),
+    // The reliable session protocol: everything a blocked send/recv can
+    // reach (framing, chaos decorators, the bus) is panic-audited too.
+    ("send_reliable", "transport/src/session.rs"),
+    ("recv_reliable", "transport/src/session.rs"),
 ];
 
 /// Reachability result: for each file (by workspace-relative path), which

@@ -1,0 +1,303 @@
+//! Emulation ↔ wire parity: the headline guarantee of the fault-tolerant
+//! transport stack.
+//!
+//! Two legs compute per-round [`RoundRecord`]s for the same deterministic
+//! FedAvg workload:
+//!
+//! * the **wire leg** actually runs it — threads, encoded frames, the
+//!   reliable session protocol, optionally the chaos bus — and fills the
+//!   records from observed traffic;
+//! * the **analytic leg** computes the same quantities the way the
+//!   `fedsu-fl` emulation does (payload-byte formulas, fixed-order
+//!   aggregation), without any wire.
+//!
+//! Contract: under a zero-fault plan the two record streams are equal
+//! bit-for-bit; under a lossy plan within the retry budget the wire leg
+//! still completes every round with no lost or double-counted update, its
+//! records still match (retransmission overhead is accounted separately,
+//! at run granularity, because client-side retries are not attributable to
+//! a round from the server), and the session layer's
+//! `retransmitted_bytes` obeys the same `payload × (attempts − 1)` rule as
+//! `fedsu_fl::retransmitted_bytes`.
+//!
+//! Byte accounting follows the emulation's semantics: *payload* (encoded
+//! `Message`) bytes, not envelope framing or acks.
+
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
+use fedsu_repro::fl::{retransmitted_bytes, RoundRecord, BYTES_PER_SCALAR};
+use fedsu_repro::netsim::{FaultConfig, FaultPlan};
+use fedsu_repro::transport::{
+    ChaosClient, ChaosServer, ClientSession, LocalBus, Message, ReliabilityStats, ServerSession,
+    SessionConfig, SparseValues,
+};
+use std::time::Duration;
+
+const PARAMS: usize = 16;
+const CLIENTS: usize = 3;
+const ROUNDS: usize = 4;
+const T: Duration = Duration::from_secs(20);
+/// End-of-run grace: longer than the peer's largest inter-retransmit gap
+/// (`ack_timeout + backoff × max_retries` = 95ms) so a lingering endpoint
+/// outlives every late retransmission aimed at it.
+const LINGER: Duration = Duration::from_millis(250);
+
+fn session_cfg() -> SessionConfig {
+    SessionConfig {
+        max_retries: 16,
+        ack_timeout: Duration::from_millis(15),
+        backoff: Duration::from_millis(5),
+    }
+}
+
+/// Deterministic fake "local training", shared with the transport suite.
+fn local_update(round: usize, client: usize, j: usize) -> f32 {
+    ((round * 31 + client * 7 + j) % 13) as f32 * 0.01 - 0.06
+}
+
+/// Mean |update − model| in fixed (client, param) order — a deterministic
+/// stand-in for train loss that both legs can compute identically.
+fn pseudo_loss(model: &[f32], updates: &[Vec<f32>]) -> f32 {
+    let mut sum = 0.0f32;
+    for update in updates {
+        for (j, v) in update.iter().enumerate() {
+            sum += (v - model[j]).abs();
+        }
+    }
+    sum / (CLIENTS * PARAMS) as f32
+}
+
+fn record_of(round: usize, bytes: u64, loss: f32) -> RoundRecord {
+    RoundRecord {
+        round,
+        duration_secs: 0.0,
+        sim_time_secs: 0.0,
+        accuracy: None,
+        test_loss: None,
+        train_loss: loss,
+        sparsification_ratio: 0.0,
+        bytes,
+        participants: CLIENTS,
+        dropped: 0,
+        quarantined: 0,
+        retransmitted_bytes: 0,
+        rollbacks: 0,
+    }
+}
+
+struct WireRun {
+    records: Vec<RoundRecord>,
+    global: Vec<f32>,
+    server_rel: ReliabilityStats,
+    clients_rel: ReliabilityStats,
+    model_payload: u64,
+    update_payload: u64,
+}
+
+/// The wire leg: sessioned FedAvg over (chaos-decorated) endpoints,
+/// records filled from observed traffic.
+fn wire_leg(faults: &FaultConfig) -> WireRun {
+    let (server, clients) = LocalBus::star(CLIENTS);
+    let chaos_server = ChaosServer::new(server, FaultPlan::new(*faults));
+    let mut srv = ServerSession::new(chaos_server, session_cfg());
+
+    let handles: Vec<_> = clients
+        .into_iter()
+        .map(|endpoint| {
+            let id = endpoint.id();
+            let chaos = ChaosClient::new(endpoint, FaultPlan::new(*faults), id);
+            std::thread::spawn(move || {
+                let mut session = ClientSession::new(chaos, id as u32, session_cfg());
+                for round in 0..ROUNDS {
+                    session.begin_epoch(round as u32);
+                    let trained = match session.recv_reliable(T).unwrap() {
+                        Message::Model { round: r, values } => {
+                            assert_eq!(r as usize, round);
+                            values
+                                .values
+                                .iter()
+                                .enumerate()
+                                .map(|(j, v)| v + local_update(round, id, j))
+                                .collect::<Vec<f32>>()
+                        }
+                        other => panic!("client {id}: unexpected {other:?}"),
+                    };
+                    session
+                        .send_reliable(&Message::Update {
+                            round: round as u32,
+                            client: id as u32,
+                            values: SparseValues::dense(trained),
+                        })
+                        .unwrap();
+                }
+                // TIME_WAIT: service the server's late retransmissions
+                // (its last ack to us may have been chaos-dropped).
+                session.linger(LINGER);
+                session.stats()
+            })
+        })
+        .collect();
+
+    let mut records = Vec::with_capacity(ROUNDS);
+    let mut global = vec![0.0f32; PARAMS];
+    let mut model_payload = 0u64;
+    let mut update_payload = 0u64;
+    for round in 0..ROUNDS {
+        srv.begin_epoch(round as u32);
+        let model =
+            Message::Model { round: round as u32, values: SparseValues::dense(global.clone()) };
+        model_payload = model.encode().len() as u64;
+        srv.broadcast_reliable(&model).unwrap();
+
+        let mut per_client: Vec<Option<Vec<f32>>> = vec![None; CLIENTS];
+        let mut round_bytes = model_payload
+            .checked_mul(CLIENTS as u64)
+            .expect("round byte total fits in u64: payloads are model-sized");
+        while per_client.iter().any(Option::is_none) {
+            let (from, msg) = srv.recv_reliable(T).unwrap();
+            // Payload bytes as they traveled: re-encoding the delivered
+            // message reproduces the exact frame payload.
+            update_payload = msg.encode().len() as u64;
+            round_bytes = round_bytes
+                .checked_add(update_payload)
+                .expect("round byte total fits in u64: payloads are model-sized");
+            match msg {
+                Message::Update { round: r, client, values } => {
+                    assert_eq!(r as usize, round, "stale-epoch rejection must gate rounds");
+                    assert_eq!(client as usize, from);
+                    assert!(per_client[from].is_none(), "dedup failed: client {from} twice");
+                    per_client[from] = Some(values.values);
+                }
+                other => panic!("server: unexpected {other:?}"),
+            }
+        }
+        let updates: Vec<Vec<f32>> =
+            per_client.into_iter().map(|u| u.unwrap()).collect();
+        let loss = pseudo_loss(&global, &updates);
+        let mut acc = vec![0.0f32; PARAMS];
+        for update in &updates {
+            for (a, v) in acc.iter_mut().zip(update) {
+                *a += v / CLIENTS as f32;
+            }
+        }
+        global = acc;
+        records.push(record_of(round, round_bytes, loss));
+    }
+
+    // Server-side TIME_WAIT: keep re-acking clients' late retransmissions
+    // until every client thread has actually finished its run.
+    while handles.iter().any(|h| !h.is_finished()) {
+        srv.linger(Duration::from_millis(25));
+    }
+    let mut clients_rel = ReliabilityStats::default();
+    for h in handles {
+        clients_rel = clients_rel.merged(&h.join().unwrap());
+    }
+    WireRun { records, global, server_rel: srv.stats(), clients_rel, model_payload, update_payload }
+}
+
+/// The analytic leg: the same records computed the emulation's way — byte
+/// formulas from scalar counts, fixed-order aggregation, no wire.
+fn analytic_leg() -> (Vec<RoundRecord>, Vec<f32>) {
+    // Message wire sizes (see fedsu-transport): Model = magic+ver+tag (4)
+    // + round (4) + payload tag (1) + count (4) + scalars; Update adds a
+    // client id (4). Scalars cost BYTES_PER_SCALAR, as the fl runtime
+    // assumes.
+    let scalar_bytes = BYTES_PER_SCALAR * PARAMS as u64;
+    let model_payload = 4 + 4 + 1 + 4 + scalar_bytes;
+    let update_payload = 4 + 4 + 4 + 1 + 4 + scalar_bytes;
+    let mut records = Vec::with_capacity(ROUNDS);
+    let mut global = vec![0.0f32; PARAMS];
+    for round in 0..ROUNDS {
+        let updates: Vec<Vec<f32>> = (0..CLIENTS)
+            .map(|client| {
+                global
+                    .iter()
+                    .enumerate()
+                    .map(|(j, v)| v + local_update(round, client, j))
+                    .collect()
+            })
+            .collect();
+        let loss = pseudo_loss(&global, &updates);
+        let mut acc = vec![0.0f32; PARAMS];
+        for update in &updates {
+            for (a, v) in acc.iter_mut().zip(update) {
+                *a += v / CLIENTS as f32;
+            }
+        }
+        global = acc;
+        let bytes = (model_payload + update_payload) * CLIENTS as u64;
+        records.push(record_of(round, bytes, loss));
+    }
+    (records, global)
+}
+
+#[test]
+fn zero_fault_wire_records_match_the_emulation_bit_for_bit() {
+    let wire = wire_leg(&FaultConfig::default());
+    let (analytic_records, analytic_global) = analytic_leg();
+    assert_eq!(wire.records, analytic_records, "records must agree field-for-field");
+    assert_eq!(
+        wire.global.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        analytic_global.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "the aggregated model must be bit-identical"
+    );
+    // The analytic byte formulas really are the measured payload sizes.
+    assert_eq!(wire.model_payload, 4 + 4 + 1 + 4 + BYTES_PER_SCALAR * PARAMS as u64);
+    assert_eq!(wire.update_payload, 4 + 4 + 4 + 1 + 4 + BYTES_PER_SCALAR * PARAMS as u64);
+    // And a clean wire retransmits nothing, so the two accountings agree
+    // on zero.
+    let rel = wire.server_rel.merged(&wire.clients_rel);
+    assert_eq!(rel.retransmits, 0);
+    assert_eq!(rel.retransmitted_bytes, 0);
+}
+
+#[test]
+fn lossy_wire_still_matches_and_retransmission_accounting_is_shared() {
+    let clean = wire_leg(&FaultConfig::default());
+    let lossy_cfg = FaultConfig {
+        wire_drop_prob: 0.25,
+        wire_corrupt_prob: 0.1,
+        wire_duplicate_prob: 0.1,
+        wire_reorder_prob: 0.08,
+        wire_delay_prob: 0.05,
+        seed: 0x9A21,
+        ..FaultConfig::default()
+    };
+    let lossy = wire_leg(&lossy_cfg);
+
+    // Exactly-once under faults: records and model identical to the clean
+    // wire run (which test 1 pins to the emulation).
+    assert_eq!(lossy.records, clean.records, "faults within budget must be invisible in records");
+    assert_eq!(
+        lossy.global.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        clean.global.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    );
+
+    // The plan really did damage, and the overhead accounting matches the
+    // fl-side rule payload × (attempts − 1): every client data frame
+    // carries the same update payload, every server data frame the same
+    // model payload, so the session totals must be exact multiples.
+    assert!(lossy.clients_rel.retransmits > 0, "p=0.25 drops must force retries");
+    assert_eq!(
+        lossy.clients_rel.retransmitted_bytes,
+        lossy.clients_rel.retransmits * lossy.update_payload,
+        "client retransmission accounting must count exact payload bytes"
+    );
+    assert_eq!(
+        lossy.server_rel.retransmitted_bytes,
+        lossy.server_rel.retransmits * lossy.model_payload,
+        "server retransmission accounting must count exact payload bytes"
+    );
+    // Spot-check the shared formula itself: one payload retried to the
+    // k-th attempt contributes payload × (k − 1), the same quantity
+    // RoundRecord::retransmitted_bytes accumulates in the emulation.
+    for attempts in 1..=4u32 {
+        assert_eq!(
+            retransmitted_bytes(lossy.update_payload, attempts),
+            u64::from(attempts - 1) * lossy.update_payload
+        );
+    }
+}
