@@ -1,0 +1,39 @@
+//! Negative fixture for the `channel-discipline` rule: zero findings,
+//! linted AS IF it were `crates/tensor/src/par.rs` so the worker closure
+//! is live. `worker_loop` drains through the NON-blocking `try_recv`; the
+//! `#[cfg(test)]` double with the same callee name is worker-reachable by
+//! name but test code is exempt; `relay` sends in a loop that drains on the
+//! same path; `broadcast` sends in a bounded `for`.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn worker_loop(queue: &JobQueue) {
+    while let Some(job) = pop_bounded(queue) {
+        job.run();
+    }
+}
+
+fn pop_bounded(queue: &JobQueue) -> Option<Job> {
+    queue.try_recv().ok()
+}
+
+pub fn relay(tx: &Sender<Frame>, rx: &Receiver<Frame>) {
+    loop {
+        let frame = rx.recv();
+        tx.send(frame);
+    }
+}
+
+pub fn broadcast(tx: &Sender<Frame>, frames: Vec<Frame>) {
+    for frame in frames {
+        tx.send(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Blocking test double sharing the worker helper's name: the
+    /// name-based closure reaches it, but test code is exempt.
+    fn pop_bounded(queue: &SlowQueue) -> Option<Job> {
+        queue.recv().ok()
+    }
+}

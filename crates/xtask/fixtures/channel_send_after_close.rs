@@ -1,0 +1,15 @@
+//! Fixture for the `channel-discipline` rule (send-after-close family):
+//! `finish` sends on `tx` after dropping it — every such send errors at
+//! runtime. Exactly one finding (line 9); `handoff` drops a DIFFERENT
+//! endpoint first and must NOT fire.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn finish(tx: Sender<Chunk>, last: Chunk) {
+    drop(tx);
+    tx.send(last);
+}
+
+pub fn handoff(tx: Sender<Chunk>, rx: Receiver<Chunk>, chunk: Chunk) {
+    drop(rx);
+    tx.send(chunk);
+}

@@ -1,0 +1,11 @@
+//! Fixture for the `channel-discipline` rule (unbounded-growth family):
+//! `pump` sends inside a bare `loop` with no drain on the same path — the
+//! queue grows without bound. Exactly one finding (line 9).
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn pump(tx: &Sender<Frame>, source: &mut FrameSource) {
+    loop {
+        let frame = source.next_frame();
+        tx.send(frame);
+    }
+}

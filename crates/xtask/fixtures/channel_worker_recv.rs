@@ -1,0 +1,20 @@
+//! Fixture for the `channel-discipline` rule (worker-recv family): linted
+//! AS IF it were `crates/tensor/src/par.rs`, so `worker_loop` seeds the
+//! pool-worker closure. Exactly one finding: the blocking recv in
+//! `fetch_job` (line 15), one call hop from the worker body. The identical
+//! shape in `offline_poll` is not worker-reachable and must NOT fire.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn worker_loop(rx: &Receiver<Job>) {
+    while let Some(job) = fetch_job(rx) {
+        job.run();
+    }
+}
+
+fn fetch_job(rx: &Receiver<Job>) -> Option<Job> {
+    rx.recv().ok()
+}
+
+fn offline_poll(rx: &Receiver<Job>) -> Option<Job> {
+    rx.recv().ok()
+}

@@ -1,0 +1,10 @@
+//! Fixture for the `lock-order` rule (poison-leak family): `catch_unwind`
+//! runs a job while the queue guard is held — a swallowed panic leaves the
+//! lock poisoned for every later acquirer. Exactly one finding (line 8).
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn run_job(jobs: &Mutex<Vec<Job>>, job: Job) {
+    let queue = jobs.lock();
+    let outcome = catch_unwind(AssertUnwindSafe(job));
+    queue.push_outcome(outcome);
+}

@@ -1,0 +1,15 @@
+//! Fixture for the `lock-order` rule (guard-across-channel family), with
+//! nested guards: the inner guard `q` dies at its block close, but the
+//! OUTER guard `state` is still live at the send on line 13 — exactly one
+//! finding, naming `state`.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn flush(outer: &Mutex<FlushState>, inner: &Mutex<FrameQueue>, tx: &Sender<Frame>) {
+    let state = outer.lock();
+    let batch = {
+        let q = inner.lock();
+        q.take_batch()
+    };
+    tx.send(batch);
+    state.mark_flushed();
+}

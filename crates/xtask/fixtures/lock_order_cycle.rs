@@ -1,0 +1,23 @@
+//! Fixture for the `lock-order` rule (cycle family): `ingest` takes
+//! `fills` then `stats`, `drain` takes `stats` then `fills` — the classic
+//! ABBA deadlock. Expect exactly two findings, one per inner acquisition
+//! (lines 9 and 15); the consistent-order `audit` below must NOT fire.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn ingest(fills: &Mutex<Vec<u8>>, stats: &Mutex<u64>) {
+    let f = fills.lock();
+    let s = stats.lock();
+    publish(&f, &s);
+}
+
+pub fn drain(fills: &Mutex<Vec<u8>>, stats: &Mutex<u64>) {
+    let s = stats.lock();
+    let f = fills.lock();
+    publish(&f, &s);
+}
+
+pub fn audit(fills: &Mutex<Vec<u8>>, totals: &Mutex<u64>) {
+    let f = fills.lock();
+    let t = totals.lock();
+    publish(&f, &t);
+}

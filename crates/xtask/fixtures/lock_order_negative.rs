@@ -1,0 +1,21 @@
+//! Negative fixture for the `lock-order` rule: zero findings. `publish`
+//! drops its guard before the send; `rebind` shadows the guard binding
+//! (ending the first guard's liveness) and drops the second before
+//! sending; both functions acquire in one global order.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn publish(state: &Mutex<Vec<Frame>>, tx: &Sender<Frame>) {
+    let guard = state.lock();
+    let frame = guard.pop_front();
+    drop(guard);
+    tx.send(frame);
+}
+
+pub fn rebind(first: &Mutex<u64>, second: &Mutex<u64>, tx: &Sender<u64>) {
+    let g = first.lock();
+    let a = read_value(&g);
+    let g = second.lock();
+    let b = read_value(&g);
+    drop(g);
+    tx.send(combine(a, b));
+}

@@ -1,0 +1,20 @@
+//! Negative fixture for the `nondeterminism-taint` rule, linted AS IF it
+//! were `crates/tensor/src/matmul.rs` so float-accumulator sinks are in
+//! scope. Zero findings: `dot_block` accumulates over slice iteration —
+//! ordered, so `acc` is clean even though it is a float sink — and
+//! `partition_rows` taints `threads` without ever reaching a sink. This
+//! mirrors the real ascending-p accumulation in the tensor kernels.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn dot_block(lhs: &[f32], rhs: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in lhs.iter().zip(rhs.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+pub fn partition_rows(rows: usize) -> usize {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    rows.div_ceil(threads.max(1))
+}

@@ -1,0 +1,20 @@
+//! Negative fixture for the `nondeterminism-taint` rule: zero findings.
+//! `summarize` draws from a BTreeMap — ordered iteration is deterministic
+//! and is not a source. `plan_chunks` reads the thread count (a real
+//! source) but the tainted value only shapes chunk sizing and never
+//! reaches a record, wire, or float sink.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn summarize(losses: &BTreeMap<u32, f32>) -> RoundRecord {
+    let first = losses.values().next().copied().unwrap_or(0.0);
+    RoundRecord {
+        round: 0,
+        train_loss: first,
+    }
+}
+
+pub fn plan_chunks(total: usize) -> usize {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let chunk = total.div_ceil(threads);
+    chunk.max(1)
+}

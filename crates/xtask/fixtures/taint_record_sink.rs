@@ -1,0 +1,16 @@
+//! Fixture for the `nondeterminism-taint` rule (record-sink family): a
+//! value drawn from HashMap iteration flows through two `let` bindings
+//! into a `RoundRecord` field literal. Expect one nondeterminism-taint
+//! finding at the `train_loss` field (line 14); the HashMap in the
+//! signature also trips `hash-collections` (line 9) — the integration
+//! test asserts both.
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn summarize(losses: &HashMap<u32, f32>) -> RoundRecord {
+    let first = losses.values().next().copied().unwrap_or(0.0);
+    let next = first * 0.5;
+    RoundRecord {
+        round: 0,
+        train_loss: next,
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture for the `nondeterminism-taint` rule (wire-sink family): taint
+//! survives tuple destructuring — both `key` and `payload` pick up the
+//! HashMap-iteration source, and `payload` reaches the wire through
+//! `send_bytes`. Expect one nondeterminism-taint finding at the send
+//! (line 12) plus `hash-collections` in the signature (line 8).
+//! Not compiled — consumed by `crates/xtask/tests/fixtures.rs`.
+
+pub fn forward(routes: &HashMap<u64, Vec<u8>>, bus: &Bus) {
+    let Some((key, payload)) = routes.iter().next() else {
+        return;
+    };
+    bus.send_bytes(*key, payload);
+}

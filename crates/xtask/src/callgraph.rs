@@ -22,11 +22,24 @@ const ROOTS: [(&str, &str); 5] = [
     ("recv_reliable", "transport/src/session.rs"),
 ];
 
+/// Pool-worker bodies: code reachable from these runs on a worker thread,
+/// where a blocking channel receive can wedge the whole pool
+/// (`channel-discipline` rule).
+const WORKER_ROOTS: [(&str, &str); 1] = [("worker_loop", "tensor/src/par.rs")];
+
+/// Worker-pool dispatch entry points: a call that can *reach* one of these
+/// while a lock guard is held risks deadlocking dispatcher against workers
+/// (`lock-order` rule).
+const DISPATCH_TARGETS: [(&str, &str); 1] = [("run_chunks", "tensor/src/par.rs")];
+
 /// Reachability result: for each file (by workspace-relative path), which
-/// function indices (into `ParsedFile::fns`) are on a hot path.
+/// function indices (into `ParsedFile::fns`) are on a hot path / worker
+/// path, plus the names of functions that can reach pool dispatch.
 #[derive(Debug, Default)]
 pub struct CallGraph {
     hot: BTreeMap<String, BTreeSet<usize>>,
+    workers: BTreeMap<String, BTreeSet<usize>>,
+    dispatch_names: BTreeSet<String>,
 }
 
 impl CallGraph {
@@ -42,40 +55,75 @@ impl CallGraph {
             }
         }
 
+        // Forward call edges, computed once and shared by every traversal.
+        let mut edges: BTreeMap<(usize, usize), Vec<(usize, usize)>> = BTreeMap::new();
+        for (fi, (_, pf)) in files.iter().enumerate() {
+            for (ni, f) in pf.fns.iter().enumerate() {
+                let Some(body) = f.body else { continue };
+                let mut targets = Vec::new();
+                for callee in called_names(pf, body) {
+                    if let Some(ts) = by_name.get(callee.as_str()) {
+                        targets.extend(ts.iter().copied());
+                    }
+                }
+                edges.insert((fi, ni), targets);
+            }
+        }
+
+        let hot = forward_closure(files, &edges, &ROOTS);
+        let workers = forward_closure(files, &edges, &WORKER_ROOTS);
+
+        // Reverse reachability: which functions can reach a dispatch target?
+        let mut reverse: BTreeMap<(usize, usize), Vec<(usize, usize)>> = BTreeMap::new();
+        for (from, tos) in &edges {
+            for to in tos {
+                reverse.entry(*to).or_default().push(*from);
+            }
+        }
         let mut queue: Vec<(usize, usize)> = Vec::new();
-        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut reaches: BTreeSet<(usize, usize)> = BTreeSet::new();
         for (fi, (rel, pf)) in files.iter().enumerate() {
             for (ni, f) in pf.fns.iter().enumerate() {
-                if !f.in_test && is_root(&f.name, rel) && seen.insert((fi, ni)) {
+                let target = DISPATCH_TARGETS
+                    .iter()
+                    .any(|(n, suffix)| *n == f.name && rel.ends_with(suffix));
+                if target && reaches.insert((fi, ni)) {
                     queue.push((fi, ni));
                 }
             }
         }
-
-        while let Some((fi, ni)) = queue.pop() {
-            let pf = files[fi].1;
-            let Some(body) = pf.fns[ni].body else { continue };
-            for callee in called_names(pf, body) {
-                if let Some(targets) = by_name.get(callee.as_str()) {
-                    for &t in targets {
-                        if seen.insert(t) {
-                            queue.push(t);
-                        }
+        while let Some(node) = queue.pop() {
+            if let Some(callers) = reverse.get(&node) {
+                for &c in callers {
+                    if reaches.insert(c) {
+                        queue.push(c);
                     }
                 }
             }
         }
+        let dispatch_names: BTreeSet<String> = reaches
+            .iter()
+            .map(|&(fi, ni)| files[fi].1.fns[ni].name.clone())
+            .collect();
 
-        let mut hot: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
-        for (fi, ni) in seen {
-            hot.entry(files[fi].0.clone()).or_default().insert(ni);
-        }
-        CallGraph { hot }
+        CallGraph { hot, workers, dispatch_names }
     }
 
     /// `true` when function `fn_idx` of file `rel` is on a hot path.
     pub fn is_hot(&self, rel: &str, fn_idx: usize) -> bool {
         self.hot.get(rel).is_some_and(|s| s.contains(&fn_idx))
+    }
+
+    /// `true` when function `fn_idx` of file `rel` can run on a pool-worker
+    /// thread.
+    pub fn is_worker(&self, rel: &str, fn_idx: usize) -> bool {
+        self.workers.get(rel).is_some_and(|s| s.contains(&fn_idx))
+    }
+
+    /// `true` when a call to `name` may transitively enter the worker-pool
+    /// dispatch path (`run_chunks`).
+    pub fn reaches_dispatch(&self, name: &str) -> bool {
+        self.dispatch_names.contains(name)
     }
 
     /// `true` when any hot function exists at all (lets single-file lint
@@ -85,15 +133,44 @@ impl CallGraph {
     }
 }
 
-/// `true` when `name` in file `rel` is one of the fixed hot-path roots.
-fn is_root(name: &str, rel: &str) -> bool {
-    ROOTS.iter().any(|(n, suffix)| *n == name && rel.ends_with(suffix))
+/// BFS over `edges` from every non-test function matching a `(name, path
+/// suffix)` root, grouped by file path.
+fn forward_closure(
+    files: &[(String, &ParsedFile)],
+    edges: &BTreeMap<(usize, usize), Vec<(usize, usize)>>,
+    roots: &[(&str, &str)],
+) -> BTreeMap<String, BTreeSet<usize>> {
+    let mut queue: Vec<(usize, usize)> = Vec::new();
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (fi, (rel, pf)) in files.iter().enumerate() {
+        for (ni, f) in pf.fns.iter().enumerate() {
+            let is_root =
+                roots.iter().any(|(n, suffix)| *n == f.name && rel.ends_with(suffix));
+            if !f.in_test && is_root && seen.insert((fi, ni)) {
+                queue.push((fi, ni));
+            }
+        }
+    }
+    while let Some(node) = queue.pop() {
+        if let Some(targets) = edges.get(&node) {
+            for &t in targets {
+                if seen.insert(t) {
+                    queue.push(t);
+                }
+            }
+        }
+    }
+    let mut out: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+    for (fi, ni) in seen {
+        out.entry(files[fi].0.clone()).or_default().insert(ni);
+    }
+    out
 }
 
 /// Collects names syntactically called inside the token range `body`
 /// (inclusive braces): `name(…)` free/assoc calls and `.name(…)` method
 /// calls; `name!(…)` macros are not calls.
-fn called_names(pf: &ParsedFile, body: (usize, usize)) -> BTreeSet<String> {
+pub(crate) fn called_names(pf: &ParsedFile, body: (usize, usize)) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     let toks = &pf.tokens;
     let (start, end) = body;
@@ -174,6 +251,33 @@ mod tests {
     fn no_roots_in_scope() {
         let (_, g) = graph(&[("crates/nn/src/lib.rs", "pub fn run() { helper(); }\nfn helper() {}")]);
         assert!(!g.has_roots(), "`run` outside fl/src/experiment.rs is not a root");
+    }
+
+    #[test]
+    fn worker_reachability_from_worker_loop() {
+        let (parsed, g) = graph(&[(
+            "crates/tensor/src/par.rs",
+            "fn worker_loop() { run_job(); }\nfn run_job() {}\nfn run_chunks() { helper(); }\nfn helper() {}",
+        )]);
+        let rel = &parsed[0].0;
+        assert!(g.is_worker(rel, 0));
+        assert!(g.is_worker(rel, 1), "called from the worker body");
+        assert!(!g.is_worker(rel, 2), "dispatch is not worker-side");
+        assert!(!g.is_hot(rel, 0), "worker roots are not hot-path roots");
+    }
+
+    #[test]
+    fn dispatch_reachability_is_reversed() {
+        let (_, g) = graph(&[
+            ("crates/tensor/src/par.rs", "pub fn run_chunks() {}"),
+            (
+                "crates/tensor/src/matmul.rs",
+                "pub fn matmul_par() { run_chunks(); }\npub fn serial() {}",
+            ),
+        ]);
+        assert!(g.reaches_dispatch("run_chunks"), "the target itself");
+        assert!(g.reaches_dispatch("matmul_par"), "direct caller");
+        assert!(!g.reaches_dispatch("serial"));
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! `lint --explain <RULE>`: the long-form rationale behind each rule.
+//!
+//! The text answers the three questions a developer hitting a finding
+//! actually has — *why is this a hazard in this workspace*, *what does a
+//! finding look like*, and *what are my options when the code is right
+//! anyway* (waiver policy: `lint-allow.toml` for reviewed permanent waivers,
+//! `lint-baseline.toml` for ratcheted pre-existing debt).
+
+use crate::rules::RULE_IDS;
+
+/// Full explanation for one rule id, or `None` for an unknown id.
+pub fn explain(rule: &str) -> Option<String> {
+    let (rationale, example) = match rule {
+        "hash-collections" => (
+            "HashMap/HashSet iterate in an order randomized per process. Any \
+             aggregation, client selection, or serialization driven by that order \
+             silently differs between runs, which breaks the bit-for-bit \
+             reproducibility the paper's evaluation rests on. Use BTreeMap/BTreeSet \
+             or dense integer-id indexing.",
+            "use std::collections::HashMap;   // flagged, even through `use … as` aliases",
+        ),
+        "wall-clock" => (
+            "The emulator owns its own clock (`sim_time_secs`). Reading the host \
+             clock (Instant::now, SystemTime) in a sim path couples results to \
+             machine speed and scheduler jitter; every duration must derive from \
+             the deterministic sim clock.",
+            "let t0 = std::time::Instant::now();   // flagged in library code",
+        ),
+        "truncating-cast" => (
+            "`as <int>` silently truncates and wraps. On byte/time-accounting \
+             statements (identifiers mentioning bytes, secs, latency, …) a unit \
+             bug becomes a wrong paper figure instead of a loud error. Use \
+             `u64::from`/`try_from` or widen the accumulator.",
+            "let total_bytes = (scalars * 4) as u32;   // flagged",
+        ),
+        "no-unwrap" => (
+            "A panic inside the emulation aborts a whole multi-hour sweep. \
+             Fallible paths must return Result; the remaining panics must carry \
+             an `.expect(\"…\")` message of at least 10 chars documenting the \
+             invariant that makes failure impossible.",
+            "let x = v.pop().unwrap();   // flagged; .expect(\"ring is never empty\") passes",
+        ),
+        "serde-default" => (
+            "Persisted record structs (*Record/*Result/*Stats deriving \
+             Deserialize) are read back by future binaries. Every field needs \
+             #[serde(default)] (or a container-level default) so records written \
+             by an older binary stay loadable after fields are added.",
+            "pub struct RoundRecord { pub loss: f64 }   // field flagged without a default",
+        ),
+        "panic-path" => (
+            "Functions transitively reachable (name-based call graph) from the \
+             experiment round loop or the reliable-session entry points must not \
+             panic: explicit panic!/unreachable!, slice indexing, and .expect() \
+             all abort the sweep. Use get()/get_mut(), checked ops, or propagate \
+             FlError.",
+            "let w = weights[idx];   // flagged inside a hot-path function",
+        ),
+        "unchecked-arith" => (
+            "Wire-byte conservation and sim-time monotonicity are paper-level \
+             invariants. Bare +/* on accounting identifiers (bytes, *_bytes, \
+             *_ms, sim_time*) can wrap silently in release builds; use \
+             checked_add/checked_mul or saturating_* so overflow is loud.",
+            "total_bytes += chunk_len;   // flagged; checked_add(...).expect(\"…\") passes",
+        ),
+        "float-determinism" => (
+            "Float addition is not associative: summing the same values in a \
+             different order changes the bit pattern. Accumulating f32/f64 over \
+             a map/set iteration (values()/keys()) or par_iter in the numeric \
+             crates breaks run-to-run reproducibility; collect into a Vec sorted \
+             by a stable key first.",
+            "weights.values().sum::<f64>()   // flagged in crates/{tensor,nn,strategies}",
+        ),
+        "lock-order" => (
+            "Deadlock and poison hazards found by the guard-liveness dataflow \
+             pass. A Mutex/RwLock guard held across an mpsc send/recv can park \
+             the holder while workers starve; holding one across a call that \
+             reaches the worker-pool dispatch path (run_chunks) can deadlock \
+             dispatcher against workers; holding one across catch_unwind can \
+             swallow a panic and leave the lock poisoned for every later \
+             acquirer. Acquiring locks in different orders in different \
+             functions (a cyclic edge in the cross-function acquisition graph) \
+             is the classic ABBA deadlock. Fix by shrinking the critical \
+             section: collect what you need under the lock, drop the guard, \
+             then send/call.",
+            "let g = state.lock(); inner.send_bytes(b)?;   // flagged: guard held across send",
+        ),
+        "channel-discipline" => (
+            "mpsc usage patterns that wedge the pool or leak memory. A blocking \
+             recv/recv_timeout in a function reachable from a pool-worker body \
+             parks the worker on an empty channel and wedges dispatch (use a \
+             Condvar-guarded queue or a bounded drain). A send after an explicit \
+             drop of the same endpoint always errors at runtime. A send inside \
+             an unbounded loop/while with no drain on the same path (no recv, no \
+             call to a receiving function) grows the queue without bound.",
+            "loop { tx.send(job); }   // flagged: unbounded send loop with no drain",
+        ),
+        "nondeterminism-taint" => (
+            "Forward taint tracking from nondeterminism sources to the sinks the \
+             reproducibility contract protects. Sources: iteration over \
+             hash-based maps/sets, thread identity and hardware thread counts \
+             (available_parallelism), and wall-clock reads. Taint propagates \
+             through let bindings (including tuple destructuring), assignments, \
+             for-loop patterns, and one level of call inlining. Sinks: fields of \
+             persisted *Record/*Result values, wire payload bytes \
+             (send_bytes/send_bytes_to), and float accumulators in the numeric \
+             crates. Emulation outputs must be a pure function of config and \
+             seed; order the iteration or derive the value from the sim clock.",
+            "rec.loss = m.values().sum();   // flagged when `m` is a HashMap",
+        ),
+        _ => return None,
+    };
+    Some(format!(
+        "rule: {rule}\n\nwhy\n  {}\n\nexample\n  {}\n\nwaiver policy\n  \
+         Correct-by-design code gets a reviewed [[allow]] entry in \
+         crates/xtask/lint-allow.toml (rule/path/contains/reason — the reason is \
+         mandatory). Pre-existing debt lives in crates/xtask/lint-baseline.toml, \
+         regenerated with `lint --fix-baseline`; the ratchet fails on new \
+         findings and on stale entries, so the count only moves down.\n",
+        wrap(rationale, 74),
+        example
+    ))
+}
+
+/// Every rule has explain text by construction; this keeps the two lists in
+/// sync at test time.
+pub fn all_explained() -> bool {
+    RULE_IDS.iter().all(|id| explain(id).is_some_and(|t| !t.trim().is_empty()))
+}
+
+/// Greedy line wrap at `width`, indenting continuations to match the lead.
+fn wrap(text: &str, width: usize) -> String {
+    let mut out = String::new();
+    let mut col = 0usize;
+    for w in text.split_whitespace() {
+        if col > 0 && col + 1 + w.len() > width {
+            out.push_str("\n  ");
+            col = 0;
+        } else if col > 0 {
+            out.push(' ');
+            col += 1;
+        }
+        out.push_str(w);
+        col += w.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_rule_has_explain_text() {
+        assert!(all_explained());
+        for id in RULE_IDS {
+            let text = explain(id).expect("registered rule must have explain text");
+            assert!(text.contains("waiver policy"), "{id}: missing waiver section");
+            assert!(text.contains("example"), "{id}: missing example section");
+        }
+    }
+
+    #[test]
+    fn unknown_rule_is_none() {
+        assert!(explain("no-such-rule").is_none());
+        assert!(explain("").is_none());
+    }
+
+    #[test]
+    fn wrap_keeps_words_whole() {
+        let w = wrap("one two three four five six seven eight", 12);
+        for line in w.lines() {
+            assert!(line.trim().len() <= 13, "{line:?}");
+        }
+        assert_eq!(w.split_whitespace().count(), 8);
+    }
+}

@@ -22,6 +22,8 @@ pub mod allowlist;
 pub mod ast;
 pub mod baseline;
 pub mod callgraph;
+pub mod dataflow;
+pub mod explain;
 pub mod lexer;
 pub mod resolve;
 pub mod rules;
@@ -30,6 +32,7 @@ pub mod scan;
 pub mod workspace;
 
 use callgraph::CallGraph;
+use dataflow::WorkspaceFlow;
 use rules::Diagnostic;
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -90,11 +93,12 @@ pub fn lint_files(
     let graph_input: Vec<(String, &ast::ParsedFile)> =
         prepared.iter().map(|(f, p)| (f.rel.clone(), &p.file)).collect();
     let graph = CallGraph::build(&graph_input);
+    let flow = WorkspaceFlow::build(&graph_input);
 
-    // Phase 2: run the rules per file against the shared graph.
+    // Phase 2: run the rules per file against the shared graph and flow.
     let mut diags = Vec::new();
     for (f, p) in &prepared {
-        diags.extend(check_prepared(&f.rel, f.kind, p, &graph));
+        diags.extend(check_prepared(&f.rel, f.kind, p, &graph, &flow));
     }
 
     let (kept, suppressed, unused_allows) = allowlist::apply(diags, &allow_entries);
@@ -122,8 +126,9 @@ fn check_prepared(
     kind: SourceKind,
     p: &scan::PreparedSource,
     graph: &CallGraph,
+    flow: &WorkspaceFlow,
 ) -> Vec<Diagnostic> {
-    let mut diags = rules::check_all(rel, p, graph);
+    let mut diags = rules::check_all(rel, p, graph, flow);
     if kind == SourceKind::Example {
         diags.retain(|d| d.rule != "no-unwrap" && d.rule != "panic-path");
     }
@@ -131,8 +136,9 @@ fn check_prepared(
 }
 
 /// Lints one source text in isolation (fixture tests and single-file use).
-/// The call graph is built from this file alone, so `panic-path` only fires
-/// when the file itself contains a hot-path root.
+/// The call graph and dataflow facts are built from this file alone, so
+/// `panic-path` only fires when the file itself contains a hot-path root and
+/// cross-function lock cycles only form within the file.
 pub fn lint_source(rel: &str, kind: SourceKind, text: &str) -> Vec<Diagnostic> {
     if kind == SourceKind::TestOrBench {
         return Vec::new();
@@ -140,7 +146,8 @@ pub fn lint_source(rel: &str, kind: SourceKind, text: &str) -> Vec<Diagnostic> {
     let p = scan::prepare(text);
     let graph_input = vec![(rel.to_string(), &p.file)];
     let graph = CallGraph::build(&graph_input);
-    check_prepared(rel, kind, &p, &graph)
+    let flow = WorkspaceFlow::build(&graph_input);
+    check_prepared(rel, kind, &p, &graph, &flow)
 }
 
 /// Default location of the allow file, relative to the workspace root.

@@ -7,8 +7,9 @@
 //! rewrites `crates/xtask/lint-baseline.toml` deterministically and exits 0.
 
 use fedsu_xtask::baseline::BASELINE_FILE;
+use fedsu_xtask::rules::RULE_IDS;
 use fedsu_xtask::workspace::{self, SourceFile};
-use fedsu_xtask::{baseline, lint_files, read_gate_file, sarif, ALLOW_FILE};
+use fedsu_xtask::{baseline, explain, lint_files, read_gate_file, sarif, ALLOW_FILE};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -32,7 +33,7 @@ fn print_usage() {
     eprintln!(
         "usage: cargo run -p fedsu-xtask -- lint [--allow FILE] [--baseline FILE]\n\
          \x20                                       [--format text|sarif] [--fix-baseline]\n\
-         \x20                                       [PATH...]"
+         \x20                                       [--explain RULE] [PATH...]"
     );
     eprintln!();
     eprintln!("Lints workspace .rs sources for determinism/safety hazards.");
@@ -40,6 +41,7 @@ fn print_usage() {
     eprintln!("Suppressions: {ALLOW_FILE} (rule/path/contains/reason entries).");
     eprintln!("Ratchet:      {BASELINE_FILE} (regenerate with --fix-baseline).");
     eprintln!("--format sarif emits SARIF 2.1.0 on stdout for CI annotation.");
+    eprintln!("--explain RULE prints a rule's rationale, example, and waiver policy.");
 }
 
 /// Parsed `lint` flags.
@@ -48,6 +50,7 @@ struct LintArgs {
     baseline_override: Option<PathBuf>,
     format: OutputFormat,
     fix_baseline: bool,
+    explain: Option<String>,
     paths: Vec<PathBuf>,
 }
 
@@ -63,6 +66,7 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
         baseline_override: None,
         format: OutputFormat::Text,
         fix_baseline: false,
+        explain: None,
         paths: Vec::new(),
     };
     let mut it = args.iter();
@@ -83,6 +87,10 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
                 None => return Err("--format requires text|sarif".to_string()),
             },
             "--fix-baseline" => out.fix_baseline = true,
+            "--explain" => {
+                let r = it.next().ok_or("--explain requires a rule name")?;
+                out.explain = Some(r.clone());
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             p => out.paths.push(PathBuf::from(p)),
         }
@@ -105,6 +113,19 @@ fn lint_command(raw_args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(rule) = &args.explain {
+        return match explain::explain(rule) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("error: unknown rule `{rule}`; known rules: {}", RULE_IDS.join(", "));
+                ExitCode::from(2)
+            }
+        };
+    }
 
     // `cargo run -p` sets the cwd to the invocation dir; fall back to the
     // manifest dir baked in at compile time so the binary also works when

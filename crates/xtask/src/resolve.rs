@@ -15,8 +15,18 @@ use std::collections::BTreeMap;
 pub enum TypeHint {
     /// `f32`/`f64` (directly, or via an obvious float initializer).
     Float,
-    /// A map/set type whose iteration order is an ordering hazard.
+    /// An *ordered* map/set (`BTreeMap` etc.): iteration order is stable but
+    /// key-dependent, which is still a float-accumulation ordering hazard.
     MapLike,
+    /// A hash-based map/set whose iteration order differs per process — a
+    /// genuine nondeterminism source for the taint rule.
+    UnorderedMap,
+    /// A `Mutex`/`RwLock`: `.lock()`/`.read()`/`.write()` on it produces a
+    /// guard the lock-order rule must track.
+    Lock,
+    /// A persisted experiment record (`*Record`/`*Result`): its fields are
+    /// nondeterminism-taint sinks.
+    RecordLike,
     /// Anything else (including unknown).
     Other,
 }
@@ -34,9 +44,38 @@ pub struct SymbolTable {
     hints: BTreeMap<String, TypeHint>,
 }
 
-/// Type names that are map-like for determinism purposes.
+/// Type names that are map-like for determinism purposes. Hash-based ones
+/// additionally have *unordered* iteration (see [`UNORDERED_TYPES`]).
 const MAP_TYPES: [&str; 6] =
     ["HashMap", "HashSet", "BTreeMap", "BTreeSet", "IndexMap", "IndexSet"];
+
+/// Map types whose iteration order is randomized per process.
+const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Lock types whose acquisition methods return scope-bound guards.
+const LOCK_TYPES: [&str; 2] = ["Mutex", "RwLock"];
+
+/// `true` when `name` is a persisted-record type for taint purposes.
+fn is_record_type(name: &str) -> bool {
+    name.len() > 6 && (name.ends_with("Record") || name.ends_with("Result"))
+}
+
+/// Classifies a resolved (post-alias) type name.
+fn classify_type_name(name: &str) -> TypeHint {
+    if name == "f32" || name == "f64" {
+        TypeHint::Float
+    } else if UNORDERED_TYPES.contains(&name) {
+        TypeHint::UnorderedMap
+    } else if MAP_TYPES.contains(&name) {
+        TypeHint::MapLike
+    } else if LOCK_TYPES.contains(&name) {
+        TypeHint::Lock
+    } else if is_record_type(name) {
+        TypeHint::RecordLike
+    } else {
+        TypeHint::Other
+    }
+}
 
 impl SymbolTable {
     /// Builds the table from a parsed file.
@@ -64,10 +103,10 @@ impl SymbolTable {
         self.hints.get(name).copied()
     }
 
-    /// Records `name: hint`, never downgrading Float/MapLike to Other.
+    /// Records `name: hint`, never downgrading a hazard hint to Other.
     fn record(&mut self, name: &str, hint: TypeHint) {
         match self.hints.get(name) {
-            Some(TypeHint::Float) | Some(TypeHint::MapLike) => {}
+            Some(existing) if *existing != TypeHint::Other => {}
             _ => {
                 self.hints.insert(name.to_string(), hint);
             }
@@ -131,20 +170,14 @@ impl SymbolTable {
         if t.kind != TokenKind::Ident {
             return TypeHint::Other;
         }
-        let name = self.canonical(&t.text);
-        if name == "f32" || name == "f64" {
-            return TypeHint::Float;
-        }
-        if MAP_TYPES.contains(&name) {
-            return TypeHint::MapLike;
-        }
-        TypeHint::Other
+        classify_type_name(self.canonical(&t.text))
     }
 }
 
 /// Classifies an initializer expression starting at token `at`: a float
 /// literal (or one wrapped in a unary minus/paren) hints Float; calling
-/// `Map::new`-style constructors hints MapLike.
+/// `Map::new`/`Mutex::new`-style constructors or writing a record struct
+/// literal hints the corresponding hazard class.
 fn hint_from_init(toks: &[crate::lexer::Token], mut at: usize, table: &SymbolTable) -> TypeHint {
     while at < toks.len() && (toks[at].is_punct("-") || toks[at].is_punct("(")) {
         at += 1;
@@ -154,12 +187,12 @@ fn hint_from_init(toks: &[crate::lexer::Token], mut at: usize, table: &SymbolTab
         TokenKind::Float => TypeHint::Float,
         TokenKind::Ident => {
             let name = table.canonical(&t.text);
-            if MAP_TYPES.contains(&name)
-                && toks.get(at + 1).is_some_and(|n| n.is_punct("::"))
-            {
-                TypeHint::MapLike
-            } else {
-                TypeHint::Other
+            let ctor = toks.get(at + 1).is_some_and(|n| n.is_punct("::"));
+            let literal = toks.get(at + 1).is_some_and(|n| n.is_punct("{"));
+            match classify_type_name(name) {
+                TypeHint::RecordLike if ctor || literal => TypeHint::RecordLike,
+                hint if ctor && hint != TypeHint::Other && hint != TypeHint::Float => hint,
+                _ => TypeHint::Other,
             }
         }
         _ => TypeHint::Other,
@@ -181,7 +214,34 @@ mod tests {
         let t = table("use std::collections::HashMap as Map;\nfn f() { let m: Map<u32, u32> = Map::new(); }");
         assert_eq!(t.canonical("Map"), "HashMap");
         assert_eq!(t.canonical("Vec"), "Vec");
-        assert_eq!(t.hint("m"), Some(TypeHint::MapLike));
+        assert_eq!(t.hint("m"), Some(TypeHint::UnorderedMap));
+    }
+
+    #[test]
+    fn btree_is_ordered_hash_is_not() {
+        let t = table("fn f(a: BTreeMap<u32, f32>, b: HashSet<u32>) {}");
+        assert_eq!(t.hint("a"), Some(TypeHint::MapLike));
+        assert_eq!(t.hint("b"), Some(TypeHint::UnorderedMap));
+    }
+
+    #[test]
+    fn lock_hints_from_fields_and_ctors() {
+        let t = table(
+            "struct Pool { jobs: Mutex<Sender<Job>> }\nfn f() { let state = Mutex::new(LinkState::default()); let r: RwLock<u32> = RwLock::new(0); }",
+        );
+        assert_eq!(t.hint("jobs"), Some(TypeHint::Lock));
+        assert_eq!(t.hint("state"), Some(TypeHint::Lock));
+        assert_eq!(t.hint("r"), Some(TypeHint::Lock));
+    }
+
+    #[test]
+    fn record_hints_from_annotation_and_literal() {
+        let t = table(
+            "fn f(rec: &mut RoundRecord) { let out = ExperimentResult { loss: 0.0 }; let plain = Config { x: 1 }; }",
+        );
+        assert_eq!(t.hint("rec"), Some(TypeHint::RecordLike));
+        assert_eq!(t.hint("out"), Some(TypeHint::RecordLike));
+        assert_eq!(t.hint("plain"), Some(TypeHint::Other));
     }
 
     #[test]

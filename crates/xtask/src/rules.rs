@@ -12,6 +12,7 @@
 //! are resolved through the per-file [`crate::resolve::SymbolTable`].
 
 use crate::callgraph::CallGraph;
+use crate::dataflow::{self, WorkspaceFlow};
 use crate::lexer::{Token, TokenKind};
 use crate::resolve::TypeHint;
 use crate::scan::PreparedSource;
@@ -45,7 +46,7 @@ impl Diagnostic {
 }
 
 /// Stable identifiers of every rule, in reporting order.
-pub const RULE_IDS: [&str; 8] = [
+pub const RULE_IDS: [&str; 11] = [
     "hash-collections",
     "wall-clock",
     "truncating-cast",
@@ -54,11 +55,21 @@ pub const RULE_IDS: [&str; 8] = [
     "panic-path",
     "unchecked-arith",
     "float-determinism",
+    "lock-order",
+    "channel-discipline",
+    "nondeterminism-taint",
 ];
 
 /// Runs every rule over one prepared source file. `graph` supplies hot-path
-/// reachability for the `panic-path` rule (built over all files in the run).
-pub fn check_all(path: &str, src: &PreparedSource, graph: &CallGraph) -> Vec<Diagnostic> {
+/// and worker reachability; `flow` supplies the cross-file lock-acquisition
+/// graph and the tainted/drain function-name sets (both built over all files
+/// in the run).
+pub fn check_all(
+    path: &str,
+    src: &PreparedSource,
+    graph: &CallGraph,
+    flow: &WorkspaceFlow,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     out.extend(check_hash_collections(path, src));
     out.extend(check_wall_clock(path, src));
@@ -68,6 +79,9 @@ pub fn check_all(path: &str, src: &PreparedSource, graph: &CallGraph) -> Vec<Dia
     out.extend(check_panic_path(path, src, graph));
     out.extend(check_unchecked_arith(path, src));
     out.extend(check_float_determinism(path, src));
+    out.extend(check_lock_order(path, src, graph, flow));
+    out.extend(check_channel_discipline(path, src, graph, flow));
+    out.extend(check_nondet_taint(path, src, flow));
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
@@ -150,7 +164,7 @@ const INT_TARGETS: [&str; 10] =
 /// Token range of the statement containing token `i`: bounded by the nearest
 /// `;`/`{`/`}` on each side (exclusive). Coarse, but statements in this
 /// workspace don't nest blocks inside accounting expressions.
-fn statement_span(toks: &[Token], i: usize) -> (usize, usize) {
+pub(crate) fn statement_span(toks: &[Token], i: usize) -> (usize, usize) {
     let mut s = i;
     while s > 0 && !matches!(toks[s - 1].text.as_str(), ";" | "{" | "}") {
         s -= 1;
@@ -408,7 +422,7 @@ fn skip_group_back(toks: &[Token], j: usize, open: &str, close: &str) -> usize {
 }
 
 /// Identifiers in the operand chain immediately left of token `i`.
-fn left_chain_idents(toks: &[Token], i: usize, stop: usize) -> Vec<String> {
+pub(crate) fn left_chain_idents(toks: &[Token], i: usize, stop: usize) -> Vec<String> {
     let mut out = Vec::new();
     let mut j = i;
     while j > stop {
@@ -604,9 +618,12 @@ fn check_float_determinism(path: &str, src: &PreparedSource) -> Vec<Diagnostic> 
         let (s, _) = statement_span(toks, i);
         let chain = left_chain_idents(toks, i, s.saturating_sub(1));
         let unordered = chain.iter().any(|n| UNORDERED_SOURCES.contains(&n.as_str()))
-            || chain
-                .iter()
-                .any(|n| src.symbols.hint(n) == Some(TypeHint::MapLike));
+            || chain.iter().any(|n| {
+                matches!(
+                    src.symbols.hint(n),
+                    Some(TypeHint::MapLike | TypeHint::UnorderedMap)
+                )
+            });
         if unordered {
             out.push(Diagnostic::at(
                 src,
@@ -626,6 +643,279 @@ fn check_float_determinism(path: &str, src: &PreparedSource) -> Vec<Diagnostic> 
     out
 }
 
+/// Rule `lock-order`: guard-discipline hazards found by the dataflow pass —
+/// a lock guard held across an `mpsc` send/recv, across a call that can
+/// reach the worker-pool dispatch path (`run_chunks`), or across a
+/// `catch_unwind` (a swallowed panic leaves the lock poisoned for every
+/// later acquirer); plus acquisition sites on a *cyclic* lock-order edge in
+/// the cross-function acquisition graph. Any of these can deadlock the pool
+/// or wedge the emulator mid-sweep.
+fn check_lock_order(
+    path: &str,
+    src: &PreparedSource,
+    graph: &CallGraph,
+    flow: &WorkspaceFlow,
+) -> Vec<Diagnostic> {
+    let toks = &src.file.tokens;
+    let mut out = Vec::new();
+    let mut fired_lines = BTreeSet::new();
+    for f in &src.file.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        let guards = dataflow::fn_guards(toks, &src.symbols, body);
+        if guards.is_empty() {
+            continue;
+        }
+        let (bs, be) = (body.0, body.1.min(toks.len().saturating_sub(1)));
+        for i in bs..=be {
+            if src.tok_in_test(i) {
+                continue;
+            }
+            let live: Vec<&dataflow::Guard> =
+                guards.iter().filter(|g| i > g.start && i <= g.end).collect();
+            if live.is_empty() {
+                continue;
+            }
+            let t = &toks[i];
+            let hazard: Option<String> =
+                if let Some((_, method)) = dataflow::channel_op_at(toks, i) {
+                    Some(format!("channel `.{method}(…)`"))
+                } else if t.is_ident("catch_unwind")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                {
+                    Some("`catch_unwind`, which can swallow a panic and leak the lock poisoned".to_string())
+                } else if t.kind == TokenKind::Ident
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                    && t.text != f.name
+                    && graph.reaches_dispatch(&t.text)
+                {
+                    Some(format!(
+                        "`{}(…)`, which can reach the worker-pool dispatch path",
+                        t.text
+                    ))
+                } else {
+                    None
+                };
+            if let Some(hazard) = hazard {
+                if fired_lines.insert(t.line) {
+                    let g = live[0];
+                    out.push(Diagnostic::at(
+                        src,
+                        path,
+                        t.line,
+                        "lock-order",
+                        format!(
+                            "guard `{}` of lock `{}` (acquired line {}) is held across \
+                             {hazard}; shrink the critical section (collect under the \
+                             lock, act after `drop`)",
+                            g.name, g.lock, g.line
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for e in &flow.cycle_edges {
+        if e.path == path && fired_lines.insert(e.line) {
+            out.push(Diagnostic::at(
+                src,
+                path,
+                e.line,
+                "lock-order",
+                format!(
+                    "acquiring `{}` while holding `{}` is part of a cyclic lock order \
+                     across the workspace; pick one global acquisition order",
+                    e.acquired, e.held
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Names a dropped sender/receiver binding can go by for the
+/// send-after-close check.
+fn is_drop_call(toks: &[Token], i: usize) -> Option<String> {
+    if toks[i].is_ident("drop")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+        && toks.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+        && toks.get(i + 3).is_some_and(|t| t.is_punct(")"))
+    {
+        Some(toks[i + 2].text.clone())
+    } else {
+        None
+    }
+}
+
+/// Rule `channel-discipline`: mpsc usage patterns that wedge or leak. (a) A
+/// blocking `recv`/`recv_timeout` inside a function reachable from a
+/// pool-worker body — a worker blocked on an empty channel while holding the
+/// pool's attention deadlocks dispatch (use a `Condvar` or `try_recv`
+/// drain). (b) `send` on a channel endpoint after an explicit `drop` of that
+/// endpoint in the same function — always an error at runtime. (c) `send`
+/// inside an unbounded `loop`/`while` whose body never drains (no `recv` and
+/// no call to a function that receives): the queue grows without bound.
+fn check_channel_discipline(
+    path: &str,
+    src: &PreparedSource,
+    graph: &CallGraph,
+    flow: &WorkspaceFlow,
+) -> Vec<Diagnostic> {
+    let toks = &src.file.tokens;
+    let mut out = Vec::new();
+    let mut fired_lines = BTreeSet::new();
+    for (ni, f) in src.file.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        let (bs, be) = (body.0, body.1.min(toks.len().saturating_sub(1)));
+        let is_worker = graph.is_worker(path, ni);
+        let mut dropped: BTreeSet<String> = BTreeSet::new();
+        for i in bs..=be {
+            if src.tok_in_test(i) {
+                continue;
+            }
+            if let Some(name) = is_drop_call(toks, i) {
+                dropped.insert(name);
+                continue;
+            }
+            let Some((kind, method)) = dataflow::channel_op_at(toks, i) else { continue };
+            let (s, _) = statement_span(toks, i);
+            let chain = left_chain_idents(toks, i, s.saturating_sub(1));
+            let receiver = chain.first();
+            if kind == "recv" && is_worker && fired_lines.insert(toks[i].line) {
+                out.push(Diagnostic::at(
+                    src,
+                    path,
+                    toks[i].line,
+                    "channel-discipline",
+                    format!(
+                        "blocking `.{method}(…)` in `{}`, which runs on a pool-worker \
+                         thread; a worker parked on an empty channel wedges dispatch — \
+                         use a Condvar-guarded queue or a bounded drain",
+                        f.name
+                    ),
+                ));
+            }
+            if kind == "send" {
+                if let Some(r) = receiver {
+                    if dropped.contains(r) && fired_lines.insert(toks[i].line) {
+                        out.push(Diagnostic::at(
+                            src,
+                            path,
+                            toks[i].line,
+                            "channel-discipline",
+                            format!(
+                                "`.{method}(…)` on `{r}` after `drop({r})` in `{}`; the \
+                                 endpoint is closed and every send errors",
+                                f.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out.extend(unbounded_send_loops(path, src, f, (bs, be), flow));
+    }
+    out
+}
+
+/// The unbounded-growth half of `channel-discipline`: `send` inside a
+/// `loop`/`while` block with no drain (`recv*` or a call into a function
+/// that receives) anywhere in the same block. `for` loops are bounded by
+/// their iterator and are deliberately exempt.
+fn unbounded_send_loops(
+    path: &str,
+    src: &PreparedSource,
+    f: &crate::ast::FnItem,
+    body: (usize, usize),
+    flow: &WorkspaceFlow,
+) -> Vec<Diagnostic> {
+    let toks = &src.file.tokens;
+    let mut out = Vec::new();
+    let (bs, be) = body;
+    for i in bs..=be {
+        if src.tok_in_test(i) || !(toks[i].is_ident("loop") || toks[i].is_ident("while")) {
+            continue;
+        }
+        // Find the loop body's `{ … }`.
+        let Some(open) = (i + 1..=be).find(|&j| toks[j].is_punct("{")) else { continue };
+        let close = dataflow::block_close(toks, open).min(be);
+        let mut send_at: Option<usize> = None;
+        let mut drained = false;
+        for j in open..=close {
+            match dataflow::channel_op_at(toks, j) {
+                Some(("send", _)) if send_at.is_none() => send_at = Some(j),
+                Some(("recv", _)) => drained = true,
+                _ => {}
+            }
+            if toks[j].kind == TokenKind::Ident
+                && toks.get(j + 1).is_some_and(|t| t.is_punct("("))
+                && flow.drain_fns.contains(&toks[j].text)
+            {
+                drained = true;
+            }
+        }
+        if let (Some(j), false) = (send_at, drained) {
+            out.push(Diagnostic::at(
+                src,
+                path,
+                toks[j].line,
+                "channel-discipline",
+                format!(
+                    "`send` inside an unbounded `{}` in `{}` with no drain on the same \
+                     path; the queue can grow without bound — drain in the loop or \
+                     bound the iteration",
+                    toks[i].text, f.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Rule `nondeterminism-taint`: forward taint from nondeterminism sources
+/// (unordered-map iteration, thread identity/counts, wall clock) through
+/// `let` bindings, tuple destructuring, assignments, and one level of
+/// call-graph inlining, into the sinks the reproducibility contract
+/// protects: persisted `*Record`/`*Result` fields, wire payload bytes
+/// (`send_bytes*`), and float accumulators in the numeric crates.
+fn check_nondet_taint(path: &str, src: &PreparedSource, flow: &WorkspaceFlow) -> Vec<Diagnostic> {
+    let toks = &src.file.tokens;
+    let mut out = Vec::new();
+    let mut fired = BTreeSet::new();
+    for f in &src.file.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        for t in dataflow::fn_taint(toks, &src.symbols, &src.file.in_test, body, &flow.tainted_fns)
+        {
+            if t.float_sink && !FLOAT_DET_SCOPE.iter().any(|p| path.starts_with(p)) {
+                continue;
+            }
+            if fired.insert((t.line, t.message.clone())) {
+                out.push(Diagnostic::at(
+                    src,
+                    path,
+                    t.line,
+                    "nondeterminism-taint",
+                    format!(
+                        "{}; emulation outputs must be a pure function of config and \
+                         seed — order the iteration (BTreeMap / sorted Vec) or derive \
+                         the value from the sim clock",
+                        t.message
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -636,7 +926,8 @@ mod tests {
         let p = prepare(src);
         let files = vec![(path.to_string(), &p.file)];
         let g = CallGraph::build(&files);
-        check_all(path, &p, &g).into_iter().filter(|d| d.rule == rule).collect()
+        let flow = WorkspaceFlow::build(&files);
+        check_all(path, &p, &g, &flow).into_iter().filter(|d| d.rule == rule).collect()
     }
 
     fn run(rule: &str, src: &str) -> Vec<Diagnostic> {
@@ -823,5 +1114,126 @@ mod tests {
         // Integer fold is not a float hazard.
         let int_src = "fn f() -> u64 { scores.values().fold(0, |a, b| a + b) }\n";
         assert!(run_at("float-determinism", "crates/strategies/src/x.rs", int_src).is_empty());
+    }
+
+    #[test]
+    fn float_determinism_sees_hash_hinted_chains() {
+        // HashMap now hints UnorderedMap, not MapLike — the rule must still
+        // fire on `.iter().map(…).sum::<f64>()`-style chains over it.
+        let src = "fn f(m: HashMap<u32, f64>) -> f64 { m.values().sum::<f64>() }\n";
+        assert_eq!(run_at("float-determinism", "crates/nn/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn lock_order_guard_across_send() {
+        let src = "fn f() { let g = state.lock(); tx.send(1); }\n";
+        let d = run("lock-order", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`g`"), "{d:?}");
+        // Dropping the guard first is clean.
+        assert!(run("lock-order", "fn f() { let g = state.lock(); drop(g); tx.send(1); }")
+            .is_empty());
+    }
+
+    #[test]
+    fn lock_order_guard_across_catch_unwind() {
+        let src = "fn f() { let g = state.lock(); let r = catch_unwind(job); }\n";
+        assert_eq!(run("lock-order", src).len(), 1);
+    }
+
+    #[test]
+    fn lock_order_cycle_edges_are_reported() {
+        let src = "fn ab() { let a = x.lock(); let b = y.lock(); }\n\
+                   fn ba() { let b = y.lock(); let a = x.lock(); }\n";
+        let d = run("lock-order", src);
+        assert_eq!(d.len(), 2, "one per acquisition site on the cycle: {d:?}");
+        assert!(d[0].message.contains("cyclic lock order"), "{d:?}");
+    }
+
+    #[test]
+    fn lock_order_guard_across_dispatch_call() {
+        let src = "fn caller() { let g = state.lock(); run_chunks(); }\n";
+        // Only fires when `run_chunks` resolves to the real dispatch entry.
+        let other = "pub fn run_chunks() {}\n";
+        let p1 = prepare(src);
+        let p2 = prepare(other);
+        let files = vec![
+            ("crates/core/src/x.rs".to_string(), &p1.file),
+            ("crates/tensor/src/par.rs".to_string(), &p2.file),
+        ];
+        let g = CallGraph::build(&files);
+        let flow = WorkspaceFlow::build(&files);
+        let d: Vec<Diagnostic> = check_all("crates/core/src/x.rs", &p1, &g, &flow)
+            .into_iter()
+            .filter(|d| d.rule == "lock-order")
+            .collect();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("dispatch"), "{d:?}");
+    }
+
+    #[test]
+    fn channel_worker_blocking_recv() {
+        let src = "fn worker_loop() { let job = rx.recv(); }\nfn elsewhere() { let j = rx.recv(); }\n";
+        let d = run_at("channel-discipline", "crates/tensor/src/par.rs", src);
+        assert_eq!(d.len(), 1, "only the worker body fires: {d:?}");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn channel_send_after_close() {
+        let src = "fn f() { drop(tx); tx.send(1); }\n";
+        assert_eq!(run("channel-discipline", src).len(), 1);
+        // Different endpoint: clean.
+        assert!(run("channel-discipline", "fn f() { drop(rx); tx.send(1); }").is_empty());
+    }
+
+    #[test]
+    fn channel_unbounded_loop_needs_a_drain() {
+        let looped = "fn f() { loop { tx.send(next()); } }\n";
+        assert_eq!(run("channel-discipline", looped).len(), 1);
+        // A recv in the same loop body is a drain.
+        let drained = "fn f() { loop { tx.send(next()); let r = rx.recv(); } }\n";
+        assert!(run("channel-discipline", drained).is_empty());
+        // A call to a function that receives also counts (one call level).
+        let via_call = "fn f() { loop { tx.send(next()); pump(); } }\nfn pump() { let r = rx.recv(); }\n";
+        assert!(run("channel-discipline", via_call).is_empty());
+        // `for` loops are bounded by their iterator.
+        let bounded = "fn f() { for c in chunks { tx.send(c); } }\n";
+        assert!(run("channel-discipline", bounded).is_empty());
+    }
+
+    #[test]
+    fn taint_unordered_iteration_into_record_field() {
+        let src = "fn f(m: HashMap<u32, f32>, rec: &mut RoundRecord) {\n\
+                   let first = m.keys().next();\nrec.chosen = first;\n}\n";
+        let d = run("nondeterminism-taint", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("rec.chosen"), "{d:?}");
+    }
+
+    #[test]
+    fn taint_float_accumulator_is_scoped() {
+        let src = "fn f(m: HashMap<u32, f32>) {\nlet mut acc = 0.0f32;\n\
+                   for v in m.values() { acc += v; }\n}\n";
+        // In the numeric crates: fires.
+        assert_eq!(run_at("nondeterminism-taint", "crates/tensor/src/x.rs", src).len(), 1);
+        // Elsewhere: the float-accumulator sink is out of scope.
+        assert!(run_at("nondeterminism-taint", "crates/fl/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn taint_wire_payload_sink() {
+        let src = "fn f(m: HashMap<u32, Vec<u8>>, bus: &Bus) {\n\
+                   let frame = m.values().next();\nbus.send_bytes(frame);\n}\n";
+        let d = run("nondeterminism-taint", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("wire payload"), "{d:?}");
+    }
+
+    #[test]
+    fn taint_ordered_sources_are_clean() {
+        let src = "fn f(m: BTreeMap<u32, f32>, rec: &mut RoundRecord) {\n\
+                   let first = m.keys().next();\nrec.chosen = first;\n}\n";
+        assert!(run("nondeterminism-taint", src).is_empty());
     }
 }

@@ -23,6 +23,15 @@ fn rule_summary(id: &str) -> &'static str {
         "panic-path" => "possible panic on a path reachable from the experiment round loop",
         "unchecked-arith" => "bare +/* on wire-byte or sim-time accounting values can wrap",
         "float-determinism" => "float accumulation over nondeterministic iteration order",
+        "lock-order" => {
+            "lock guard held across a channel op, pool dispatch, or catch_unwind; or cyclic lock order"
+        }
+        "channel-discipline" => {
+            "blocking recv on a pool-worker path, send after close, or unbounded send loop"
+        }
+        "nondeterminism-taint" => {
+            "nondeterministic value (unordered iteration, thread count, wall clock) reaches a record, wire, or float sink"
+        }
         _ => "fedsu-xtask lint rule",
     }
 }

@@ -207,6 +207,189 @@ fn float_determinism_is_silent_outside_scoped_crates() {
     assert!(diags.is_empty(), "the rule is scoped to numeric crates: {diags:?}");
 }
 
+/// The fixture's diagnostics as `(rule, line)` pairs, sorted so tests
+/// don't depend on rule-execution order.
+fn sorted_findings(diags: &[Diagnostic]) -> Vec<(&str, usize)> {
+    let mut got: Vec<(&str, usize)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+    got.sort_unstable();
+    got
+}
+
+#[test]
+fn lock_order_cycle_fires_on_both_inner_acquisitions() {
+    let diags = lint_fixture("lock_order_cycle.rs");
+    assert_eq!(
+        sorted_findings(&diags),
+        vec![("lock-order", 9), ("lock-order", 15)],
+        "the ABBA pair must fire once per inner acquisition, and the \
+         consistent-order `audit` must stay silent: {diags:?}"
+    );
+    assert!(
+        diags.iter().all(|d| d.message.contains("cyclic lock order")),
+        "both findings come from the cycle family: {diags:?}"
+    );
+}
+
+#[test]
+fn lock_order_fires_when_the_outer_guard_spans_a_send() {
+    let diags = lint_fixture("lock_guard_across_channel.rs");
+    assert_eq!(
+        sorted_findings(&diags),
+        vec![("lock-order", 13)],
+        "only the send under the still-live OUTER guard may fire: {diags:?}"
+    );
+    assert!(
+        diags[0].message.contains("guard `state` of lock `outer`"),
+        "the finding must name the outer guard, not the dead inner one: {:?}",
+        diags[0]
+    );
+}
+
+#[test]
+fn lock_order_fires_on_catch_unwind_under_a_guard() {
+    let diags = lint_fixture("lock_catch_unwind.rs");
+    assert_eq!(sorted_findings(&diags), vec![("lock-order", 8)], "{diags:?}");
+    assert!(
+        diags[0].message.contains("catch_unwind"),
+        "the finding should explain the poison-leak hazard: {:?}",
+        diags[0]
+    );
+}
+
+#[test]
+fn lock_order_is_silent_on_dropped_and_shadowed_guards() {
+    let diags = lint_fixture("lock_order_negative.rs");
+    assert!(
+        diags.is_empty(),
+        "drop() and shadowing end guard liveness before the sends: {diags:?}"
+    );
+}
+
+#[test]
+fn channel_discipline_fires_on_blocking_recv_reachable_from_a_worker() {
+    // Linted as the real pool file so `worker_loop` seeds the worker set.
+    let diags = lint_fixture_as("channel_worker_recv.rs", "crates/tensor/src/par.rs");
+    assert_eq!(
+        sorted_findings(&diags),
+        vec![("channel-discipline", 15)],
+        "only the recv one hop below `worker_loop` may fire; the identical \
+         shape in `offline_poll` is not worker-reachable: {diags:?}"
+    );
+    assert!(
+        diags[0].message.contains("fetch_job"),
+        "the finding should name the worker-reachable function: {:?}",
+        diags[0]
+    );
+}
+
+#[test]
+fn channel_discipline_fires_on_send_after_close() {
+    let diags = lint_fixture("channel_send_after_close.rs");
+    assert_eq!(
+        sorted_findings(&diags),
+        vec![("channel-discipline", 9)],
+        "dropping a DIFFERENT endpoint (`handoff`) must not fire: {diags:?}"
+    );
+    assert!(
+        diags[0].message.contains("drop(tx)"),
+        "the finding should point at the closed endpoint: {:?}",
+        diags[0]
+    );
+}
+
+#[test]
+fn channel_discipline_fires_on_an_unbounded_send_loop() {
+    let diags = lint_fixture("channel_unbounded_loop.rs");
+    assert_eq!(sorted_findings(&diags), vec![("channel-discipline", 9)], "{diags:?}");
+    assert!(
+        diags[0].message.contains("grow without bound"),
+        "the finding should explain the growth hazard: {:?}",
+        diags[0]
+    );
+}
+
+#[test]
+fn channel_discipline_is_silent_on_disciplined_shapes() {
+    // Linted as the pool file: try_recv drains, a same-named #[cfg(test)]
+    // double, a draining relay loop, and a bounded `for` broadcast are all
+    // within discipline.
+    let diags = lint_fixture_as("channel_negative.rs", "crates/tensor/src/par.rs");
+    assert!(diags.is_empty(), "no disciplined shape may fire: {diags:?}");
+}
+
+#[test]
+fn taint_flows_from_hash_iteration_into_a_record_field() {
+    let diags = lint_fixture("taint_record_sink.rs");
+    assert_eq!(
+        sorted_findings(&diags),
+        vec![("hash-collections", 9), ("nondeterminism-taint", 14)],
+        "the HashMap signature and the tainted `train_loss` field: {diags:?}"
+    );
+    let taint = diags.iter().find(|d| d.rule == "nondeterminism-taint").unwrap();
+    assert!(
+        taint.message.contains("train_loss") && taint.message.contains("RoundRecord"),
+        "the finding should name the record field sink: {taint:?}"
+    );
+}
+
+#[test]
+fn taint_survives_tuple_destructuring_into_a_wire_payload() {
+    let diags = lint_fixture("taint_tuple.rs");
+    assert_eq!(
+        sorted_findings(&diags),
+        vec![("hash-collections", 8), ("nondeterminism-taint", 12)],
+        "the tuple-bound payload must carry taint into `send_bytes`: {diags:?}"
+    );
+    let taint = diags.iter().find(|d| d.rule == "nondeterminism-taint").unwrap();
+    assert!(
+        taint.message.contains("wire payload"),
+        "the finding should name the wire sink: {taint:?}"
+    );
+}
+
+#[test]
+fn taint_is_silent_on_ordered_sources_and_sink_free_flows() {
+    let diags = lint_fixture("taint_negative.rs");
+    assert!(
+        diags.is_empty(),
+        "BTreeMap iteration is ordered and a sink-free thread-count flow is \
+         benign: {diags:?}"
+    );
+}
+
+#[test]
+fn taint_is_silent_on_the_ordered_matmul_accumulation_shape() {
+    // Linted as the real kernel file so float-accumulator sinks are in
+    // scope — the ascending-index accumulation must still be clean.
+    let diags = lint_fixture_as("taint_matmul_negative.rs", "crates/tensor/src/matmul.rs");
+    assert!(
+        diags.is_empty(),
+        "slice-ordered `acc += x * y` is deterministic and must not fire: {diags:?}"
+    );
+}
+
+#[test]
+fn every_registered_rule_explains_itself() {
+    for rule in fedsu_xtask::rules::RULE_IDS {
+        let text = fedsu_xtask::explain::explain(rule)
+            .unwrap_or_else(|| panic!("rule `{rule}` has no --explain text"));
+        assert!(
+            text.contains(rule),
+            "`--explain {rule}` should restate the rule id:\n{text}"
+        );
+        for section in ["why", "example", "waiver policy"] {
+            assert!(
+                text.contains(section),
+                "`--explain {rule}` is missing its `{section}` section:\n{text}"
+            );
+        }
+    }
+    assert!(
+        fedsu_xtask::explain::explain("no-such-rule").is_none(),
+        "unknown rules must be rejected, not given empty text"
+    );
+}
+
 #[test]
 fn checked_in_allow_file_parses_and_is_empty() {
     let dir = option_env!("CARGO_MANIFEST_DIR").unwrap_or("crates/xtask");
