@@ -30,10 +30,11 @@
 //! as `None` so the dispatching kernel can recompute them inline. A degraded
 //! pool can cost throughput, never correctness.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// A pool job: computes one output chunk and returns it with its index.
 pub(crate) type ChunkJob = Box<dyn FnOnce() -> (usize, Vec<f32>) + Send + 'static>;
@@ -54,8 +55,19 @@ const MAX_WORKERS: usize = 16;
 
 static SETTING: AtomicUsize = AtomicUsize::new(UNSET);
 
+/// The dispatch queue the pool shares with its workers: a plain deque under
+/// a mutex, with a condvar to park idle workers. Unlike the previous
+/// mpsc-under-mutex design, no guard is ever held across a blocking channel
+/// operation — workers release the queue lock while parked (`Condvar::wait`
+/// does so atomically), and dispatchers enqueue fully-built jobs under a
+/// brief lock and notify after releasing it.
+struct JobQueue {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
 struct Pool {
-    jobs: Mutex<Sender<Job>>,
+    shared: Arc<JobQueue>,
     workers: usize,
 }
 
@@ -107,39 +119,47 @@ pub fn kernel_threads() -> usize {
     }
 }
 
-fn worker_loop(jobs: &Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(shared: &Arc<JobQueue>) {
     loop {
-        let next = {
-            let guard = match jobs.lock() {
+        let job = {
+            let mut guard = match shared.queue.lock() {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
             };
-            guard.recv()
+            loop {
+                if let Some(job) = guard.pop_front() {
+                    break job;
+                }
+                // Parking releases the queue lock atomically; a spurious
+                // wake-up just re-checks the deque.
+                guard = match shared.ready.wait(guard) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
         };
-        match next {
-            // A panicking job must not take the worker down with it; the
-            // dispatcher notices the missing chunk and recomputes it inline.
-            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
-            // Channel closed: the process is shutting down.
-            Err(_) => return,
-        }
+        // A panicking job must not take the worker down with it; the
+        // dispatcher notices the missing chunk and recomputes it inline.
+        drop(catch_unwind(AssertUnwindSafe(job)));
     }
 }
 
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
         let target = hardware_threads().min(MAX_WORKERS).max(1);
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(JobQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
         let mut spawned = 0usize;
         for idx in 0..target {
-            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
             let builder = std::thread::Builder::new().name(format!("fedsu-kernel-{idx}"));
-            if builder.spawn(move || worker_loop(&rx)).is_ok() {
+            if builder.spawn(move || worker_loop(&shared)).is_ok() {
                 spawned += 1;
             }
         }
-        Pool { jobs: Mutex::new(tx), workers: spawned }
+        Pool { shared, workers: spawned }
     })
 }
 
@@ -166,22 +186,31 @@ pub(crate) fn run_chunks(jobs: Vec<ChunkJob>) -> Vec<Option<Vec<f32>>> {
         return slots;
     }
     let (tx, rx) = channel::<(usize, Vec<f32>)>();
-    {
-        let sender = match pool.jobs.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        for job in jobs {
+    // Wrap every job before touching the queue: the lock below protects only
+    // the `push`es, and the result sends happen on worker threads with no
+    // dispatcher lock in sight.
+    let wrapped: Vec<Job> = jobs
+        .into_iter()
+        .map(|job| {
             let tx = tx.clone();
             let wrapped: Job = Box::new(move || {
                 let (idx, chunk) = job();
+                // A send can only fail if the dispatcher stopped listening;
+                // the chunk then stays `None` and the caller recomputes it.
                 let _ = tx.send((idx, chunk));
             });
-            // A send can only fail if every worker exited; the chunk then
-            // stays `None` and the caller recomputes it.
-            let _ = sender.send(wrapped);
-        }
+            wrapped
+        })
+        .collect();
+    {
+        let mut queue = match pool.shared.queue.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        queue.extend(wrapped);
     }
+    // Notify with the lock released so woken workers can take it immediately.
+    pool.shared.ready.notify_all();
     // Once the local sender is dropped, `recv` ends as soon as every job has
     // either reported or been dropped by a panicking worker — no hangs.
     drop(tx);
@@ -252,6 +281,29 @@ mod tests {
         // The pool must still be serviceable after the panic.
         let jobs: Vec<ChunkJob> = vec![Box::new(|| (0, vec![2.0]))];
         assert_eq!(run_chunks(jobs), vec![Some(vec![2.0])]);
+    }
+
+    #[test]
+    fn oversubscribed_dispatch_wakes_parked_workers_every_round() {
+        // Regression for the mpsc-under-mutex dispatch this queue replaced:
+        // a worker could park inside `recv()` while holding the shared
+        // receiver lock, so every wake-up serialized through that mutex and
+        // a lost notification could wedge dispatch. Repeated rounds with
+        // more jobs than workers exercise the full park/notify cycle; every
+        // chunk must come back on every round.
+        for round in 0..32usize {
+            let jobs: Vec<ChunkJob> = (0..MAX_WORKERS + 3)
+                .map(|idx| {
+                    let job: ChunkJob = Box::new(move || (idx, vec![(round * idx) as f32]));
+                    job
+                })
+                .collect();
+            let out = run_chunks(jobs);
+            assert_eq!(out.len(), MAX_WORKERS + 3);
+            for (idx, slot) in out.into_iter().enumerate() {
+                assert_eq!(slot, Some(vec![(round * idx) as f32]), "round {round} chunk {idx}");
+            }
+        }
     }
 
     #[test]
