@@ -119,17 +119,21 @@ fn frame_key(client: u64, dir: u64, bytes: &[u8], state: &mut LinkState) -> Wire
     }
 }
 
-/// Applies the plan's wire faults to one outgoing frame, then releases any
-/// held frames whose tick has matured. `deliver` performs the actual send
-/// on the wrapped link.
+/// Applies the plan's wire faults to one outgoing frame and returns, in
+/// delivery order, every frame now due on the wire: the frame itself (after
+/// corruption, with its duplicate first) when delivered immediately,
+/// followed by any held frames whose tick has matured. Fault decisions and
+/// queue mutations happen here, under the caller's state lock; the caller
+/// performs the actual sends *after* releasing it, so no lock guard is ever
+/// held across wire I/O.
 fn chaos_send(
     plan: &FaultPlan,
     client: u64,
     dir: u64,
     state: &mut LinkState,
     mut bytes: Vec<u8>,
-    deliver: &mut dyn FnMut(Vec<u8>) -> Result<(), BusError>,
-) -> Result<(), BusError> {
+) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
     state.tick = state.tick.wrapping_add(1);
     state.stats.frames = state.stats.frames.saturating_add(1);
     let key = frame_key(client, dir, &bytes, state);
@@ -162,9 +166,9 @@ fn chaos_send(
         };
         if hold == 0 {
             if duplicate {
-                deliver(bytes.clone())?;
+                out.push(bytes.clone());
             }
-            deliver(bytes)?;
+            out.push(bytes);
         } else {
             let release = state.tick.wrapping_add(u64::try_from(hold).unwrap_or(u64::MAX));
             let copies = if duplicate { 2 } else { 1 };
@@ -175,16 +179,15 @@ fn chaos_send(
             }
         }
     }
-    release_matured(state, deliver)
+    out.extend(release_matured(state));
+    out
 }
 
-/// Delivers every held frame whose release tick has passed, oldest first.
-fn release_matured(
-    state: &mut LinkState,
-    deliver: &mut dyn FnMut(Vec<u8>) -> Result<(), BusError>,
-) -> Result<(), BusError> {
+/// Pops every held frame whose release tick has passed, oldest first, for
+/// the caller to deliver once the state lock is released.
+fn release_matured(state: &mut LinkState) -> Vec<Vec<u8>> {
     if state.pending.is_empty() {
-        return Ok(());
+        return Vec::new();
     }
     let tick = state.tick;
     let mut due = Vec::new();
@@ -198,23 +201,15 @@ fn release_matured(
     }
     state.pending = keep;
     due.sort_by_key(|p| (p.release, p.order));
-    for p in due {
-        deliver(p.bytes)?;
-    }
-    Ok(())
+    due.into_iter().map(|p| p.bytes).collect()
 }
 
-/// Drains the holdback queue unconditionally (shutdown / end-of-round).
-fn release_all(
-    state: &mut LinkState,
-    deliver: &mut dyn FnMut(Vec<u8>) -> Result<(), BusError>,
-) -> Result<(), BusError> {
+/// Pops the entire holdback queue (shutdown / end-of-round), oldest first,
+/// for the caller to deliver once the state lock is released.
+fn release_all(state: &mut LinkState) -> Vec<Vec<u8>> {
     let mut due = std::mem::take(&mut state.pending);
     due.sort_by_key(|p| (p.release, p.order));
-    for p in due {
-        deliver(p.bytes)?;
-    }
-    Ok(())
+    due.into_iter().map(|p| p.bytes).collect()
 }
 
 /// A [`ByteLink`] decorator injecting the plan's deterministic wire faults
@@ -254,9 +249,14 @@ impl<L: ByteLink> ChaosClient<L> {
     ///
     /// Propagates the wrapped link's send failure.
     pub fn flush(&self) -> Result<(), BusError> {
-        let mut state = self.state.lock();
-        let inner = &self.inner;
-        release_all(&mut state, &mut |b| inner.send_bytes(b))
+        let due = {
+            let mut state = self.state.lock();
+            release_all(&mut state)
+        };
+        for b in due {
+            self.inner.send_bytes(b)?;
+        }
+        Ok(())
     }
 }
 
@@ -265,11 +265,16 @@ impl<L: ByteLink> ByteLink for ChaosClient<L> {
         if self.plan.wire_is_zero() {
             return self.inner.send_bytes(bytes);
         }
-        let mut state = self.state.lock();
-        let inner = &self.inner;
-        chaos_send(&self.plan, self.client, DIR_TO_SERVER, &mut state, bytes, &mut |b| {
-            inner.send_bytes(b)
-        })
+        // Decide fates and mutate the holdback queue under the lock; put
+        // the due frames on the wire only after it is released.
+        let due = {
+            let mut state = self.state.lock();
+            chaos_send(&self.plan, self.client, DIR_TO_SERVER, &mut state, bytes)
+        };
+        for b in due {
+            self.inner.send_bytes(b)?;
+        }
+        Ok(())
     }
 
     fn recv_bytes(&self, timeout: Duration) -> Result<Vec<u8>, BusError> {
@@ -318,9 +323,13 @@ impl<L: ServerByteLink> ChaosServer<L> {
     /// Propagates the first send failure.
     pub fn flush(&self) -> Result<(), BusError> {
         for (client, state) in self.states.iter().enumerate() {
-            let mut state = state.lock();
-            let inner = &self.inner;
-            release_all(&mut state, &mut |b| inner.send_bytes_to(client, b))?;
+            let due = {
+                let mut state = state.lock();
+                release_all(&mut state)
+            };
+            for b in due {
+                self.inner.send_bytes_to(client, b)?;
+            }
         }
         Ok(())
     }
@@ -334,16 +343,22 @@ impl<L: ServerByteLink> ServerByteLink for ChaosServer<L> {
         let Some(state) = self.states.get(client) else {
             return Err(BusError::Disconnected);
         };
-        let mut state = state.lock();
-        let inner = &self.inner;
-        chaos_send(
-            &self.plan,
-            u64::try_from(client).unwrap_or(u64::MAX),
-            DIR_TO_CLIENT,
-            &mut state,
-            bytes,
-            &mut |b| inner.send_bytes_to(client, b),
-        )
+        // Same discipline as the client side: fates under the lock, wire
+        // I/O after it is released.
+        let due = {
+            let mut state = state.lock();
+            chaos_send(
+                &self.plan,
+                u64::try_from(client).unwrap_or(u64::MAX),
+                DIR_TO_CLIENT,
+                &mut state,
+                bytes,
+            )
+        };
+        for b in due {
+            self.inner.send_bytes_to(client, b)?;
+        }
+        Ok(())
     }
 
     fn recv_bytes(&self, timeout: Duration) -> Result<Vec<u8>, BusError> {
