@@ -29,13 +29,19 @@ pub fn dirichlet_partition<R: Rng + ?Sized>(
     let classes = labels.iter().copied().max().map_or(0, |m| m + 1);
     let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
     for (i, &l) in labels.iter().enumerate() {
-        by_class[l].push(i);
+        // `classes` is max(label) + 1, so every label has a bucket.
+        if let Some(bucket) = by_class.get_mut(l) {
+            bucket.push(i);
+        }
     }
 
-    let dir = Dirichlet::new_with_size(alpha, n_clients).expect("valid dirichlet");
+    // alpha > 0 and n_clients >= 2 make the distribution valid by
+    // construction; a rejected alpha degrades to uniform shares.
+    let dir = Dirichlet::new_with_size(alpha, n_clients).ok();
+    let uniform = vec![1.0 / n_clients as f64; n_clients];
     let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
     for idxs in by_class.iter().filter(|v| !v.is_empty()) {
-        let p: Vec<f64> = dir.sample(rng);
+        let p: Vec<f64> = dir.as_ref().map_or_else(|| uniform.clone(), |d| d.sample(rng));
         // Cumulative shares -> integer boundaries over this class's samples.
         let n = idxs.len();
         let mut cum = 0.0f64;
@@ -44,7 +50,10 @@ pub fn dirichlet_partition<R: Rng + ?Sized>(
             cum += share;
             let end = if client + 1 == n_clients { n } else { (cum * n as f64).round() as usize };
             let end = end.clamp(start, n);
-            parts[client].extend_from_slice(&idxs[start..end]);
+            // `client < n_clients` and `start <= end <= n` hold by the clamp.
+            if let (Some(part), Some(chunk)) = (parts.get_mut(client), idxs.get(start..end)) {
+                part.extend_from_slice(chunk);
+            }
             start = end;
         }
     }
@@ -52,11 +61,14 @@ pub fn dirichlet_partition<R: Rng + ?Sized>(
     // Guarantee non-empty clients (the emulator requires every client to be
     // able to run at least one batch).
     for c in 0..n_clients {
-        if parts[c].is_empty() {
-            let donor = (0..n_clients).max_by_key(|&i| parts[i].len()).expect("non-empty set");
-            if parts[donor].len() > 1 {
-                let moved = parts[donor].pop().expect("donor checked non-empty");
-                parts[c].push(moved);
+        if parts.get(c).is_some_and(Vec::is_empty) {
+            let donor =
+                (0..n_clients).max_by_key(|&i| parts.get(i).map_or(0, Vec::len)).unwrap_or(c);
+            // A donor with a single sample (or the empty client itself, when
+            // everything is empty) donates nothing, exactly as before.
+            let moved = parts.get_mut(donor).filter(|d| d.len() > 1).and_then(|d| d.pop());
+            if let Some((moved, part)) = moved.zip(parts.get_mut(c)) {
+                part.push(moved);
             }
         }
     }

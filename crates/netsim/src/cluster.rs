@@ -56,8 +56,12 @@ impl Cluster {
         assert!(config.n_clients > 0, "cluster needs at least one client");
         let mut rng = StdRng::seed_from_u64(seed);
         let factors = if config.compute_sigma > 0.0 {
-            let dist = LogNormal::new(0.0, config.compute_sigma).expect("valid lognormal");
-            (0..config.n_clients).map(|_| dist.sample(&mut rng)).collect()
+            // A positive sigma always yields a valid distribution; a rejected
+            // one degrades to homogeneous devices instead of aborting a run.
+            LogNormal::new(0.0, config.compute_sigma).map_or_else(
+                |_| vec![1.0; config.n_clients],
+                |dist| (0..config.n_clients).map(|_| dist.sample(&mut rng)).collect(),
+            )
         } else {
             vec![1.0; config.n_clients]
         };
@@ -69,13 +73,10 @@ impl Cluster {
         self.config.n_clients
     }
 
-    /// Client `i`'s compute-speed multiplier (1.0 = nominal device).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range.
+    /// Client `i`'s compute-speed multiplier (1.0 = nominal device). An
+    /// out-of-range `i` reads as a nominal device.
     pub fn speed_factor(&self, i: usize) -> f64 {
-        self.speed_factors[i]
+        self.speed_factors.get(i).copied().unwrap_or(1.0)
     }
 
     /// The client-side link.

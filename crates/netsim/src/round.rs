@@ -144,27 +144,37 @@ impl RoundTimer {
         assert_eq!(time_factor.len(), n, "time_factor must cover all clients");
         assert_eq!(extra_secs.len(), n, "extra_secs must cover all clients");
 
-        let finish: Vec<f64> = (0..n)
-            .map(|i| {
-                if !active[i] {
+        let finish: Vec<f64> = active
+            .iter()
+            .zip(download_bytes)
+            .zip(upload_bytes)
+            .zip(compute_secs)
+            .zip(time_factor)
+            .zip(extra_secs)
+            .enumerate()
+            .map(|(i, (((((&is_active, &down_bytes), &up_bytes), &compute), &factor), &extra))| {
+                if !is_active {
                     return f64::INFINITY;
                 }
                 let link = self.cluster.client_link_at(i, round);
-                let down = if download_bytes[i] == 0 { 0.0 } else { link.transfer_secs(download_bytes[i]) };
-                let up = if upload_bytes[i] == 0 { 0.0 } else { link.transfer_secs(upload_bytes[i]) };
-                (down + compute_secs[i] * self.cluster.speed_factor(i) + up) * time_factor[i]
-                    + extra_secs[i]
+                let down = if down_bytes == 0 { 0.0 } else { link.transfer_secs(down_bytes) };
+                let up = if up_bytes == 0 { 0.0 } else { link.transfer_secs(up_bytes) };
+                (down + compute * self.cluster.speed_factor(i) + up) * factor + extra
             })
             .collect();
 
         let n_active = active.iter().filter(|&&a| a).count();
         assert!(n_active > 0, "at least one client must be active");
         let k = ((n_active as f64 * self.select_fraction).round() as usize).clamp(1, n_active);
-        let mut order: Vec<usize> = (0..n).filter(|&i| active[i]).collect();
-        order.sort_by(|&a, &b| finish[a].total_cmp(&finish[b]));
-        let mut selected: Vec<usize> = order[..k].to_vec();
+        let mut order: Vec<usize> =
+            active.iter().enumerate().filter_map(|(i, &a)| a.then_some(i)).collect();
+        // Inactive clients never enter `order`, so every lookup below is in
+        // range; the INFINITY fallbacks keep the sort total regardless.
+        let at = |i: usize| finish.get(i).copied().unwrap_or(f64::INFINITY);
+        order.sort_by(|&a, &b| at(a).total_cmp(&at(b)));
+        let mut selected: Vec<usize> = order.iter().copied().take(k).collect();
         selected.sort_unstable();
-        let duration = finish[order[k - 1]];
+        let duration = order.get(k - 1).copied().map_or(f64::INFINITY, at);
         RoundOutcomeTiming { duration_secs: duration, selected, finish_secs: finish }
     }
 }
