@@ -281,6 +281,18 @@ impl Experiment {
             None
         };
         let mut barren_streak = 0usize;
+        // Round-scoped scratch for the pre-aggregation global snapshot:
+        // refilled in place every round so the steady-state loop does not
+        // reallocate it (the values each round are identical to a fresh
+        // `to_vec`, keeping zero-fault records bit-for-bit).
+        let mut global_snapshot = vec![0.0f32; total];
+        // Per-round allocation attribution (FEDSU_ALLOC_STATS): re-base the
+        // process counters so each round's delta lands in the alloc_stats
+        // round log. Reporting only — never touches records or sim-time.
+        let alloc_trace = fedsu_tensor::alloc_stats::enabled();
+        if alloc_trace {
+            fedsu_tensor::alloc_stats::begin_run(self.config.rounds);
+        }
 
         for round in 0..self.config.rounds {
             let avail: Vec<bool> = (0..n)
@@ -288,9 +300,13 @@ impl Experiment {
                 .collect();
             // Crashed clients are unavailable until their down-window ends;
             // on rejoin they pay the dynamicity catch-up download below.
-            let active: Vec<bool> = (0..n).map(|i| avail[i] && !faults.crashed(i, round)).collect();
+            let active: Vec<bool> = avail
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| a && !faults.crashed(i, round))
+                .collect();
             let mut dropped =
-                (0..n).filter(|&i| avail[i] && !active[i]).count();
+                avail.iter().zip(&active).filter(|&(&a, &act)| a && !act).count();
             let mut quarantined = 0usize;
             let mut rollbacks = 0usize;
 
@@ -300,11 +316,13 @@ impl Experiment {
                 u64::try_from(s.len()).expect("join-state size fits in u64 on supported targets")
             });
             let mut download_bytes = vec![0u64; n];
-            for i in 0..n {
-                if active[i] {
-                    download_bytes[i] = scalars_to_bytes(prev_broadcast_scalars);
-                    if !was_active[i] && round > 0 {
-                        download_bytes[i] = scalars_to_bytes(total)
+            for ((db, &is_active), &was) in
+                download_bytes.iter_mut().zip(&active).zip(&was_active)
+            {
+                if is_active {
+                    *db = scalars_to_bytes(prev_broadcast_scalars);
+                    if !was && round > 0 {
+                        *db = scalars_to_bytes(total)
                             .checked_add(join_state_bytes)
                             .expect("rejoin payload fits in u64: model bytes plus a small join state");
                     }
@@ -313,17 +331,19 @@ impl Experiment {
 
             // 1+2. Pull current global and train locally, in parallel, with
             // per-client panic capture.
-            let global_snapshot = self.server.global().to_vec();
+            global_snapshot.copy_from_slice(self.server.global());
             let train_results = train_all(&mut self.clients, &active, &global_snapshot, round);
 
             // `returned[i]`: client i delivered an upload this round.
             let mut returned = active.clone();
             let mut train_losses = vec![0.0f32; n];
-            for (i, res) in train_results.into_iter().enumerate() {
+            for ((res, loss_slot), ret) in
+                train_results.into_iter().zip(train_losses.iter_mut()).zip(returned.iter_mut())
+            {
                 match res {
-                    Ok(loss) => train_losses[i] = loss,
+                    Ok(loss) => *loss_slot = loss,
                     Err(FlError::ClientFailed { .. }) if defense.enabled => {
-                        returned[i] = false;
+                        *ret = false;
                         dropped += 1;
                     }
                     Err(e) => return Err(e),
@@ -333,19 +353,21 @@ impl Experiment {
             // Mid-round dropouts and lossy uploads.
             let retries = if defense.enabled { defense.max_retries } else { 0 };
             let mut tx_attempts = vec![1u32; n];
-            for i in 0..n {
-                if !returned[i] {
+            for (i, (ret, att)) in
+                returned.iter_mut().zip(tx_attempts.iter_mut()).enumerate()
+            {
+                if !*ret {
                     continue;
                 }
                 if faults.dropout(i, round) {
-                    returned[i] = false;
+                    *ret = false;
                     dropped += 1;
                     continue;
                 }
                 match faults.upload_attempts(i, round, retries) {
-                    Some(attempts) => tx_attempts[i] = attempts,
+                    Some(attempts) => *att = attempts,
                     None => {
-                        returned[i] = false;
+                        *ret = false;
                         dropped += 1;
                     }
                 }
@@ -598,6 +620,17 @@ impl Experiment {
             }
             records.push(record);
             was_active = active;
+            if alloc_trace {
+                fedsu_tensor::alloc_stats::mark_round(round);
+            }
+        }
+
+        if alloc_trace {
+            // Stderr report consumed by CI as the alloc-stats artifact; the
+            // deltas themselves stay readable via `alloc_stats::rounds()`.
+            for r in fedsu_tensor::alloc_stats::rounds() {
+                eprintln!("ALLOC_STATS round={} allocs={} bytes={}", r.round, r.allocs, r.bytes);
+            }
         }
 
         Ok(ExperimentResult {
@@ -624,14 +657,18 @@ fn validate_uploads(
     let n = locals.len();
     let mut valid = returned.to_vec();
     let mut update_norm = vec![0.0f32; n];
-    let mut finite_norms: Vec<f32> = Vec::new();
-    for i in 0..n {
-        if !returned[i] {
+    let mut finite_norms: Vec<f32> = Vec::with_capacity(n);
+    for ((local, &ret), (v, norm)) in locals
+        .iter()
+        .zip(returned)
+        .zip(valid.iter_mut().zip(update_norm.iter_mut()))
+    {
+        if !ret {
             continue;
         }
         let mut finite = true;
         let mut sq = 0.0f64;
-        for (a, b) in locals[i].iter().zip(global) {
+        for (a, b) in local.iter().zip(global) {
             if !a.is_finite() {
                 finite = false;
                 break;
@@ -640,25 +677,30 @@ fn validate_uploads(
             sq += d * d;
         }
         if finite {
-            update_norm[i] = sq.sqrt() as f32;
-            finite_norms.push(update_norm[i]);
+            *norm = sq.sqrt() as f32;
+            finite_norms.push(*norm);
         } else {
-            valid[i] = false;
-            update_norm[i] = f32::INFINITY;
+            *v = false;
+            *norm = f32::INFINITY;
         }
     }
     if !finite_norms.is_empty() {
         finite_norms.sort_by(f32::total_cmp);
         // Lower median: with one corrupted client out of two, the honest
-        // norm anchors the threshold.
-        let median = finite_norms[(finite_norms.len() - 1) / 2].max(1e-6);
-        for i in 0..n {
-            if valid[i] && update_norm[i] > outlier_norm_factor * median {
-                valid[i] = false;
+        // norm anchors the threshold. The list is non-empty here, so the
+        // fallback is unreachable and quarantines nothing.
+        let median = finite_norms
+            .get((finite_norms.len() - 1) / 2)
+            .copied()
+            .unwrap_or(f32::INFINITY)
+            .max(1e-6);
+        for (v, &norm) in valid.iter_mut().zip(&update_norm) {
+            if *v && norm > outlier_norm_factor * median {
+                *v = false;
             }
         }
     }
-    let quarantined = (0..n).filter(|&i| returned[i] && !valid[i]).count();
+    let quarantined = returned.iter().zip(&valid).filter(|&(&r, &v)| r && !v).count();
     (valid, quarantined)
 }
 
@@ -685,9 +727,11 @@ fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usi
     let mut out: Vec<Result<f32>> = (0..clients.len()).map(|_| Ok(0.0f32)).collect();
 
     if threads <= 1 {
-        for (i, client) in clients.iter_mut().enumerate() {
-            if active[i] {
-                out[i] = train_one(client, i, global, round);
+        for (i, ((client, slot), &is_active)) in
+            clients.iter_mut().zip(out.iter_mut()).zip(active).enumerate()
+        {
+            if is_active {
+                *slot = train_one(client, i, global, round);
             }
         }
         return out;
@@ -707,10 +751,10 @@ fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usi
             let base = ci * chunk;
             let active = &active;
             handles.push(s.spawn(move |_| {
-                let mut part: Vec<(usize, Result<f32>)> = Vec::new();
+                let mut part: Vec<(usize, Result<f32>)> = Vec::with_capacity(chunk_clients.len());
                 for (off, client) in chunk_clients.iter_mut().enumerate() {
                     let id = base + off;
-                    if active[id] {
+                    if active.get(id).is_some_and(|&a| a) {
                         part.push((id, train_one(client, id, global, round)));
                     }
                 }
@@ -726,7 +770,7 @@ fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usi
                     // (should be unreachable); blame every client in it.
                     let base = ci * chunk;
                     (base..(base + chunk).min(active.len()))
-                        .filter(|&id| active[id])
+                        .filter(|&id| active.get(id).is_some_and(|&a| a))
                         .map(|id| (id, Err(FlError::ClientFailed { id })))
                         .collect()
                 })
@@ -739,13 +783,15 @@ fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usi
         Ok(parts) => {
             for part in parts {
                 for (id, res) in part {
-                    out[id] = res;
+                    if let Some(slot) = out.get_mut(id) {
+                        *slot = res;
+                    }
                 }
             }
         }
         Err(_) => {
-            for (id, slot) in out.iter_mut().enumerate() {
-                if active[id] {
+            for (slot, (id, &is_active)) in out.iter_mut().zip(active.iter().enumerate()) {
+                if is_active {
                     *slot = Err(FlError::ClientFailed { id });
                 }
             }

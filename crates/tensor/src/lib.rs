@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_stats;
 mod conv;
 mod error;
 mod init;

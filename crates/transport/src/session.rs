@@ -118,6 +118,26 @@ fn fnv1a(bytes: &[u8]) -> u32 {
     h
 }
 
+/// Byte offset of the `attempt` field inside an encoded envelope: magic (2)
+/// + version (1) + kind (1) + client (4) + epoch (4) + seq (4).
+const ATTEMPT_OFFSET: usize = 2 + 1 + 1 + 4 + 4 + 4;
+
+/// Rewrites the `attempt` field of an encoded frame in place and refreshes
+/// the trailing FNV-1a checksum, yielding bytes identical to re-encoding
+/// the whole envelope with the new attempt. The retransmission loops cache
+/// one encoding per `(epoch, seq)` and re-stamp it per attempt instead of
+/// cloning the payload and re-serializing every time.
+fn restamp_attempt(frame: &mut [u8], attempt: u16) {
+    let Some(body_len) = frame.len().checked_sub(4) else { return };
+    if let Some(dst) = frame.get_mut(ATTEMPT_OFFSET..ATTEMPT_OFFSET + 2) {
+        dst.copy_from_slice(&attempt.to_le_bytes());
+    }
+    let sum = frame.get(..body_len).map_or(0, fnv1a);
+    if let Some(tail) = frame.get_mut(body_len..) {
+        tail.copy_from_slice(&sum.to_le_bytes());
+    }
+}
+
 fn take<'a>(data: &mut &'a [u8], n: usize) -> Result<&'a [u8], EnvelopeError> {
     if data.len() < n {
         return Err(EnvelopeError::Truncated);
@@ -476,25 +496,23 @@ impl<L: ByteLink> ClientSession<L> {
     /// [`SessionError::Bus`] on disconnect.
     pub fn send_reliable(&mut self, msg: &Message) -> Result<(), SessionError> {
         let payload = msg.encode();
+        let payload_len = payload.len();
         let seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
+        // Encode the envelope once for this (epoch, seq); each attempt only
+        // re-stamps the attempt field and checksum in the cached bytes.
+        let mut frame = Envelope::data(self.client, self.epoch, seq, 0, payload).encode();
         let mut attempt: u32 = 0;
         loop {
-            let env = Envelope::data(
-                self.client,
-                self.epoch,
-                seq,
-                u16::try_from(attempt).unwrap_or(u16::MAX),
-                payload.clone(),
-            );
-            self.link.send_bytes(env.encode())?;
+            restamp_attempt(&mut frame, u16::try_from(attempt).unwrap_or(u16::MAX));
+            self.link.send_bytes(frame.clone())?;
             self.stats.data_frames_sent = self.stats.data_frames_sent.saturating_add(1);
             if attempt > 0 {
                 self.stats.retransmits = self.stats.retransmits.saturating_add(1);
                 self.stats.retransmitted_bytes = self
                     .stats
                     .retransmitted_bytes
-                    .saturating_add(u64::try_from(payload.len()).unwrap_or(u64::MAX));
+                    .saturating_add(u64::try_from(payload_len).unwrap_or(u64::MAX));
             }
             let wait = self.config.wait_for(attempt);
             loop {
@@ -674,29 +692,27 @@ impl<L: ServerByteLink> ServerSession<L> {
     pub fn send_reliable(&mut self, client: usize, msg: &Message) -> Result<(), SessionError> {
         let client_u32 = u32::try_from(client).unwrap_or(u32::MAX);
         let payload = msg.encode();
+        let payload_len = payload.len();
         let seq = {
             let slot = self.next_seq.get_mut(client).ok_or(BusError::Disconnected)?;
             let seq = *slot;
             *slot = slot.wrapping_add(1);
             seq
         };
+        // Encode the envelope once for this (epoch, seq); each attempt only
+        // re-stamps the attempt field and checksum in the cached bytes.
+        let mut frame = Envelope::data(client_u32, self.epoch, seq, 0, payload).encode();
         let mut attempt: u32 = 0;
         loop {
-            let env = Envelope::data(
-                client_u32,
-                self.epoch,
-                seq,
-                u16::try_from(attempt).unwrap_or(u16::MAX),
-                payload.clone(),
-            );
-            self.link.send_bytes_to(client, env.encode())?;
+            restamp_attempt(&mut frame, u16::try_from(attempt).unwrap_or(u16::MAX));
+            self.link.send_bytes_to(client, frame.clone())?;
             self.stats.data_frames_sent = self.stats.data_frames_sent.saturating_add(1);
             if attempt > 0 {
                 self.stats.retransmits = self.stats.retransmits.saturating_add(1);
                 self.stats.retransmitted_bytes = self
                     .stats
                     .retransmitted_bytes
-                    .saturating_add(u64::try_from(payload.len()).unwrap_or(u64::MAX));
+                    .saturating_add(u64::try_from(payload_len).unwrap_or(u64::MAX));
             }
             let wait = self.config.wait_for(attempt);
             loop {
@@ -863,6 +879,24 @@ mod tests {
                 (env.kind, env.client, env.epoch, env.seq, env.attempt)
             );
         }
+    }
+
+    #[test]
+    fn restamped_frame_is_bit_identical_to_a_fresh_encode() {
+        // The retransmission loops cache one encoding and re-stamp the
+        // attempt field; the wire bytes must be indistinguishable from
+        // encoding a fresh envelope at that attempt.
+        let payload = Message::Pull { client: 3 }.encode();
+        let mut frame = Envelope::data(3, 7, 11, 0, payload.clone()).encode();
+        for attempt in [0u16, 1, 2, 9, u16::MAX] {
+            restamp_attempt(&mut frame, attempt);
+            let fresh = Envelope::data(3, 7, 11, attempt, payload.clone()).encode();
+            assert_eq!(frame, fresh, "attempt {attempt}");
+            assert_eq!(Envelope::decode(&frame).unwrap().attempt, attempt);
+        }
+        // Degenerate inputs must not panic or write out of bounds.
+        restamp_attempt(&mut [], 1);
+        restamp_attempt(&mut [0u8; 3], 1);
     }
 
     #[test]

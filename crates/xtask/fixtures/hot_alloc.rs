@@ -1,0 +1,31 @@
+//! Seeded `hot-alloc` fixture: `run` is the round-loop root when this
+//! file is linted as `crates/fl/src/experiment.rs`. Positives: the
+//! `vec!` in `run` (line 10) and the `.collect()` in `step` (line 18),
+//! one call below the root. Negatives: the `with_capacity` behind the
+//! setup-named `build_model` and the cold `debug_dump`, which the hot
+//! path never calls. Under any other path there is no root and the
+//! whole file is silent.
+
+pub fn run(rounds: usize) {
+    let plan = vec![0u32; rounds];
+    for _ in 0..rounds {
+        step(&plan);
+    }
+    build_model(rounds);
+}
+
+fn step(plan: &[u32]) {
+    let doubled: Vec<u32> = plan.iter().map(|p| p + 1).collect();
+    drop(doubled);
+}
+
+fn build_model(n: usize) -> Vec<u32> {
+    let mut weights = Vec::with_capacity(n);
+    weights.push(1);
+    weights
+}
+
+fn debug_dump(plan: &[u32]) {
+    let copy = plan.to_vec();
+    drop(copy);
+}

@@ -1,0 +1,43 @@
+//! Seeded `loop-realloc` fixture: growth calls inside loops. Positives:
+//! the unreserved `push` in `gather` (line 10) and the unreserved
+//! `extend` in `merge` (line 18). Negatives: `gather_reserved` reserves
+//! capacity up front, `fill_sized` starts from a sized `vec!` literal,
+//! and the `BTreeMap` insert in `count_rounds` never shifts elements.
+
+pub fn gather(n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.push(i);
+    }
+    out
+}
+
+pub fn merge(parts: &[Vec<usize>]) -> Vec<usize> {
+    let mut all = Vec::new();
+    for part in parts {
+        all.extend(part.iter().copied());
+    }
+    all
+}
+
+pub fn gather_reserved(n: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(i);
+    }
+    out
+}
+
+pub fn fill_sized(n: usize) -> Vec<usize> {
+    let mut out = vec![0usize; n];
+    for i in 0..n {
+        out.extend([i]);
+    }
+    out
+}
+
+pub fn count_rounds(totals: &mut BTreeMap<usize, usize>, n: usize) {
+    for i in 0..n {
+        totals.insert(i, i);
+    }
+}

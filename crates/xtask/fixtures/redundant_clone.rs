@@ -1,0 +1,28 @@
+//! Seeded `redundant-clone` fixture: copies of locals that are never
+//! read again. Positives: the `payload` clone in `upload` (line 9) and
+//! the `history.to_vec()` in `archive` (line 14). Negatives: `broadcast`
+//! clones a loop-carried binding (read again on the next iteration), and
+//! `audit` reads `ledger` after the clone.
+
+pub fn upload() {
+    let payload = encode();
+    emit(payload.clone());
+}
+
+pub fn archive() {
+    let history = collect_rounds();
+    stash(history.to_vec());
+}
+
+pub fn broadcast() {
+    let frame = encode();
+    for _ in 0..3 {
+        emit(frame.clone());
+    }
+}
+
+pub fn audit() {
+    let ledger = encode();
+    emit(ledger.clone());
+    verify(&ledger);
+}

@@ -46,7 +46,7 @@ impl std::fmt::Display for BaselineParseError {
 }
 
 /// Escapes a string for a double-quoted TOML value.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -61,7 +61,7 @@ fn escape(s: &str) -> String {
 }
 
 /// Unescapes a double-quoted TOML value body.
-fn unescape(s: &str) -> String {
+pub(crate) fn unescape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {

@@ -1,0 +1,314 @@
+//! The allocation budget: `crates/xtask/alloc-budget.toml`.
+//!
+//! The allocation-flow rules (`hot-alloc`, `loop-realloc`,
+//! `redundant-clone` — see [`crate::allocflow`]) ratchet through this file
+//! exactly like the other rules ratchet through `lint-baseline.toml`:
+//! budgeted findings are tolerated, new ones fail the lint, and a fixed
+//! finding leaves a stale entry that must be deleted via `lint
+//! --fix-budget`. Keeping the two ratchets in separate files keeps their
+//! review stories separate — shrinking the alloc budget is a perf win,
+//! shrinking the baseline is a safety win.
+//!
+//! Beyond the `[[alloc]]` entries the file carries a `[runtime]` section:
+//! per-round allocation ceilings cross-checked by `tests/alloc_budget.rs`
+//! against the counting allocator in `fedsu-tensor::alloc_stats`. The
+//! static entries say *where* the hot path allocates; the runtime ceilings
+//! say *how much* it is allowed to. `--fix-budget` regenerates the entries
+//! but preserves the ceilings, so tightening them is always a deliberate
+//! hand edit.
+
+use crate::baseline::{escape, unescape, BaselineEntry, BaselineParseError};
+use crate::rules::{Diagnostic, ALLOC_RULES};
+use std::collections::BTreeSet;
+
+/// Default location of the budget, relative to the workspace root.
+pub const BUDGET_FILE: &str = "crates/xtask/alloc-budget.toml";
+
+/// Steady-round allocation ceilings, cross-checked at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeBudget {
+    /// Maximum allocator calls a steady round may make.
+    pub max_round_allocs: u64,
+    /// Maximum bytes a steady round may request from the allocator.
+    pub max_round_bytes: u64,
+}
+
+impl Default for RuntimeBudget {
+    fn default() -> Self {
+        // Generous first ceilings (a quick-scale round sits well under
+        // these); ratchet them down by hand as the hot path sheds copies.
+        RuntimeBudget { max_round_allocs: 50_000, max_round_bytes: 32 * 1024 * 1024 }
+    }
+}
+
+/// Parsed `alloc-budget.toml`: runtime ceilings plus the static entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllocBudget {
+    /// The `[runtime]` ceilings (defaults when the section is absent).
+    pub runtime: RuntimeBudget,
+    /// The `[[alloc]]` findings the ratchet tolerates.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Parses the budget text.
+///
+/// # Errors
+/// Returns a [`BaselineParseError`] (line numbers point into
+/// `alloc-budget.toml`) for malformed lines, unknown keys, or entries
+/// naming rules outside the allocation families.
+pub fn parse(text: &str) -> Result<AllocBudget, BaselineParseError> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Runtime,
+        Alloc,
+    }
+    let mut section = Section::None;
+    let mut current = BaselineEntry::default();
+    let mut entries: Vec<BaselineEntry> = Vec::new();
+    let mut runtime = RuntimeBudget::default();
+    let mut in_entry = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[alloc]]" {
+            if in_entry {
+                entries.push(validate(std::mem::take(&mut current), lineno)?);
+            }
+            in_entry = true;
+            section = Section::Alloc;
+            continue;
+        }
+        if line == "[runtime]" {
+            if in_entry {
+                entries.push(validate(std::mem::take(&mut current), lineno)?);
+                in_entry = false;
+            }
+            section = Section::Runtime;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(BaselineParseError {
+                line: lineno,
+                message: format!(
+                    "unexpected table `{line}`; only [runtime] and [[alloc]] are supported"
+                ),
+            });
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(BaselineParseError {
+                line: lineno,
+                message: format!("expected `key = value`, got `{line}`"),
+            });
+        };
+        let key = line[..eq].trim();
+        let value = line[eq + 1..].trim();
+        match section {
+            Section::None => {
+                return Err(BaselineParseError {
+                    line: lineno,
+                    message: "key outside any [runtime]/[[alloc]] table".to_string(),
+                });
+            }
+            Section::Runtime => {
+                let parsed: u64 = value.parse().map_err(|_| BaselineParseError {
+                    line: lineno,
+                    message: format!("`{key}` must be a non-negative integer, got `{value}`"),
+                })?;
+                match key {
+                    "max_round_allocs" => runtime.max_round_allocs = parsed,
+                    "max_round_bytes" => runtime.max_round_bytes = parsed,
+                    other => {
+                        return Err(BaselineParseError {
+                            line: lineno,
+                            message: format!(
+                                "unknown [runtime] key `{other}` (expected \
+                                 max_round_allocs/max_round_bytes)"
+                            ),
+                        });
+                    }
+                }
+            }
+            Section::Alloc => {
+                if key == "line" {
+                    current.line = value.parse().map_err(|_| BaselineParseError {
+                        line: lineno,
+                        message: format!("`line` must be a positive integer, got `{value}`"),
+                    })?;
+                    continue;
+                }
+                let value = value
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| BaselineParseError {
+                        line: lineno,
+                        message: format!("value for `{key}` must be a double-quoted string"),
+                    })?;
+                let value = unescape(value);
+                match key {
+                    "rule" => current.rule = value,
+                    "path" => current.path = value,
+                    "snippet" => current.snippet = value,
+                    other => {
+                        return Err(BaselineParseError {
+                            line: lineno,
+                            message: format!(
+                                "unknown key `{other}` (expected rule/path/line/snippet)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if in_entry {
+        entries.push(validate(current, text.lines().count())?);
+    }
+    Ok(AllocBudget { runtime, entries })
+}
+
+/// Rejects incomplete entries and rules outside the allocation families.
+fn validate(entry: BaselineEntry, line: usize) -> Result<BaselineEntry, BaselineParseError> {
+    if entry.rule.is_empty() || entry.path.is_empty() || entry.line == 0 {
+        return Err(BaselineParseError {
+            line,
+            message: "every [[alloc]] needs non-empty rule, path, and a 1-based line".to_string(),
+        });
+    }
+    if !ALLOC_RULES.contains(&entry.rule.as_str()) {
+        return Err(BaselineParseError {
+            line,
+            message: format!(
+                "rule `{}` does not belong in the alloc budget (expected one of: {})",
+                entry.rule,
+                ALLOC_RULES.join(", ")
+            ),
+        });
+    }
+    Ok(entry)
+}
+
+/// Splits allocation diagnostics against the budget: `(new, budgeted,
+/// stale)`. Same exact-match semantics as the baseline ratchet.
+pub fn apply(
+    diags: Vec<Diagnostic>,
+    budget: &AllocBudget,
+    scanned: &BTreeSet<String>,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>, Vec<BaselineEntry>) {
+    crate::baseline::apply(diags, &budget.entries, scanned)
+}
+
+/// Renders a deterministic budget for `diags`, carrying `runtime` through
+/// verbatim so `--fix-budget` never loosens the ceilings.
+pub fn render(diags: &[Diagnostic], runtime: &RuntimeBudget) -> String {
+    let mut keys: Vec<(&str, usize, &str, &str)> = diags
+        .iter()
+        .map(|d| (d.path.as_str(), d.line, d.rule, d.snippet.as_str()))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut out = String::new();
+    out.push_str(
+        "# fedsu-xtask allocation budget — hot-path allocations the ratchet\n\
+         # tolerates, plus per-round runtime ceilings cross-checked by\n\
+         # tests/alloc_budget.rs. Entries are regenerated by `cargo run -p\n\
+         # fedsu-xtask -- lint --fix-budget` (the [runtime] ceilings are\n\
+         # preserved); new hot-path allocations are NOT added here — hoist or\n\
+         # reuse the buffer instead. Ceilings sit a little over 2x measured\n\
+         # steady-round traffic: tight enough that a reintroduced per-round\n\
+         # model copy trips tests/alloc_budget.rs, loose enough to absorb\n\
+         # eval-round jitter. See DESIGN.md §9.4.\n\
+         \n\
+         [runtime]\n",
+    );
+    out.push_str(&format!("max_round_allocs = {}\n", runtime.max_round_allocs));
+    out.push_str(&format!("max_round_bytes = {}\n", runtime.max_round_bytes));
+    for (path, line, rule, snippet) in keys {
+        out.push_str("\n[[alloc]]\n");
+        out.push_str(&format!("rule = \"{}\"\n", escape(rule)));
+        out.push_str(&format!("path = \"{}\"\n", escape(path)));
+        out.push_str(&format!("line = {line}\n"));
+        out.push_str(&format!("snippet = \"{}\"\n", escape(snippet)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, line: usize, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            rule,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn render_then_parse_round_trips_with_runtime() {
+        let runtime = RuntimeBudget { max_round_allocs: 123, max_round_bytes: 456 };
+        let diags = vec![
+            diag("hot-alloc", "crates/fl/src/experiment.rs", 7, "let v = vec![0.0; n];"),
+            diag("redundant-clone", "crates/core/src/manager.rs", 3, "x.clone()"),
+        ];
+        let text = render(&diags, &runtime);
+        let parsed = parse(&text).expect("rendered budget must re-parse");
+        assert_eq!(parsed.runtime, runtime);
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.entries[0].path, "crates/core/src/manager.rs");
+    }
+
+    #[test]
+    fn missing_runtime_section_falls_back_to_defaults() {
+        let parsed = parse("# empty\n").expect("comment-only parses");
+        assert_eq!(parsed.runtime, RuntimeBudget::default());
+        assert!(parsed.entries.is_empty());
+    }
+
+    #[test]
+    fn non_alloc_rules_are_rejected() {
+        let text = "[[alloc]]\nrule = \"panic-path\"\npath = \"a.rs\"\nline = 1\nsnippet = \"s\"\n";
+        let err = parse(text).expect_err("panic-path is not an alloc rule");
+        assert!(err.message.contains("does not belong"));
+    }
+
+    #[test]
+    fn unknown_runtime_key_rejected() {
+        let err = parse("[runtime]\nmax_round_frobs = 3\n").expect_err("unknown key");
+        assert!(err.message.contains("max_round_frobs"));
+    }
+
+    #[test]
+    fn apply_matches_exactly_like_the_baseline() {
+        let runtime = RuntimeBudget::default();
+        let budget = parse(&render(
+            &[diag("hot-alloc", "a.rs", 2, "vec![0; 4]")],
+            &runtime,
+        ))
+        .expect("parses");
+        let scanned: BTreeSet<String> = ["a.rs".to_string()].into();
+        let diags = vec![
+            diag("hot-alloc", "a.rs", 2, "vec![0; 4]"),
+            diag("loop-realloc", "a.rs", 9, "out.push(i);"),
+        ];
+        let (new, budgeted, stale) = apply(diags, &budget, &scanned);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].rule, "loop-realloc");
+        assert_eq!(budgeted.len(), 1);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn fix_budget_render_is_deterministic() {
+        let runtime = RuntimeBudget::default();
+        let a = vec![diag("hot-alloc", "b.rs", 2, "s2"), diag("hot-alloc", "a.rs", 7, "s1")];
+        let b = vec![diag("hot-alloc", "a.rs", 7, "s1"), diag("hot-alloc", "b.rs", 2, "s2")];
+        assert_eq!(render(&a, &runtime), render(&b, &runtime));
+    }
+}

@@ -6,7 +6,7 @@
 //! anyway* (waiver policy: `lint-allow.toml` for reviewed permanent waivers,
 //! `lint-baseline.toml` for ratcheted pre-existing debt).
 
-use crate::rules::RULE_IDS;
+use crate::rules::{ALLOC_RULES, RULE_IDS};
 
 /// Full explanation for one rule id, or `None` for an unknown id.
 pub fn explain(rule: &str) -> Option<String> {
@@ -107,17 +107,57 @@ pub fn explain(rule: &str) -> Option<String> {
              seed; order the iteration or derive the value from the sim clock.",
             "rec.loss = m.values().sum();   // flagged when `m` is a HashMap",
         ),
+        "hot-alloc" => (
+            "Allocation expressions (Vec::new, vec![…], with_capacity, \
+             .to_vec()/.collect(), format!, Box::new, .clone() of a buffer) in \
+             functions steady-state reachable from the round-loop roots. The \
+             call-graph closure refuses to descend into setup-named callees \
+             (new/from_*/build_*/…) so one-time construction is out of scope; \
+             what remains runs every round, where per-round allocator traffic \
+             is the communication-efficiency tax the paper's timing model \
+             ignores. Hoist the buffer out of the loop or reuse a scratch \
+             allocation (the *_into APIs exist for this).",
+            "let snap = self.server.global().to_vec();   // flagged inside run()",
+        ),
+        "loop-realloc" => (
+            "push/extend (and insert on a Vec) inside a loop on a collection \
+             with no visible capacity reservation earlier in the function. \
+             Every growth past capacity reallocates and copies the whole \
+             backing buffer — O(n) work and allocator churn the loop body never \
+             mentions. Reserve with with_capacity/reserve (or a sized \
+             vec![elem; n]) before the loop.",
+            "for c in clients { out.push(c.delta()); }   // flagged without a reserve",
+        ),
+        "redundant-clone" => (
+            ".clone()/.to_vec() of a local binding that is never read again in \
+             the function: the copy exists only to satisfy the borrow checker \
+             and the original could have been moved. The liveness scan is \
+             token-level (a binding reused only across loop iterations is \
+             exempt); field projections are never flagged because the owner \
+             may still need the rest of the struct.",
+            "consume(name.clone());   // flagged when `name` is dead afterwards",
+        ),
         _ => return None,
+    };
+    let ratchet = if ALLOC_RULES.contains(&rule) {
+        "Known hot-path allocations live in crates/xtask/alloc-budget.toml, \
+         regenerated with `lint --fix-budget` (its [runtime] per-round ceilings \
+         are preserved and cross-checked by tests/alloc_budget.rs); the ratchet \
+         fails on new findings and on stale entries, so the count only moves \
+         down."
+    } else {
+        "Pre-existing debt lives in crates/xtask/lint-baseline.toml, \
+         regenerated with `lint --fix-baseline`; the ratchet fails on new \
+         findings and on stale entries, so the count only moves down."
     };
     Some(format!(
         "rule: {rule}\n\nwhy\n  {}\n\nexample\n  {}\n\nwaiver policy\n  \
          Correct-by-design code gets a reviewed [[allow]] entry in \
          crates/xtask/lint-allow.toml (rule/path/contains/reason — the reason is \
-         mandatory). Pre-existing debt lives in crates/xtask/lint-baseline.toml, \
-         regenerated with `lint --fix-baseline`; the ratchet fails on new \
-         findings and on stale entries, so the count only moves down.\n",
+         mandatory). {}\n",
         wrap(rationale, 74),
-        example
+        example,
+        ratchet
     ))
 }
 
@@ -157,6 +197,17 @@ mod tests {
             assert!(text.contains("waiver policy"), "{id}: missing waiver section");
             assert!(text.contains("example"), "{id}: missing example section");
         }
+    }
+
+    #[test]
+    fn alloc_rules_point_at_the_budget_ratchet() {
+        for id in ALLOC_RULES {
+            let text = explain(id).expect("alloc rule must have explain text");
+            assert!(text.contains("alloc-budget.toml"), "{id}: must name the budget file");
+            assert!(text.contains("--fix-budget"), "{id}: must name the regeneration flag");
+        }
+        let other = explain("panic-path").expect("panic-path explains");
+        assert!(other.contains("lint-baseline.toml"));
     }
 
     #[test]

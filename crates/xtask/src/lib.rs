@@ -18,9 +18,11 @@
 //! Deliberately std-only: the gate must build in seconds on an offline CI
 //! runner.
 
+pub mod allocflow;
 pub mod allowlist;
 pub mod ast;
 pub mod baseline;
+pub mod budget;
 pub mod callgraph;
 pub mod dataflow;
 pub mod explain;
@@ -52,6 +54,12 @@ pub struct LintReport {
     /// Baseline entries in scanned files that matched nothing (fail the run:
     /// the ratchet must shrink when findings are fixed).
     pub stale_baseline: Vec<baseline::BaselineEntry>,
+    /// Allocation-family findings matched by an `alloc-budget.toml` entry
+    /// (tolerated; see [`budget`]).
+    pub budgeted: Vec<Diagnostic>,
+    /// Budget entries in scanned files that matched nothing (fail the run:
+    /// the alloc ratchet only turns one way, like the baseline).
+    pub stale_budget: Vec<baseline::BaselineEntry>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -62,22 +70,25 @@ impl LintReport {
         self.violations.is_empty()
             && self.unused_allows.is_empty()
             && self.stale_baseline.is_empty()
+            && self.stale_budget.is_empty()
     }
 }
 
-/// Lints `files` applying allow entries from `allow_text` and the ratchet
-/// entries from `baseline_text`.
+/// Lints `files` applying allow entries from `allow_text`, ratchet entries
+/// from `baseline_text`, and allocation-budget entries from `budget_text`.
 ///
 /// # Errors
-/// Returns a message when a file cannot be read or either gate file is
+/// Returns a message when a file cannot be read or any gate file is
 /// malformed.
 pub fn lint_files(
     files: &[SourceFile],
     allow_text: &str,
     baseline_text: &str,
+    budget_text: &str,
 ) -> Result<LintReport, String> {
     let allow_entries = allowlist::parse(allow_text).map_err(|e| e.to_string())?;
     let baseline_entries = baseline::parse(baseline_text).map_err(|e| e.to_string())?;
+    let alloc_budget = budget::parse(budget_text).map_err(|e| e.to_string())?;
 
     // Phase 1: lex + parse every lintable file (the call graph needs the
     // whole workspace before any rule can run).
@@ -103,24 +114,39 @@ pub fn lint_files(
 
     let (kept, suppressed, unused_allows) = allowlist::apply(diags, &allow_entries);
     let scanned: BTreeSet<String> = files.iter().map(|f| f.rel.clone()).collect();
+    // The allocation families ratchet through alloc-budget.toml; everything
+    // else goes through the baseline. Partition before gating so neither
+    // file can waive the other's rules.
+    let (alloc_diags, other_diags): (Vec<_>, Vec<_>) =
+        kept.into_iter().partition(|d| rules::ALLOC_RULES.contains(&d.rule));
     let (violations, baselined, stale_baseline) =
-        baseline::apply(kept, &baseline_entries, &scanned);
+        baseline::apply(other_diags, &baseline_entries, &scanned);
+    let (alloc_new, budgeted, stale_budget) =
+        budget::apply(alloc_diags, &alloc_budget, &scanned);
+    let mut violations = violations;
+    violations.extend(alloc_new);
+    violations.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
     Ok(LintReport {
         violations,
         baselined,
         suppressed,
         unused_allows,
         stale_baseline,
+        budgeted,
+        stale_budget,
         files_scanned: files.len(),
     })
 }
 
 /// Rule pass for one prepared file, with the target-kind policy applied:
 /// library code gets the full set; examples skip the panic-centric rules (a
-/// demo may unwrap, and nothing reaches it from the round loop anyway);
-/// tests and benches are exempt entirely (rules already skip `#[cfg(test)]`
-/// spans inside library files — this extends the same policy to whole test
-/// targets).
+/// demo may unwrap, and nothing reaches it from the round loop anyway) and
+/// the allocation families (a demo's allocations are not round-loop
+/// traffic); tests and benches are exempt entirely (rules already skip
+/// `#[cfg(test)]` spans inside library files — this extends the same policy
+/// to whole test targets).
 fn check_prepared(
     rel: &str,
     kind: SourceKind,
@@ -130,7 +156,11 @@ fn check_prepared(
 ) -> Vec<Diagnostic> {
     let mut diags = rules::check_all(rel, p, graph, flow);
     if kind == SourceKind::Example {
-        diags.retain(|d| d.rule != "no-unwrap" && d.rule != "panic-path");
+        diags.retain(|d| {
+            d.rule != "no-unwrap"
+                && d.rule != "panic-path"
+                && !rules::ALLOC_RULES.contains(&d.rule)
+        });
     }
     diags
 }

@@ -1,15 +1,19 @@
 //! CLI entry point:
 //! `cargo run -p fedsu-xtask -- lint [--allow FILE] [--baseline FILE]
-//! [--format text|sarif] [--fix-baseline] [PATH...]`.
+//! [--budget FILE] [--format text|sarif] [--fix-baseline] [--fix-budget]
+//! [PATH...]`.
 //!
-//! Exit codes: `0` clean (new findings absent, no stale allow/baseline
-//! entries), `1` gate failure, `2` usage or I/O error. `--fix-baseline`
-//! rewrites `crates/xtask/lint-baseline.toml` deterministically and exits 0.
+//! Exit codes: `0` clean (new findings absent, no stale allow/baseline/
+//! budget entries), `1` gate failure, `2` usage or I/O error.
+//! `--fix-baseline` rewrites `crates/xtask/lint-baseline.toml` and
+//! `--fix-budget` rewrites `crates/xtask/alloc-budget.toml` (preserving its
+//! `[runtime]` ceilings) deterministically; both exit 0.
 
 use fedsu_xtask::baseline::BASELINE_FILE;
+use fedsu_xtask::budget::BUDGET_FILE;
 use fedsu_xtask::rules::RULE_IDS;
 use fedsu_xtask::workspace::{self, SourceFile};
-use fedsu_xtask::{baseline, explain, lint_files, read_gate_file, sarif, ALLOW_FILE};
+use fedsu_xtask::{baseline, budget, explain, lint_files, read_gate_file, sarif, ALLOW_FILE};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -32,7 +36,8 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!(
         "usage: cargo run -p fedsu-xtask -- lint [--allow FILE] [--baseline FILE]\n\
-         \x20                                       [--format text|sarif] [--fix-baseline]\n\
+         \x20                                       [--budget FILE] [--format text|sarif]\n\
+         \x20                                       [--fix-baseline] [--fix-budget]\n\
          \x20                                       [--explain RULE] [PATH...]"
     );
     eprintln!();
@@ -40,6 +45,7 @@ fn print_usage() {
     eprintln!("With no PATH arguments, walks the whole workspace.");
     eprintln!("Suppressions: {ALLOW_FILE} (rule/path/contains/reason entries).");
     eprintln!("Ratchet:      {BASELINE_FILE} (regenerate with --fix-baseline).");
+    eprintln!("Alloc budget: {BUDGET_FILE} (regenerate with --fix-budget).");
     eprintln!("--format sarif emits SARIF 2.1.0 on stdout for CI annotation.");
     eprintln!("--explain RULE prints a rule's rationale, example, and waiver policy.");
 }
@@ -48,8 +54,10 @@ fn print_usage() {
 struct LintArgs {
     allow_override: Option<PathBuf>,
     baseline_override: Option<PathBuf>,
+    budget_override: Option<PathBuf>,
     format: OutputFormat,
     fix_baseline: bool,
+    fix_budget: bool,
     explain: Option<String>,
     paths: Vec<PathBuf>,
 }
@@ -64,8 +72,10 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
     let mut out = LintArgs {
         allow_override: None,
         baseline_override: None,
+        budget_override: None,
         format: OutputFormat::Text,
         fix_baseline: false,
+        fix_budget: false,
         explain: None,
         paths: Vec::new(),
     };
@@ -80,6 +90,10 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
                 let p = it.next().ok_or("--baseline requires a file argument")?;
                 out.baseline_override = Some(PathBuf::from(p));
             }
+            "--budget" => {
+                let p = it.next().ok_or("--budget requires a file argument")?;
+                out.budget_override = Some(PathBuf::from(p));
+            }
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => out.format = OutputFormat::Text,
                 Some("sarif") => out.format = OutputFormat::Sarif,
@@ -87,6 +101,7 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
                 None => return Err("--format requires text|sarif".to_string()),
             },
             "--fix-baseline" => out.fix_baseline = true,
+            "--fix-budget" => out.fix_budget = true,
             "--explain" => {
                 let r = it.next().ok_or("--explain requires a rule name")?;
                 out.explain = Some(r.clone());
@@ -95,10 +110,10 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
             p => out.paths.push(PathBuf::from(p)),
         }
     }
-    if out.fix_baseline && !out.paths.is_empty() {
+    if (out.fix_baseline || out.fix_budget) && !out.paths.is_empty() {
         return Err(
-            "--fix-baseline regenerates the whole-workspace baseline; \
-             explicit PATH arguments would silently drop entries"
+            "--fix-baseline/--fix-budget regenerate whole-workspace ratchet \
+             files; explicit PATH arguments would silently drop entries"
                 .to_string(),
         );
     }
@@ -159,9 +174,11 @@ fn lint_command(raw_args: &[String]) -> ExitCode {
     // The checked-in defaults may legitimately be absent (fresh checkout
     // with no waivers / no debt), but an explicitly named file must exist: a
     // typo'd path would otherwise silently disable every suppression.
-    for (flag, p) in
-        [("--allow", &args.allow_override), ("--baseline", &args.baseline_override)]
-    {
+    for (flag, p) in [
+        ("--allow", &args.allow_override),
+        ("--baseline", &args.baseline_override),
+        ("--budget", &args.budget_override),
+    ] {
         if let Some(p) = p {
             if !p.is_file() {
                 eprintln!("error: {flag} {}: no such file", p.display());
@@ -179,10 +196,7 @@ fn lint_command(raw_args: &[String]) -> ExitCode {
     };
     let baseline_path =
         args.baseline_override.clone().unwrap_or_else(|| root.join(BASELINE_FILE));
-
-    if args.fix_baseline {
-        return fix_baseline(&files, &allow_text, &baseline_path);
-    }
+    let budget_path = args.budget_override.clone().unwrap_or_else(|| root.join(BUDGET_FILE));
 
     let baseline_text = match read_gate_file(&baseline_path) {
         Ok(t) => t,
@@ -191,8 +205,22 @@ fn lint_command(raw_args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let budget_text = match read_gate_file(&budget_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
-    let report = match lint_files(&files, &allow_text, &baseline_text) {
+    if args.fix_baseline {
+        return fix_baseline(&files, &allow_text, &budget_text, &baseline_path);
+    }
+    if args.fix_budget {
+        return fix_budget(&files, &allow_text, &baseline_text, &budget_text, &budget_path);
+    }
+
+    let report = match lint_files(&files, &allow_text, &baseline_text, &budget_text) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -222,15 +250,26 @@ fn lint_command(raw_args: &[String]) -> ExitCode {
                 e.path, e.line, e.rule
             );
         }
+        for e in &report.stale_budget {
+            println!(
+                "{}:{}: error[stale-budget]: [[alloc]] entry for rule `{}` matched \
+                 nothing — the allocation moved or was fixed; rerun `lint --fix-budget` \
+                 and commit the shrunken file",
+                e.path, e.line, e.rule
+            );
+        }
         println!(
             "fedsu-xtask lint: {} file(s), {} new violation(s), {} baselined, \
-             {} suppressed, {} stale allow(s), {} stale baseline entr(ies)",
+             {} budgeted, {} suppressed, {} stale allow(s), {} stale baseline \
+             entr(ies), {} stale budget entr(ies)",
             report.files_scanned,
             report.violations.len(),
             report.baselined.len(),
+            report.budgeted.len(),
             report.suppressed.len(),
             report.unused_allows.len(),
-            report.stale_baseline.len()
+            report.stale_baseline.len(),
+            report.stale_budget.len()
         );
     }
     if report.clean() {
@@ -240,11 +279,17 @@ fn lint_command(raw_args: &[String]) -> ExitCode {
     }
 }
 
-/// `lint --fix-baseline`: lints against an empty baseline and writes every
-/// remaining (non-allow-listed) finding to `baseline_path`, deterministically
-/// sorted. Exits 0 even when findings exist — recording them is the point.
-fn fix_baseline(files: &[SourceFile], allow_text: &str, baseline_path: &Path) -> ExitCode {
-    let report = match lint_files(files, allow_text, "") {
+/// `lint --fix-baseline`: lints against an empty baseline (the alloc budget
+/// stays in force — its rules ratchet separately) and writes every remaining
+/// non-allocation finding to `baseline_path`, deterministically sorted.
+/// Exits 0 even when findings exist — recording them is the point.
+fn fix_baseline(
+    files: &[SourceFile],
+    allow_text: &str,
+    budget_text: &str,
+    baseline_path: &Path,
+) -> ExitCode {
+    let report = match lint_files(files, allow_text, "", budget_text) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -259,15 +304,73 @@ fn fix_baseline(files: &[SourceFile], allow_text: &str, baseline_path: &Path) ->
         );
         return ExitCode::FAILURE;
     }
-    let text = baseline::render(&report.violations);
+    let findings: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|d| !fedsu_xtask::rules::ALLOC_RULES.contains(&d.rule))
+        .cloned()
+        .collect();
+    let text = baseline::render(&findings);
     if let Err(e) = std::fs::write(baseline_path, &text) {
         eprintln!("error: {}: cannot write baseline: {e}", baseline_path.display());
         return ExitCode::from(2);
     }
     println!(
         "fedsu-xtask lint: baseline regenerated with {} finding(s) at {}",
-        report.violations.len(),
+        findings.len(),
         baseline_path.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `lint --fix-budget`: lints against an empty budget (the baseline stays in
+/// force) and writes every allocation-family finding to `budget_path`,
+/// carrying the existing `[runtime]` ceilings through unchanged.
+fn fix_budget(
+    files: &[SourceFile],
+    allow_text: &str,
+    baseline_text: &str,
+    budget_text: &str,
+    budget_path: &Path,
+) -> ExitCode {
+    // Preserve the hand-tuned runtime ceilings across regeneration.
+    let runtime = match budget::parse(budget_text) {
+        Ok(b) => b.runtime,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_files(files, allow_text, baseline_text, "") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !report.unused_allows.is_empty() {
+        eprintln!(
+            "error: {} stale [[allow]] entr(ies); fix {ALLOW_FILE} before regenerating \
+             the budget",
+            report.unused_allows.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let findings: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|d| fedsu_xtask::rules::ALLOC_RULES.contains(&d.rule))
+        .cloned()
+        .collect();
+    let text = budget::render(&findings, &runtime);
+    if let Err(e) = std::fs::write(budget_path, &text) {
+        eprintln!("error: {}: cannot write budget: {e}", budget_path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "fedsu-xtask lint: alloc budget regenerated with {} finding(s) at {}",
+        findings.len(),
+        budget_path.display()
     );
     ExitCode::SUCCESS
 }

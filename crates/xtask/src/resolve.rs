@@ -27,6 +27,10 @@ pub enum TypeHint {
     /// A persisted experiment record (`*Record`/`*Result`): its fields are
     /// nondeterminism-taint sinks.
     RecordLike,
+    /// A growable heap buffer (`Vec`/`VecDeque`/`String`/`Box`/`Tensor`):
+    /// cloning or growing one on a hot path is what the allocation-flow
+    /// rules audit.
+    Buffer,
     /// Anything else (including unknown).
     Other,
 }
@@ -55,6 +59,10 @@ const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 /// Lock types whose acquisition methods return scope-bound guards.
 const LOCK_TYPES: [&str; 2] = ["Mutex", "RwLock"];
 
+/// Heap-buffer types for the allocation-flow rules. `Tensor` is the
+/// workspace's owned f32 array — cloning one is a full-model copy.
+pub(crate) const BUFFER_TYPES: [&str; 5] = ["Vec", "VecDeque", "String", "Box", "Tensor"];
+
 /// `true` when `name` is a persisted-record type for taint purposes.
 fn is_record_type(name: &str) -> bool {
     name.len() > 6 && (name.ends_with("Record") || name.ends_with("Result"))
@@ -70,6 +78,8 @@ fn classify_type_name(name: &str) -> TypeHint {
         TypeHint::MapLike
     } else if LOCK_TYPES.contains(&name) {
         TypeHint::Lock
+    } else if BUFFER_TYPES.contains(&name) {
+        TypeHint::Buffer
     } else if is_record_type(name) {
         TypeHint::RecordLike
     } else {
@@ -185,6 +195,10 @@ fn hint_from_init(toks: &[crate::lexer::Token], mut at: usize, table: &SymbolTab
     let Some(t) = toks.get(at) else { return TypeHint::Other };
     match t.kind {
         TokenKind::Float => TypeHint::Float,
+        // `vec![…]` constructs a heap buffer regardless of element type.
+        TokenKind::Ident if t.is_ident("vec") && toks.get(at + 1).is_some_and(|n| n.is_punct("!")) => {
+            TypeHint::Buffer
+        }
         TokenKind::Ident => {
             let name = table.canonical(&t.text);
             let ctor = toks.get(at + 1).is_some_and(|n| n.is_punct("::"));

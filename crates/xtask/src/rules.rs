@@ -34,7 +34,13 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    fn at(src: &PreparedSource, path: &str, line: usize, rule: &'static str, message: String) -> Self {
+    pub(crate) fn at(
+        src: &PreparedSource,
+        path: &str,
+        line: usize,
+        rule: &'static str,
+        message: String,
+    ) -> Self {
         Diagnostic {
             path: path.to_string(),
             line,
@@ -46,7 +52,7 @@ impl Diagnostic {
 }
 
 /// Stable identifiers of every rule, in reporting order.
-pub const RULE_IDS: [&str; 11] = [
+pub const RULE_IDS: [&str; 14] = [
     "hash-collections",
     "wall-clock",
     "truncating-cast",
@@ -58,7 +64,14 @@ pub const RULE_IDS: [&str; 11] = [
     "lock-order",
     "channel-discipline",
     "nondeterminism-taint",
+    "hot-alloc",
+    "loop-realloc",
+    "redundant-clone",
 ];
+
+/// The allocation-flow rule families: these ratchet through
+/// `alloc-budget.toml` (see [`crate::budget`]) instead of the baseline.
+pub const ALLOC_RULES: [&str; 3] = ["hot-alloc", "loop-realloc", "redundant-clone"];
 
 /// Runs every rule over one prepared source file. `graph` supplies hot-path
 /// and worker reachability; `flow` supplies the cross-file lock-acquisition
@@ -82,6 +95,9 @@ pub fn check_all(
     out.extend(check_lock_order(path, src, graph, flow));
     out.extend(check_channel_discipline(path, src, graph, flow));
     out.extend(check_nondet_taint(path, src, flow));
+    out.extend(crate::allocflow::check_hot_alloc(path, src, graph));
+    out.extend(crate::allocflow::check_loop_realloc(path, src));
+    out.extend(crate::allocflow::check_redundant_clone(path, src));
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }

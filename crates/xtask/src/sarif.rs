@@ -32,6 +32,11 @@ fn rule_summary(id: &str) -> &'static str {
         "nondeterminism-taint" => {
             "nondeterministic value (unordered iteration, thread count, wall clock) reaches a record, wire, or float sink"
         }
+        "hot-alloc" => {
+            "allocation expression on a steady-state path reachable from the round loop"
+        }
+        "loop-realloc" => "collection grows inside a loop with no capacity reservation",
+        "redundant-clone" => "clone/to_vec of a binding that is never read again",
         _ => "fedsu-xtask lint rule",
     }
 }
@@ -53,14 +58,15 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders one SARIF `result` object.
-fn result_json(d: &Diagnostic, suppressed: bool) -> String {
-    let suppressions = if suppressed {
-        ",\"suppressions\":[{\"kind\":\"external\",\"justification\":\
-         \"baselined pre-existing finding (crates/xtask/lint-baseline.toml)\"}]"
-            .to_string()
-    } else {
-        String::new()
+/// Renders one SARIF `result` object. `suppressed_by` names the ratchet
+/// file that tolerates the finding (`None` for live violations).
+fn result_json(d: &Diagnostic, suppressed_by: Option<&str>) -> String {
+    let suppressions = match suppressed_by {
+        Some(file) => format!(
+            ",\"suppressions\":[{{\"kind\":\"external\",\"justification\":\
+             \"baselined pre-existing finding ({file})\"}}]"
+        ),
+        None => String::new(),
     };
     format!(
         "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
@@ -76,7 +82,8 @@ fn result_json(d: &Diagnostic, suppressed: bool) -> String {
 }
 
 /// Renders a full SARIF 2.1.0 log for a lint report: unsuppressed violations
-/// as plain results, baselined findings as externally-suppressed results.
+/// as plain results, baselined and budgeted findings as externally-suppressed
+/// results (naming their respective ratchet files).
 pub fn render(report: &LintReport) -> String {
     let rules: Vec<String> = RULE_IDS
         .iter()
@@ -90,8 +97,16 @@ pub fn render(report: &LintReport) -> String {
         })
         .collect();
     let mut results: Vec<String> =
-        report.violations.iter().map(|d| result_json(d, false)).collect();
-    results.extend(report.baselined.iter().map(|d| result_json(d, true)));
+        report.violations.iter().map(|d| result_json(d, None)).collect();
+    results.extend(
+        report
+            .baselined
+            .iter()
+            .map(|d| result_json(d, Some(crate::baseline::BASELINE_FILE))),
+    );
+    results.extend(
+        report.budgeted.iter().map(|d| result_json(d, Some(crate::budget::BUDGET_FILE))),
+    );
     format!(
         "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
          \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\
@@ -127,6 +142,8 @@ mod tests {
             suppressed: Vec::new(),
             unused_allows: Vec::new(),
             stale_baseline: Vec::new(),
+            budgeted: Vec::new(),
+            stale_budget: Vec::new(),
             files_scanned: 1,
         }
     }
@@ -174,6 +191,17 @@ mod tests {
         assert!(s.contains("\"ruleId\":\"no-unwrap\""));
         assert!(s.contains("\"startLine\":3"));
         assert!(s.contains("\"kind\":\"external\""), "baselined finding carries suppression");
+        assert!(s.contains("lint-baseline.toml"), "suppression names the ratchet file");
+    }
+
+    #[test]
+    fn budgeted_findings_are_suppressed_by_the_budget_file() {
+        let mut r = report(Vec::new(), Vec::new());
+        r.budgeted = vec![diag("hot-alloc", "crates/fl/src/experiment.rs", 4, "vec![0.0; n]")];
+        let s = render(&r);
+        assert_valid_json(&s);
+        assert!(s.contains("\"ruleId\":\"hot-alloc\""));
+        assert!(s.contains("alloc-budget.toml"), "suppression names the budget file: {s}");
     }
 
     #[test]

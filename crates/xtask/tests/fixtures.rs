@@ -369,6 +369,66 @@ fn taint_is_silent_on_the_ordered_matmul_accumulation_shape() {
 }
 
 #[test]
+fn hot_alloc_fires_on_the_steady_path_and_skips_setup() {
+    // Linted as the real hot-path root file so `run` seeds the steady
+    // closure.
+    let diags = lint_fixture_as("hot_alloc.rs", "crates/fl/src/experiment.rs");
+    assert_eq!(
+        sorted_findings(&diags),
+        vec![("hot-alloc", 10), ("hot-alloc", 18)],
+        "the `vec!` in `run` and the `.collect()` one hop below it; the \
+         setup-named `build_model` and the cold `debug_dump` stay silent: {diags:?}"
+    );
+    assert!(
+        diags[0].message.contains("runs every round"),
+        "the finding should explain the steady-state hazard: {:?}",
+        diags[0]
+    );
+    assert!(
+        diags[1].message.contains("step"),
+        "the transitive finding should name the hot callee: {:?}",
+        diags[1]
+    );
+}
+
+#[test]
+fn hot_alloc_is_silent_without_a_round_loop_root() {
+    // Same text under a non-root path: no roots, no steady-hot functions.
+    let diags = lint_fixture("hot_alloc.rs");
+    assert!(diags.is_empty(), "no root in scope means no hot-alloc findings: {diags:?}");
+}
+
+#[test]
+fn loop_realloc_fires_only_on_unreserved_growth() {
+    let diags = lint_fixture("loop_realloc.rs");
+    assert_eq!(
+        sorted_findings(&diags),
+        vec![("loop-realloc", 10), ("loop-realloc", 18)],
+        "only the unreserved `push` and `extend` may fire; the reserved, \
+         sized-vec, and BTreeMap shapes are all within discipline: {diags:?}"
+    );
+    assert!(
+        diags.iter().all(|d| d.message.contains("capacity reservation")),
+        "both findings should point at the missing reservation: {diags:?}"
+    );
+}
+
+#[test]
+fn redundant_clone_fires_only_on_dead_sources() {
+    let diags = lint_fixture("redundant_clone.rs");
+    assert_eq!(
+        sorted_findings(&diags),
+        vec![("redundant-clone", 9), ("redundant-clone", 14)],
+        "only the dead `payload` clone and dead `history.to_vec()` may \
+         fire; the loop-carried and still-read bindings stay silent: {diags:?}"
+    );
+    assert!(
+        diags.iter().all(|d| d.message.contains("never read again")),
+        "both findings should explain the dead source: {diags:?}"
+    );
+}
+
+#[test]
 fn every_registered_rule_explains_itself() {
     for rule in fedsu_xtask::rules::RULE_IDS {
         let text = fedsu_xtask::explain::explain(rule)
@@ -416,4 +476,26 @@ fn checked_in_baseline_parses_and_is_canonically_ordered() {
         (&a.path, a.line, &a.rule, &a.snippet).cmp(&(&b.path, b.line, &b.rule, &b.snippet))
     });
     assert_eq!(entries, sorted, "regenerate with `cargo run -p fedsu-xtask -- lint --fix-baseline`");
+}
+
+#[test]
+fn checked_in_alloc_budget_parses_and_is_canonically_ordered() {
+    let dir = option_env!("CARGO_MANIFEST_DIR").unwrap_or("crates/xtask");
+    let path = PathBuf::from(dir).join("alloc-budget.toml");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} must exist: {e}", path.display()));
+    let budget = fedsu_xtask::budget::parse(&text).expect("checked-in budget must parse");
+    assert!(
+        budget.runtime.max_round_allocs > 0 && budget.runtime.max_round_bytes > 0,
+        "the [runtime] ceilings must be real limits, not zero"
+    );
+    assert!(!budget.entries.is_empty(), "the alloc ratchet starts from the seeded findings");
+    let mut sorted = budget.entries.clone();
+    sorted.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.snippet).cmp(&(&b.path, b.line, &b.rule, &b.snippet))
+    });
+    assert_eq!(
+        budget.entries, sorted,
+        "regenerate with `cargo run -p fedsu-xtask -- lint --fix-budget`"
+    );
 }

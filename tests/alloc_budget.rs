@@ -1,0 +1,111 @@
+//! Counting-allocator cross-validation of `crates/xtask/alloc-budget.toml`.
+//!
+//! The static allocation-flow rules say *where* the round loop allocates;
+//! the `[runtime]` ceilings in the budget say *how much* it is allowed to.
+//! This test runs a small sweep with the counting `#[global_allocator]`
+//! armed (`--features alloc-stats`) and asserts that every steady round —
+//! all rounds after the first, which still pays one-time warm-up costs —
+//! stays within the checked-in ceilings. A hot-path copy regression (say,
+//! reintroducing the per-round global `.to_vec()` or the per-retransmission
+//! frame re-encode) blows the allocs ceiling long before it shows up in a
+//! wall-clock benchmark.
+//!
+//! Without the `alloc-stats` feature the allocator is the plain `System`
+//! and the counters never move; the test then only checks the plumbing
+//! (round log covers every round) and skips the ceiling assertions.
+
+// Tests and benches may unwrap: a panic here IS the failure report
+// (mirrors allow-unwrap-in-tests in clippy.toml for non-#[test] helpers).
+#![allow(clippy::unwrap_used)]
+
+use fedsu_repro::scenario::{ModelKind, Scenario, StrategyKind};
+use fedsu_repro::tensor::alloc_stats;
+
+const ROUNDS: usize = 6;
+
+/// Minimal `[runtime]` reader for `crates/xtask/alloc-budget.toml`: this
+/// test binary must not depend on the xtask crate, and the section is two
+/// `key = integer` lines.
+fn read_ceilings() -> (u64, u64) {
+    // Compile-time manifest dir under cargo; cwd (the package root under
+    // `cargo test`) otherwise.
+    let root = option_env!("CARGO_MANIFEST_DIR").unwrap_or(".");
+    let path = format!("{root}/crates/xtask/alloc-budget.toml");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path}: alloc budget must be checked in: {e}"));
+    let field = |key: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.trim().strip_prefix(key))
+            .and_then(|rest| rest.trim().strip_prefix('='))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("{path}: missing/invalid `{key}` in [runtime]"))
+    };
+    (field("max_round_allocs"), field("max_round_bytes"))
+}
+
+/// One test, not several: the alloc-stats switch and the process counters
+/// are global, so phases must run in a fixed order, and kernel threads are
+/// pinned to one so worker-pool bookkeeping never bleeds into round deltas.
+#[test]
+fn steady_rounds_stay_within_the_checked_in_budget() {
+    let (max_allocs, max_bytes) = read_ceilings();
+    fedsu_repro::tensor::set_kernel_threads(1);
+    alloc_stats::set_enabled(true);
+
+    let mut e = Scenario::new(ModelKind::Mlp)
+        .clients(4)
+        .rounds(ROUNDS)
+        .samples_per_class(16)
+        .seed(7)
+        .build(StrategyKind::FedSuCalibrated)
+        .unwrap();
+    let result = e.run(None).unwrap();
+    alloc_stats::set_enabled(false);
+
+    assert_eq!(result.rounds.len(), ROUNDS, "sweep must complete every round");
+    let rounds = alloc_stats::rounds();
+    assert_eq!(rounds.len(), ROUNDS, "round log must cover every round: {rounds:?}");
+    for (i, r) in rounds.iter().enumerate() {
+        assert_eq!(r.round, i, "round log must be in round order");
+    }
+
+    if !alloc_stats::counting_compiled() {
+        // Plain System allocator: the deltas are all zero by construction;
+        // the ceilings are meaningless without the counting feature.
+        assert!(rounds.iter().all(|r| r.allocs == 0 && r.bytes == 0));
+        eprintln!("alloc_budget: skipping ceiling assertions (alloc-stats feature off)");
+        return;
+    }
+
+    // Round 0 pays one-time warm-up (lazy buffers reaching their final
+    // capacity, checkpoint init); every later round is steady state and
+    // must fit the budget.
+    for r in rounds.iter().skip(1) {
+        assert!(
+            r.allocs <= max_allocs,
+            "round {} made {} allocations, budget allows {max_allocs} \
+             (crates/xtask/alloc-budget.toml [runtime]); a hot-path copy \
+             crept back in",
+            r.round,
+            r.allocs
+        );
+        assert!(
+            r.bytes <= max_bytes,
+            "round {} requested {} bytes, budget allows {max_bytes} \
+             (crates/xtask/alloc-budget.toml [runtime])",
+            r.round,
+            r.bytes
+        );
+    }
+
+    // The scratch-buffer reuse in the round loop means steady-state traffic
+    // must not trend upward: the last steady round may not allocate more
+    // than double the first steady round (generous — catches only genuine
+    // per-round leaks, not jitter from eval rounds).
+    let first = &rounds[1];
+    let last = &rounds[ROUNDS - 1];
+    assert!(
+        last.allocs <= first.allocs.saturating_mul(2),
+        "per-round allocation count is trending upward: {first:?} -> {last:?}"
+    );
+}
