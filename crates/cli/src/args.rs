@@ -133,18 +133,18 @@ fn parse_strategy(s: &str) -> Result<StrategyKind, ParseError> {
     }
 }
 
-fn collect_flags(args: &[String]) -> Result<BTreeMap<String, String>, ParseError> {
+fn collect_flags(args: Vec<String>) -> Result<BTreeMap<String, String>, ParseError> {
     let mut flags = BTreeMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        let key = args[i]
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let key = arg
             .strip_prefix("--")
-            .ok_or_else(|| ParseError(format!("expected a --flag, got `{}`", args[i])))?;
+            .ok_or_else(|| ParseError(format!("expected a --flag, got `{arg}`")))?
+            .to_string();
         let value = args
-            .get(i + 1)
+            .next()
             .ok_or_else(|| ParseError(format!("flag --{key} needs a value")))?;
-        flags.insert(key.to_string(), value.clone());
-        i += 2;
+        flags.insert(key, value);
     }
     Ok(flags)
 }
@@ -212,17 +212,19 @@ fn run_args(flags: &BTreeMap<String, String>) -> Result<RunArgs, ParseError> {
 /// # Errors
 ///
 /// Returns a [`ParseError`] with a user-facing message.
-pub fn parse(args: &[String]) -> Result<Command, ParseError> {
-    let Some(cmd) = args.first() else {
+pub fn parse(mut args: Vec<String>) -> Result<Command, ParseError> {
+    if args.is_empty() {
         return Ok(Command::Help);
-    };
+    }
+    let rest = args.split_off(1);
+    let cmd = args.pop().unwrap_or_default();
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "info" => Ok(Command::Info),
-        "run" => Ok(Command::Run(run_args(&collect_flags(&args[1..])?)?)),
-        "compare" => Ok(Command::Compare(run_args(&collect_flags(&args[1..])?)?)),
+        "run" => Ok(Command::Run(run_args(&collect_flags(rest)?)?)),
+        "compare" => Ok(Command::Compare(run_args(&collect_flags(rest)?)?)),
         "sweep" => {
-            let flags = collect_flags(&args[1..])?;
+            let flags = collect_flags(rest)?;
             let base = run_args(&flags)?;
             let param = match flags.get("param").map(String::as_str) {
                 Some("t_r") | Some("tr") => SweepParam::TR,
@@ -255,19 +257,19 @@ mod tests {
 
     #[test]
     fn empty_is_help() {
-        assert_eq!(parse(&[]).unwrap(), Command::Help);
-        assert_eq!(parse(&s(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse(Vec::new()).unwrap(), Command::Help);
+        assert_eq!(parse(s(&["--help"])).unwrap(), Command::Help);
     }
 
     #[test]
     fn run_with_defaults() {
-        let cmd = parse(&s(&["run"])).unwrap();
+        let cmd = parse(s(&["run"])).unwrap();
         assert_eq!(cmd, Command::Run(RunArgs::default()));
     }
 
     #[test]
     fn run_with_flags() {
-        let cmd = parse(&s(&["run", "--model", "mlp", "--strategy", "apf", "--rounds", "5", "--seed", "9"])).unwrap();
+        let cmd = parse(s(&["run", "--model", "mlp", "--strategy", "apf", "--rounds", "5", "--seed", "9"])).unwrap();
         match cmd {
             Command::Run(a) => {
                 assert_eq!(a.model, ModelKind::Mlp);
@@ -281,7 +283,7 @@ mod tests {
 
     #[test]
     fn sweep_parses_values() {
-        let cmd = parse(&s(&["sweep", "--model", "mlp", "--param", "t_s", "--values", "1,10,100"])).unwrap();
+        let cmd = parse(s(&["sweep", "--model", "mlp", "--param", "t_s", "--values", "1,10,100"])).unwrap();
         match cmd {
             Command::Sweep { param, values, .. } => {
                 assert_eq!(param, SweepParam::TS);
@@ -293,7 +295,7 @@ mod tests {
 
     #[test]
     fn fault_flags_parse() {
-        let cmd = parse(&s(&[
+        let cmd = parse(s(&[
             "run",
             "--fault-dropout",
             "0.15",
@@ -319,7 +321,7 @@ mod tests {
 
     #[test]
     fn wire_fault_flags_parse_and_default_to_zero() {
-        let cmd = parse(&s(&[
+        let cmd = parse(s(&[
             "run",
             "--wire-drop",
             "0.1",
@@ -349,33 +351,33 @@ mod tests {
             (0.0, 0.0, 0.0, 0.0, 0.0)
         );
         // Wire knobs are probabilities too.
-        assert!(parse(&s(&["run", "--wire-drop", "2.0"])).unwrap_err().0.contains("probability"));
-        assert!(parse(&s(&["run", "--wire-delay", "-1"])).unwrap_err().0.contains("probability"));
+        assert!(parse(s(&["run", "--wire-drop", "2.0"])).unwrap_err().0.contains("probability"));
+        assert!(parse(s(&["run", "--wire-delay", "-1"])).unwrap_err().0.contains("probability"));
     }
 
     #[test]
     fn fault_probabilities_are_range_checked() {
-        assert!(parse(&s(&["run", "--fault-dropout", "1.5"]))
+        assert!(parse(s(&["run", "--fault-dropout", "1.5"]))
             .unwrap_err()
             .0
             .contains("probability"));
-        assert!(parse(&s(&["run", "--fault-corrupt", "-0.1"]))
+        assert!(parse(s(&["run", "--fault-corrupt", "-0.1"]))
             .unwrap_err()
             .0
             .contains("probability"));
-        assert!(parse(&s(&["run", "--fault-dropout", "nan"])).is_err());
+        assert!(parse(s(&["run", "--fault-dropout", "nan"])).is_err());
     }
 
     #[test]
     fn kernel_threads_flag_parses() {
-        let cmd = parse(&s(&["run", "--kernel-threads", "4"])).unwrap();
+        let cmd = parse(s(&["run", "--kernel-threads", "4"])).unwrap();
         match cmd {
             Command::Run(a) => assert_eq!(a.kernel_threads, 4),
             other => panic!("{other:?}"),
         }
         // Default is auto-detect.
         assert_eq!(RunArgs::default().kernel_threads, 0);
-        assert!(parse(&s(&["run", "--kernel-threads", "lots"]))
+        assert!(parse(s(&["run", "--kernel-threads", "lots"]))
             .unwrap_err()
             .0
             .contains("kernel-threads"));
@@ -383,11 +385,11 @@ mod tests {
 
     #[test]
     fn errors_are_friendly() {
-        assert!(parse(&s(&["frobnicate"])).unwrap_err().0.contains("unknown command"));
-        assert!(parse(&s(&["run", "--model", "vgg"])).unwrap_err().0.contains("unknown model"));
-        assert!(parse(&s(&["run", "--rounds"])).unwrap_err().0.contains("needs a value"));
-        assert!(parse(&s(&["sweep", "--values", "1"])).unwrap_err().0.contains("--param"));
-        assert!(parse(&s(&["sweep", "--param", "t_r"])).unwrap_err().0.contains("--values"));
-        assert!(parse(&s(&["run", "--bogus", "1"])).unwrap_err().0.contains("unknown flag"));
+        assert!(parse(s(&["frobnicate"])).unwrap_err().0.contains("unknown command"));
+        assert!(parse(s(&["run", "--model", "vgg"])).unwrap_err().0.contains("unknown model"));
+        assert!(parse(s(&["run", "--rounds"])).unwrap_err().0.contains("needs a value"));
+        assert!(parse(s(&["sweep", "--values", "1"])).unwrap_err().0.contains("--param"));
+        assert!(parse(s(&["sweep", "--param", "t_r"])).unwrap_err().0.contains("--values"));
+        assert!(parse(s(&["run", "--bogus", "1"])).unwrap_err().0.contains("unknown flag"));
     }
 }

@@ -185,7 +185,7 @@ fn info() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let command = match parse(&args) {
+    let command = match parse(args) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");

@@ -87,18 +87,33 @@ impl FedSuCoarse {
         if self.n_params != n_params {
             self.n_params = n_params;
             let chunks = self.n_chunks();
-            self.predictable = vec![false; chunks];
-            self.no_check_len = vec![0; chunks];
-            self.no_check_remaining = vec![0; chunks];
-            self.ema = vec![EmaPair::default(); chunks];
-            self.obs = vec![0; chunks];
-            self.predictable_rounds = vec![0; chunks];
-            self.slope = vec![0.0; n_params];
-            self.prev_update = vec![0.0; n_params];
+            // Resize in place: steady rounds with a stable model never
+            // reallocate, and a size change reuses whatever capacity the
+            // old vectors already held.
+            self.predictable.clear();
+            self.predictable.resize(chunks, false);
+            self.no_check_len.clear();
+            self.no_check_len.resize(chunks, 0);
+            self.no_check_remaining.clear();
+            self.no_check_remaining.resize(chunks, 0);
+            self.ema.clear();
+            self.ema.resize_with(chunks, EmaPair::default);
+            self.obs.clear();
+            self.obs.resize(chunks, 0);
+            self.predictable_rounds.clear();
+            self.predictable_rounds.resize(chunks, 0);
+            self.slope.clear();
+            self.slope.resize(n_params, 0.0);
+            self.prev_update.clear();
+            self.prev_update.resize(n_params, 0.0);
         }
         let chunks = self.n_chunks();
         if self.errors.len() != n_clients || self.errors.first().is_some_and(|e| e.len() != chunks) {
-            self.errors = vec![vec![0.0; chunks]; n_clients];
+            self.errors.resize_with(n_clients, Vec::new);
+            for e in &mut self.errors {
+                e.clear();
+                e.resize(chunks, 0.0);
+            }
         }
     }
 }

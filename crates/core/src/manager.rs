@@ -359,18 +359,33 @@ impl FedSu {
 
     fn ensure_capacity(&mut self, n_params: usize, n_clients: usize) {
         if self.predictable.len() != n_params {
-            self.predictable = vec![false; n_params];
-            self.slope = vec![0.0; n_params];
-            self.no_check_len = vec![0; n_params];
-            self.no_check_remaining = vec![0; n_params];
-            self.prev_update = vec![0.0; n_params];
-            self.ema = vec![EmaPair::default(); n_params];
-            self.obs = vec![0; n_params];
-            self.predictable_rounds = vec![0; n_params];
+            // Resize in place: steady rounds with a stable model never
+            // reallocate, and a size change reuses existing capacity.
+            self.predictable.clear();
+            self.predictable.resize(n_params, false);
+            self.slope.clear();
+            self.slope.resize(n_params, 0.0);
+            self.no_check_len.clear();
+            self.no_check_len.resize(n_params, 0);
+            self.no_check_remaining.clear();
+            self.no_check_remaining.resize(n_params, 0);
+            self.prev_update.clear();
+            self.prev_update.resize(n_params, 0.0);
+            self.ema.clear();
+            self.ema.resize_with(n_params, EmaPair::default);
+            self.obs.clear();
+            self.obs.resize(n_params, 0);
+            self.predictable_rounds.clear();
+            self.predictable_rounds.resize(n_params, 0);
         }
         if self.errors.len() != n_clients || self.errors.first().is_some_and(|e| e.len() != n_params) {
-            self.errors = vec![vec![0.0; n_params]; n_clients];
-            self.prev_active = vec![false; n_clients];
+            self.errors.resize_with(n_clients, Vec::new);
+            for e in &mut self.errors {
+                e.clear();
+                e.resize(n_params, 0.0);
+            }
+            self.prev_active.clear();
+            self.prev_active.resize(n_clients, false);
         }
     }
 
@@ -380,7 +395,8 @@ impl FedSu {
     /// accumulator must not poison the feedback signal `S`.
     fn resync_rejoiners(&mut self, active: &[bool]) {
         if self.prev_active.len() != active.len() {
-            self.prev_active = vec![false; active.len()];
+            self.prev_active.clear();
+            self.prev_active.resize(active.len(), false);
         }
         for (i, &act) in active.iter().enumerate() {
             if act && !self.prev_active[i] {

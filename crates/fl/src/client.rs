@@ -143,6 +143,13 @@ impl Client {
         flatten_params(&self.model)
     }
 
+    /// Copies the flattened local parameters into `out`, reusing its
+    /// allocation — the steady-round upload-staging counterpart of
+    /// [`Client::local_params`].
+    pub fn local_params_into(&self, out: &mut Vec<f32>) {
+        fedsu_nn::flat::flatten_params_into(&self.model, out);
+    }
+
     /// Shared access to the underlying model (e.g. for evaluation probes).
     pub fn model(&self) -> &Sequential {
         &self.model

@@ -30,6 +30,21 @@ pub enum FlError {
     },
 }
 
+impl FlError {
+    /// Builds [`FlError::BadConfig`] out of line, so the round loop's hot
+    /// path carries no formatting machinery.
+    #[cold]
+    pub(crate) fn new_bad_config(args: fmt::Arguments<'_>) -> Self {
+        FlError::BadConfig(args.to_string())
+    }
+
+    /// Builds [`FlError::StrategyContract`] out of line (cold error path).
+    #[cold]
+    pub(crate) fn new_strategy_contract(args: fmt::Arguments<'_>) -> Self {
+        FlError::StrategyContract(args.to_string())
+    }
+}
+
 impl fmt::Display for FlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

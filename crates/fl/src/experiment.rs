@@ -165,6 +165,34 @@ impl ExperimentConfig {
     }
 }
 
+/// Reusable per-round buffers for [`Experiment::run`]: every vector is
+/// cleared and refilled in place each round, so the steady-state loop
+/// performs no per-round allocations for its bookkeeping. The refilled
+/// values are identical to what fresh allocations would hold, which keeps
+/// zero-fault records bit-for-bit reproducible.
+#[derive(Default)]
+struct RoundScratch {
+    avail: Vec<bool>,
+    active: Vec<bool>,
+    was_active: Vec<bool>,
+    download_bytes: Vec<u64>,
+    train_results: Vec<Result<f32>>,
+    returned: Vec<bool>,
+    train_losses: Vec<f32>,
+    tx_attempts: Vec<u32>,
+    locals: Vec<Vec<f32>>,
+    upload_bytes: Vec<u64>,
+    compute: Vec<f64>,
+    time_factor: Vec<f64>,
+    extra_secs: Vec<f64>,
+    valid: Vec<bool>,
+    update_norm: Vec<f32>,
+    finite_norms: Vec<f32>,
+    survivors: Vec<usize>,
+    agg_active: Vec<bool>,
+    global_snapshot: Vec<f32>,
+}
+
 /// An assembled experiment, ready to run.
 pub struct Experiment {
     config: ExperimentConfig,
@@ -274,18 +302,21 @@ impl Experiment {
         let mut sim_time = 0.0f64;
         // Round-0 download: every client pulls the full initial model.
         let mut prev_broadcast_scalars = total;
-        let mut was_active = vec![false; n];
-        let mut checkpoint: Option<Vec<f32>> = if defense.enabled && defense.rollback {
-            Some(self.server.global().to_vec())
-        } else {
-            None
-        };
+        let mut checkpoint: Option<Vec<f32>> = None;
+        if defense.enabled && defense.rollback {
+            let mut cp: Vec<f32> = Vec::with_capacity(total);
+            cp.extend_from_slice(self.server.global());
+            checkpoint = Some(cp);
+        }
         let mut barren_streak = 0usize;
-        // Round-scoped scratch for the pre-aggregation global snapshot:
-        // refilled in place every round so the steady-state loop does not
-        // reallocate it (the values each round are identical to a fresh
-        // `to_vec`, keeping zero-fault records bit-for-bit).
-        let mut global_snapshot = vec![0.0f32; total];
+        // All per-round bookkeeping lives in one scratch block, refilled in
+        // place every round. The reservations below pre-size the variable-
+        // length members once so nothing in the loop grows past capacity.
+        let mut scratch = RoundScratch::default();
+        scratch.was_active.resize(n, false);
+        scratch.global_snapshot.resize(total, 0.0);
+        scratch.survivors.reserve(n);
+        scratch.finite_norms.reserve(n);
         // Per-round allocation attribution (FEDSU_ALLOC_STATS): re-base the
         // process counters so each round's delta lands in the alloc_stats
         // round log. Reporting only — never touches records or sim-time.
@@ -295,18 +326,28 @@ impl Experiment {
         }
 
         for round in 0..self.config.rounds {
-            let avail: Vec<bool> = (0..n)
-                .map(|i| self.config.availability.as_ref().map_or(true, |f| f(i, round)))
-                .collect();
+            scratch.avail.clear();
+            scratch.avail.resize(n, true);
+            if let Some(f) = self.config.availability.as_ref() {
+                for (i, a) in scratch.avail.iter_mut().enumerate() {
+                    *a = f(i, round);
+                }
+            }
             // Crashed clients are unavailable until their down-window ends;
             // on rejoin they pay the dynamicity catch-up download below.
-            let active: Vec<bool> = avail
+            scratch.active.clear();
+            scratch.active.resize(n, false);
+            for (i, (act, &a)) in
+                scratch.active.iter_mut().zip(&scratch.avail).enumerate()
+            {
+                *act = a && !faults.crashed(i, round);
+            }
+            let mut dropped = scratch
+                .avail
                 .iter()
-                .enumerate()
-                .map(|(i, &a)| a && !faults.crashed(i, round))
-                .collect();
-            let mut dropped =
-                avail.iter().zip(&active).filter(|&(&a, &act)| a && !act).count();
+                .zip(&scratch.active)
+                .filter(|&(&a, &act)| a && !act)
+                .count();
             let mut quarantined = 0usize;
             let mut rollbacks = 0usize;
 
@@ -315,9 +356,13 @@ impl Experiment {
             let join_state_bytes = self.strategy.join_state().map_or(0, |s| {
                 u64::try_from(s.len()).expect("join-state size fits in u64 on supported targets")
             });
-            let mut download_bytes = vec![0u64; n];
-            for ((db, &is_active), &was) in
-                download_bytes.iter_mut().zip(&active).zip(&was_active)
+            scratch.download_bytes.clear();
+            scratch.download_bytes.resize(n, 0);
+            for ((db, &is_active), &was) in scratch
+                .download_bytes
+                .iter_mut()
+                .zip(&scratch.active)
+                .zip(&scratch.was_active)
             {
                 if is_active {
                     *db = scalars_to_bytes(prev_broadcast_scalars);
@@ -331,16 +376,27 @@ impl Experiment {
 
             // 1+2. Pull current global and train locally, in parallel, with
             // per-client panic capture.
-            global_snapshot.copy_from_slice(self.server.global());
-            let train_results = train_all(&mut self.clients, &active, &global_snapshot, round);
+            scratch.global_snapshot.copy_from_slice(self.server.global());
+            train_all(
+                &mut self.clients,
+                &scratch.active,
+                &scratch.global_snapshot,
+                round,
+                &mut scratch.train_results,
+            );
 
             // `returned[i]`: client i delivered an upload this round.
-            let mut returned = active.clone();
-            let mut train_losses = vec![0.0f32; n];
-            for ((res, loss_slot), ret) in
-                train_results.into_iter().zip(train_losses.iter_mut()).zip(returned.iter_mut())
+            scratch.returned.clear();
+            scratch.returned.extend_from_slice(&scratch.active);
+            scratch.train_losses.clear();
+            scratch.train_losses.resize(n, 0.0);
+            for ((res, loss_slot), ret) in scratch
+                .train_results
+                .iter_mut()
+                .zip(scratch.train_losses.iter_mut())
+                .zip(scratch.returned.iter_mut())
             {
-                match res {
+                match std::mem::replace(res, Ok(0.0)) {
                     Ok(loss) => *loss_slot = loss,
                     Err(FlError::ClientFailed { .. }) if defense.enabled => {
                         *ret = false;
@@ -352,9 +408,13 @@ impl Experiment {
 
             // Mid-round dropouts and lossy uploads.
             let retries = if defense.enabled { defense.max_retries } else { 0 };
-            let mut tx_attempts = vec![1u32; n];
-            for (i, (ret, att)) in
-                returned.iter_mut().zip(tx_attempts.iter_mut()).enumerate()
+            scratch.tx_attempts.clear();
+            scratch.tx_attempts.resize(n, 1);
+            for (i, (ret, att)) in scratch
+                .returned
+                .iter_mut()
+                .zip(scratch.tx_attempts.iter_mut())
+                .enumerate()
             {
                 if !*ret {
                     continue;
@@ -373,10 +433,12 @@ impl Experiment {
                 }
             }
 
-            if !returned.iter().any(|&r| r) {
+            if !scratch.returned.iter().any(|&r| r) {
                 // Nobody delivered an upload this round.
                 if !defense.enabled {
-                    return Err(FlError::BadConfig(format!("no active clients in round {round}")));
+                    return Err(FlError::new_bad_config(format_args!(
+                        "no active clients in round {round}"
+                    )));
                 }
                 barren_streak += 1;
                 if barren_streak > defense.max_barren_rounds {
@@ -390,11 +452,11 @@ impl Experiment {
                     } else {
                         (None, None)
                     };
-                let n_active = active.iter().filter(|&&a| a).count();
+                let n_active = scratch.active.iter().filter(|&&a| a).count();
                 let train_loss = if n_active == 0 {
                     0.0
                 } else {
-                    train_losses.iter().sum::<f32>() / n_active as f32
+                    scratch.train_losses.iter().sum::<f32>() / n_active as f32
                 };
                 let record = RoundRecord {
                     round,
@@ -404,7 +466,7 @@ impl Experiment {
                     test_loss,
                     train_loss,
                     sparsification_ratio: 1.0,
-                    bytes: download_bytes.iter().sum(),
+                    bytes: scratch.download_bytes.iter().sum(),
                     participants: 0,
                     dropped,
                     quarantined: 0,
@@ -415,59 +477,75 @@ impl Experiment {
                     h(&record, self.server.global());
                 }
                 records.push(record);
-                was_active = active;
+                std::mem::swap(&mut scratch.was_active, &mut scratch.active);
                 continue;
             }
 
             // 3. Collect local parameters (clients whose upload never arrives
             // contribute the unchanged global; they are never aggregated).
             // Corruption hits the payload after training, on the wire.
-            let locals: Vec<Vec<f32>> = self
-                .clients
-                .iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    if returned[i] {
-                        let mut p = c.local_params();
-                        if faults.corrupts(i, round) {
-                            faults.corrupt_upload(i, round, &mut p);
-                        }
-                        p
-                    } else {
-                        global_snapshot.clone()
+            scratch.locals.resize_with(n, Vec::new);
+            for (i, (slot, c)) in
+                scratch.locals.iter_mut().zip(&self.clients).enumerate()
+            {
+                if scratch.returned[i] {
+                    c.local_params_into(slot);
+                    if faults.corrupts(i, round) {
+                        faults.corrupt_upload(i, round, slot);
                     }
-                })
-                .collect();
+                } else {
+                    slot.clear();
+                    slot.extend_from_slice(&scratch.global_snapshot);
+                }
+            }
 
             // 4. Strategy phase A: upload volumes.
-            let upload_scalars = self.strategy.prepare_uploads(round, &locals, &global_snapshot);
+            let upload_scalars =
+                self.strategy.prepare_uploads(round, &scratch.locals, &scratch.global_snapshot);
             if upload_scalars.len() != n {
-                return Err(FlError::StrategyContract(format!(
+                return Err(FlError::new_strategy_contract(format_args!(
                     "prepare_uploads returned {} entries for {} clients",
                     upload_scalars.len(),
                     n
                 )));
             }
-            let upload_bytes: Vec<u64> = upload_scalars.iter().map(|&s| s * crate::BYTES_PER_SCALAR).collect();
+            scratch.upload_bytes.clear();
+            scratch.upload_bytes.resize(n, 0);
+            for (b, &s) in scratch.upload_bytes.iter_mut().zip(&upload_scalars) {
+                *b = s * crate::BYTES_PER_SCALAR;
+            }
 
             // 5. Emulated timing + earliest-K selection, with slowdown
             // multipliers and retry backoff charged to each client's clock.
-            let compute: Vec<f64> = returned
-                .iter()
-                .map(|&a| if a { self.config.compute_secs } else { 0.0 })
-                .collect();
-            let time_factor: Vec<f64> =
-                (0..n).map(|i| if returned[i] { faults.slowdown(i, round) } else { 1.0 }).collect();
-            let extra_secs: Vec<f64> = (0..n)
-                .map(|i| defense.retry_backoff_secs * f64::from(tx_attempts[i] - 1))
-                .collect();
+            scratch.compute.clear();
+            scratch.compute.resize(n, 0.0);
+            scratch.time_factor.clear();
+            scratch.time_factor.resize(n, 1.0);
+            scratch.extra_secs.clear();
+            scratch.extra_secs.resize(n, 0.0);
+            for (i, ((comp, tf), extra)) in scratch
+                .compute
+                .iter_mut()
+                .zip(scratch.time_factor.iter_mut())
+                .zip(scratch.extra_secs.iter_mut())
+                .enumerate()
+            {
+                if scratch.returned[i] {
+                    *comp = self.config.compute_secs;
+                    *tf = faults.slowdown(i, round);
+                }
+                *extra = defense.retry_backoff_secs * f64::from(scratch.tx_attempts[i] - 1);
+            }
             let timing = self.timer.round_faulty(
                 round,
-                &compute,
-                &upload_bytes,
-                &download_bytes,
-                &returned,
-                FaultPenalties { time_factor: &time_factor, extra_secs: &extra_secs },
+                &scratch.compute,
+                &scratch.upload_bytes,
+                &scratch.download_bytes,
+                &scratch.returned,
+                FaultPenalties {
+                    time_factor: &scratch.time_factor,
+                    extra_secs: &scratch.extra_secs,
+                },
             );
 
             let mut selected = timing.selected.clone();
@@ -484,25 +562,34 @@ impl Experiment {
             // Server-side validation: quarantine non-finite and norm-outlier
             // uploads before they can reach aggregation (or a stateful
             // strategy's per-client accumulators).
-            let valid = if defense.enabled {
-                let (valid, n_quarantined) = validate_uploads(
-                    &locals,
-                    &global_snapshot,
-                    &returned,
+            if defense.enabled {
+                quarantined += validate_uploads_into(
+                    &scratch.locals,
+                    &scratch.global_snapshot,
+                    &scratch.returned,
                     defense.outlier_norm_factor,
+                    &mut scratch.valid,
+                    &mut scratch.update_norm,
+                    &mut scratch.finite_norms,
                 );
-                quarantined += n_quarantined;
-                valid
             } else {
-                returned.clone()
-            };
-            let survivors: Vec<usize> = selected.iter().copied().filter(|&i| valid[i]).collect();
-            let agg_active: Vec<bool> = (0..n).map(|i| returned[i] && valid[i]).collect();
+                scratch.valid.clear();
+                scratch.valid.extend_from_slice(&scratch.returned);
+            }
+            scratch.survivors.clear();
+            scratch
+                .survivors
+                .extend(selected.iter().copied().filter(|&i| scratch.valid[i]));
+            scratch.agg_active.clear();
+            scratch.agg_active.resize(n, false);
+            for (i, agg) in scratch.agg_active.iter_mut().enumerate() {
+                *agg = scratch.returned[i] && scratch.valid[i];
+            }
 
             // 6. Strategy phase B: aggregate the surviving set into the new
             // global (or hold the global on a barren round).
             let mut outcome;
-            if survivors.is_empty() {
+            if scratch.survivors.is_empty() {
                 barren_streak += 1;
                 if barren_streak > defense.max_barren_rounds {
                     return Err(FlError::QuarantineExhausted { round });
@@ -516,9 +603,9 @@ impl Experiment {
                 barren_streak = 0;
                 outcome = self.strategy.aggregate(
                     round,
-                    &locals,
-                    &survivors,
-                    &agg_active,
+                    &scratch.locals,
+                    &scratch.survivors,
+                    &scratch.agg_active,
                     self.server.global_mut(),
                 );
                 if self.server.global().iter().any(|v| !v.is_finite()) {
@@ -542,18 +629,19 @@ impl Experiment {
             // wire bytes: a payload delivered on attempt `a` cost `a` sends.
             sim_time += duration;
             let upload_wire: u64 = (0..n)
-                .filter(|&i| returned[i])
-                .map(|i| bytes_with_retries(upload_bytes[i], tx_attempts[i]))
+                .filter(|&i| scratch.returned[i])
+                .map(|i| bytes_with_retries(scratch.upload_bytes[i], scratch.tx_attempts[i]))
                 .sum();
-            let retransmitted_bytes: u64 = returned
+            let retransmitted_bytes: u64 = scratch
+                .returned
                 .iter()
-                .zip(&upload_bytes)
-                .zip(&tx_attempts)
+                .zip(&scratch.upload_bytes)
+                .zip(&scratch.tx_attempts)
                 .filter(|((&r, _), _)| r)
                 .map(|((_, &b), &a)| crate::message::retransmitted_bytes(b, a))
                 .sum();
             let bytes: u64 = upload_wire
-                .checked_add(download_bytes.iter().sum::<u64>())
+                .checked_add(scratch.download_bytes.iter().sum::<u64>())
                 .expect("round wire total fits in u64: both directions are bounded by model size");
 
             // Runtime invariant guards (armed by FEDSU_CHECK_INVARIANTS=1):
@@ -571,12 +659,19 @@ impl Experiment {
                     "invariant violation [sim-time]: cumulative sim time became \
                      non-finite at round {round}"
                 );
-                let aggregated_bytes: u64 = survivors.iter().map(|&i| upload_bytes[i]).sum();
-                let quarantined_bytes: u64 =
-                    (0..n).filter(|&i| returned[i] && !valid[i]).map(|i| upload_bytes[i]).sum();
+                let aggregated_bytes: u64 =
+                    scratch.survivors.iter().map(|&i| scratch.upload_bytes[i]).sum();
+                let quarantined_bytes: u64 = (0..n)
+                    .filter(|&i| scratch.returned[i] && !scratch.valid[i])
+                    .map(|i| scratch.upload_bytes[i])
+                    .sum();
                 let late_bytes: u64 = (0..n)
-                    .filter(|&i| returned[i] && valid[i] && !survivors.contains(&i))
-                    .map(|i| upload_bytes[i])
+                    .filter(|&i| {
+                        scratch.returned[i]
+                            && scratch.valid[i]
+                            && !scratch.survivors.contains(&i)
+                    })
+                    .map(|i| scratch.upload_bytes[i])
                     .sum();
                 let decomposed_bytes = aggregated_bytes
                     .checked_add(quarantined_bytes)
@@ -597,8 +692,12 @@ impl Experiment {
             } else {
                 (None, None)
             };
-            let n_active = active.iter().filter(|&&a| a).count();
-            let train_loss = if n_active == 0 { 0.0 } else { train_losses.iter().sum::<f32>() / n_active as f32 };
+            let n_active = scratch.active.iter().filter(|&&a| a).count();
+            let train_loss = if n_active == 0 {
+                0.0
+            } else {
+                scratch.train_losses.iter().sum::<f32>() / n_active as f32
+            };
 
             let record = RoundRecord {
                 round,
@@ -609,7 +708,7 @@ impl Experiment {
                 train_loss,
                 sparsification_ratio: 1.0 - outcome.synced_scalars as f64 / outcome.total_scalars.max(1) as f64,
                 bytes,
-                participants: survivors.len(),
+                participants: scratch.survivors.len(),
                 dropped,
                 quarantined,
                 retransmitted_bytes,
@@ -619,7 +718,7 @@ impl Experiment {
                 h(&record, self.server.global());
             }
             records.push(record);
-            was_active = active;
+            std::mem::swap(&mut scratch.was_active, &mut scratch.active);
             if alloc_trace {
                 fedsu_tensor::alloc_stats::mark_round(round);
             }
@@ -646,18 +745,26 @@ impl Experiment {
 ///
 /// An upload is quarantined when it contains a non-finite scalar, or when
 /// its L2 update norm (`‖local − global‖`) exceeds `outlier_norm_factor`
-/// times the lower median of the round's finite update norms. Returns the
-/// per-client validity mask and the number of quarantined uploads.
-fn validate_uploads(
+/// times the lower median of the round's finite update norms. Fills `valid`
+/// with the per-client validity mask (reusing the caller's buffers, so the
+/// round loop performs no allocation here) and returns the number of
+/// quarantined uploads.
+fn validate_uploads_into(
     locals: &[Vec<f32>],
     global: &[f32],
     returned: &[bool],
     outlier_norm_factor: f32,
-) -> (Vec<bool>, usize) {
+    valid: &mut Vec<bool>,
+    update_norm: &mut Vec<f32>,
+    finite_norms: &mut Vec<f32>,
+) -> usize {
     let n = locals.len();
-    let mut valid = returned.to_vec();
-    let mut update_norm = vec![0.0f32; n];
-    let mut finite_norms: Vec<f32> = Vec::with_capacity(n);
+    valid.clear();
+    valid.extend_from_slice(returned);
+    update_norm.clear();
+    update_norm.resize(n, 0.0);
+    finite_norms.clear();
+    finite_norms.reserve(n);
     for ((local, &ret), (v, norm)) in locals
         .iter()
         .zip(returned)
@@ -694,13 +801,36 @@ fn validate_uploads(
             .copied()
             .unwrap_or(f32::INFINITY)
             .max(1e-6);
-        for (v, &norm) in valid.iter_mut().zip(&update_norm) {
+        for (v, &norm) in valid.iter_mut().zip(update_norm.iter()) {
             if *v && norm > outlier_norm_factor * median {
                 *v = false;
             }
         }
     }
-    let quarantined = returned.iter().zip(&valid).filter(|&(&r, &v)| r && !v).count();
+    returned.iter().zip(valid.iter()).filter(|&(&r, &v)| r && !v).count()
+}
+
+/// Allocating wrapper over [`validate_uploads_into`], kept for the unit
+/// tests' convenience.
+#[cfg(test)]
+fn validate_uploads(
+    locals: &[Vec<f32>],
+    global: &[f32],
+    returned: &[bool],
+    outlier_norm_factor: f32,
+) -> (Vec<bool>, usize) {
+    let mut valid = Vec::new();
+    let mut update_norm = Vec::new();
+    let mut finite_norms = Vec::new();
+    let quarantined = validate_uploads_into(
+        locals,
+        global,
+        returned,
+        outlier_norm_factor,
+        &mut valid,
+        &mut update_norm,
+        &mut finite_norms,
+    );
     (valid, quarantined)
 }
 
@@ -718,13 +848,22 @@ fn train_one(client: &mut Client, id: usize, global: &[f32], round: usize) -> Re
 }
 
 /// Trains every active client for one round, spreading clients across
-/// available cores with crossbeam scoped threads. Returns one result per
-/// client: `Ok(mean training loss)` (0.0 for inactive clients) or the
-/// client's individual failure — a panicking client never aborts the
-/// process.
-fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usize) -> Vec<Result<f32>> {
+/// available cores with crossbeam scoped threads. Fills `out` — reusing its
+/// allocation — with one result per client: `Ok(mean training loss)` (0.0
+/// for inactive clients) or the client's individual failure — a panicking
+/// client never aborts the process. Each worker thread writes straight into
+/// its disjoint chunk of `out`, so the fan-out stages no per-thread result
+/// buffers.
+fn train_all(
+    clients: &mut [Client],
+    active: &[bool],
+    global: &[f32],
+    round: usize,
+    out: &mut Vec<Result<f32>>,
+) {
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(clients.len().max(1));
-    let mut out: Vec<Result<f32>> = (0..clients.len()).map(|_| Ok(0.0f32)).collect();
+    out.clear();
+    out.resize_with(clients.len(), || Ok(0.0f32));
 
     if threads <= 1 {
         for (i, ((client, slot), &is_active)) in
@@ -734,7 +873,7 @@ fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usi
                 *slot = train_one(client, i, global, round);
             }
         }
-        return out;
+        return;
     }
 
     let chunk = clients.len().div_ceil(threads);
@@ -746,45 +885,43 @@ fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usi
     let saved_kernel_threads = fedsu_tensor::kernel_threads_setting();
     fedsu_tensor::set_kernel_threads(1);
     let scope_result = crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (ci, chunk_clients) in clients.chunks_mut(chunk).enumerate() {
+        let mut handles = Vec::with_capacity(threads);
+        for (ci, (chunk_clients, chunk_out)) in
+            clients.chunks_mut(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
             let base = ci * chunk;
             let active = &active;
             handles.push(s.spawn(move |_| {
-                let mut part: Vec<(usize, Result<f32>)> = Vec::with_capacity(chunk_clients.len());
-                for (off, client) in chunk_clients.iter_mut().enumerate() {
+                for (off, (client, slot)) in
+                    chunk_clients.iter_mut().zip(chunk_out.iter_mut()).enumerate()
+                {
                     let id = base + off;
                     if active.get(id).is_some_and(|&a| a) {
-                        part.push((id, train_one(client, id, global, round)));
+                        *slot = train_one(client, id, global, round);
                     }
                 }
-                part
             }));
         }
-        handles
-            .into_iter()
-            .enumerate()
-            .map(|(ci, h)| {
-                h.join().unwrap_or_else(|_| {
-                    // The chunk thread died outside the per-client capture
-                    // (should be unreachable); blame every client in it.
-                    let base = ci * chunk;
-                    (base..(base + chunk).min(active.len()))
-                        .filter(|&id| active.get(id).is_some_and(|&a| a))
-                        .map(|id| (id, Err(FlError::ClientFailed { id })))
-                        .collect()
-                })
-            })
-            .collect::<Vec<Vec<(usize, Result<f32>)>>>()
+        // A chunk thread dying outside the per-client capture should be
+        // unreachable; report which chunks (if any) did so the caller's
+        // slots can blame every client in them.
+        let mut dead_chunks: Vec<usize> = Vec::with_capacity(threads);
+        for (ci, h) in handles.into_iter().enumerate() {
+            if h.join().is_err() {
+                dead_chunks.push(ci);
+            }
+        }
+        dead_chunks
     });
     fedsu_tensor::set_kernel_threads(saved_kernel_threads);
 
     match scope_result {
-        Ok(parts) => {
-            for part in parts {
-                for (id, res) in part {
-                    if let Some(slot) = out.get_mut(id) {
-                        *slot = res;
+        Ok(dead_chunks) => {
+            for ci in dead_chunks {
+                let base = ci * chunk;
+                for id in base..(base + chunk).min(active.len()) {
+                    if active[id] {
+                        out[id] = Err(FlError::ClientFailed { id });
                     }
                 }
             }
@@ -797,7 +934,6 @@ fn train_all(clients: &mut [Client], active: &[bool], global: &[f32], round: usi
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

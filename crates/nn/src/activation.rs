@@ -2,18 +2,20 @@
 
 use crate::layer::Layer;
 use crate::{NnError, Result};
-use fedsu_tensor::Tensor;
+use fedsu_tensor::{pool, Tensor};
 
 /// Rectified linear unit: `y = max(x, 0)`, elementwise over any shape.
 #[derive(Debug, Default)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
+    /// Retired mask allocation, reused by the next forward pass.
+    spare: Vec<bool>,
 }
 
 impl Relu {
     /// Creates a new ReLU layer.
     pub fn new() -> Self {
-        Relu { mask: None }
+        Relu::default()
     }
 }
 
@@ -25,7 +27,10 @@ impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         let out = input.map(|v| v.max(0.0));
         if train {
-            self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+            let mut mask = std::mem::take(&mut self.spare);
+            mask.clear();
+            mask.extend(input.data().iter().map(|&v| v > 0.0));
+            self.mask = Some(mask);
         }
         Ok(out)
     }
@@ -34,21 +39,20 @@ impl Layer for Relu {
         let mask = self
             .mask
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
         if mask.len() != grad_output.len() {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("grad with {} elements", mask.len()),
-                actual: grad_output.shape().to_vec(),
-            });
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("grad with {} elements", mask.len()),
+                grad_output.shape(),
+            ));
         }
-        let data = grad_output
-            .data()
-            .iter()
-            .zip(&mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect::<Vec<f32>>();
-        Ok(Tensor::from_vec(data, grad_output.shape())?)
+        let mut out = pool::pooled_like(grad_output);
+        for ((o, &g), &m) in out.data_mut().iter_mut().zip(grad_output.data()).zip(&mask) {
+            *o = if m { g } else { 0.0 };
+        }
+        self.spare = mask;
+        Ok(out)
     }
 }
 
@@ -58,6 +62,8 @@ impl Layer for Relu {
 pub struct LeakyRelu {
     slope: f32,
     mask: Option<Vec<bool>>,
+    /// Retired mask allocation, reused by the next forward pass.
+    spare: Vec<bool>,
 }
 
 impl LeakyRelu {
@@ -68,7 +74,7 @@ impl LeakyRelu {
     /// Panics unless `0 <= slope < 1`.
     pub fn new(slope: f32) -> Self {
         assert!((0.0..1.0).contains(&slope), "slope must be in [0, 1)");
-        LeakyRelu { slope, mask: None }
+        LeakyRelu { slope, mask: None, spare: Vec::new() }
     }
 }
 
@@ -81,7 +87,10 @@ impl Layer for LeakyRelu {
         let slope = self.slope;
         let out = input.map(|v| if v > 0.0 { v } else { slope * v });
         if train {
-            self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+            let mut mask = std::mem::take(&mut self.spare);
+            mask.clear();
+            mask.extend(input.data().iter().map(|&v| v > 0.0));
+            self.mask = Some(mask);
         }
         Ok(out)
     }
@@ -90,15 +99,14 @@ impl Layer for LeakyRelu {
         let mask = self
             .mask
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
         let slope = self.slope;
-        let data: Vec<f32> = grad_output
-            .data()
-            .iter()
-            .zip(&mask)
-            .map(|(&g, &m)| if m { g } else { slope * g })
-            .collect();
-        Ok(Tensor::from_vec(data, grad_output.shape())?)
+        let mut out = pool::pooled_like(grad_output);
+        for ((o, &g), &m) in out.data_mut().iter_mut().zip(grad_output.data()).zip(&mask) {
+            *o = if m { g } else { slope * g };
+        }
+        self.spare = mask;
+        Ok(out)
     }
 }
 
@@ -123,24 +131,25 @@ impl Layer for Tanh {
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         let out = input.map(f32::tanh);
         if train {
-            self.output = Some(out.clone());
+            let mut cache = pool::pooled_like(&out);
+            cache.data_mut().copy_from_slice(out.data());
+            self.output = Some(cache);
         }
         Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let out = self
+        let cached = self
             .output
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
         // d tanh(x)/dx = 1 - tanh(x)^2
-        let data: Vec<f32> = grad_output
-            .data()
-            .iter()
-            .zip(out.data())
-            .map(|(&g, &y)| g * (1.0 - y * y))
-            .collect();
-        Ok(Tensor::from_vec(data, grad_output.shape())?)
+        let mut out = pool::pooled_like(grad_output);
+        for ((o, &g), &y) in out.data_mut().iter_mut().zip(grad_output.data()).zip(cached.data()) {
+            *o = g * (1.0 - y * y);
+        }
+        pool::recycle(cached);
+        Ok(out)
     }
 }
 
@@ -165,24 +174,25 @@ impl Layer for Sigmoid {
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
         if train {
-            self.output = Some(out.clone());
+            let mut cache = pool::pooled_like(&out);
+            cache.data_mut().copy_from_slice(out.data());
+            self.output = Some(cache);
         }
         Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let out = self
+        let cached = self
             .output
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
         // dσ(x)/dx = σ(x)(1 - σ(x))
-        let data: Vec<f32> = grad_output
-            .data()
-            .iter()
-            .zip(out.data())
-            .map(|(&g, &y)| g * y * (1.0 - y))
-            .collect();
-        Ok(Tensor::from_vec(data, grad_output.shape())?)
+        let mut out = pool::pooled_like(grad_output);
+        for ((o, &g), &y) in out.data_mut().iter_mut().zip(grad_output.data()).zip(cached.data()) {
+            *o = g * y * (1.0 - y);
+        }
+        pool::recycle(cached);
+        Ok(out)
     }
 }
 

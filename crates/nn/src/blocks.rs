@@ -8,7 +8,7 @@ use crate::groupnorm::GroupNorm;
 use crate::layer::{Layer, Param};
 use crate::pool::AvgPool2d;
 use crate::{NnError, Result};
-use fedsu_tensor::Tensor;
+use fedsu_tensor::{pool, Tensor};
 use rand::Rng;
 
 /// Concatenates two `NCHW` tensors along the channel axis.
@@ -17,14 +17,15 @@ fn concat_channels(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let cb = b.shape()[1];
     debug_assert_eq!(&[n, h, w], &[b.shape()[0], b.shape()[2], b.shape()[3]]);
     let plane = h * w;
-    let mut out = vec![0.0f32; n * (ca + cb) * plane];
+    let mut out = pool::pooled_zeros(&[n, ca + cb, h, w]);
+    let od = out.data_mut();
     for s in 0..n {
-        let dst = &mut out[s * (ca + cb) * plane..];
+        let dst = &mut od[s * (ca + cb) * plane..];
         dst[..ca * plane].copy_from_slice(&a.data()[s * ca * plane..(s + 1) * ca * plane]);
         dst[ca * plane..(ca + cb) * plane]
             .copy_from_slice(&b.data()[s * cb * plane..(s + 1) * cb * plane]);
     }
-    Ok(Tensor::from_vec(out, &[n, ca + cb, h, w])?)
+    Ok(out)
 }
 
 /// Splits a channel-concatenated gradient back into its two parts.
@@ -32,17 +33,16 @@ fn split_channels(g: &Tensor, ca: usize) -> Result<(Tensor, Tensor)> {
     let (n, c, h, w) = (g.shape()[0], g.shape()[1], g.shape()[2], g.shape()[3]);
     let cb = c - ca;
     let plane = h * w;
-    let mut ga = vec![0.0f32; n * ca * plane];
-    let mut gb = vec![0.0f32; n * cb * plane];
+    let mut ga = pool::pooled_zeros(&[n, ca, h, w]);
+    let mut gb = pool::pooled_zeros(&[n, cb, h, w]);
+    let gad = ga.data_mut();
+    let gbd = gb.data_mut();
     for s in 0..n {
         let src = &g.data()[s * c * plane..];
-        ga[s * ca * plane..(s + 1) * ca * plane].copy_from_slice(&src[..ca * plane]);
-        gb[s * cb * plane..(s + 1) * cb * plane].copy_from_slice(&src[ca * plane..c * plane]);
+        gad[s * ca * plane..(s + 1) * ca * plane].copy_from_slice(&src[..ca * plane]);
+        gbd[s * cb * plane..(s + 1) * cb * plane].copy_from_slice(&src[ca * plane..c * plane]);
     }
-    Ok((
-        Tensor::from_vec(ga, &[n, ca, h, w])?,
-        Tensor::from_vec(gb, &[n, cb, h, w])?,
-    ))
+    Ok((ga, gb))
 }
 
 /// A ResNet-style basic residual block:
@@ -57,6 +57,8 @@ pub struct ResidualBlock {
     gn2: GroupNorm,
     downsample: Option<(Conv2d, GroupNorm)>,
     out_mask: Option<Vec<bool>>,
+    /// Retired mask allocation, reused by the next forward pass.
+    spare: Vec<bool>,
 }
 
 impl std::fmt::Debug for ResidualBlock {
@@ -94,7 +96,16 @@ impl ResidualBlock {
         } else {
             None
         };
-        Ok(ResidualBlock { conv1, gn1, relu1: Relu::new(), conv2, gn2, downsample, out_mask: None })
+        Ok(ResidualBlock {
+            conv1,
+            gn1,
+            relu1: Relu::new(),
+            conv2,
+            gn2,
+            downsample,
+            out_mask: None,
+            spare: Vec::new(),
+        })
     }
 }
 
@@ -112,13 +123,24 @@ impl Layer for ResidualBlock {
         let skip = match &mut self.downsample {
             Some((conv, gn)) => {
                 let s = conv.forward(input, train)?;
-                gn.forward(&s, train)?
+                let normed = gn.forward(&s, train)?;
+                pool::recycle(s);
+                normed
             }
-            None => input.clone(),
+            None => {
+                let mut copy = pool::pooled_like(input);
+                copy.data_mut().copy_from_slice(input.data());
+                copy
+            }
         };
         let mut out = main.add(&skip)?;
+        pool::recycle(main);
+        pool::recycle(skip);
         if train {
-            self.out_mask = Some(out.data().iter().map(|&v| v > 0.0).collect());
+            let mut mask = std::mem::take(&mut self.spare);
+            mask.clear();
+            mask.extend(out.data().iter().map(|&v| v > 0.0));
+            self.out_mask = Some(mask);
         }
         out.map_in_place(|v| v.max(0.0));
         Ok(out)
@@ -128,21 +150,21 @@ impl Layer for ResidualBlock {
         let mask = self
             .out_mask
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
         if mask.len() != grad_output.len() {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("grad with {} elements", mask.len()),
-                actual: grad_output.shape().to_vec(),
-            });
+            let expected = mask.len();
+            self.spare = mask;
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("grad with {expected} elements"),
+                grad_output.shape(),
+            ));
         }
-        let gated: Vec<f32> = grad_output
-            .data()
-            .iter()
-            .zip(&mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        let g = Tensor::from_vec(gated, grad_output.shape())?;
+        let mut g = pool::pooled_like(grad_output);
+        for ((o, &gv), &m) in g.data_mut().iter_mut().zip(grad_output.data()).zip(&mask) {
+            *o = if m { gv } else { 0.0 };
+        }
+        self.spare = mask;
 
         // Main branch.
         let mut gm = self.gn2.backward(&g)?;
@@ -155,11 +177,17 @@ impl Layer for ResidualBlock {
         let gx_skip = match &mut self.downsample {
             Some((conv, gn)) => {
                 let gs = gn.backward(&g)?;
-                conv.backward(&gs)?
+                let gx = conv.backward(&gs)?;
+                pool::recycle(gs);
+                pool::recycle(g);
+                gx
             }
             None => g,
         };
-        Ok(gx_main.add(&gx_skip)?)
+        let gx = gx_main.add(&gx_skip)?;
+        pool::recycle(gx_main);
+        pool::recycle(gx_skip);
+        Ok(gx)
     }
 
     fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -232,9 +260,15 @@ impl Layer for DenseLayer {
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let (g_direct, g_new) = split_channels(grad_output, self.in_channels)?;
         let mut g = self.conv.backward(&g_new)?;
-        g = self.relu.backward(&g)?;
-        g = self.gn.backward(&g)?;
-        Ok(g_direct.add(&g)?)
+        pool::recycle(g_new);
+        let next = self.relu.backward(&g)?;
+        pool::recycle(std::mem::replace(&mut g, next));
+        let next = self.gn.backward(&g)?;
+        pool::recycle(std::mem::replace(&mut g, next));
+        let gx = g_direct.add(&g)?;
+        pool::recycle(g_direct);
+        pool::recycle(g);
+        Ok(gx)
     }
 
     fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {

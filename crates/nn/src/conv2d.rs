@@ -4,7 +4,7 @@ use crate::layer::{Layer, Param};
 use crate::{NnError, Result};
 use fedsu_tensor::{
     col2im_into, im2col_into, kaiming_uniform, matmul_into, matmul_transpose_a_into,
-    matmul_transpose_b_into, ConvDims, Tensor,
+    matmul_transpose_b_into, pool, ConvDims, Tensor,
 };
 use rand::Rng;
 
@@ -84,11 +84,11 @@ impl Conv2d {
                     padding: self.padding,
                 },
             )),
-            _ => Err(NnError::BadInput {
-                layer: "conv2d".to_string(),
-                expected: format!("[batch, {}, h, w]", self.in_channels),
-                actual: input.shape().to_vec(),
-            }),
+            _ => Err(NnError::new_bad_input(
+                "conv2d",
+                format_args!("[batch, {}, h, w]", self.in_channels),
+                input.shape(),
+            )),
         }
     }
 
@@ -110,7 +110,8 @@ impl Layer for Conv2d {
         let fan_in = self.in_channels * self.kernel * self.kernel;
         let sample_in = self.in_channels * dims.in_h * dims.in_w;
         let out_sample = self.out_channels * plane;
-        let mut out = vec![0.0f32; batch * out_sample];
+        let mut out_t = pool::pooled_zeros(&[batch, self.out_channels, out_h, out_w]);
+        let out = out_t.data_mut();
 
         for n in 0..batch {
             let img = input.data().get(n * sample_in..(n + 1) * sample_in).unwrap_or(&[]);
@@ -125,31 +126,35 @@ impl Layer for Conv2d {
             }
         }
         if train {
-            self.cached_input = Some(input.clone());
+            let mut cached = pool::pooled_like(input);
+            cached.data_mut().copy_from_slice(input.data());
+            self.cached_input = Some(cached);
         }
-        Ok(Tensor::from_vec(out, &[batch, self.out_channels, out_h, out_w])?)
+        Ok(out_t)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let input = self
             .cached_input
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
         let (batch, dims) = self.dims_for(&input)?;
         let (out_h, out_w) = (dims.out_h(), dims.out_w());
         let plane = out_h * out_w;
         let expected = [batch, self.out_channels, out_h, out_w];
         if grad_output.shape() != expected {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("grad {expected:?}"),
-                actual: grad_output.shape().to_vec(),
-            });
+            pool::recycle(input);
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("grad {expected:?}"),
+                grad_output.shape(),
+            ));
         }
         let fan_in = self.in_channels * self.kernel * self.kernel;
         let sample_in = self.in_channels * dims.in_h * dims.in_w;
         let out_sample = self.out_channels * plane;
-        let mut grad_in = vec![0.0f32; input.len()];
+        let mut grad_in_t = pool::pooled_zeros(input.shape());
+        let grad_in = grad_in_t.data_mut();
         self.dw.resize(self.out_channels * fan_in, 0.0);
         self.dcols.resize(fan_in * plane, 0.0);
 
@@ -178,7 +183,8 @@ impl Layer for Conv2d {
             let dst = grad_in.get_mut(n * sample_in..(n + 1) * sample_in).unwrap_or_default();
             col2im_into(&self.dcols, dst, &dims)?;
         }
-        Ok(Tensor::from_vec(grad_in, input.shape())?)
+        pool::recycle(input);
+        Ok(grad_in_t)
     }
 
     fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Param};
 use crate::{NnError, Result};
-use fedsu_tensor::{kaiming_uniform, matmul, matmul_transpose_a, matmul_transpose_b, Tensor};
+use fedsu_tensor::{kaiming_uniform, matmul, matmul_transpose_a, matmul_transpose_b, pool, Tensor};
 use rand::Rng;
 
 /// A fully-connected layer computing `y = x · Wᵀ + b`.
@@ -58,11 +58,11 @@ impl Layer for Dense {
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         if !matches!(input.shape(), &[_, f] if f == self.in_features) {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("[batch, {}]", self.in_features),
-                actual: input.shape().to_vec(),
-            });
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("[batch, {}]", self.in_features),
+                input.shape(),
+            ));
         }
         let mut out = matmul_transpose_b(input, &self.weight.value)?;
         let b = self.bias.value.data();
@@ -72,7 +72,9 @@ impl Layer for Dense {
             }
         }
         if train {
-            self.cached_input = Some(input.clone());
+            let mut cache = pool::pooled_like(input);
+            cache.data_mut().copy_from_slice(input.data());
+            self.cached_input = Some(cache);
         }
         Ok(out)
     }
@@ -81,17 +83,19 @@ impl Layer for Dense {
         let input = self
             .cached_input
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
         if !matches!(grad_output.shape(), &[_, f] if f == self.out_features) {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("grad [batch, {}]", self.out_features),
-                actual: grad_output.shape().to_vec(),
-            });
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("grad [batch, {}]", self.out_features),
+                grad_output.shape(),
+            ));
         }
         // dW = dYᵀ · X  -> [out, in]
         let dw = matmul_transpose_a(grad_output, &input)?;
+        pool::recycle(input);
         self.weight.grad.add_assign(&dw)?;
+        pool::recycle(dw);
         // db = column-sum of dY
         let bg = self.bias.grad.data_mut();
         for grow in grad_output.data().chunks_exact(self.out_features) {

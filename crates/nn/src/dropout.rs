@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::{NnError, Result};
-use fedsu_tensor::Tensor;
+use fedsu_tensor::{pool, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -14,6 +14,8 @@ pub struct Dropout {
     p: f32,
     rng: StdRng,
     mask: Option<Vec<f32>>,
+    /// Retired mask allocation, reused by the next forward pass.
+    spare: Vec<f32>,
 }
 
 impl Dropout {
@@ -25,7 +27,7 @@ impl Dropout {
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
-        Dropout { p, rng: StdRng::seed_from_u64(seed), mask: None }
+        Dropout { p, rng: StdRng::seed_from_u64(seed), mask: None, spare: Vec::new() }
     }
 }
 
@@ -37,32 +39,42 @@ impl Layer for Dropout {
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         if !train || self.p == 0.0 {
             self.mask = None;
-            return Ok(input.clone());
+            let mut out = pool::pooled_like(input);
+            out.data_mut().copy_from_slice(input.data());
+            return Ok(out);
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect();
-        let data: Vec<f32> = input.data().iter().zip(&mask).map(|(v, m)| v * m).collect();
+        let rng = &mut self.rng;
+        let mut mask = std::mem::take(&mut self.spare);
+        mask.clear();
+        mask.extend((0..input.len()).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }));
+        let mut out = pool::pooled_like(input);
+        for ((o, &v), &m) in out.data_mut().iter_mut().zip(input.data()).zip(&mask) {
+            *o = v * m;
+        }
         self.mask = Some(mask);
-        Ok(Tensor::from_vec(data, input.shape())?)
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let mask = self
             .mask
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
         if mask.len() != grad_output.len() {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("grad with {} elements", mask.len()),
-                actual: grad_output.shape().to_vec(),
-            });
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("grad with {} elements", mask.len()),
+                grad_output.shape(),
+            ));
         }
-        let data: Vec<f32> = grad_output.data().iter().zip(&mask).map(|(g, m)| g * m).collect();
-        Ok(Tensor::from_vec(data, grad_output.shape())?)
+        let mut out = pool::pooled_like(grad_output);
+        for ((o, &g), &m) in out.data_mut().iter_mut().zip(grad_output.data()).zip(&mask) {
+            *o = g * m;
+        }
+        self.spare = mask;
+        Ok(out)
     }
 }
 

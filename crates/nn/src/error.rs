@@ -31,6 +31,29 @@ pub enum NnError {
     },
 }
 
+impl NnError {
+    /// Cold constructor for [`NnError::BadInput`]: hot call sites pass
+    /// `format_args!` so the owned strings are only materialized when the
+    /// error actually fires.
+    pub fn new_bad_input(layer: &str, expected: fmt::Arguments<'_>, actual: &[usize]) -> NnError {
+        NnError::BadInput {
+            layer: layer.to_string(),
+            expected: expected.to_string(),
+            actual: actual.to_vec(),
+        }
+    }
+
+    /// Cold constructor for [`NnError::MissingForward`].
+    pub fn new_missing_forward(layer: &str) -> NnError {
+        NnError::MissingForward { layer: layer.to_string() }
+    }
+
+    /// Cold constructor for [`NnError::BadConfig`].
+    pub fn new_bad_config(msg: fmt::Arguments<'_>) -> NnError {
+        NnError::BadConfig(msg.to_string())
+    }
+}
+
 impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

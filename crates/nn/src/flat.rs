@@ -29,6 +29,16 @@ pub fn flatten_grads(model: &dyn Layer) -> Vec<f32> {
     out
 }
 
+/// Copies every parameter into `out` (visit order), reusing its allocation.
+///
+/// The steady-round counterpart of [`flatten_params`]: callers that stage
+/// uploads every round keep one buffer alive and refill it here.
+pub fn flatten_params_into(model: &dyn Layer, out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(param_count(model));
+    model.visit_params(&mut |p| out.extend_from_slice(p.value.data()));
+}
+
 /// Loads a flat vector back into the model's parameters.
 ///
 /// # Errors

@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::{NnError, Result};
-use fedsu_tensor::Tensor;
+use fedsu_tensor::{pool, Tensor};
 
 /// Flattens all non-batch dimensions.
 #[derive(Debug, Default)]
@@ -24,16 +24,18 @@ impl Layer for Flatten {
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         if input.rank() < 2 {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: "rank >= 2".to_string(),
-                actual: input.shape().to_vec(),
-            });
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("rank >= 2"),
+                input.shape(),
+            ));
         }
         let batch = input.shape()[0];
         let rest: usize = input.shape()[1..].iter().product();
         if train {
-            self.cached_shape = Some(input.shape().to_vec());
+            let mut cached = pool::take_usize_buf(input.rank());
+            cached.copy_from_slice(input.shape());
+            self.cached_shape = Some(cached);
         }
         Ok(input.reshape(&[batch, rest])?)
     }
@@ -42,8 +44,10 @@ impl Layer for Flatten {
         let shape = self
             .cached_shape
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
-        Ok(grad_output.reshape(&shape)?)
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
+        let out = grad_output.reshape(&shape)?;
+        pool::give_usize_buf(shape);
+        Ok(out)
     }
 }
 

@@ -7,7 +7,7 @@
 
 use crate::layer::{Layer, Param};
 use crate::{NnError, Result};
-use fedsu_tensor::Tensor;
+use fedsu_tensor::{pool, Tensor};
 
 const EPS: f32 = 1e-5;
 
@@ -66,20 +66,21 @@ impl Layer for GroupNorm {
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         if input.rank() != 4 || input.shape()[1] != self.channels {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("[batch, {}, h, w]", self.channels),
-                actual: input.shape().to_vec(),
-            });
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("[batch, {}, h, w]", self.channels),
+                input.shape(),
+            ));
         }
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let cpg = c / self.groups; // channels per group
         let group_size = cpg * h * w;
         let plane = h * w;
         let data = input.data();
-        let mut out = vec![0.0f32; input.len()];
-        let mut means = vec![0.0f32; n * self.groups];
-        let mut inv_stds = vec![0.0f32; n * self.groups];
+        let mut out_t = pool::pooled_zeros(input.shape());
+        let out = out_t.data_mut();
+        let mut means = pool::take_f32_buf(n * self.groups);
+        let mut inv_stds = pool::take_f32_buf(n * self.groups);
 
         for s in 0..n {
             for g in 0..self.groups {
@@ -102,23 +103,33 @@ impl Layer for GroupNorm {
             }
         }
         if train {
-            self.cache = Some(Cache { input: input.clone(), mean: means, inv_std: inv_stds });
+            let mut cached = pool::pooled_like(input);
+            cached.data_mut().copy_from_slice(data);
+            self.cache = Some(Cache { input: cached, mean: means, inv_std: inv_stds });
+        } else {
+            pool::give_f32_buf(means);
+            pool::give_f32_buf(inv_stds);
         }
-        Ok(Tensor::from_vec(out, input.shape())?)
+        Ok(out_t)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let cache = self
             .cache
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
         let input = &cache.input;
         if grad_output.shape() != input.shape() {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("grad {:?}", input.shape()),
-                actual: grad_output.shape().to_vec(),
-            });
+            let err = NnError::new_bad_input(
+                self.name(),
+                format_args!("grad {:?}", input.shape()),
+                grad_output.shape(),
+            );
+            let Cache { input, mean, inv_std } = cache;
+            pool::recycle(input);
+            pool::give_f32_buf(mean);
+            pool::give_f32_buf(inv_std);
+            return Err(err);
         }
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let cpg = c / self.groups;
@@ -126,7 +137,8 @@ impl Layer for GroupNorm {
         let group_size = (cpg * plane) as f32;
         let xd = input.data();
         let gd = grad_output.data();
-        let mut grad_in = vec![0.0f32; input.len()];
+        let mut grad_in_t = pool::pooled_zeros(input.shape());
+        let grad_in = grad_in_t.data_mut();
 
         for s in 0..n {
             for g in 0..self.groups {
@@ -172,7 +184,11 @@ impl Layer for GroupNorm {
                 }
             }
         }
-        Ok(Tensor::from_vec(grad_in, input.shape())?)
+        let Cache { input, mean, inv_std } = cache;
+        pool::recycle(input);
+        pool::give_f32_buf(mean);
+        pool::give_f32_buf(inv_std);
+        Ok(grad_in_t)
     }
 
     fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {

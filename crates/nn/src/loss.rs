@@ -1,7 +1,7 @@
 //! Softmax cross-entropy loss and classification accuracy.
 
 use crate::{NnError, Result};
-use fedsu_tensor::Tensor;
+use fedsu_tensor::{pool, Tensor};
 
 /// Computes mean softmax cross-entropy over a batch and its gradient with
 /// respect to the logits.
@@ -17,14 +17,14 @@ use fedsu_tensor::Tensor;
 /// [`NnError::BadLabel`] when a label is out of range.
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
     if logits.rank() != 2 || logits.shape()[0] != labels.len() {
-        return Err(NnError::BadInput {
-            layer: "softmax_cross_entropy".to_string(),
-            expected: format!("[{}, classes] logits", labels.len()),
-            actual: logits.shape().to_vec(),
-        });
+        return Err(NnError::new_bad_input(
+            "softmax_cross_entropy",
+            format_args!("[{}, classes] logits", labels.len()),
+            logits.shape(),
+        ));
     }
     let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
-    let mut grad = vec![0.0f32; batch * classes];
+    let mut grad = pool::pooled_zeros(&[batch, classes]);
     let mut loss = 0.0f64;
     let inv_batch = 1.0 / batch as f32;
 
@@ -40,13 +40,13 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, 
         }
         let log_denom = denom.ln();
         loss += f64::from(log_denom - (row[label] - max));
-        let g = &mut grad[n * classes..(n + 1) * classes];
+        let g = &mut grad.data_mut()[n * classes..(n + 1) * classes];
         for (k, &v) in row.iter().enumerate() {
             let p = (v - max).exp() / denom;
             g[k] = (p - if k == label { 1.0 } else { 0.0 }) * inv_batch;
         }
     }
-    Ok(((loss / batch as f64) as f32, Tensor::from_vec(grad, &[batch, classes])?))
+    Ok(((loss / batch as f64) as f32, grad))
 }
 
 /// Fraction of rows whose argmax matches the label.
@@ -56,11 +56,11 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, 
 /// Returns [`NnError::BadInput`] when shapes disagree.
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
     if logits.rank() != 2 || logits.shape()[0] != labels.len() {
-        return Err(NnError::BadInput {
-            layer: "accuracy".to_string(),
-            expected: format!("[{}, classes] logits", labels.len()),
-            actual: logits.shape().to_vec(),
-        });
+        return Err(NnError::new_bad_input(
+            "accuracy",
+            format_args!("[{}, classes] logits", labels.len()),
+            logits.shape(),
+        ));
     }
     if labels.is_empty() {
         return Ok(0.0);

@@ -50,7 +50,7 @@ pub fn mlp<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Result<Sequential> {
     if dims.len() < 2 {
         return Err(NnError::BadConfig("mlp needs at least input and output dims".to_string()));
     }
-    let mut net = Sequential::new("mlp");
+    let mut net = Sequential::with_capacity("mlp", 2 * dims.len());
     for i in 0..dims.len() - 1 {
         net.push(Dense::new(dims[i], dims[i + 1], rng)?);
         if i + 2 < dims.len() {
@@ -109,7 +109,7 @@ pub fn resnet18<R: Rng + ?Sized>(
         ModelPreset::Small => 4,
         ModelPreset::Paper => 64,
     };
-    let mut net = Sequential::new("resnet18");
+    let mut net = Sequential::with_capacity("resnet18", 13);
     net.push(Conv2d::new(in_channels, w, 3, 1, 1, rng)?);
     net.push(GroupNorm::new(w, groups_for(w))?);
     net.push(Relu::new());
@@ -150,7 +150,7 @@ pub fn densenet<R: Rng + ?Sized>(
         ModelPreset::Small => (8, 3),
         ModelPreset::Paper => (32, 6),
     };
-    let mut net = Sequential::new("densenet");
+    let mut net = Sequential::with_capacity("densenet", 3 * layers_per_block + 7);
     let mut channels = 2 * growth;
     net.push(Conv2d::new(in_channels, channels, 3, 2, 1, rng)?); // 32 -> 16
     for block in 0..3 {

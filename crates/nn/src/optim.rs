@@ -4,6 +4,12 @@ use crate::layer::Layer;
 use crate::Result;
 use fedsu_tensor::Tensor;
 
+/// Allocates one zeroed state tensor per parameter. Cold path: optimizers
+/// call this once, on their first step.
+fn init_state(model: &dyn Layer, state: &mut Vec<Tensor>) {
+    model.visit_params(&mut |p| state.push(Tensor::zeros(p.value.shape())));
+}
+
 /// SGD optimizer matching the paper's training setup (plain SGD with weight
 /// decay; momentum available but off by default).
 ///
@@ -68,11 +74,8 @@ impl Sgd {
             });
         } else {
             // Lazily size the velocity buffers on first use.
-            let need_init = self.velocity.is_empty();
-            if need_init {
-                model.visit_params(&mut |p| {
-                    self.velocity.push(Tensor::zeros(p.value.shape()));
-                });
+            if self.velocity.is_empty() {
+                init_state(model, &mut self.velocity);
             }
             let velocity = &mut self.velocity;
             let mut idx = 0usize;
@@ -209,10 +212,8 @@ impl Adam {
     /// Currently infallible for well-formed models (stable signature).
     pub fn step(&mut self, model: &mut dyn Layer) -> Result<()> {
         if self.m.is_empty() {
-            model.visit_params(&mut |p| {
-                self.m.push(Tensor::zeros(p.value.shape()));
-                self.v.push(Tensor::zeros(p.value.shape()));
-            });
+            init_state(model, &mut self.m);
+            init_state(model, &mut self.v);
         }
         self.step_count += 1;
         let bc1 = 1.0 - self.beta1.powi(self.step_count as i32);

@@ -2,18 +2,26 @@
 
 use crate::layer::Layer;
 use crate::{NnError, Result};
-use fedsu_tensor::Tensor;
+use fedsu_tensor::{pool, Tensor};
 
 fn check_nchw(input: &Tensor, layer: &str) -> Result<(usize, usize, usize, usize)> {
     if input.rank() != 4 {
-        return Err(NnError::BadInput {
-            layer: layer.to_string(),
-            expected: "[batch, c, h, w]".to_string(),
-            actual: input.shape().to_vec(),
-        });
+        return Err(NnError::new_bad_input(
+            layer,
+            format_args!("[batch, c, h, w]"),
+            input.shape(),
+        ));
     }
     let s = input.shape();
     Ok((s[0], s[1], s[2], s[3]))
+}
+
+/// Checks out a pool-backed copy of `shape` so steady rounds reuse the
+/// same small vector instead of re-allocating it every forward pass.
+fn cache_shape(shape: &[usize]) -> Vec<usize> {
+    let mut cached = pool::take_usize_buf(shape.len());
+    cached.copy_from_slice(shape);
+    cached
 }
 
 /// Non-overlapping max pooling with square window `k` and stride `k`.
@@ -45,16 +53,17 @@ impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         let (n, c, h, w) = check_nchw(input, self.name())?;
         if h % self.k != 0 || w % self.k != 0 {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("spatial dims divisible by {}", self.k),
-                actual: input.shape().to_vec(),
-            });
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("spatial dims divisible by {}", self.k),
+                input.shape(),
+            ));
         }
         let (oh, ow) = (h / self.k, w / self.k);
-        let mut out = vec![0.0f32; n * c * oh * ow];
-        let mut arg = vec![0usize; n * c * oh * ow];
+        let mut out = pool::pooled_zeros(&[n, c, oh, ow]);
+        let mut arg = pool::take_usize_buf(n * c * oh * ow);
         let data = input.data();
+        let od = out.data_mut();
         for img in 0..n * c {
             let base = img * h * w;
             for oy in 0..oh {
@@ -71,34 +80,42 @@ impl Layer for MaxPool2d {
                         }
                     }
                     let o = img * oh * ow + oy * ow + ox;
-                    out[o] = best;
+                    od[o] = best;
                     arg[o] = best_idx;
                 }
             }
         }
         if train {
-            self.cached = Some((input.shape().to_vec(), arg));
+            self.cached = Some((cache_shape(input.shape()), arg));
+        } else {
+            pool::give_usize_buf(arg);
         }
-        Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let (in_shape, arg) = self
             .cached
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
         if grad_output.len() != arg.len() {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("grad with {} elements", arg.len()),
-                actual: grad_output.shape().to_vec(),
-            });
+            let expected = arg.len();
+            pool::give_usize_buf(arg);
+            pool::give_usize_buf(in_shape);
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("grad with {expected} elements"),
+                grad_output.shape(),
+            ));
         }
-        let mut grad_in = vec![0.0f32; in_shape.iter().product()];
+        let mut grad_in = pool::pooled_zeros(&in_shape);
+        let gd = grad_in.data_mut();
         for (g, &idx) in grad_output.data().iter().zip(&arg) {
-            grad_in[idx] += g;
+            gd[idx] += g;
         }
-        Ok(Tensor::from_vec(grad_in, &in_shape)?)
+        pool::give_usize_buf(arg);
+        pool::give_usize_buf(in_shape);
+        Ok(grad_in)
     }
 }
 
@@ -129,16 +146,17 @@ impl Layer for AvgPool2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         let (n, c, h, w) = check_nchw(input, self.name())?;
         if h % self.k != 0 || w % self.k != 0 {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("spatial dims divisible by {}", self.k),
-                actual: input.shape().to_vec(),
-            });
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("spatial dims divisible by {}", self.k),
+                input.shape(),
+            ));
         }
         let (oh, ow) = (h / self.k, w / self.k);
         let inv = 1.0 / (self.k * self.k) as f32;
-        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut out = pool::pooled_zeros(&[n, c, oh, ow]);
         let data = input.data();
+        let od = out.data_mut();
         for img in 0..n * c {
             let base = img * h * w;
             for oy in 0..oh {
@@ -149,34 +167,36 @@ impl Layer for AvgPool2d {
                             acc += data[base + (oy * self.k + dy) * w + ox * self.k + dx];
                         }
                     }
-                    out[img * oh * ow + oy * ow + ox] = acc * inv;
+                    od[img * oh * ow + oy * ow + ox] = acc * inv;
                 }
             }
         }
         if train {
-            self.cached_shape = Some(input.shape().to_vec());
+            self.cached_shape = Some(cache_shape(input.shape()));
         }
-        Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let in_shape = self
             .cached_shape
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
         let (h, w) = (in_shape[2], in_shape[3]);
         let (oh, ow) = (h / self.k, w / self.k);
         let inv = 1.0 / (self.k * self.k) as f32;
-        let mut grad_in = vec![0.0f32; in_shape.iter().product()];
         let gd = grad_output.data();
         let images = in_shape[0] * in_shape[1];
         if gd.len() != images * oh * ow {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("grad with {} elements", images * oh * ow),
-                actual: grad_output.shape().to_vec(),
-            });
+            pool::give_usize_buf(in_shape);
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("grad with {} elements", images * oh * ow),
+                grad_output.shape(),
+            ));
         }
+        let mut grad_in = pool::pooled_zeros(&in_shape);
+        let gi = grad_in.data_mut();
         for img in 0..images {
             let base = img * h * w;
             for oy in 0..oh {
@@ -184,13 +204,14 @@ impl Layer for AvgPool2d {
                     let g = gd[img * oh * ow + oy * ow + ox] * inv;
                     for dy in 0..self.k {
                         for dx in 0..self.k {
-                            grad_in[base + (oy * self.k + dy) * w + ox * self.k + dx] += g;
+                            gi[base + (oy * self.k + dy) * w + ox * self.k + dx] += g;
                         }
                     }
                 }
             }
         }
-        Ok(Tensor::from_vec(grad_in, &in_shape)?)
+        pool::give_usize_buf(in_shape);
+        Ok(grad_in)
     }
 }
 
@@ -216,39 +237,43 @@ impl Layer for GlobalAvgPool {
         let (n, c, h, w) = check_nchw(input, self.name())?;
         let plane = h * w;
         let inv = 1.0 / plane as f32;
-        let mut out = vec![0.0f32; n * c];
+        let mut out = pool::pooled_zeros(&[n, c]);
+        let od = out.data_mut();
         for img in 0..n * c {
-            out[img] = input.data()[img * plane..(img + 1) * plane].iter().sum::<f32>() * inv;
+            od[img] = input.data()[img * plane..(img + 1) * plane].iter().sum::<f32>() * inv;
         }
         if train {
-            self.cached_shape = Some(input.shape().to_vec());
+            self.cached_shape = Some(cache_shape(input.shape()));
         }
-        Ok(Tensor::from_vec(out, &[n, c])?)
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let in_shape = self
             .cached_shape
             .take()
-            .ok_or_else(|| NnError::MissingForward { layer: self.name().to_string() })?;
+            .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
         let plane = in_shape[2] * in_shape[3];
         let inv = 1.0 / plane as f32;
         let images = in_shape[0] * in_shape[1];
         if grad_output.len() != images {
-            return Err(NnError::BadInput {
-                layer: self.name().to_string(),
-                expected: format!("grad with {images} elements"),
-                actual: grad_output.shape().to_vec(),
-            });
+            pool::give_usize_buf(in_shape);
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("grad with {images} elements"),
+                grad_output.shape(),
+            ));
         }
-        let mut grad_in = vec![0.0f32; images * plane];
+        let mut grad_in = pool::pooled_zeros(&in_shape);
+        let gi = grad_in.data_mut();
         for img in 0..images {
             let g = grad_output.data()[img] * inv;
-            for v in &mut grad_in[img * plane..(img + 1) * plane] {
+            for v in &mut gi[img * plane..(img + 1) * plane] {
                 *v = g;
             }
         }
-        Ok(Tensor::from_vec(grad_in, &in_shape)?)
+        pool::give_usize_buf(in_shape);
+        Ok(grad_in)
     }
 }
 

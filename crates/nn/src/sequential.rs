@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Param};
 use crate::Result;
-use fedsu_tensor::Tensor;
+use fedsu_tensor::{pool, Tensor};
 
 /// A container running child layers in order; the workhorse model type.
 ///
@@ -37,6 +37,12 @@ impl Sequential {
     /// Creates an empty container with the given display name.
     pub fn new(name: impl Into<String>) -> Self {
         Sequential { name: name.into(), layers: Vec::new() }
+    }
+
+    /// Creates an empty container with room for `layers` children, so model
+    /// builders that push in a loop never regrow the layer list.
+    pub fn with_capacity(name: impl Into<String>, layers: usize) -> Self {
+        Sequential { name: name.into(), layers: Vec::with_capacity(layers) }
     }
 
     /// Appends a layer.
@@ -75,17 +81,33 @@ impl Layer for Sequential {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, train)?;
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            let mut out = pool::pooled_like(input);
+            out.data_mut().copy_from_slice(input.data());
+            return Ok(out);
+        };
+        let mut x = first.forward(input, train)?;
+        for layer in layers {
+            let next = layer.forward(&x, train)?;
+            // The intermediate activation is dead once the next layer has
+            // consumed it; hand its storage back to the pool.
+            pool::recycle(std::mem::replace(&mut x, next));
         }
         Ok(x)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g)?;
+        let mut layers = self.layers.iter_mut().rev();
+        let Some(first) = layers.next() else {
+            let mut out = pool::pooled_like(grad_output);
+            out.data_mut().copy_from_slice(grad_output.data());
+            return Ok(out);
+        };
+        let mut g = first.backward(grad_output)?;
+        for layer in layers {
+            let next = layer.backward(&g)?;
+            pool::recycle(std::mem::replace(&mut g, next));
         }
         Ok(g)
     }

@@ -75,11 +75,16 @@ impl Apf {
 
     fn ensure_capacity(&mut self, n: usize) {
         if self.ema_update.len() != n {
-            self.ema_update = vec![0.0; n];
-            self.ema_abs_update = vec![0.0; n];
-            self.freeze_remaining = vec![0; n];
-            self.freeze_period = vec![0; n];
-            self.frozen_rounds = vec![0; n];
+            self.ema_update.clear();
+            self.ema_update.resize(n, 0.0);
+            self.ema_abs_update.clear();
+            self.ema_abs_update.resize(n, 0.0);
+            self.freeze_remaining.clear();
+            self.freeze_remaining.resize(n, 0);
+            self.freeze_period.clear();
+            self.freeze_period.resize(n, 0);
+            self.frozen_rounds.clear();
+            self.frozen_rounds.resize(n, 0);
         }
     }
 

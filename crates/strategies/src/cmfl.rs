@@ -29,12 +29,25 @@ pub struct Cmfl {
     prev_global_update: Option<Vec<f32>>,
     /// Phase-A relevance decisions, indexed by client id.
     transmits: Vec<bool>,
+    /// Round scratch: one client's raw update (reused across rounds).
+    update_scratch: Vec<f32>,
+    /// Round scratch: the pre-aggregation global (reused across rounds).
+    old_scratch: Vec<f32>,
+    /// Round scratch: the transmitting subset of `selected`.
+    transmitting_scratch: Vec<usize>,
 }
 
 impl Cmfl {
     /// Creates CMFL with the given config.
     pub fn new(config: CmflConfig) -> Self {
-        Cmfl { config, prev_global_update: None, transmits: Vec::new() }
+        Cmfl {
+            config,
+            prev_global_update: None,
+            transmits: Vec::new(),
+            update_scratch: Vec::new(),
+            old_scratch: Vec::new(),
+            transmitting_scratch: Vec::new(),
+        }
     }
 
     /// Fraction of entries of `update` whose sign matches `reference`.
@@ -65,16 +78,23 @@ impl SyncStrategy for Cmfl {
     }
 
     fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
-        self.transmits = match &self.prev_global_update {
-            None => vec![true; locals.len()],
-            Some(reference) => locals
-                .iter()
-                .map(|local| {
-                    let update: Vec<f32> = local.iter().zip(global).map(|(l, g)| l - g).collect();
-                    Self::relevance(&update, reference) >= self.config.relevance_threshold
-                })
-                .collect(),
-        };
+        self.transmits.clear();
+        self.transmits.reserve(locals.len());
+        match &self.prev_global_update {
+            None => self.transmits.resize(locals.len(), true),
+            Some(reference) => {
+                let mut update = std::mem::take(&mut self.update_scratch);
+                update.reserve(global.len());
+                for local in locals {
+                    update.clear();
+                    update.extend(local.iter().zip(global).map(|(l, g)| l - g));
+                    self.transmits.push(
+                        Self::relevance(&update, reference) >= self.config.relevance_threshold,
+                    );
+                }
+                self.update_scratch = update;
+            }
+        }
         self.transmits
             .iter()
             .map(|&t| if t { global.len() as u64 } else { 0 })
@@ -89,12 +109,17 @@ impl SyncStrategy for Cmfl {
         _active: &[bool],
         global: &mut [f32],
     ) -> AggregateOutcome {
-        let old_global = global.to_vec();
-        let transmitting: Vec<usize> = selected
-            .iter()
-            .copied()
-            .filter(|&c| self.transmits.get(c).copied().unwrap_or(true))
-            .collect();
+        let mut old_global = std::mem::take(&mut self.old_scratch);
+        old_global.clear();
+        old_global.extend_from_slice(global);
+        let mut transmitting = std::mem::take(&mut self.transmitting_scratch);
+        transmitting.clear();
+        transmitting.extend(
+            selected
+                .iter()
+                .copied()
+                .filter(|&c| self.transmits.get(c).copied().unwrap_or(true)),
+        );
         if !transmitting.is_empty() {
             let inv = 1.0 / transmitting.len() as f32;
             for g in global.iter_mut() {
@@ -106,8 +131,10 @@ impl SyncStrategy for Cmfl {
                 }
             }
         }
-        self.prev_global_update =
-            Some(global.iter().zip(&old_global).map(|(n, o)| n - o).collect());
+        let mut prev = self.prev_global_update.take().unwrap_or_default();
+        prev.clear();
+        prev.extend(global.iter().zip(&old_global).map(|(n, o)| n - o));
+        self.prev_global_update = Some(prev);
 
         // Sparsification accounting: the fraction of selected clients that
         // skipped transmission scales the effective synchronized volume.
@@ -116,6 +143,8 @@ impl SyncStrategy for Cmfl {
         } else {
             transmitting.len() as f64 / selected.len() as f64
         };
+        self.old_scratch = old_global;
+        self.transmitting_scratch = transmitting;
         AggregateOutcome {
             broadcast_scalars: global.len(),
             synced_scalars: (global.len() as f64 * frac).round() as usize,

@@ -36,6 +36,12 @@ pub struct Qsgd {
     rng: StdRng,
     /// Per-scalar wire cost in bits (sign + magnitude level).
     bits_per_scalar: f64,
+    /// Round scratch: one client's raw update (reused across rounds).
+    update_scratch: Vec<f32>,
+    /// Round scratch: one client's quantized update (reused across rounds).
+    q_scratch: Vec<f32>,
+    /// Round scratch: the averaged quantized update (reused across rounds).
+    mean_scratch: Vec<f32>,
 }
 
 impl Qsgd {
@@ -47,25 +53,40 @@ impl Qsgd {
     pub fn new(config: QsgdConfig) -> Self {
         assert!(config.levels > 0, "need at least one level");
         let bits = ((config.levels + 1) as f64).log2().ceil() + 1.0;
-        Qsgd { config, rng: StdRng::seed_from_u64(config.seed), bits_per_scalar: bits }
+        Qsgd {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            bits_per_scalar: bits,
+            update_scratch: Vec::new(),
+            q_scratch: Vec::new(),
+            mean_scratch: Vec::new(),
+        }
     }
 
-    /// Quantizes one update vector (unbiased stochastic rounding).
-    fn quantize(&mut self, update: &[f32]) -> Vec<f32> {
+    /// Quantizes one update vector (unbiased stochastic rounding) into
+    /// `out`, reusing its allocation.
+    fn quantize_into(&mut self, update: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(update.len(), 0.0);
         let norm = update.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt() as f32;
         if norm <= f32::EPSILON {
-            return vec![0.0; update.len()];
+            return;
         }
         let s = self.config.levels as f32;
-        update
-            .iter()
-            .map(|&v| {
-                let scaled = v.abs() / norm * s;
-                let floor = scaled.floor();
-                let level = if self.rng.gen::<f32>() < scaled - floor { floor + 1.0 } else { floor };
-                norm * v.signum() * level / s
-            })
-            .collect()
+        for (o, &v) in out.iter_mut().zip(update) {
+            let scaled = v.abs() / norm * s;
+            let floor = scaled.floor();
+            let level = if self.rng.gen::<f32>() < scaled - floor { floor + 1.0 } else { floor };
+            *o = norm * v.signum() * level / s;
+        }
+    }
+
+    /// Quantizes one update vector, allocating a fresh output.
+    #[cfg(test)]
+    fn quantize(&mut self, update: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.quantize_into(update, &mut out);
+        out
     }
 
     /// Wire bits per quantized scalar.
@@ -102,10 +123,16 @@ impl SyncStrategy for Qsgd {
         global: &mut [f32],
     ) -> AggregateOutcome {
         let inv = 1.0 / selected.len().max(1) as f32;
-        let mut mean_q = vec![0.0f32; global.len()];
+        let mut mean_q = std::mem::take(&mut self.mean_scratch);
+        mean_q.clear();
+        mean_q.resize(global.len(), 0.0);
+        let mut update = std::mem::take(&mut self.update_scratch);
+        update.reserve(global.len());
+        let mut q = std::mem::take(&mut self.q_scratch);
         for &c in selected {
-            let update: Vec<f32> = locals[c].iter().zip(global.iter()).map(|(l, g)| l - g).collect();
-            let q = self.quantize(&update);
+            update.clear();
+            update.extend(locals[c].iter().zip(global.iter()).map(|(l, g)| l - g));
+            self.quantize_into(&update, &mut q);
             for (m, v) in mean_q.iter_mut().zip(&q) {
                 *m += v * inv;
             }
@@ -113,6 +140,9 @@ impl SyncStrategy for Qsgd {
         for (g, q) in global.iter_mut().zip(&mean_q) {
             *g += q;
         }
+        self.mean_scratch = mean_q;
+        self.update_scratch = update;
+        self.q_scratch = q;
         let equivalent = (global.len() as f64 * self.bits_per_scalar / 32.0).ceil() as usize;
         AggregateOutcome {
             broadcast_scalars: equivalent,

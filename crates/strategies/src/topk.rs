@@ -30,6 +30,10 @@ pub struct TopK {
     config: TopKConfig,
     /// Per-client residuals (unsent update mass).
     residuals: Vec<Vec<f32>>,
+    /// Round scratch: the averaged sparse update (reused across rounds).
+    mean_scratch: Vec<f32>,
+    /// Round scratch: magnitude sort order (reused across rounds).
+    order_scratch: Vec<usize>,
 }
 
 impl TopK {
@@ -43,7 +47,12 @@ impl TopK {
             config.fraction > 0.0 && config.fraction <= 1.0,
             "fraction must be in (0, 1]"
         );
-        TopK { config, residuals: Vec::new() }
+        TopK {
+            config,
+            residuals: Vec::new(),
+            mean_scratch: Vec::new(),
+            order_scratch: Vec::new(),
+        }
     }
 
     fn k_of(&self, n: usize) -> usize {
@@ -54,7 +63,11 @@ impl TopK {
         if self.residuals.len() != n_clients
             || self.residuals.first().is_some_and(|r| r.len() != n_params)
         {
-            self.residuals = vec![vec![0.0; n_params]; n_clients];
+            self.residuals.resize_with(n_clients, Vec::new);
+            for r in &mut self.residuals {
+                r.clear();
+                r.resize(n_params, 0.0);
+            }
         }
     }
 }
@@ -90,7 +103,11 @@ impl SyncStrategy for TopK {
         let k = self.k_of(n);
         let inv = 1.0 / selected.len().max(1) as f32;
 
-        let mut mean_sparse = vec![0.0f32; n];
+        let mut mean_sparse = std::mem::take(&mut self.mean_scratch);
+        mean_sparse.clear();
+        mean_sparse.resize(n, 0.0);
+        let mut order = std::mem::take(&mut self.order_scratch);
+        order.reserve(n);
         for (c, local) in locals.iter().enumerate() {
             if !active[c] {
                 continue;
@@ -104,7 +121,8 @@ impl SyncStrategy for TopK {
                 continue;
             }
             // Pick the k largest-magnitude entries.
-            let mut order: Vec<usize> = (0..n).collect();
+            order.clear();
+            order.extend(0..n);
             order.sort_by(|&a, &b| residual[b].abs().total_cmp(&residual[a].abs()));
             for &j in order.iter().take(k) {
                 mean_sparse[j] += residual[j] * inv;
@@ -114,6 +132,8 @@ impl SyncStrategy for TopK {
         for (g, u) in global.iter_mut().zip(&mean_sparse) {
             *g += u;
         }
+        self.mean_scratch = mean_sparse;
+        self.order_scratch = order;
         AggregateOutcome {
             broadcast_scalars: (2 * k).min(n),
             synced_scalars: (2 * k).min(n),

@@ -39,6 +39,24 @@ pub enum TensorError {
     InvalidArgument(String),
 }
 
+impl TensorError {
+    /// Cold constructor for [`TensorError::ShapeMismatch`]; keeps the
+    /// owned-shape copies off the hot paths that report the error.
+    pub fn new_shape_mismatch(left: &[usize], right: &[usize], op: &'static str) -> TensorError {
+        TensorError::ShapeMismatch { left: left.to_vec(), right: right.to_vec(), op }
+    }
+
+    /// Cold constructor for [`TensorError::LengthMismatch`].
+    pub fn new_length_mismatch(len: usize, shape: &[usize]) -> TensorError {
+        TensorError::LengthMismatch { len, shape: shape.to_vec() }
+    }
+
+    /// Cold constructor for [`TensorError::RankMismatch`].
+    pub fn new_rank_mismatch(expected: usize, actual: usize, op: &'static str) -> TensorError {
+        TensorError::RankMismatch { expected, actual, op }
+    }
+}
+
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -31,6 +31,7 @@ mod init;
 pub mod invariant;
 mod matmul;
 pub mod par;
+pub mod pool;
 mod stats;
 mod tensor;
 
@@ -42,6 +43,7 @@ pub use matmul::{
     matmul_transpose_b_into, reference,
 };
 pub use par::{kernel_threads, kernel_threads_setting, set_kernel_threads};
+pub use pool::{BufferPool, PoolBuf};
 pub use stats::{dot, l2_norm, max_abs};
 pub use tensor::Tensor;
 

@@ -25,7 +25,7 @@
 //! taken: a zero operand still multiplies, so NaN/inf propagate per
 //! IEEE 754 and the `FEDSU_CHECK_INVARIANTS` guards can observe them.
 
-use crate::{par, Result, Tensor, TensorError};
+use crate::{par, pool, Result, Tensor, TensorError};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -74,7 +74,7 @@ fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
 
 fn check_len(buf: &[f32], rows: usize, cols: usize) -> Result<()> {
     if buf.len() != rows * cols {
-        return Err(TensorError::LengthMismatch { len: buf.len(), shape: vec![rows, cols] });
+        return Err(TensorError::new_length_mismatch(buf.len(), &[rows, cols]));
     }
     Ok(())
 }
@@ -181,30 +181,36 @@ fn run_rows(kind: Kind, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usiz
     let a_shared: Arc<[f32]> = Arc::from(a);
     let b_shared: Arc<[f32]> = Arc::from(b);
     let rows_per = m.div_ceil(threads).max(1);
-    let ranges: Vec<Range<usize>> =
-        (0..m).step_by(rows_per).map(|s| s..(s + rows_per).min(m)).collect();
-    let jobs: Vec<par::ChunkJob> = ranges
-        .iter()
-        .cloned()
-        .enumerate()
-        .map(|(idx, rows)| {
-            let a = Arc::clone(&a_shared);
-            let b = Arc::clone(&b_shared);
-            let job: par::ChunkJob = Box::new(move || {
-                let mut chunk = vec![0.0f32; rows.len() * n];
-                run_range(kind, &a, &b, rows, &mut chunk, m, k, n);
-                (idx, chunk)
-            });
-            job
-        })
-        .collect();
+    let chunk_count = m.div_ceil(rows_per);
+    let mut jobs: Vec<par::ChunkJob> = Vec::with_capacity(chunk_count);
+    for idx in 0..chunk_count {
+        let rows = (idx * rows_per)..((idx + 1) * rows_per).min(m);
+        let a = Arc::clone(&a_shared);
+        let b = Arc::clone(&b_shared);
+        // Dispatcher-owned pooled chunk: checked out of this thread's
+        // shard here, filled on a worker, and returned below — workers
+        // never touch the pool, so kernels cannot contend on a shard.
+        let mut chunk = pool::take_f32_buf(rows.len() * n);
+        let job: par::ChunkJob = Box::new(move || {
+            run_range(kind, &a, &b, rows, &mut chunk, m, k, n);
+            (idx, chunk)
+        });
+        jobs.push(job);
+    }
     let results = par::run_chunks(jobs);
-    for ((range, slot), out_chunk) in ranges.iter().zip(results).zip(out.chunks_mut(rows_per * n)) {
+    for (idx, slot) in results.into_iter().enumerate() {
+        let start = idx * rows_per;
+        let end = (start + rows_per).min(m);
+        let Some(out_chunk) = out.get_mut(start * n..end * n) else { continue };
         match slot {
-            Some(chunk) => out_chunk.copy_from_slice(&chunk),
-            // The chunk's worker died mid-job: recompute inline so a
-            // degraded pool can never change results or hang the caller.
-            None => run_range(kind, a, b, range.clone(), out_chunk, m, k, n),
+            Some(chunk) => {
+                out_chunk.copy_from_slice(&chunk);
+                pool::give_f32_buf(chunk);
+            }
+            // The chunk's worker died mid-job (its pooled buffer died with
+            // it): recompute inline so a degraded pool can never change
+            // results or hang the caller.
+            None => run_range(kind, a, b, start..end, out_chunk, m, k, n),
         }
     }
 }
@@ -287,15 +293,11 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, ka) = check_rank2(a, "matmul")?;
     let (kb, n) = check_rank2(b, "matmul")?;
     if ka != kb {
-        return Err(TensorError::ShapeMismatch {
-            left: a.shape().to_vec(),
-            right: b.shape().to_vec(),
-            op: "matmul",
-        });
+        return Err(TensorError::new_shape_mismatch(a.shape(), b.shape(), "matmul"));
     }
-    let mut out = vec![0.0f32; m * n];
-    matmul_into(a.data(), b.data(), &mut out, m, ka, n)?;
-    Tensor::from_vec(out, &[m, n])
+    let mut out = pool::pooled_zeros(&[m, n]);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, ka, n)?;
+    Ok(out)
 }
 
 /// Computes `C = Aᵀ · B`, with `A: [k, m]`, `B: [k, n]`, producing `[m, n]`.
@@ -307,15 +309,11 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (ka, m) = check_rank2(a, "matmul_transpose_a")?;
     let (kb, n) = check_rank2(b, "matmul_transpose_a")?;
     if ka != kb {
-        return Err(TensorError::ShapeMismatch {
-            left: a.shape().to_vec(),
-            right: b.shape().to_vec(),
-            op: "matmul_transpose_a",
-        });
+        return Err(TensorError::new_shape_mismatch(a.shape(), b.shape(), "matmul_transpose_a"));
     }
-    let mut out = vec![0.0f32; m * n];
-    matmul_transpose_a_into(a.data(), b.data(), &mut out, ka, m, n)?;
-    Tensor::from_vec(out, &[m, n])
+    let mut out = pool::pooled_zeros(&[m, n]);
+    matmul_transpose_a_into(a.data(), b.data(), out.data_mut(), ka, m, n)?;
+    Ok(out)
 }
 
 /// Computes `C = A · Bᵀ`, with `A: [m, k]`, `B: [n, k]`, producing `[m, n]`.
@@ -327,15 +325,11 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, ka) = check_rank2(a, "matmul_transpose_b")?;
     let (n, kb) = check_rank2(b, "matmul_transpose_b")?;
     if ka != kb {
-        return Err(TensorError::ShapeMismatch {
-            left: a.shape().to_vec(),
-            right: b.shape().to_vec(),
-            op: "matmul_transpose_b",
-        });
+        return Err(TensorError::new_shape_mismatch(a.shape(), b.shape(), "matmul_transpose_b"));
     }
-    let mut out = vec![0.0f32; m * n];
-    matmul_transpose_b_into(a.data(), b.data(), &mut out, m, ka, n)?;
-    Tensor::from_vec(out, &[m, n])
+    let mut out = pool::pooled_zeros(&[m, n]);
+    matmul_transpose_b_into(a.data(), b.data(), out.data_mut(), m, ka, n)?;
+    Ok(out)
 }
 
 /// Naive single-threaded reference kernels: the semantic ground truth the

@@ -119,7 +119,10 @@ pub fn kernel_threads() -> usize {
     }
 }
 
-fn worker_loop(shared: &Arc<JobQueue>) {
+fn worker_loop(idx: usize, shared: &Arc<JobQueue>) {
+    // Each worker owns a private buffer-pool shard: anything it checks out
+    // or recycles stays thread-local, so kernels never contend on a shard.
+    crate::pool::pin_shard(idx);
     loop {
         let job = {
             let mut guard = match shared.queue.lock() {
@@ -144,23 +147,26 @@ fn worker_loop(shared: &Arc<JobQueue>) {
     }
 }
 
-fn pool() -> &'static Pool {
-    POOL.get_or_init(|| {
-        let target = hardware_threads().min(MAX_WORKERS).max(1);
-        let shared = Arc::new(JobQueue {
-            queue: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-        });
-        let mut spawned = 0usize;
-        for idx in 0..target {
-            let shared = Arc::clone(&shared);
-            let builder = std::thread::Builder::new().name(format!("fedsu-kernel-{idx}"));
-            if builder.spawn(move || worker_loop(&shared)).is_ok() {
-                spawned += 1;
-            }
+/// One-time pool construction (runs on first parallel dispatch).
+fn new_worker_pool() -> Pool {
+    let target = hardware_threads().min(MAX_WORKERS).max(1);
+    let shared = Arc::new(JobQueue {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+    });
+    let mut spawned = 0usize;
+    for idx in 0..target {
+        let shared = Arc::clone(&shared);
+        let builder = std::thread::Builder::new().name(format!("fedsu-kernel-{idx}"));
+        if builder.spawn(move || worker_loop(idx, &shared)).is_ok() {
+            spawned += 1;
         }
-        Pool { shared, workers: spawned }
-    })
+    }
+    Pool { shared, workers: spawned }
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(new_worker_pool)
 }
 
 /// Runs `jobs` on the worker pool, collecting each chunk under the index the

@@ -123,6 +123,42 @@ impl Tensor {
         self.data
     }
 
+    /// Consumes the tensor, returning its data and shape buffers so both
+    /// allocations can be recycled (see [`crate::pool::recycle`]).
+    pub fn into_parts(self) -> (Vec<f32>, Vec<usize>) {
+        (self.data, self.shape)
+    }
+
+    /// Like [`Tensor::zeros`], but drawing the data and shape buffers
+    /// from `pool` instead of the allocator.
+    pub fn zeros_in(shape: &[usize], pool: &crate::pool::BufferPool) -> Tensor {
+        let mut len = 1usize;
+        for &d in shape {
+            len = len.saturating_mul(d);
+        }
+        let data = pool.take_f32(len);
+        let mut dims = pool.take_usize(shape.len());
+        dims.copy_from_slice(shape);
+        Tensor { data, shape: dims }
+    }
+
+    /// Wraps a pooled RAII buffer into a tensor, consuming the guard (the
+    /// checkout stays outstanding until the tensor is recycled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the buffer's length does
+    /// not equal the product of `shape`.
+    pub fn from_pool(buf: crate::pool::PoolBuf, shape: &[usize]) -> Result<Tensor> {
+        let expected: usize = shape.iter().product();
+        if buf.len() != expected {
+            return Err(TensorError::new_length_mismatch(buf.len(), shape));
+        }
+        let mut dims = crate::pool::take_usize_buf(shape.len());
+        dims.copy_from_slice(shape);
+        Ok(Tensor { data: buf.into_vec(), shape: dims })
+    }
+
     /// Returns the element at a flat (row-major) index.
     ///
     /// # Errors
@@ -143,9 +179,28 @@ impl Tensor {
     pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
         let expected: usize = shape.iter().product();
         if expected != self.data.len() {
-            return Err(TensorError::LengthMismatch { len: self.data.len(), shape: shape.to_vec() });
+            return Err(TensorError::new_length_mismatch(self.data.len(), shape));
         }
         Ok(Tensor { data: self.data.clone(), shape: shape.to_vec() })
+    }
+
+    /// Consuming reshape: reuses both the data and the shape allocation,
+    /// where [`Tensor::reshape`] clones the full buffer. Prefer this when
+    /// the caller owns the tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the element counts
+    /// differ (the tensor is consumed either way).
+    pub fn into_reshaped(self, shape: &[usize]) -> Result<Tensor> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::new_length_mismatch(self.data.len(), shape));
+        }
+        let Tensor { data, shape: mut dims } = self;
+        dims.clear();
+        dims.extend_from_slice(shape);
+        Ok(Tensor { data, shape: dims })
     }
 
     /// In-place reshape (no copy).
@@ -164,11 +219,7 @@ impl Tensor {
 
     fn check_same_shape(&self, other: &Tensor, op: &'static str) -> Result<()> {
         if self.shape != other.shape {
-            return Err(TensorError::ShapeMismatch {
-                left: self.shape.clone(),
-                right: other.shape.clone(),
-                op,
-            });
+            return Err(TensorError::new_shape_mismatch(&self.shape, &other.shape, op));
         }
         Ok(())
     }
@@ -180,8 +231,11 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn add(&self, other: &Tensor) -> Result<Tensor> {
         self.check_same_shape(other, "add")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Ok(Tensor { data, shape: self.shape.clone() })
+        let mut out = crate::pool::pooled_like(self);
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a + b;
+        }
+        Ok(out)
     }
 
     /// Elementwise subtraction `self - other`.
@@ -252,10 +306,14 @@ impl Tensor {
         }
     }
 
-    /// Applies a function to every element, returning a new tensor.
+    /// Applies a function to every element, returning a new tensor (drawn
+    /// from the buffer pool).
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
-        let data = self.data.iter().map(|&a| f(a)).collect();
-        Tensor { data, shape: self.shape.clone() }
+        let mut out = crate::pool::pooled_like(self);
+        for (o, &a) in out.data.iter_mut().zip(&self.data) {
+            *o = f(a);
+        }
+        out
     }
 
     /// Applies a function to every element in place.
@@ -316,6 +374,13 @@ impl Tensor {
         }
         Ok(&self.data[i * cols..(i + 1) * cols])
     }
+}
+
+/// Crate-internal constructor gluing recycled buffers into a tensor; the
+/// caller guarantees `data.len()` equals the product of `shape`.
+pub(crate) fn from_parts(data: Vec<f32>, shape: Vec<usize>) -> Tensor {
+    debug_assert_eq!(data.len(), shape.iter().product::<usize>());
+    Tensor { data, shape }
 }
 
 impl From<Vec<f32>> for Tensor {

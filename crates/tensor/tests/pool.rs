@@ -1,0 +1,96 @@
+//! Integration tests for the buffer pool: pooled scratch must be invisible
+//! in kernel results at every thread count, and checkout/return must stay
+//! balanced even when a pooled job panics mid-flight.
+
+use fedsu_tensor::{matmul_into, pool, reference, set_kernel_threads};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: they share the global kernel-thread
+/// setting and the global pool's balance counter.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Deterministic pseudo-random data (splitmix64 bits mapped into [-1, 1)).
+fn data(n: usize, mut seed: u64) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        out.push(((z >> 40) as f32) / ((1u64 << 24) as f32) * 2.0 - 1.0);
+    }
+    out
+}
+
+#[test]
+fn pooled_kernel_results_are_bit_identical_across_thread_counts() {
+    let _g = gate();
+    let (m, k, n) = (33, 47, 29);
+    let a = data(m * k, 1);
+    let b = data(k * n, 2);
+    let expect = reference::matmul(&a, &b, m, k, n);
+    for threads in [1usize, 2, 4, 8] {
+        set_kernel_threads(threads);
+        let mut fresh = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut fresh, m, k, n).unwrap();
+        // Two passes: the second one runs on a recycled buffer that held
+        // the first pass's results, proving zero-on-checkout works.
+        for pass in 0..2 {
+            let mut pooled = pool::checkout(m * n);
+            matmul_into(&a, &b, &mut pooled, m, k, n).unwrap();
+            for (i, (p, e)) in pooled.iter().zip(&expect).enumerate() {
+                assert_eq!(
+                    p.to_bits(),
+                    e.to_bits(),
+                    "pooled output diverged: threads {threads} pass {pass} elem {i}"
+                );
+            }
+        }
+        for (i, (f, e)) in fresh.iter().zip(&expect).enumerate() {
+            assert_eq!(f.to_bits(), e.to_bits(), "fresh output diverged: threads {threads} elem {i}");
+        }
+    }
+    set_kernel_threads(1);
+}
+
+#[test]
+fn checkouts_balance_even_when_a_pooled_job_panics() {
+    let _g = gate();
+    let before = pool::global().outstanding();
+
+    // Normal RAII path: the guard returns its buffer on scope exit.
+    {
+        let mut buf = pool::checkout(1024);
+        buf[0] = 1.0;
+    }
+    assert_eq!(pool::global().outstanding(), before, "RAII return must balance the checkout");
+
+    // Manual take/give pair.
+    let raw = pool::take_f32_buf(256);
+    pool::give_f32_buf(raw);
+    assert_eq!(pool::global().outstanding(), before, "manual give must balance the take");
+
+    // Panicking path: the guard unwinds, the buffer still comes home.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut buf = pool::checkout(512);
+        buf[1] = 2.0;
+        panic!("pooled job dies");
+    }));
+    assert!(result.is_err(), "the job must actually panic");
+    assert_eq!(
+        pool::global().outstanding(),
+        before,
+        "a panicking checkout must still return its buffer"
+    );
+
+    // The pool survives the unwind unpoisoned and still hands out zeroed
+    // buffers (the recycled one carried a stale 2.0 before zeroing).
+    let buf = pool::checkout(512);
+    assert!(buf.iter().all(|v| v.to_bits() == 0), "checkout must zero recycled storage");
+}

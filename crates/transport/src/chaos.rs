@@ -87,6 +87,10 @@ struct LinkState {
     fallback_seq: u64,
     pending: Vec<Pending>,
     stats: ChaosStats,
+    /// Reusable staging area for frames due on the wire: taken under the
+    /// lock, drained by the caller after releasing it, then stored back so
+    /// steady-state sends never reallocate the outer vector.
+    due_scratch: Vec<Vec<u8>>,
 }
 
 const DIR_TO_SERVER: u64 = 0;
@@ -119,21 +123,21 @@ fn frame_key(client: u64, dir: u64, bytes: &[u8], state: &mut LinkState) -> Wire
     }
 }
 
-/// Applies the plan's wire faults to one outgoing frame and returns, in
-/// delivery order, every frame now due on the wire: the frame itself (after
-/// corruption, with its duplicate first) when delivered immediately,
-/// followed by any held frames whose tick has matured. Fault decisions and
-/// queue mutations happen here, under the caller's state lock; the caller
-/// performs the actual sends *after* releasing it, so no lock guard is ever
-/// held across wire I/O.
+/// Applies the plan's wire faults to one outgoing frame and appends to
+/// `out`, in delivery order, every frame now due on the wire: the frame
+/// itself (after corruption, with its duplicate first) when delivered
+/// immediately, followed by any held frames whose tick has matured. Fault
+/// decisions and queue mutations happen here, under the caller's state
+/// lock; the caller performs the actual sends *after* releasing it, so no
+/// lock guard is ever held across wire I/O.
 fn chaos_send(
     plan: &FaultPlan,
     client: u64,
     dir: u64,
     state: &mut LinkState,
     mut bytes: Vec<u8>,
-) -> Vec<Vec<u8>> {
-    let mut out = Vec::new();
+    out: &mut Vec<Vec<u8>>,
+) {
     state.tick = state.tick.wrapping_add(1);
     state.stats.frames = state.stats.frames.saturating_add(1);
     let key = frame_key(client, dir, &bytes, state);
@@ -165,6 +169,7 @@ fn chaos_send(
             }
         };
         if hold == 0 {
+            out.reserve(if duplicate { 2 } else { 1 });
             if duplicate {
                 out.push(bytes.clone());
             }
@@ -172,6 +177,7 @@ fn chaos_send(
         } else {
             let release = state.tick.wrapping_add(u64::try_from(hold).unwrap_or(u64::MAX));
             let copies = if duplicate { 2 } else { 1 };
+            state.pending.reserve(copies);
             for i in 0..copies {
                 state.order = state.order.wrapping_add(1);
                 let payload = if i + 1 < copies { bytes.clone() } else { std::mem::take(&mut bytes) };
@@ -179,37 +185,34 @@ fn chaos_send(
             }
         }
     }
-    out.extend(release_matured(state));
-    out
+    release_matured(state, out);
 }
 
-/// Pops every held frame whose release tick has passed, oldest first, for
-/// the caller to deliver once the state lock is released.
-fn release_matured(state: &mut LinkState) -> Vec<Vec<u8>> {
-    if state.pending.is_empty() {
-        return Vec::new();
-    }
+/// Moves every held frame whose release tick has passed onto `out`, oldest
+/// first, for the caller to deliver once the state lock is released. The
+/// holdback queue is re-sorted in place; order among still-held frames is
+/// irrelevant because every release sorts by `(release, order)` again.
+fn release_matured(state: &mut LinkState, out: &mut Vec<Vec<u8>>) {
     let tick = state.tick;
-    let mut due = Vec::new();
-    let mut keep = Vec::new();
-    for p in state.pending.drain(..) {
-        if p.release <= tick {
-            due.push(p);
-        } else {
-            keep.push(p);
-        }
+    if !state.pending.iter().any(|p| p.release <= tick) {
+        return;
     }
-    state.pending = keep;
-    due.sort_by_key(|p| (p.release, p.order));
-    due.into_iter().map(|p| p.bytes).collect()
+    state.pending.sort_by_key(|p| (p.release, p.order));
+    let split = state.pending.partition_point(|p| p.release <= tick);
+    out.reserve(split);
+    for p in state.pending.drain(..split) {
+        out.push(p.bytes);
+    }
 }
 
-/// Pops the entire holdback queue (shutdown / end-of-round), oldest first,
-/// for the caller to deliver once the state lock is released.
-fn release_all(state: &mut LinkState) -> Vec<Vec<u8>> {
-    let mut due = std::mem::take(&mut state.pending);
-    due.sort_by_key(|p| (p.release, p.order));
-    due.into_iter().map(|p| p.bytes).collect()
+/// Moves the entire holdback queue onto `out` (shutdown / end-of-round),
+/// oldest first, for the caller to deliver once the state lock is released.
+fn release_all(state: &mut LinkState, out: &mut Vec<Vec<u8>>) {
+    state.pending.sort_by_key(|p| (p.release, p.order));
+    out.reserve(state.pending.len());
+    for p in state.pending.drain(..) {
+        out.push(p.bytes);
+    }
 }
 
 /// A [`ByteLink`] decorator injecting the plan's deterministic wire faults
@@ -249,13 +252,17 @@ impl<L: ByteLink> ChaosClient<L> {
     ///
     /// Propagates the wrapped link's send failure.
     pub fn flush(&self) -> Result<(), BusError> {
-        let due = {
+        let mut due = {
             let mut state = self.state.lock();
-            release_all(&mut state)
+            let mut out = std::mem::take(&mut state.due_scratch);
+            out.clear();
+            release_all(&mut state, &mut out);
+            out
         };
-        for b in due {
+        for b in due.drain(..) {
             self.inner.send_bytes(b)?;
         }
+        self.state.lock().due_scratch = due;
         Ok(())
     }
 }
@@ -266,14 +273,20 @@ impl<L: ByteLink> ByteLink for ChaosClient<L> {
             return self.inner.send_bytes(bytes);
         }
         // Decide fates and mutate the holdback queue under the lock; put
-        // the due frames on the wire only after it is released.
-        let due = {
+        // the due frames on the wire only after it is released. The staging
+        // vector is borrowed from the link state and handed back afterward
+        // so its capacity survives from send to send.
+        let mut due = {
             let mut state = self.state.lock();
-            chaos_send(&self.plan, self.client, DIR_TO_SERVER, &mut state, bytes)
+            let mut out = std::mem::take(&mut state.due_scratch);
+            out.clear();
+            chaos_send(&self.plan, self.client, DIR_TO_SERVER, &mut state, bytes, &mut out);
+            out
         };
-        for b in due {
+        for b in due.drain(..) {
             self.inner.send_bytes(b)?;
         }
+        self.state.lock().due_scratch = due;
         Ok(())
     }
 
@@ -323,13 +336,17 @@ impl<L: ServerByteLink> ChaosServer<L> {
     /// Propagates the first send failure.
     pub fn flush(&self) -> Result<(), BusError> {
         for (client, state) in self.states.iter().enumerate() {
-            let due = {
+            let mut due = {
                 let mut state = state.lock();
-                release_all(&mut state)
+                let mut out = std::mem::take(&mut state.due_scratch);
+                out.clear();
+                release_all(&mut state, &mut out);
+                out
             };
-            for b in due {
+            for b in due.drain(..) {
                 self.inner.send_bytes_to(client, b)?;
             }
+            state.lock().due_scratch = due;
         }
         Ok(())
     }
@@ -345,19 +362,24 @@ impl<L: ServerByteLink> ServerByteLink for ChaosServer<L> {
         };
         // Same discipline as the client side: fates under the lock, wire
         // I/O after it is released.
-        let due = {
-            let mut state = state.lock();
+        let mut due = {
+            let mut guard = state.lock();
+            let mut out = std::mem::take(&mut guard.due_scratch);
+            out.clear();
             chaos_send(
                 &self.plan,
                 u64::try_from(client).unwrap_or(u64::MAX),
                 DIR_TO_CLIENT,
-                &mut state,
+                &mut guard,
                 bytes,
-            )
+                &mut out,
+            );
+            out
         };
-        for b in due {
+        for b in due.drain(..) {
             self.inner.send_bytes_to(client, b)?;
         }
+        state.lock().due_scratch = due;
         Ok(())
     }
 

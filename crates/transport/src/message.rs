@@ -5,7 +5,7 @@
 //! reports when a check is due, and joiners request the replicated manager
 //! state. All payloads are length-prefixed little-endian.
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::Buf;
 use std::fmt;
 
 const MAGIC: u16 = 0xF5ED;
@@ -51,20 +51,20 @@ impl SparseValues {
         self.values.is_empty()
     }
 
-    fn encode_into(&self, buf: &mut BytesMut) {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
         match &self.indices {
-            None => buf.put_u8(0),
+            None => buf.push(0),
             Some(idx) => {
-                buf.put_u8(1);
-                buf.put_u32_le(idx.len() as u32);
+                buf.push(1);
+                buf.extend_from_slice(&(idx.len() as u32).to_le_bytes());
                 for &i in idx {
-                    buf.put_u32_le(i);
+                    buf.extend_from_slice(&i.to_le_bytes());
                 }
             }
         }
-        buf.put_u32_le(self.values.len() as u32);
+        buf.extend_from_slice(&(self.values.len() as u32).to_le_bytes());
         for &v in &self.values {
-            buf.put_f32_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -166,28 +166,38 @@ impl Message {
 
     /// Serializes the message (magic, version, tag, body).
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(64);
-        buf.put_u16_le(MAGIC);
-        buf.put_u8(VERSION);
-        buf.put_u8(self.tag());
+        let mut buf = Vec::with_capacity(64);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes the message into `buf`, clearing it first. Hot paths call
+    /// this with a reused buffer so steady-state encoding allocates nothing
+    /// once the buffer has grown to the message's working size.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(VERSION);
+        buf.push(self.tag());
         match self {
-            Message::Pull { client } | Message::JoinRequest { client } => buf.put_u32_le(*client),
+            Message::Pull { client } | Message::JoinRequest { client } => {
+                buf.extend_from_slice(&client.to_le_bytes());
+            }
             Message::Model { round, values } => {
-                buf.put_u32_le(*round);
-                values.encode_into(&mut buf);
+                buf.extend_from_slice(&round.to_le_bytes());
+                values.encode_into(buf);
             }
             Message::Update { round, client, values } | Message::ErrorReport { round, client, errors: values } => {
-                buf.put_u32_le(*round);
-                buf.put_u32_le(*client);
-                values.encode_into(&mut buf);
+                buf.extend_from_slice(&round.to_le_bytes());
+                buf.extend_from_slice(&client.to_le_bytes());
+                values.encode_into(buf);
             }
             Message::JoinState { payload } => {
-                buf.put_u32_le(payload.len() as u32);
-                buf.put_slice(payload);
+                buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                buf.extend_from_slice(payload);
             }
             Message::Shutdown => {}
         }
-        buf.to_vec()
     }
 
     /// Parses a message produced by [`Message::encode`].
