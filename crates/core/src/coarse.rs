@@ -123,17 +123,26 @@ impl SyncStrategy for FedSuCoarse {
         "fedsu-coarse"
     }
 
-    fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
+    fn prepare_uploads_into(
+        &mut self,
+        _round: usize,
+        locals: &[Vec<f32>],
+        global: &[f32],
+        out: &mut Vec<u64>,
+    ) {
         self.ensure_capacity(global.len(), locals.len());
         let mut scalars = 0u64;
-        for c in 0..self.n_chunks() {
-            if !self.predictable[c] {
+        for (c, (&pred, &remaining)) in
+            self.predictable.iter().zip(&self.no_check_remaining).enumerate()
+        {
+            if !pred {
                 scalars += self.chunk_range(c).len() as u64;
-            } else if self.no_check_remaining[c] == 1 {
+            } else if remaining == 1 {
                 scalars += 1; // one aggregated error value per checked chunk
             }
         }
-        vec![scalars; locals.len()]
+        out.clear();
+        out.resize(locals.len(), scalars);
     }
 
     fn aggregate(

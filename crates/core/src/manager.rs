@@ -398,9 +398,11 @@ impl FedSu {
             self.prev_active.clear();
             self.prev_active.resize(active.len(), false);
         }
-        for (i, &act) in active.iter().enumerate() {
-            if act && !self.prev_active[i] {
-                self.errors[i].fill(0.0);
+        // `prev_active` was just resized to `active.len()` and `errors` is
+        // one accumulator per client, so the zip walks all clients.
+        for ((errs, &act), &prev) in self.errors.iter_mut().zip(active).zip(&self.prev_active) {
+            if act && !prev {
+                errs.fill(0.0);
             }
         }
         self.prev_active.copy_from_slice(active);
@@ -408,16 +410,29 @@ impl FedSu {
 
     fn promote(&mut self, j: usize, slope: f32, round: usize) {
         self.total_enters += 1;
-        self.predictable[j] = true;
-        self.slope[j] = slope;
+        // Every caller passes `j < n` (the aggregate loop index) and all the
+        // per-scalar arrays are length `n`, so these lookups cannot miss;
+        // `get_mut` keeps the round loop free of panic branches.
+        if let Some(p) = self.predictable.get_mut(j) {
+            *p = true;
+        }
+        if let Some(s) = self.slope.get_mut(j) {
+            *s = slope;
+        }
         let period = match self.exit {
             ExitPolicy::ErrorFeedback => self.config.initial_no_check,
             ExitPolicy::FixedPeriod(p) => p.max(1),
         };
-        self.no_check_len[j] = period;
-        self.no_check_remaining[j] = period;
+        if let Some(l) = self.no_check_len.get_mut(j) {
+            *l = period;
+        }
+        if let Some(r) = self.no_check_remaining.get_mut(j) {
+            *r = period;
+        }
         for e in &mut self.errors {
-            e[j] = 0.0;
+            if let Some(v) = e.get_mut(j) {
+                *v = 0.0;
+            }
         }
         if self.tracked.contains(&j) {
             self.events.push(MaskEvent { round, param: j, kind: MaskEventKind::Enter { slope } });
@@ -426,13 +441,27 @@ impl FedSu {
 
     fn demote(&mut self, j: usize, feedback: Option<f64>, round: usize) {
         self.total_exits += 1;
-        self.predictable[j] = false;
-        self.no_check_len[j] = 0;
-        self.no_check_remaining[j] = 0;
-        self.obs[j] = 0;
-        self.ema[j].reset();
+        // Same bounds argument as `promote`: `j` is an aggregate-loop index
+        // into length-`n` arrays, so none of these lookups can miss.
+        if let Some(p) = self.predictable.get_mut(j) {
+            *p = false;
+        }
+        if let Some(l) = self.no_check_len.get_mut(j) {
+            *l = 0;
+        }
+        if let Some(r) = self.no_check_remaining.get_mut(j) {
+            *r = 0;
+        }
+        if let Some(o) = self.obs.get_mut(j) {
+            *o = 0;
+        }
+        if let Some(e) = self.ema.get_mut(j) {
+            e.reset();
+        }
         for e in &mut self.errors {
-            e[j] = 0.0;
+            if let Some(v) = e.get_mut(j) {
+                *v = 0.0;
+            }
         }
         if self.tracked.contains(&j) {
             self.events.push(MaskEvent { round, param: j, kind: MaskEventKind::Exit { feedback } });
@@ -451,9 +480,15 @@ impl FedSu {
         if !fedsu_tensor::invariant::enabled() {
             return;
         }
-        for (j, &p) in self.predictable.iter().enumerate() {
-            let len = self.no_check_len[j];
-            let remaining = self.no_check_remaining[j];
+        // The three per-scalar arrays share length `n`, so the zip covers
+        // every scalar.
+        for (j, ((&p, &len), &remaining)) in self
+            .predictable
+            .iter()
+            .zip(&self.no_check_len)
+            .zip(&self.no_check_remaining)
+            .enumerate()
+        {
             if p {
                 assert!(
                     (1..=len).contains(&remaining),
@@ -484,7 +519,13 @@ impl SyncStrategy for FedSu {
         self.variant_name
     }
 
-    fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
+    fn prepare_uploads_into(
+        &mut self,
+        _round: usize,
+        locals: &[Vec<f32>],
+        global: &[f32],
+        out: &mut Vec<u64>,
+    ) {
         self.ensure_capacity(global.len(), locals.len());
         let unpredictable = self.predictable.iter().filter(|&&p| !p).count() as u64;
         let check_due = if matches!(self.exit, ExitPolicy::ErrorFeedback) {
@@ -497,7 +538,8 @@ impl SyncStrategy for FedSu {
             0
         };
         self.last_upload_scalars = unpredictable + check_due;
-        vec![self.last_upload_scalars; locals.len()]
+        out.clear();
+        out.resize(locals.len(), self.last_upload_scalars);
     }
 
     fn aggregate(

@@ -191,6 +191,7 @@ struct RoundScratch {
     survivors: Vec<usize>,
     agg_active: Vec<bool>,
     global_snapshot: Vec<f32>,
+    upload_scalars: Vec<u64>,
 }
 
 /// An assembled experiment, ready to run.
@@ -499,19 +500,24 @@ impl Experiment {
                 }
             }
 
-            // 4. Strategy phase A: upload volumes.
-            let upload_scalars =
-                self.strategy.prepare_uploads(round, &scratch.locals, &scratch.global_snapshot);
-            if upload_scalars.len() != n {
+            // 4. Strategy phase A: upload volumes, staged into the
+            // round-scratch buffer (no per-round allocation).
+            self.strategy.prepare_uploads_into(
+                round,
+                &scratch.locals,
+                &scratch.global_snapshot,
+                &mut scratch.upload_scalars,
+            );
+            if scratch.upload_scalars.len() != n {
                 return Err(FlError::new_strategy_contract(format_args!(
-                    "prepare_uploads returned {} entries for {} clients",
-                    upload_scalars.len(),
+                    "prepare_uploads_into staged {} entries for {} clients",
+                    scratch.upload_scalars.len(),
                     n
                 )));
             }
             scratch.upload_bytes.clear();
             scratch.upload_bytes.resize(n, 0);
-            for (b, &s) in scratch.upload_bytes.iter_mut().zip(&upload_scalars) {
+            for (b, &s) in scratch.upload_bytes.iter_mut().zip(&scratch.upload_scalars) {
                 *b = s * crate::BYTES_PER_SCALAR;
             }
 
@@ -949,8 +955,15 @@ mod tests {
         fn name(&self) -> &str {
             "test-fedavg"
         }
-        fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], _global: &[f32]) -> Vec<u64> {
-            locals.iter().map(|l| l.len() as u64).collect()
+        fn prepare_uploads_into(
+            &mut self,
+            _round: usize,
+            locals: &[Vec<f32>],
+            _global: &[f32],
+            out: &mut Vec<u64>,
+        ) {
+            out.clear();
+            out.extend(locals.iter().map(|l| l.len() as u64));
         }
         fn aggregate(
             &mut self,

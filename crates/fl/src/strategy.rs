@@ -19,10 +19,10 @@ pub struct AggregateOutcome {
 ///
 /// The runtime calls, once per round and in this order:
 ///
-/// 1. [`prepare_uploads`](SyncStrategy::prepare_uploads) with *every*
-///    client's locally-trained flat parameters — the strategy decides what
-///    each client would put on the wire (the round timer needs the volumes
-///    before participant selection);
+/// 1. [`prepare_uploads_into`](SyncStrategy::prepare_uploads_into) with
+///    *every* client's locally-trained flat parameters — the strategy
+///    decides what each client would put on the wire (the round timer needs
+///    the volumes before participant selection);
 /// 2. [`aggregate`](SyncStrategy::aggregate) with the ids of the earliest-
 ///    returning clients — the strategy mutates `global` into the new global
 ///    parameters that every client then loads.
@@ -35,14 +35,31 @@ pub trait SyncStrategy: Send {
     /// Strategy display name (used in experiment records and tables).
     fn name(&self) -> &str;
 
-    /// Phase A: decides per-client upload volumes for this round.
+    /// Phase A: decides per-client upload volumes for this round, writing
+    /// one entry per client into `out` (cleared first).
     ///
     /// `locals[i]` is client `i`'s flat parameter vector after local
-    /// training; `global` is the current global vector. Returns the number
-    /// of *scalars* each client uploads (the runtime converts to bytes).
-    /// Implementations may cache per-client decisions for use in
-    /// [`aggregate`](SyncStrategy::aggregate).
-    fn prepare_uploads(&mut self, round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64>;
+    /// training; `global` is the current global vector. Each entry is the
+    /// number of *scalars* that client uploads (the runtime converts to
+    /// bytes). The runtime passes a round-scratch buffer so steady rounds
+    /// stay allocation-free. Implementations may cache per-client decisions
+    /// for use in [`aggregate`](SyncStrategy::aggregate).
+    fn prepare_uploads_into(
+        &mut self,
+        round: usize,
+        locals: &[Vec<f32>],
+        global: &[f32],
+        out: &mut Vec<u64>,
+    );
+
+    /// Allocating convenience wrapper around
+    /// [`prepare_uploads_into`](SyncStrategy::prepare_uploads_into), for
+    /// tests and one-shot callers that don't keep a scratch buffer.
+    fn prepare_uploads(&mut self, round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.prepare_uploads_into(round, locals, global, &mut out);
+        out
+    }
 
     /// Phase B: aggregates the selected clients and writes the new global
     /// parameters into `global` (which every client replica then loads).

@@ -2,14 +2,17 @@
 
 use crate::layer::Layer;
 use crate::{NnError, Result};
-use fedsu_tensor::{pool, Tensor};
+use fedsu_tensor::{pool, simd, Tensor};
 
 /// Rectified linear unit: `y = max(x, 0)`, elementwise over any shape.
+///
+/// Forward and backward run on the dispatched `fedsu_tensor::simd` lanes;
+/// the training-mode cache keeps the raw input (a pooled copy, like
+/// [`Tanh`]) instead of a boolean mask so the backward pass can ride the
+/// same compare+select kernel.
 #[derive(Debug, Default)]
 pub struct Relu {
-    mask: Option<Vec<bool>>,
-    /// Retired mask allocation, reused by the next forward pass.
-    spare: Vec<bool>,
+    input: Option<Tensor>,
 }
 
 impl Relu {
@@ -25,33 +28,31 @@ impl Layer for Relu {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
-        let out = input.map(|v| v.max(0.0));
+        let mut out = pool::pooled_like(input);
+        simd::relu_fwd(input.data(), out.data_mut());
         if train {
-            let mut mask = std::mem::take(&mut self.spare);
-            mask.clear();
-            mask.extend(input.data().iter().map(|&v| v > 0.0));
-            self.mask = Some(mask);
+            let mut cache = pool::pooled_like(input);
+            cache.data_mut().copy_from_slice(input.data());
+            self.input = Some(cache);
         }
         Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let mask = self
-            .mask
+        let cached = self
+            .input
             .take()
             .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
-        if mask.len() != grad_output.len() {
+        if cached.len() != grad_output.len() {
             return Err(NnError::new_bad_input(
                 self.name(),
-                format_args!("grad with {} elements", mask.len()),
+                format_args!("grad with {} elements", cached.len()),
                 grad_output.shape(),
             ));
         }
         let mut out = pool::pooled_like(grad_output);
-        for ((o, &g), &m) in out.data_mut().iter_mut().zip(grad_output.data()).zip(&mask) {
-            *o = if m { g } else { 0.0 };
-        }
-        self.spare = mask;
+        simd::relu_bwd(cached.data(), grad_output.data(), out.data_mut());
+        pool::recycle(cached);
         Ok(out)
     }
 }
@@ -61,9 +62,7 @@ impl Layer for Relu {
 #[derive(Debug)]
 pub struct LeakyRelu {
     slope: f32,
-    mask: Option<Vec<bool>>,
-    /// Retired mask allocation, reused by the next forward pass.
-    spare: Vec<bool>,
+    input: Option<Tensor>,
 }
 
 impl LeakyRelu {
@@ -74,7 +73,7 @@ impl LeakyRelu {
     /// Panics unless `0 <= slope < 1`.
     pub fn new(slope: f32) -> Self {
         assert!((0.0..1.0).contains(&slope), "slope must be in [0, 1)");
-        LeakyRelu { slope, mask: None, spare: Vec::new() }
+        LeakyRelu { slope, input: None }
     }
 }
 
@@ -84,28 +83,31 @@ impl Layer for LeakyRelu {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
-        let slope = self.slope;
-        let out = input.map(|v| if v > 0.0 { v } else { slope * v });
+        let mut out = pool::pooled_like(input);
+        simd::leaky_fwd(input.data(), self.slope, out.data_mut());
         if train {
-            let mut mask = std::mem::take(&mut self.spare);
-            mask.clear();
-            mask.extend(input.data().iter().map(|&v| v > 0.0));
-            self.mask = Some(mask);
+            let mut cache = pool::pooled_like(input);
+            cache.data_mut().copy_from_slice(input.data());
+            self.input = Some(cache);
         }
         Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let mask = self
-            .mask
+        let cached = self
+            .input
             .take()
             .ok_or_else(|| NnError::new_missing_forward(self.name()))?;
-        let slope = self.slope;
-        let mut out = pool::pooled_like(grad_output);
-        for ((o, &g), &m) in out.data_mut().iter_mut().zip(grad_output.data()).zip(&mask) {
-            *o = if m { g } else { slope * g };
+        if cached.len() != grad_output.len() {
+            return Err(NnError::new_bad_input(
+                self.name(),
+                format_args!("grad with {} elements", cached.len()),
+                grad_output.shape(),
+            ));
         }
-        self.spare = mask;
+        let mut out = pool::pooled_like(grad_output);
+        simd::leaky_bwd(cached.data(), grad_output.data(), self.slope, out.data_mut());
+        pool::recycle(cached);
         Ok(out)
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::Result;
-use fedsu_tensor::Tensor;
+use fedsu_tensor::{simd, Tensor};
 
 /// Allocates one zeroed state tensor per parameter. Cold path: optimizers
 /// call this once, on their first step.
@@ -64,32 +64,26 @@ impl Sgd {
         let mu = self.momentum;
         if mu == 0.0 {
             model.visit_params_mut(&mut |p| {
-                let v = p.value.data_mut();
-                let g = p.grad.data_mut();
-                for (x, gr) in v.iter_mut().zip(g.iter_mut()) {
-                    let eff = *gr + wd * *x;
-                    *x -= lr * eff;
-                    *gr = 0.0;
-                }
+                simd::sgd_step(p.value.data_mut(), p.grad.data_mut(), lr, wd);
             });
         } else {
             // Lazily size the velocity buffers on first use.
             if self.velocity.is_empty() {
                 init_state(model, &mut self.velocity);
             }
-            let velocity = &mut self.velocity;
-            let mut idx = 0usize;
+            let mut velocity = self.velocity.iter_mut();
             model.visit_params_mut(&mut |p| {
-                let vel = velocity[idx].data_mut();
-                let v = p.value.data_mut();
-                let g = p.grad.data_mut();
-                for ((x, gr), m) in v.iter_mut().zip(g.iter_mut()).zip(vel.iter_mut()) {
-                    let eff = *gr + wd * *x;
-                    *m = mu * *m + eff;
-                    *x -= lr * *m;
-                    *gr = 0.0;
-                }
-                idx += 1;
+                let Some(vel) = velocity.next() else {
+                    return;
+                };
+                simd::sgd_momentum_step(
+                    p.value.data_mut(),
+                    p.grad.data_mut(),
+                    vel.data_mut(),
+                    lr,
+                    wd,
+                    mu,
+                );
             });
         }
         Ok(())
@@ -219,11 +213,13 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(self.step_count as i32);
         let bc2 = 1.0 - self.beta2.powi(self.step_count as i32);
         let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
-        let (ms, vs) = (&mut self.m, &mut self.v);
-        let mut idx = 0usize;
+        let mut state = self.m.iter_mut().zip(self.v.iter_mut());
         model.visit_params_mut(&mut |p| {
-            let m = ms[idx].data_mut();
-            let v = vs[idx].data_mut();
+            let Some((m, v)) = state.next() else {
+                return;
+            };
+            let m = m.data_mut();
+            let v = v.data_mut();
             let x = p.value.data_mut();
             let g = p.grad.data_mut();
             for (((xi, gi), mi), vi) in x.iter_mut().zip(g.iter_mut()).zip(m.iter_mut()).zip(v.iter_mut()) {
@@ -235,7 +231,6 @@ impl Adam {
                 *xi -= lr * m_hat / (v_hat.sqrt() + eps);
                 *gi = 0.0;
             }
-            idx += 1;
         });
         Ok(())
     }

@@ -105,10 +105,17 @@ impl SyncStrategy for Apf {
         "apf"
     }
 
-    fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
+    fn prepare_uploads_into(
+        &mut self,
+        _round: usize,
+        locals: &[Vec<f32>],
+        global: &[f32],
+        out: &mut Vec<u64>,
+    ) {
         self.ensure_capacity(global.len());
         self.unfrozen_count = self.freeze_remaining.iter().filter(|&&r| r == 0).count();
-        vec![self.unfrozen_count as u64; locals.len()]
+        out.clear();
+        out.resize(locals.len(), self.unfrozen_count as u64);
     }
 
     fn aggregate(

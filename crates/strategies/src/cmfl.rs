@@ -77,7 +77,13 @@ impl SyncStrategy for Cmfl {
         "cmfl"
     }
 
-    fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
+    fn prepare_uploads_into(
+        &mut self,
+        _round: usize,
+        locals: &[Vec<f32>],
+        global: &[f32],
+        out: &mut Vec<u64>,
+    ) {
         self.transmits.clear();
         self.transmits.reserve(locals.len());
         match &self.prev_global_update {
@@ -95,10 +101,8 @@ impl SyncStrategy for Cmfl {
                 self.update_scratch = update;
             }
         }
-        self.transmits
-            .iter()
-            .map(|&t| if t { global.len() as u64 } else { 0 })
-            .collect()
+        out.clear();
+        out.extend(self.transmits.iter().map(|&t| if t { global.len() as u64 } else { 0 }));
     }
 
     fn aggregate(

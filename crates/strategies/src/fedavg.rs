@@ -19,8 +19,15 @@ impl SyncStrategy for FedAvg {
         "fedavg"
     }
 
-    fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], _global: &[f32]) -> Vec<u64> {
-        locals.iter().map(|l| l.len() as u64).collect()
+    fn prepare_uploads_into(
+        &mut self,
+        _round: usize,
+        locals: &[Vec<f32>],
+        _global: &[f32],
+        out: &mut Vec<u64>,
+    ) {
+        out.clear();
+        out.extend(locals.iter().map(|l| l.len() as u64));
     }
 
     fn aggregate(

@@ -10,9 +10,14 @@
 //! compression ceiling the paper calls "relatively limited".
 
 use fedsu_fl::{AggregateOutcome, SyncStrategy};
+use fedsu_tensor::simd;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Largest `levels` value whose codes fit the 7 magnitude bits of the wire
+/// format (sign bit + level byte; see [`Qsgd::quantize_to_codes`]).
+pub const MAX_WIRE_LEVELS: u32 = 126;
 
 /// QSGD hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -81,6 +86,58 @@ impl Qsgd {
         }
     }
 
+    /// Quantizes one update vector to wire codes: one byte per scalar
+    /// (bit 7 = sign, bits 0–6 = magnitude level) plus the returned scale
+    /// (the update's ℓ₂ norm; `0.0` for an all-zero update). Consumes the
+    /// same stochastic-rounding draws as [`quantize_into`] would, so with
+    /// equal RNG state, [`dequantize_codes_into`] reproduces its emulated
+    /// values bit-for-bit.
+    ///
+    /// Returns `None` — without consuming any RNG draws — when the update is
+    /// not wire-packable: non-finite values, a non-finite norm, or more than
+    /// [`MAX_WIRE_LEVELS`] levels. Callers fall back to a dense frame.
+    pub fn quantize_to_codes(&mut self, update: &[f32], codes: &mut Vec<u8>) -> Option<f32> {
+        if self.config.levels > MAX_WIRE_LEVELS || update.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        codes.clear();
+        let norm = update.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt() as f32;
+        if norm <= f32::EPSILON {
+            codes.resize(update.len(), 0);
+            return Some(0.0);
+        }
+        if !norm.is_finite() {
+            return None;
+        }
+        let s = self.config.levels as f32;
+        codes.reserve(update.len());
+        for &v in update {
+            let scaled = v.abs() / norm * s;
+            let floor = scaled.floor();
+            let level = if self.rng.gen::<f32>() < scaled - floor { floor + 1.0 } else { floor };
+            // level <= s + 1 <= 127 (rounding can land one past `s`), so the
+            // cast always fits the 7 magnitude bits.
+            let sign = if v.is_sign_negative() { 0x80u8 } else { 0 };
+            codes.push(sign | (level as u8));
+        }
+        Some(norm)
+    }
+
+    /// Reconstructs dequantized values from wire codes, bit-for-bit equal to
+    /// the emulated [`quantize_into`] output for the same RNG draws: the
+    /// per-scalar expression is the identical `((scale · sign) · level) / s`
+    /// chain (`scale = 0` encodes the all-zero update).
+    pub fn dequantize_codes_into(levels: u32, scale: f32, codes: &[u8], out: &mut Vec<f32>) {
+        let s = levels.max(1) as f32;
+        out.clear();
+        out.reserve(codes.len());
+        out.extend(codes.iter().map(|&c| {
+            let sign = if c & 0x80 != 0 { -1.0f32 } else { 1.0 };
+            let level = f32::from(c & 0x7f);
+            ((scale * sign) * level) / s
+        }));
+    }
+
     /// Quantizes one update vector, allocating a fresh output.
     #[cfg(test)]
     fn quantize(&mut self, update: &[f32]) -> Vec<f32> {
@@ -106,12 +163,19 @@ impl SyncStrategy for Qsgd {
         "qsgd"
     }
 
-    fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
+    fn prepare_uploads_into(
+        &mut self,
+        _round: usize,
+        locals: &[Vec<f32>],
+        global: &[f32],
+        out: &mut Vec<u64>,
+    ) {
         // Express the compressed payload in f32-scalar equivalents so the
         // byte accounting stays uniform across strategies.
         let equivalent =
             ((global.len() as f64 * self.bits_per_scalar / 32.0).ceil() as u64).max(1) + 1; // + the norm
-        vec![equivalent; locals.len()]
+        out.clear();
+        out.resize(locals.len(), equivalent);
     }
 
     fn aggregate(
@@ -129,17 +193,17 @@ impl SyncStrategy for Qsgd {
         let mut update = std::mem::take(&mut self.update_scratch);
         update.reserve(global.len());
         let mut q = std::mem::take(&mut self.q_scratch);
+        let level = simd::simd_level();
         for &c in selected {
             update.clear();
-            update.extend(locals[c].iter().zip(global.iter()).map(|(l, g)| l - g));
+            let Some(local) = locals.get(c) else {
+                continue;
+            };
+            update.extend(local.iter().zip(global.iter()).map(|(l, g)| l - g));
             self.quantize_into(&update, &mut q);
-            for (m, v) in mean_q.iter_mut().zip(&q) {
-                *m += v * inv;
-            }
+            simd::axpy_with(level, &mut mean_q, inv, &q);
         }
-        for (g, q) in global.iter_mut().zip(&mean_q) {
-            *g += q;
-        }
+        simd::add_assign_with(level, global, &mean_q);
         self.mean_scratch = mean_q;
         self.update_scratch = update;
         self.q_scratch = q;
@@ -230,5 +294,50 @@ mod tests {
     #[should_panic(expected = "at least one level")]
     fn zero_levels_panics() {
         Qsgd::new(QsgdConfig { levels: 0, seed: 0 });
+    }
+
+    #[test]
+    fn wire_codes_dequantize_bit_identically_to_emulated_values() {
+        // Same seed, same update: the emulated f32 path and the wire-code
+        // path must produce bit-identical scalars.
+        let cfg = QsgdConfig { levels: 15, seed: 77 };
+        let update: Vec<f32> =
+            (0..257).map(|i| ((i as f32 * 0.61).sin() - 0.5) * (i % 7) as f32).collect();
+        let emulated = Qsgd::new(cfg).quantize(&update);
+        let mut codes = Vec::new();
+        let scale = Qsgd::new(cfg).quantize_to_codes(&update, &mut codes).unwrap();
+        let mut wire = Vec::new();
+        Qsgd::dequantize_codes_into(cfg.levels, scale, &codes, &mut wire);
+        assert_eq!(emulated.len(), wire.len());
+        for (i, (a, b)) in emulated.iter().zip(&wire).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "idx {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_update_packs_to_zero_scale_and_codes() {
+        let mut q = Qsgd::default();
+        let mut codes = Vec::new();
+        let scale = q.quantize_to_codes(&[0.0, 0.0, 0.0], &mut codes).unwrap();
+        assert_eq!(scale, 0.0);
+        assert_eq!(codes, vec![0, 0, 0]);
+        let mut out = Vec::new();
+        Qsgd::dequantize_codes_into(15, scale, &codes, &mut out);
+        assert!(out.iter().all(|v| v.to_bits() == 0));
+    }
+
+    #[test]
+    fn unpackable_updates_are_refused() {
+        let mut q = Qsgd::default();
+        let mut codes = Vec::new();
+        assert!(q.quantize_to_codes(&[1.0, f32::NAN], &mut codes).is_none());
+        assert!(q.quantize_to_codes(&[f32::INFINITY], &mut codes).is_none());
+        let mut wide = Qsgd::new(QsgdConfig { levels: MAX_WIRE_LEVELS + 1, seed: 0 });
+        assert!(wide.quantize_to_codes(&[1.0, 2.0], &mut codes).is_none());
+        // Refusal consumed no RNG draws: the next quantize matches a fresh
+        // instance with the same seed.
+        let a = q.quantize(&[0.5, -0.5, 0.25]);
+        let b = Qsgd::default().quantize(&[0.5, -0.5, 0.25]);
+        assert_eq!(a, b);
     }
 }

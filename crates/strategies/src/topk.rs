@@ -9,6 +9,7 @@
 //! sparsification sense).
 
 use fedsu_fl::{AggregateOutcome, SyncStrategy};
+use fedsu_tensor::simd;
 use serde::{Deserialize, Serialize};
 
 /// Top-K hyper-parameters.
@@ -34,6 +35,8 @@ pub struct TopK {
     mean_scratch: Vec<f32>,
     /// Round scratch: magnitude sort order (reused across rounds).
     order_scratch: Vec<usize>,
+    /// Round scratch: residual magnitudes used as sort keys.
+    mag_scratch: Vec<f32>,
 }
 
 impl TopK {
@@ -52,6 +55,7 @@ impl TopK {
             residuals: Vec::new(),
             mean_scratch: Vec::new(),
             order_scratch: Vec::new(),
+            mag_scratch: Vec::new(),
         }
     }
 
@@ -83,11 +87,18 @@ impl SyncStrategy for TopK {
         "topk"
     }
 
-    fn prepare_uploads(&mut self, _round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
+    fn prepare_uploads_into(
+        &mut self,
+        _round: usize,
+        locals: &[Vec<f32>],
+        global: &[f32],
+        out: &mut Vec<u64>,
+    ) {
         self.ensure_capacity(locals.len(), global.len());
         // Indices are not mask-derivable by the server, so each uploaded
         // scalar carries index + value (2 scalar-equivalents).
-        vec![(self.k_of(global.len()) * 2) as u64; locals.len()]
+        out.clear();
+        out.resize(locals.len(), (self.k_of(global.len()) * 2) as u64);
     }
 
     fn aggregate(
@@ -103,37 +114,45 @@ impl SyncStrategy for TopK {
         let k = self.k_of(n);
         let inv = 1.0 / selected.len().max(1) as f32;
 
+        let level = simd::simd_level();
         let mut mean_sparse = std::mem::take(&mut self.mean_scratch);
         mean_sparse.clear();
         mean_sparse.resize(n, 0.0);
         let mut order = std::mem::take(&mut self.order_scratch);
         order.reserve(n);
-        for (c, local) in locals.iter().enumerate() {
-            if !active[c] {
+        let mut mags = std::mem::take(&mut self.mag_scratch);
+        for ((c, local), residual) in locals.iter().enumerate().zip(self.residuals.iter_mut()) {
+            if !active.get(c).copied().unwrap_or(false) {
                 continue;
             }
             // Residual-corrected update.
-            let residual = &mut self.residuals[c];
-            for (r, (l, g)) in residual.iter_mut().zip(local.iter().zip(global.iter())) {
-                *r += l - g;
-            }
+            simd::add_diff_with(level, residual, local, global);
             if !selected.contains(&c) {
                 continue;
             }
-            // Pick the k largest-magnitude entries.
+            // Pick the k largest-magnitude entries: one vectorized |·| scan
+            // produces the sort keys, then the comparator reads plain f32s.
+            mags.clear();
+            mags.resize(n, 0.0);
+            simd::abs_into_with(level, &mut mags, residual);
             order.clear();
             order.extend(0..n);
-            order.sort_by(|&a, &b| residual[b].abs().total_cmp(&residual[a].abs()));
+            order.sort_by(|&a, &b| {
+                let ma = mags.get(a).copied().unwrap_or(0.0);
+                let mb = mags.get(b).copied().unwrap_or(0.0);
+                mb.total_cmp(&ma)
+            });
             for &j in order.iter().take(k) {
-                mean_sparse[j] += residual[j] * inv;
-                residual[j] = 0.0;
+                if let (Some(m), Some(r)) = (mean_sparse.get_mut(j), residual.get_mut(j)) {
+                    *m += *r * inv;
+                    *r = 0.0;
+                }
             }
         }
-        for (g, u) in global.iter_mut().zip(&mean_sparse) {
-            *g += u;
-        }
+        simd::add_assign_with(level, global, &mean_sparse);
         self.mean_scratch = mean_sparse;
         self.order_scratch = order;
+        self.mag_scratch = mags;
         AggregateOutcome {
             broadcast_scalars: (2 * k).min(n),
             synced_scalars: (2 * k).min(n),

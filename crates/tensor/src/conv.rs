@@ -10,7 +10,7 @@
 //! one scratch allocation instead of allocating a fresh column matrix per
 //! call.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{simd, Result, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution, shared by forward and backward passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,11 +84,29 @@ impl ConvDims {
     }
 }
 
+/// Half-open range `lo..hi` of output columns whose input column
+/// `ox·stride + kx − padding` lands inside `[0, in_w)` for tap column `kx`.
+/// Outside this range a tap reads padding (gather) or writes nothing
+/// (scatter), so the per-element bounds checks collapse to one range.
+fn tap_col_range(dims: &ConvDims, kx: usize) -> (usize, usize) {
+    if dims.in_w == 0 || dims.in_w + dims.padding <= kx {
+        return (0, 0);
+    }
+    let lo = if dims.padding > kx { (dims.padding - kx).div_ceil(dims.stride) } else { 0 };
+    let hi = ((dims.in_w - 1 + dims.padding - kx) / dims.stride + 1).min(dims.out_w());
+    (lo.min(hi), hi)
+}
+
 /// Copies one kernel tap `(ky, kx)` of `chan` into its im2col row:
 /// `out_row[oy·out_w + ox] = chan[iy, ix]` for every in-bounds input
 /// position, leaving padded positions at their pre-zeroed value.
+///
+/// The in-bounds column window is computed analytically; at stride 1 it is a
+/// contiguous input span, so the copy is a single `copy_from_slice` per
+/// output row (pure data movement — trivially bit-identical).
 fn gather_tap(chan: &[f32], out_row: &mut [f32], dims: &ConvDims, ky: usize, kx: usize) {
     let out_w = dims.out_w();
+    let (lo, hi) = tap_col_range(dims, kx);
     for (oy, orow) in out_row.chunks_exact_mut(out_w).enumerate() {
         let Some(iy) = (oy * dims.stride + ky).checked_sub(dims.padding) else {
             continue;
@@ -99,11 +117,20 @@ fn gather_tap(chan: &[f32], out_row: &mut [f32], dims: &ConvDims, ky: usize, kx:
         let Some(irow) = chan.get(iy * dims.in_w..(iy + 1) * dims.in_w) else {
             continue;
         };
-        for (ox, o) in orow.iter_mut().enumerate() {
-            if let Some(ix) = (ox * dims.stride + kx).checked_sub(dims.padding) {
-                if let Some(&v) = irow.get(ix) {
-                    *o = v;
-                }
+        let Some(dst) = orow.get_mut(lo..hi) else {
+            continue;
+        };
+        let Some(ix0) = (lo * dims.stride + kx).checked_sub(dims.padding) else {
+            continue;
+        };
+        if dims.stride == 1 {
+            if let Some(src) = irow.get(ix0..ix0 + (hi - lo)) {
+                dst.copy_from_slice(src);
+            }
+        } else {
+            let src = irow.get(ix0..).unwrap_or(&[]);
+            for (o, &v) in dst.iter_mut().zip(src.iter().step_by(dims.stride)) {
+                *o = v;
             }
         }
     }
@@ -111,8 +138,16 @@ fn gather_tap(chan: &[f32], out_row: &mut [f32], dims: &ConvDims, ky: usize, kx:
 
 /// Scatter-adds one im2col row back onto its kernel tap `(ky, kx)` of
 /// `chan`: the adjoint of [`gather_tap`], in the same traversal order.
+///
+/// At stride 1 the destination span is contiguous, so the inner loop rides
+/// the dispatched [`simd::scatter_add_with`] lanes. The NaN-holding scatter
+/// add is required (not plain `+=`): one image element accumulates taps
+/// across several calls whose vector/remainder split shifts with `kx`, so
+/// only an operand-order-independent add keeps every SIMD level bit-exact.
 fn scatter_tap(chan: &mut [f32], in_row: &[f32], dims: &ConvDims, ky: usize, kx: usize) {
     let out_w = dims.out_w();
+    let (lo, hi) = tap_col_range(dims, kx);
+    let level = simd::simd_level();
     for (oy, irow_vals) in in_row.chunks_exact(out_w).enumerate() {
         let Some(iy) = (oy * dims.stride + ky).checked_sub(dims.padding) else {
             continue;
@@ -123,9 +158,20 @@ fn scatter_tap(chan: &mut [f32], in_row: &[f32], dims: &ConvDims, ky: usize, kx:
         let Some(dst_row) = chan.get_mut(iy * dims.in_w..(iy + 1) * dims.in_w) else {
             continue;
         };
-        for (ox, &v) in irow_vals.iter().enumerate() {
-            if let Some(ix) = (ox * dims.stride + kx).checked_sub(dims.padding) {
-                if let Some(d) = dst_row.get_mut(ix) {
+        let Some(src) = irow_vals.get(lo..hi) else {
+            continue;
+        };
+        let Some(ix0) = (lo * dims.stride + kx).checked_sub(dims.padding) else {
+            continue;
+        };
+        if dims.stride == 1 {
+            if let Some(dst) = dst_row.get_mut(ix0..ix0 + (hi - lo)) {
+                simd::scatter_add_with(level, dst, src);
+            }
+        } else {
+            let dst = dst_row.get_mut(ix0..).unwrap_or_default();
+            for (d, &v) in dst.iter_mut().step_by(dims.stride).zip(src.iter()) {
+                if !d.is_nan() {
                     *d += v;
                 }
             }
@@ -323,6 +369,112 @@ mod tests {
         let mut via_slice = vec![0.0f32; 9];
         col2im_into(&vals, &mut via_slice, &d).unwrap();
         assert_eq!(via_tensor, via_slice);
+    }
+
+    /// Brute-force im2col: per-element bounds checks, no range analysis.
+    fn im2col_ref(image: &[f32], d: &ConvDims) -> Vec<f32> {
+        let (oh, ow) = (d.out_h(), d.out_w());
+        let mut out = vec![0.0f32; d.col_rows() * d.col_cols()];
+        let mut row = 0usize;
+        for c in 0..d.in_channels {
+            for ky in 0..d.kernel {
+                for kx in 0..d.kernel {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let iy = (oy * d.stride + ky) as isize - d.padding as isize;
+                            let ix = (ox * d.stride + kx) as isize - d.padding as isize;
+                            if (0..d.in_h as isize).contains(&iy) && (0..d.in_w as isize).contains(&ix) {
+                                out[row * d.col_cols() + oy * ow + ox] = image
+                                    [c * d.in_h * d.in_w + iy as usize * d.in_w + ix as usize];
+                            }
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Brute-force col2im adjoint of [`im2col_ref`].
+    fn col2im_ref(cols: &[f32], d: &ConvDims) -> Vec<f32> {
+        let (oh, ow) = (d.out_h(), d.out_w());
+        let mut img = vec![0.0f32; d.in_channels * d.in_h * d.in_w];
+        let mut row = 0usize;
+        for c in 0..d.in_channels {
+            for ky in 0..d.kernel {
+                for kx in 0..d.kernel {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let iy = (oy * d.stride + ky) as isize - d.padding as isize;
+                            let ix = (ox * d.stride + kx) as isize - d.padding as isize;
+                            if (0..d.in_h as isize).contains(&iy) && (0..d.in_w as isize).contains(&ix) {
+                                let dst = &mut img
+                                    [c * d.in_h * d.in_w + iy as usize * d.in_w + ix as usize];
+                                // Same NaN-holding rule as the production
+                                // scatter (see `scatter_tap`).
+                                if !dst.is_nan() {
+                                    *dst += cols[row * d.col_cols() + oy * ow + ox];
+                                }
+                            }
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn tap_kernels_bit_identical_to_bruteforce_across_levels() {
+        // Geometry sweep covering stride-1 (vector path), strided fallback,
+        // padding larger than kernel offsets, and odd widths; inputs plant
+        // NaN/±inf/-0.0 so the copies/adds face the full IEEE surface.
+        let geoms = [
+            ConvDims { in_channels: 2, in_h: 5, in_w: 7, kernel: 3, stride: 1, padding: 1 },
+            ConvDims { in_channels: 1, in_h: 9, in_w: 9, kernel: 3, stride: 2, padding: 1 },
+            ConvDims { in_channels: 1, in_h: 4, in_w: 4, kernel: 2, stride: 2, padding: 0 },
+            ConvDims { in_channels: 3, in_h: 6, in_w: 11, kernel: 5, stride: 1, padding: 2 },
+            ConvDims { in_channels: 1, in_h: 3, in_w: 3, kernel: 3, stride: 3, padding: 2 },
+            ConvDims { in_channels: 1, in_h: 1, in_w: 17, kernel: 1, stride: 1, padding: 0 },
+        ];
+        let specials = |i: usize, v: f32| match i % 19 {
+            5 => f32::NAN,
+            9 => -0.0,
+            13 => f32::INFINITY,
+            17 => f32::NEG_INFINITY,
+            _ => v,
+        };
+        let prior = crate::simd_level();
+        for d in &geoms {
+            let img: Vec<f32> = (0..d.in_channels * d.in_h * d.in_w)
+                .map(|i| specials(i, (i as f32 * 0.7).sin() * 10.0))
+                .collect();
+            let want_cols = im2col_ref(&img, d);
+            let cols: Vec<f32> = (0..d.col_rows() * d.col_cols())
+                .map(|i| specials(i, (i as f32 * 0.3).cos() * 10.0))
+                .collect();
+            let want_img = col2im_ref(&cols, d);
+            use crate::SimdLevel;
+            for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+                if level > crate::hardware_simd_level() {
+                    continue;
+                }
+                crate::set_simd_level(level);
+                let mut got_cols = Vec::new();
+                im2col_into(&img, d, &mut got_cols).unwrap();
+                let mut got_img = vec![0.0f32; img.len()];
+                col2im_into(&cols, &mut got_img, d).unwrap();
+                for (i, (a, b)) in got_cols.iter().zip(&want_cols).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "im2col {level:?} {d:?} idx {i}");
+                }
+                for (i, (a, b)) in got_img.iter().zip(&want_img).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "col2im {level:?} {d:?} idx {i}");
+                }
+            }
+        }
+        crate::set_simd_level(prior);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod invariant;
 mod matmul;
 pub mod par;
 pub mod pool;
+pub mod simd;
 mod stats;
 mod tensor;
 
@@ -43,6 +44,7 @@ pub use matmul::{
     matmul_transpose_b_into, reference,
 };
 pub use par::{kernel_threads, kernel_threads_setting, set_kernel_threads};
+pub use simd::{hardware_simd_level, set_simd_level, simd_level, SimdLevel};
 pub use pool::{BufferPool, PoolBuf};
 pub use stats::{dot, l2_norm, max_abs};
 pub use tensor::Tensor;

@@ -11,7 +11,9 @@
 //! ([`MC`] rows at a time, with the shared dimension additionally tiled by
 //! [`KC`] in the ikj kernel), and dispatch those row blocks across the
 //! persistent worker pool in [`crate::par`] when the matrix is large enough
-//! to pay for it.
+//! to pay for it. Inside each row block the inner loops run on the
+//! runtime-selected SIMD lanes from [`crate::simd`], vectorizing across
+//! output columns only.
 //!
 //! ## Determinism contract
 //!
@@ -25,7 +27,7 @@
 //! taken: a zero operand still multiplies, so NaN/inf propagate per
 //! IEEE 754 and the `FEDSU_CHECK_INVARIANTS` guards can observe them.
 
-use crate::{par, pool, Result, Tensor, TensorError};
+use crate::{par, pool, simd, Result, Tensor, TensorError};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -37,6 +39,11 @@ const MC: usize = 64;
 /// Tile length along the shared `k` dimension in the ikj kernel: one tile of
 /// `B` (`KC × n` scalars) stays cache-hot across a whole row block.
 const KC: usize = 256;
+
+/// Column-strip width in the ikj kernel: the innermost row loop reuses one
+/// `KC × NC` window of `B` (64 KiB at `f32`) across the whole row block, so
+/// wide outputs stop re-streaming the full `B` tile once per row.
+const NC: usize = 64;
 
 /// Minimum multiply-accumulate count before parallel dispatch pays for its
 /// input snapshots and scheduling; smaller problems run the serial blocked
@@ -81,20 +88,52 @@ fn check_len(buf: &[f32], rows: usize, cols: usize) -> Result<()> {
 
 /// ikj micro-kernel for `C = A·B` over output rows `rows`: `out` holds
 /// exactly those rows (`rows.len() × n`), pre-zeroed by the caller.
+///
+/// Inside each `k`-tile the columns are additionally walked in [`NC`]-wide
+/// strips, innermost over the block's rows, so one narrow window of the `B`
+/// tile (`KC × NC` scalars) stays L1-resident across all [`MC`] output rows
+/// instead of the whole `KC × n` tile streaming through the cache once per
+/// row. Strip order is a pure loop interchange over independent output
+/// elements: each `c[i][j]` still receives its `+= a·b` updates in ascending
+/// `p` order, so bit-identity with the reference is unaffected.
 fn chunk_nn(a: &[f32], b: &[f32], rows: Range<usize>, out: &mut [f32], k: usize, n: usize) {
     if k == 0 || n == 0 || rows.is_empty() {
         return;
     }
+    let level = simd::simd_level();
     let a_rows = a.get(rows.start * k..rows.end * k).unwrap_or(&[]);
     for pb in (0..k).step_by(KC) {
         let pe = (pb + KC).min(k);
         let b_tile = b.get(pb * n..pe * n).unwrap_or(&[]);
-        for (a_row, c_row) in a_rows.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
-            let a_tile = a_row.get(pb..pe).unwrap_or(&[]);
-            for (&av, b_row) in a_tile.iter().zip(b_tile.chunks_exact(n)) {
-                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c += av * bv;
-                }
+        for jb in (0..n).step_by(NC) {
+            let je = (jb + NC).min(n);
+            // Rows go through the strip two at a time so each B load feeds
+            // two rows' accumulators. Pairing starts at the block's first
+            // row; blocks are always MC-aligned (serial tiling and parallel
+            // dispatch both cut at MC, which is even), so an element's
+            // paired-vs-single assignment never depends on the thread count.
+            let mut a_pairs = a_rows.chunks_exact(2 * k);
+            let mut c_pairs = out.chunks_exact_mut(2 * n);
+            for (a2, c2) in (&mut a_pairs).zip(&mut c_pairs) {
+                let (a_row0, a_row1) = a2.split_at(k);
+                let (c_row0, c_row1) = c2.split_at_mut(n);
+                simd::nn_tile_cols2_with(
+                    level,
+                    c_row0.get_mut(jb..je).unwrap_or_default(),
+                    c_row1.get_mut(jb..je).unwrap_or_default(),
+                    a_row0.get(pb..pe).unwrap_or(&[]),
+                    a_row1.get(pb..pe).unwrap_or(&[]),
+                    b_tile,
+                    n,
+                    jb,
+                );
+            }
+            let a_last = a_pairs.remainder().chunks_exact(k);
+            let c_last = c_pairs.into_remainder().chunks_exact_mut(n);
+            for (a_row, c_row) in a_last.zip(c_last) {
+                let a_tile = a_row.get(pb..pe).unwrap_or(&[]);
+                let c_cols = c_row.get_mut(jb..je).unwrap_or_default();
+                simd::nn_tile_cols_with(level, c_cols, a_tile, b_tile, n, jb);
             }
         }
     }
@@ -108,12 +147,11 @@ fn chunk_ta(a: &[f32], b: &[f32], rows: Range<usize>, out: &mut [f32], m: usize,
     if m == 0 || n == 0 || rows.is_empty() {
         return;
     }
+    let level = simd::simd_level();
     for (a_row, b_row) in a.chunks_exact(m).zip(b.chunks_exact(n)) {
         let a_seg = a_row.get(rows.clone()).unwrap_or(&[]);
         for (&av, c_row) in a_seg.iter().zip(out.chunks_exact_mut(n)) {
-            for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *c += av * bv;
-            }
+            simd::axpy_with(level, c_row, av, b_row);
         }
     }
 }
@@ -129,15 +167,10 @@ fn chunk_tb(a: &[f32], b: &[f32], rows: Range<usize>, out: &mut [f32], k: usize,
         // Every dot product is empty; the pre-zeroed output is the answer.
         return;
     }
+    let level = simd::simd_level();
     let a_rows = a.get(rows.start * k..rows.end * k).unwrap_or(&[]);
     for (a_row, c_row) in a_rows.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
-        for (c, b_row) in c_row.iter_mut().zip(b.chunks_exact(k)) {
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                acc += av * bv;
-            }
-            *c = acc;
-        }
+        simd::tb_row_with(level, c_row, a_row, b, k);
     }
 }
 
@@ -180,7 +213,11 @@ fn run_rows(kind: Kind, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usiz
     // compute; the threshold above keeps tiny problems off this path).
     let a_shared: Arc<[f32]> = Arc::from(a);
     let b_shared: Arc<[f32]> = Arc::from(b);
-    let rows_per = m.div_ceil(threads).max(1);
+    // Chunks are MC-aligned so every dispatch (and the serial path) tiles
+    // the output rows identically: the ikj kernel pairs rows within each MC
+    // block, and alignment keeps that pairing — hence the compiled kernel
+    // instance each element runs through — independent of the thread count.
+    let rows_per = MC * m.div_ceil(MC * threads);
     let chunk_count = m.div_ceil(rows_per);
     let mut jobs: Vec<par::ChunkJob> = Vec::with_capacity(chunk_count);
     for idx in 0..chunk_count {

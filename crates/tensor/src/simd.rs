@@ -1,0 +1,1767 @@
+//! Runtime-dispatched SIMD inner loops for the hot kernels.
+//!
+//! This module is the single place in the workspace that touches
+//! `std::arch` intrinsics. It provides `f32x8`-style vector lanes (AVX2),
+//! `f32x4` lanes (SSE2), and a scalar fallback, selected **once per
+//! process** from the host CPU via `is_x86_feature_detected!` and
+//! overridable for testing:
+//!
+//! * `FEDSU_SIMD=off|scalar|sse2|avx2` — environment override, consulted on
+//!   first use and clamped to what the hardware actually supports.
+//! * [`set_simd_level`] — in-process override (also clamped), mirroring
+//!   [`crate::par::set_kernel_threads`] so tests can sweep every level.
+//!
+//! ## Bit-identity contract (DESIGN.md §10.1)
+//!
+//! Every vectorized loop in this module vectorizes **across output
+//! elements**, never across a single element's reduction: lane `j` of a
+//! vector always holds the one value that the scalar code would compute for
+//! output element `j`, and each output element keeps exactly one ascending
+//! accumulation chain starting from `+0.0`. Multiplies and adds are issued
+//! as separate instructions (`mul` then `add`, never a fused
+//! multiply-add), matching Rust's scalar semantics, which never contract
+//! `a + b * c` into an FMA. Branches become branchless compare+select
+//! (`cmp` + `and`/`andnot`) only where the scalar path is itself written as
+//! the equivalent compare+select, so NaN payloads and signed zeros travel
+//! identically.
+//!
+//! The resulting guarantee has three tiers (DESIGN.md §10.1 spells out the
+//! full contract):
+//!
+//! 1. **Strict, thread-count invariance.** At a fixed SIMD level, outputs
+//!    are bit-for-bit identical (NaN payloads included) at every kernel
+//!    thread count: threads partition output elements, never split an
+//!    element's chain, and partition boundaries are chosen so every element
+//!    runs through the same compiled kernel instance regardless of count.
+//! 2. **Modulo NaN payload, across levels.** Between `scalar`/`sse2`/`avx2`
+//!    (and against the naive `reference::` loops) every finite value,
+//!    signed zero, and infinity is bit-identical; only the *payload* of a
+//!    NaN may differ, and only when an add sees **two** NaN operands
+//!    (e.g. a planted-NaN accumulator plus an `inf·0` product). IEEE 754
+//!    lets `NaN + NaN` return either payload, and LLVM commutes the
+//!    operands of an `fadd` independently per compiled loop instance — the
+//!    payload is deterministic for a given level but not portable between
+//!    differently compiled instances, so the contract scopes that freedom
+//!    instead of pretending to remove it.
+//! 3. **Strict even across levels** for kernels whose accumulation chains
+//!    span multiple kernel calls with shifting vector/remainder splits
+//!    (conv's col2im scatter): those use the NaN-*holding* add
+//!    (`if !y.is_nan() { y += x }`, vectorized as an unordered-compare
+//!    blend), which never performs a double-NaN add and is therefore exact
+//!    at every level and thread count.
+//!
+//! The canonical scalar loops below are `#[inline(never)]` so each has one
+//! compiled instance: per level the payload choice is frozen, which is what
+//! makes tier 1 strict rather than merely modulo-NaN.
+//!
+//! ## Safety contract (`unsafe` waiver)
+//!
+//! `unsafe_code` is denied workspace-wide; this module carries the one
+//! reviewed `#![allow]`. The waiver is kept narrow by construction:
+//!
+//! * Intrinsics for a feature level are only reachable through the
+//!   level-checked dispatch in this module: `Avx2`/`Sse2` variants run only
+//!   when [`hardware_simd_level`] has observed the feature, and every
+//!   override is clamped to that detected capability.
+//! * All loads and stores go through pointers obtained from subslices whose
+//!   length was just established by `chunks_exact`/`chunks_exact_mut`/
+//!   `split_at`(`_mut`) or a checked `get` — there is no pointer arithmetic
+//!   beyond what those length-checked subslices imply.
+//! * Remainder lanes always fall back to plain safe scalar code.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Vector width the dispatched kernels run at.
+///
+/// Ordered by capability: `Scalar < Sse2 < Avx2`, so levels can be clamped
+/// with `min` against the detected hardware ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Plain scalar loops — the semantic ground truth.
+    Scalar,
+    /// 128-bit `f32x4` lanes (x86-64 baseline).
+    Sse2,
+    /// 256-bit `f32x8` lanes.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name (used by `FEDSU_SIMD` and the bench JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 0,
+            SimdLevel::Sse2 => 1,
+            SimdLevel::Avx2 => 2,
+        }
+    }
+
+    fn from_index(i: usize) -> SimdLevel {
+        match i {
+            2 => SimdLevel::Avx2,
+            1 => SimdLevel::Sse2,
+            _ => SimdLevel::Scalar,
+        }
+    }
+}
+
+/// Sentinel meaning "no in-process override": the environment-resolved
+/// default applies.
+const OVERRIDE_UNSET: usize = usize::MAX;
+
+static OVERRIDE: AtomicUsize = AtomicUsize::new(OVERRIDE_UNSET);
+static HARDWARE: OnceLock<SimdLevel> = OnceLock::new();
+static DEFAULT: OnceLock<SimdLevel> = OnceLock::new();
+
+fn detect_hardware() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return SimdLevel::Sse2;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// The widest level this CPU supports (detected once, then cached).
+pub fn hardware_simd_level() -> SimdLevel {
+    *HARDWARE.get_or_init(detect_hardware)
+}
+
+/// Parses a `FEDSU_SIMD` value; unrecognized or absent means "auto"
+/// (hardware maximum).
+fn parse_env(value: Option<&str>) -> Option<SimdLevel> {
+    let v = value?.trim();
+    if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("scalar") {
+        Some(SimdLevel::Scalar)
+    } else if v.eq_ignore_ascii_case("sse2") {
+        Some(SimdLevel::Sse2)
+    } else if v.eq_ignore_ascii_case("avx2") {
+        Some(SimdLevel::Avx2)
+    } else {
+        None
+    }
+}
+
+fn default_level() -> SimdLevel {
+    *DEFAULT.get_or_init(|| {
+        let hw = hardware_simd_level();
+        parse_env(std::env::var("FEDSU_SIMD").ok().as_deref()).map_or(hw, |l| l.min(hw))
+    })
+}
+
+/// The level the dispatched operations currently run at.
+///
+/// Resolution order: the [`set_simd_level`] override if one was installed,
+/// else the `FEDSU_SIMD` environment selection (consulted once, on first
+/// use), else the hardware maximum. The result never exceeds
+/// [`hardware_simd_level`].
+pub fn simd_level() -> SimdLevel {
+    match OVERRIDE.load(Ordering::SeqCst) {
+        OVERRIDE_UNSET => default_level(),
+        i => SimdLevel::from_index(i),
+    }
+}
+
+/// Forces the dispatch level for this process, clamped to the detected
+/// hardware capability (requesting `Avx2` on an SSE2-only machine installs
+/// `Sse2`).
+///
+/// Levels agree bit-for-bit on all finite/±0/±inf outputs (and modulo
+/// NaN payload otherwise — see the module docs), so changing this at any
+/// point affects speed, not results. Tests use it to sweep the full
+/// SIMD × thread matrix in one process.
+pub fn set_simd_level(level: SimdLevel) {
+    OVERRIDE.store(level.min(hardware_simd_level()).index(), Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar ground truth
+// ---------------------------------------------------------------------------
+
+/// Scalar implementations: the exact loops the vector paths must reproduce
+/// bit-for-bit. Also used verbatim for remainder lanes.
+///
+/// Every function is `#[inline(never)]` so each loop is compiled **exactly
+/// once** in the binary. Were these inlined into the `#[target_feature]`
+/// kernels, the compiler would re-instruction-select them under the wider
+/// subtarget, where it is free to commute the operands of a commutative
+/// `addss`/`mulss` — and x86 NaN propagation follows the *first* operand,
+/// so two NaNs competing in one accumulation chain (say an input NaN and a
+/// `0·inf` indefinite) could surface different payload bits between the
+/// remainder path and the pure-scalar level. One compilation per loop
+/// removes that freedom.
+mod scalar {
+    /// `y[i] += a * x[i]` over the common length.
+    #[inline(never)]
+    pub(super) fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+        for (y, &x) in y.iter_mut().zip(x.iter()) {
+            *y += a * x;
+        }
+    }
+
+    /// `y[i] += x[i]` over the common length.
+    #[inline(never)]
+    pub(super) fn add_assign(y: &mut [f32], x: &[f32]) {
+        for (y, &x) in y.iter_mut().zip(x.iter()) {
+            *y += x;
+        }
+    }
+
+    /// `y[i] += x[i]` unless `y[i]` is already NaN, in which case it is
+    /// held bit-exactly. Used where one element's accumulation chain spans
+    /// *several* kernel calls with shifting vector/remainder splits (conv
+    /// scatter): holding a NaN accumulator makes the result independent of
+    /// which operand order the compiler picks for each add, because an add
+    /// then never sees two NaN operands — the only case where x86 `addps`
+    /// payload propagation depends on operand order.
+    #[inline(never)]
+    pub(super) fn scatter_add(y: &mut [f32], x: &[f32]) {
+        for (y, &x) in y.iter_mut().zip(x.iter()) {
+            if !y.is_nan() {
+                *y += x;
+            }
+        }
+    }
+
+    /// `r[i] += l[i] - g[i]` over the common length.
+    #[inline(never)]
+    pub(super) fn add_diff(r: &mut [f32], l: &[f32], g: &[f32]) {
+        for ((r, &l), &g) in r.iter_mut().zip(l.iter()).zip(g.iter()) {
+            *r += l - g;
+        }
+    }
+
+    /// `out[i] = |x[i]|` (sign bit cleared; NaN payloads preserved).
+    #[inline(never)]
+    pub(super) fn abs_into(out: &mut [f32], x: &[f32]) {
+        for (o, &v) in out.iter_mut().zip(x.iter()) {
+            *o = v.abs();
+        }
+    }
+
+    /// `out[i] = x[i]` if `x[i] > 0`, else `+0.0` (NaN compares false).
+    #[inline(never)]
+    pub(super) fn relu_fwd(x: &[f32], out: &mut [f32]) {
+        for (o, &v) in out.iter_mut().zip(x.iter()) {
+            *o = if v > 0.0 { v } else { 0.0 };
+        }
+    }
+
+    /// `out[i] = g[i]` if `x[i] > 0`, else `+0.0`.
+    #[inline(never)]
+    pub(super) fn relu_bwd(x: &[f32], g: &[f32], out: &mut [f32]) {
+        for ((o, &v), &gv) in out.iter_mut().zip(x.iter()).zip(g.iter()) {
+            *o = if v > 0.0 { gv } else { 0.0 };
+        }
+    }
+
+    /// `out[i] = x[i]` if `x[i] > 0`, else `slope * x[i]`.
+    #[inline(never)]
+    pub(super) fn leaky_fwd(x: &[f32], slope: f32, out: &mut [f32]) {
+        for (o, &v) in out.iter_mut().zip(x.iter()) {
+            *o = if v > 0.0 { v } else { slope * v };
+        }
+    }
+
+    /// `out[i] = g[i]` if `x[i] > 0`, else `slope * g[i]`.
+    #[inline(never)]
+    pub(super) fn leaky_bwd(x: &[f32], g: &[f32], slope: f32, out: &mut [f32]) {
+        for ((o, &v), &gv) in out.iter_mut().zip(x.iter()).zip(g.iter()) {
+            *o = if v > 0.0 { gv } else { slope * gv };
+        }
+    }
+
+    /// One SGD step with weight decay; zeroes the gradient.
+    #[inline(never)]
+    pub(super) fn sgd_step(x: &mut [f32], g: &mut [f32], lr: f32, wd: f32) {
+        for (x, gr) in x.iter_mut().zip(g.iter_mut()) {
+            let eff = *gr + wd * *x;
+            *x -= lr * eff;
+            *gr = 0.0;
+        }
+    }
+
+    /// One momentum-SGD step with weight decay; zeroes the gradient.
+    #[inline(never)]
+    pub(super) fn sgd_momentum_step(x: &mut [f32], g: &mut [f32], m: &mut [f32], lr: f32, wd: f32, mu: f32) {
+        for ((x, gr), m) in x.iter_mut().zip(g.iter_mut()).zip(m.iter_mut()) {
+            let eff = *gr + wd * *x;
+            *m = mu * *m + eff;
+            *x -= lr * *m;
+            *gr = 0.0;
+        }
+    }
+
+    /// One column strip of one output row of the ikj `C = A·B` kernel over
+    /// one `k`-tile: `c_cols[j] += a_tile[p] * b_tile[p·n + col0 + j]` for
+    /// ascending `p`. `col0` is the strip's first column, so the caller can
+    /// keep a narrow window of `B` cache-resident across many output rows.
+    pub(super) fn nn_tile_cols(c_cols: &mut [f32], a_tile: &[f32], b_tile: &[f32], n: usize, col0: usize) {
+        nn_tile_tail(c_cols, a_tile, b_tile, n, col0);
+    }
+
+    /// Two-row variant of [`nn_tile_cols`]: the same column strip of two
+    /// output rows over one `k`-tile. The scalar ground truth simply runs
+    /// the rows back-to-back through the shared single-row loop — the rows
+    /// are independent, so ordering between them is immaterial; vector
+    /// levels keep both rows' accumulators live so each `B` load feeds two
+    /// rows.
+    pub(super) fn nn_tile_cols2(c0_cols: &mut [f32], c1_cols: &mut [f32], a0_tile: &[f32], a1_tile: &[f32], b_tile: &[f32], n: usize, col0: usize) {
+        nn_tile_tail(c0_cols, a0_tile, b_tile, n, col0);
+        nn_tile_tail(c1_cols, a1_tile, b_tile, n, col0);
+    }
+
+    /// The trailing columns of [`nn_tile_cols`] starting at `col`:
+    /// `c_tail[j] += a_tile[p] * b_tile[p·n + col + j]` for ascending `p`.
+    /// The full-row kernel delegates here with `col = 0` so the whole-row
+    /// and vector-remainder paths share one compiled accumulation loop.
+    #[inline(never)]
+    pub(super) fn nn_tile_tail(c_tail: &mut [f32], a_tile: &[f32], b_tile: &[f32], n: usize, col: usize) {
+        for (&av, b_row) in a_tile.iter().zip(b_tile.chunks_exact(n)) {
+            let bt = b_row.get(col..).unwrap_or(&[]);
+            for (c, &bv) in c_tail.iter_mut().zip(bt.iter()) {
+                *c += av * bv;
+            }
+        }
+    }
+
+    /// One output row of the `C = A·Bᵀ` kernel: `c_row[j]` is the sequential
+    /// dot of `a_row` with row `j` of `B` (`b` is `len(c_row)` rows of `k`).
+    /// Requires `k > 0`.
+    #[inline(never)]
+    pub(super) fn tb_row(c_row: &mut [f32], a_row: &[f32], b: &[f32], k: usize) {
+        for (c, b_row) in c_row.iter_mut().zip(b.chunks_exact(k)) {
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *c = acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 vector implementations
+// ---------------------------------------------------------------------------
+
+/// AVX2 (`f32x8`) and SSE2 (`f32x4`) variants of every operation.
+///
+/// Every function is `unsafe` with the same contract: the caller must have
+/// verified (via [`hardware_simd_level`]) that the named feature is
+/// available. Inside, raw-pointer loads/stores only ever target subslices
+/// whose length was just established safely.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::scalar;
+    use std::arch::x86_64::{
+        __m128, __m256, _mm256_add_ps, _mm256_and_ps, _mm256_andnot_ps, _mm256_castsi256_ps,
+        _mm256_cmp_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_or_ps, _mm256_permute2f128_ps,
+        _CMP_UNORD_Q, _mm_cmpunord_ps,
+        _mm256_permutevar8x32_ps, _mm256_set1_epi32, _mm256_set1_ps, _mm256_set_ps,
+        _mm256_setzero_ps, _mm256_shuffle_ps, _mm256_storeu_ps, _mm256_sub_ps,
+        _mm256_unpackhi_ps, _mm256_unpacklo_ps, _mm_add_ps, _mm_and_ps, _mm_andnot_ps,
+        _mm_castsi128_ps, _mm_cmpgt_ps, _mm_loadu_ps, _mm_movehl_ps, _mm_movelh_ps, _mm_mul_ps,
+        _mm_or_ps, _mm_set1_epi32, _mm_set1_ps, _mm_set_ps, _mm_setzero_ps, _mm_shuffle_ps,
+        _mm_storeu_ps, _mm_sub_ps, _mm_unpackhi_ps, _mm_unpacklo_ps, _CMP_GT_OQ,
+    };
+
+    /// `x > 0` as a full-width lane mask (NaN compares false, like the
+    /// scalar `>`).
+    #[target_feature(enable = "avx2")]
+    unsafe fn gt_zero8(x: __m256) -> __m256 {
+        _mm256_cmp_ps::<_CMP_GT_OQ>(x, _mm256_setzero_ps())
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn gt_zero4(x: __m128) -> __m128 {
+        _mm_cmpgt_ps(x, _mm_setzero_ps())
+    }
+
+    /// All-lanes sign-bit-clear mask (`!sign` per lane).
+    #[target_feature(enable = "avx2")]
+    unsafe fn abs_mask8() -> __m256 {
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff))
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn abs_mask4() -> __m128 {
+        _mm_castsi128_ps(_mm_set1_epi32(0x7fff_ffff))
+    }
+
+    /// Generates the AVX2 + SSE2 bodies for a unary/binary elementwise map.
+    /// Each arm walks full-width chunks, then hands the remainder to the
+    /// scalar ground truth.
+    macro_rules! elementwise {
+        (
+            $(#[$meta:meta])*
+            avx2: $name8:ident, sse2: $name4:ident,
+            |$($arg:ident : $ty:ty),*| lanes8 $body8:block lanes4 $body4:block
+        ) => {
+            $(#[$meta])*
+            #[target_feature(enable = "avx2")]
+            pub(super) unsafe fn $name8($($arg: $ty),*) $body8
+
+            $(#[$meta])*
+            #[target_feature(enable = "sse2")]
+            pub(super) unsafe fn $name4($($arg: $ty),*) $body4
+        };
+    }
+
+    elementwise! {
+        /// `y[i] += a * x[i]`: lanewise `add(y, mul(a, x))`, same
+        /// mul-then-add order as the scalar loop.
+        avx2: axpy_avx2, sse2: axpy_sse2,
+        |y: &mut [f32], a: f32, x: &[f32]| lanes8 {
+            let av = _mm256_set1_ps(a);
+            let mut yc = y.chunks_exact_mut(8);
+            let mut xc = x.chunks_exact(8);
+            for (ys, xs) in (&mut yc).zip(&mut xc) {
+                // SAFETY: both subslices are exactly 8 lanes long.
+                unsafe {
+                    let yv = _mm256_loadu_ps(ys.as_ptr());
+                    let xv = _mm256_loadu_ps(xs.as_ptr());
+                    _mm256_storeu_ps(ys.as_mut_ptr(), _mm256_add_ps(yv, _mm256_mul_ps(av, xv)));
+                }
+            }
+            scalar::axpy(yc.into_remainder(), a, xc.remainder());
+        } lanes4 {
+            let av = _mm_set1_ps(a);
+            let mut yc = y.chunks_exact_mut(4);
+            let mut xc = x.chunks_exact(4);
+            for (ys, xs) in (&mut yc).zip(&mut xc) {
+                // SAFETY: both subslices are exactly 4 lanes long.
+                unsafe {
+                    let yv = _mm_loadu_ps(ys.as_ptr());
+                    let xv = _mm_loadu_ps(xs.as_ptr());
+                    _mm_storeu_ps(ys.as_mut_ptr(), _mm_add_ps(yv, _mm_mul_ps(av, xv)));
+                }
+            }
+            scalar::axpy(yc.into_remainder(), a, xc.remainder());
+        }
+    }
+
+    elementwise! {
+        /// `y[i] += x[i]`.
+        avx2: add_assign_avx2, sse2: add_assign_sse2,
+        |y: &mut [f32], x: &[f32]| lanes8 {
+            let mut yc = y.chunks_exact_mut(8);
+            let mut xc = x.chunks_exact(8);
+            for (ys, xs) in (&mut yc).zip(&mut xc) {
+                // SAFETY: both subslices are exactly 8 lanes long.
+                unsafe {
+                    let yv = _mm256_loadu_ps(ys.as_ptr());
+                    let xv = _mm256_loadu_ps(xs.as_ptr());
+                    _mm256_storeu_ps(ys.as_mut_ptr(), _mm256_add_ps(yv, xv));
+                }
+            }
+            scalar::add_assign(yc.into_remainder(), xc.remainder());
+        } lanes4 {
+            let mut yc = y.chunks_exact_mut(4);
+            let mut xc = x.chunks_exact(4);
+            for (ys, xs) in (&mut yc).zip(&mut xc) {
+                // SAFETY: both subslices are exactly 4 lanes long.
+                unsafe {
+                    let yv = _mm_loadu_ps(ys.as_ptr());
+                    let xv = _mm_loadu_ps(xs.as_ptr());
+                    _mm_storeu_ps(ys.as_mut_ptr(), _mm_add_ps(yv, xv));
+                }
+            }
+            scalar::add_assign(yc.into_remainder(), xc.remainder());
+        }
+    }
+
+    elementwise! {
+        /// NaN-holding scatter add: `select(isnan(y), y, y + x)` per lane,
+        /// matching the scalar guard bit-for-bit (see
+        /// [`scalar::scatter_add`] for why the guard exists).
+        avx2: scatter_add_avx2, sse2: scatter_add_sse2,
+        |y: &mut [f32], x: &[f32]| lanes8 {
+            let mut yc = y.chunks_exact_mut(8);
+            let mut xc = x.chunks_exact(8);
+            for (ys, xs) in (&mut yc).zip(&mut xc) {
+                // SAFETY: both subslices are exactly 8 lanes long.
+                unsafe {
+                    let yv = _mm256_loadu_ps(ys.as_ptr());
+                    let xv = _mm256_loadu_ps(xs.as_ptr());
+                    let m = _mm256_cmp_ps::<_CMP_UNORD_Q>(yv, yv);
+                    let s = _mm256_add_ps(yv, xv);
+                    _mm256_storeu_ps(
+                        ys.as_mut_ptr(),
+                        _mm256_or_ps(_mm256_and_ps(m, yv), _mm256_andnot_ps(m, s)),
+                    );
+                }
+            }
+            scalar::scatter_add(yc.into_remainder(), xc.remainder());
+        } lanes4 {
+            let mut yc = y.chunks_exact_mut(4);
+            let mut xc = x.chunks_exact(4);
+            for (ys, xs) in (&mut yc).zip(&mut xc) {
+                // SAFETY: both subslices are exactly 4 lanes long.
+                unsafe {
+                    let yv = _mm_loadu_ps(ys.as_ptr());
+                    let xv = _mm_loadu_ps(xs.as_ptr());
+                    let m = _mm_cmpunord_ps(yv, yv);
+                    let s = _mm_add_ps(yv, xv);
+                    _mm_storeu_ps(
+                        ys.as_mut_ptr(),
+                        _mm_or_ps(_mm_and_ps(m, yv), _mm_andnot_ps(m, s)),
+                    );
+                }
+            }
+            scalar::scatter_add(yc.into_remainder(), xc.remainder());
+        }
+    }
+
+    elementwise! {
+        /// `r[i] += l[i] - g[i]`: lanewise `add(r, sub(l, g))`, matching the
+        /// scalar `r + (l - g)` evaluation order.
+        avx2: add_diff_avx2, sse2: add_diff_sse2,
+        |r: &mut [f32], l: &[f32], g: &[f32]| lanes8 {
+            let mut rc = r.chunks_exact_mut(8);
+            let mut lc = l.chunks_exact(8);
+            let mut gc = g.chunks_exact(8);
+            for ((rs, ls), gs) in (&mut rc).zip(&mut lc).zip(&mut gc) {
+                // SAFETY: all three subslices are exactly 8 lanes long.
+                unsafe {
+                    let rv = _mm256_loadu_ps(rs.as_ptr());
+                    let lv = _mm256_loadu_ps(ls.as_ptr());
+                    let gv = _mm256_loadu_ps(gs.as_ptr());
+                    _mm256_storeu_ps(rs.as_mut_ptr(), _mm256_add_ps(rv, _mm256_sub_ps(lv, gv)));
+                }
+            }
+            scalar::add_diff(rc.into_remainder(), lc.remainder(), gc.remainder());
+        } lanes4 {
+            let mut rc = r.chunks_exact_mut(4);
+            let mut lc = l.chunks_exact(4);
+            let mut gc = g.chunks_exact(4);
+            for ((rs, ls), gs) in (&mut rc).zip(&mut lc).zip(&mut gc) {
+                // SAFETY: all three subslices are exactly 4 lanes long.
+                unsafe {
+                    let rv = _mm_loadu_ps(rs.as_ptr());
+                    let lv = _mm_loadu_ps(ls.as_ptr());
+                    let gv = _mm_loadu_ps(gs.as_ptr());
+                    _mm_storeu_ps(rs.as_mut_ptr(), _mm_add_ps(rv, _mm_sub_ps(lv, gv)));
+                }
+            }
+            scalar::add_diff(rc.into_remainder(), lc.remainder(), gc.remainder());
+        }
+    }
+
+    elementwise! {
+        /// `out[i] = |x[i]|` by clearing the sign bit — exactly what the
+        /// scalar `f32::abs` does, so NaN payloads are preserved.
+        avx2: abs_into_avx2, sse2: abs_into_sse2,
+        |out: &mut [f32], x: &[f32]| lanes8 {
+            let mask = abs_mask8();
+            let mut oc = out.chunks_exact_mut(8);
+            let mut xc = x.chunks_exact(8);
+            for (os, xs) in (&mut oc).zip(&mut xc) {
+                // SAFETY: both subslices are exactly 8 lanes long.
+                unsafe {
+                    let xv = _mm256_loadu_ps(xs.as_ptr());
+                    _mm256_storeu_ps(os.as_mut_ptr(), _mm256_and_ps(xv, mask));
+                }
+            }
+            scalar::abs_into(oc.into_remainder(), xc.remainder());
+        } lanes4 {
+            let mask = abs_mask4();
+            let mut oc = out.chunks_exact_mut(4);
+            let mut xc = x.chunks_exact(4);
+            for (os, xs) in (&mut oc).zip(&mut xc) {
+                // SAFETY: both subslices are exactly 4 lanes long.
+                unsafe {
+                    let xv = _mm_loadu_ps(xs.as_ptr());
+                    _mm_storeu_ps(os.as_mut_ptr(), _mm_and_ps(xv, mask));
+                }
+            }
+            scalar::abs_into(oc.into_remainder(), xc.remainder());
+        }
+    }
+
+    elementwise! {
+        /// ReLU forward as compare+select: lanes where `x > 0` keep `x`
+        /// (bit-exact, NaN payloads included); all others become `+0.0`.
+        avx2: relu_fwd_avx2, sse2: relu_fwd_sse2,
+        |x: &[f32], out: &mut [f32]| lanes8 {
+            let mut xc = x.chunks_exact(8);
+            let mut oc = out.chunks_exact_mut(8);
+            for (xs, os) in (&mut xc).zip(&mut oc) {
+                // SAFETY: both subslices are exactly 8 lanes long.
+                unsafe {
+                    let xv = _mm256_loadu_ps(xs.as_ptr());
+                    _mm256_storeu_ps(os.as_mut_ptr(), _mm256_and_ps(gt_zero8(xv), xv));
+                }
+            }
+            scalar::relu_fwd(xc.remainder(), oc.into_remainder());
+        } lanes4 {
+            let mut xc = x.chunks_exact(4);
+            let mut oc = out.chunks_exact_mut(4);
+            for (xs, os) in (&mut xc).zip(&mut oc) {
+                // SAFETY: both subslices are exactly 4 lanes long.
+                unsafe {
+                    let xv = _mm_loadu_ps(xs.as_ptr());
+                    _mm_storeu_ps(os.as_mut_ptr(), _mm_and_ps(gt_zero4(xv), xv));
+                }
+            }
+            scalar::relu_fwd(xc.remainder(), oc.into_remainder());
+        }
+    }
+
+    elementwise! {
+        /// ReLU backward: lanes where `x > 0` pass `g` through unchanged,
+        /// all others emit `+0.0`.
+        avx2: relu_bwd_avx2, sse2: relu_bwd_sse2,
+        |x: &[f32], g: &[f32], out: &mut [f32]| lanes8 {
+            let mut xc = x.chunks_exact(8);
+            let mut gc = g.chunks_exact(8);
+            let mut oc = out.chunks_exact_mut(8);
+            for ((xs, gs), os) in (&mut xc).zip(&mut gc).zip(&mut oc) {
+                // SAFETY: all three subslices are exactly 8 lanes long.
+                unsafe {
+                    let xv = _mm256_loadu_ps(xs.as_ptr());
+                    let gv = _mm256_loadu_ps(gs.as_ptr());
+                    _mm256_storeu_ps(os.as_mut_ptr(), _mm256_and_ps(gt_zero8(xv), gv));
+                }
+            }
+            scalar::relu_bwd(xc.remainder(), gc.remainder(), oc.into_remainder());
+        } lanes4 {
+            let mut xc = x.chunks_exact(4);
+            let mut gc = g.chunks_exact(4);
+            let mut oc = out.chunks_exact_mut(4);
+            for ((xs, gs), os) in (&mut xc).zip(&mut gc).zip(&mut oc) {
+                // SAFETY: all three subslices are exactly 4 lanes long.
+                unsafe {
+                    let xv = _mm_loadu_ps(xs.as_ptr());
+                    let gv = _mm_loadu_ps(gs.as_ptr());
+                    _mm_storeu_ps(os.as_mut_ptr(), _mm_and_ps(gt_zero4(xv), gv));
+                }
+            }
+            scalar::relu_bwd(xc.remainder(), gc.remainder(), oc.into_remainder());
+        }
+    }
+
+    elementwise! {
+        /// Leaky-ReLU forward: `select(x > 0, x, slope * x)`. The negative
+        /// branch multiplies exactly like the scalar else-arm (including
+        /// `slope * -0.0 = -0.0`).
+        avx2: leaky_fwd_avx2, sse2: leaky_fwd_sse2,
+        |x: &[f32], slope: f32, out: &mut [f32]| lanes8 {
+            let sv = _mm256_set1_ps(slope);
+            let mut xc = x.chunks_exact(8);
+            let mut oc = out.chunks_exact_mut(8);
+            for (xs, os) in (&mut xc).zip(&mut oc) {
+                // SAFETY: both subslices are exactly 8 lanes long.
+                unsafe {
+                    let xv = _mm256_loadu_ps(xs.as_ptr());
+                    let m = gt_zero8(xv);
+                    let neg = _mm256_mul_ps(sv, xv);
+                    _mm256_storeu_ps(
+                        os.as_mut_ptr(),
+                        _mm256_or_ps(_mm256_and_ps(m, xv), _mm256_andnot_ps(m, neg)),
+                    );
+                }
+            }
+            scalar::leaky_fwd(xc.remainder(), slope, oc.into_remainder());
+        } lanes4 {
+            let sv = _mm_set1_ps(slope);
+            let mut xc = x.chunks_exact(4);
+            let mut oc = out.chunks_exact_mut(4);
+            for (xs, os) in (&mut xc).zip(&mut oc) {
+                // SAFETY: both subslices are exactly 4 lanes long.
+                unsafe {
+                    let xv = _mm_loadu_ps(xs.as_ptr());
+                    let m = gt_zero4(xv);
+                    let neg = _mm_mul_ps(sv, xv);
+                    _mm_storeu_ps(
+                        os.as_mut_ptr(),
+                        _mm_or_ps(_mm_and_ps(m, xv), _mm_andnot_ps(m, neg)),
+                    );
+                }
+            }
+            scalar::leaky_fwd(xc.remainder(), slope, oc.into_remainder());
+        }
+    }
+
+    elementwise! {
+        /// Leaky-ReLU backward: `select(x > 0, g, slope * g)`.
+        avx2: leaky_bwd_avx2, sse2: leaky_bwd_sse2,
+        |x: &[f32], g: &[f32], slope: f32, out: &mut [f32]| lanes8 {
+            let sv = _mm256_set1_ps(slope);
+            let mut xc = x.chunks_exact(8);
+            let mut gc = g.chunks_exact(8);
+            let mut oc = out.chunks_exact_mut(8);
+            for ((xs, gs), os) in (&mut xc).zip(&mut gc).zip(&mut oc) {
+                // SAFETY: all three subslices are exactly 8 lanes long.
+                unsafe {
+                    let xv = _mm256_loadu_ps(xs.as_ptr());
+                    let gv = _mm256_loadu_ps(gs.as_ptr());
+                    let m = gt_zero8(xv);
+                    let neg = _mm256_mul_ps(sv, gv);
+                    _mm256_storeu_ps(
+                        os.as_mut_ptr(),
+                        _mm256_or_ps(_mm256_and_ps(m, gv), _mm256_andnot_ps(m, neg)),
+                    );
+                }
+            }
+            scalar::leaky_bwd(xc.remainder(), gc.remainder(), slope, oc.into_remainder());
+        } lanes4 {
+            let sv = _mm_set1_ps(slope);
+            let mut xc = x.chunks_exact(4);
+            let mut gc = g.chunks_exact(4);
+            let mut oc = out.chunks_exact_mut(4);
+            for ((xs, gs), os) in (&mut xc).zip(&mut gc).zip(&mut oc) {
+                // SAFETY: all three subslices are exactly 4 lanes long.
+                unsafe {
+                    let xv = _mm_loadu_ps(xs.as_ptr());
+                    let gv = _mm_loadu_ps(gs.as_ptr());
+                    let m = gt_zero4(xv);
+                    let neg = _mm_mul_ps(sv, gv);
+                    _mm_storeu_ps(
+                        os.as_mut_ptr(),
+                        _mm_or_ps(_mm_and_ps(m, gv), _mm_andnot_ps(m, neg)),
+                    );
+                }
+            }
+            scalar::leaky_bwd(xc.remainder(), gc.remainder(), slope, oc.into_remainder());
+        }
+    }
+
+    elementwise! {
+        /// SGD step: `eff = g + wd·x; x -= lr·eff; g = 0`, all in the
+        /// scalar evaluation order.
+        avx2: sgd_step_avx2, sse2: sgd_step_sse2,
+        |x: &mut [f32], g: &mut [f32], lr: f32, wd: f32| lanes8 {
+            let lrv = _mm256_set1_ps(lr);
+            let wdv = _mm256_set1_ps(wd);
+            let zero = _mm256_setzero_ps();
+            let mut xc = x.chunks_exact_mut(8);
+            let mut gc = g.chunks_exact_mut(8);
+            for (xs, gs) in (&mut xc).zip(&mut gc) {
+                // SAFETY: both subslices are exactly 8 lanes long.
+                unsafe {
+                    let xv = _mm256_loadu_ps(xs.as_ptr());
+                    let gv = _mm256_loadu_ps(gs.as_ptr());
+                    let eff = _mm256_add_ps(gv, _mm256_mul_ps(wdv, xv));
+                    _mm256_storeu_ps(xs.as_mut_ptr(), _mm256_sub_ps(xv, _mm256_mul_ps(lrv, eff)));
+                    _mm256_storeu_ps(gs.as_mut_ptr(), zero);
+                }
+            }
+            scalar::sgd_step(xc.into_remainder(), gc.into_remainder(), lr, wd);
+        } lanes4 {
+            let lrv = _mm_set1_ps(lr);
+            let wdv = _mm_set1_ps(wd);
+            let zero = _mm_setzero_ps();
+            let mut xc = x.chunks_exact_mut(4);
+            let mut gc = g.chunks_exact_mut(4);
+            for (xs, gs) in (&mut xc).zip(&mut gc) {
+                // SAFETY: both subslices are exactly 4 lanes long.
+                unsafe {
+                    let xv = _mm_loadu_ps(xs.as_ptr());
+                    let gv = _mm_loadu_ps(gs.as_ptr());
+                    let eff = _mm_add_ps(gv, _mm_mul_ps(wdv, xv));
+                    _mm_storeu_ps(xs.as_mut_ptr(), _mm_sub_ps(xv, _mm_mul_ps(lrv, eff)));
+                    _mm_storeu_ps(gs.as_mut_ptr(), zero);
+                }
+            }
+            scalar::sgd_step(xc.into_remainder(), gc.into_remainder(), lr, wd);
+        }
+    }
+
+    elementwise! {
+        /// Momentum-SGD step: `eff = g + wd·x; m = mu·m + eff;
+        /// x -= lr·m; g = 0`, all in the scalar evaluation order.
+        avx2: sgd_momentum_step_avx2, sse2: sgd_momentum_step_sse2,
+        |x: &mut [f32], g: &mut [f32], m: &mut [f32], lr: f32, wd: f32, mu: f32| lanes8 {
+            let lrv = _mm256_set1_ps(lr);
+            let wdv = _mm256_set1_ps(wd);
+            let muv = _mm256_set1_ps(mu);
+            let zero = _mm256_setzero_ps();
+            let mut xc = x.chunks_exact_mut(8);
+            let mut gc = g.chunks_exact_mut(8);
+            let mut mc = m.chunks_exact_mut(8);
+            for ((xs, gs), ms) in (&mut xc).zip(&mut gc).zip(&mut mc) {
+                // SAFETY: all three subslices are exactly 8 lanes long.
+                unsafe {
+                    let xv = _mm256_loadu_ps(xs.as_ptr());
+                    let gv = _mm256_loadu_ps(gs.as_ptr());
+                    let mv = _mm256_loadu_ps(ms.as_ptr());
+                    let eff = _mm256_add_ps(gv, _mm256_mul_ps(wdv, xv));
+                    let vel = _mm256_add_ps(_mm256_mul_ps(muv, mv), eff);
+                    _mm256_storeu_ps(ms.as_mut_ptr(), vel);
+                    _mm256_storeu_ps(xs.as_mut_ptr(), _mm256_sub_ps(xv, _mm256_mul_ps(lrv, vel)));
+                    _mm256_storeu_ps(gs.as_mut_ptr(), zero);
+                }
+            }
+            scalar::sgd_momentum_step(
+                xc.into_remainder(), gc.into_remainder(), mc.into_remainder(), lr, wd, mu,
+            );
+        } lanes4 {
+            let lrv = _mm_set1_ps(lr);
+            let wdv = _mm_set1_ps(wd);
+            let muv = _mm_set1_ps(mu);
+            let zero = _mm_setzero_ps();
+            let mut xc = x.chunks_exact_mut(4);
+            let mut gc = g.chunks_exact_mut(4);
+            let mut mc = m.chunks_exact_mut(4);
+            for ((xs, gs), ms) in (&mut xc).zip(&mut gc).zip(&mut mc) {
+                // SAFETY: all three subslices are exactly 4 lanes long.
+                unsafe {
+                    let xv = _mm_loadu_ps(xs.as_ptr());
+                    let gv = _mm_loadu_ps(gs.as_ptr());
+                    let mv = _mm_loadu_ps(ms.as_ptr());
+                    let eff = _mm_add_ps(gv, _mm_mul_ps(wdv, xv));
+                    let vel = _mm_add_ps(_mm_mul_ps(muv, mv), eff);
+                    _mm_storeu_ps(ms.as_mut_ptr(), vel);
+                    _mm_storeu_ps(xs.as_mut_ptr(), _mm_sub_ps(xv, _mm_mul_ps(lrv, vel)));
+                    _mm_storeu_ps(gs.as_mut_ptr(), zero);
+                }
+            }
+            scalar::sgd_momentum_step(
+                xc.into_remainder(), gc.into_remainder(), mc.into_remainder(), lr, wd, mu,
+            );
+        }
+    }
+
+    /// AVX2 ikj strip kernel: register-blocks 32 output columns (4 × f32x8
+    /// accumulators), keeping each column's ascending-`p` chain in one lane
+    /// across the whole `k`-tile. Loading the accumulator from the output
+    /// strip and storing it back at tile boundaries resumes the exact scalar
+    /// chain. `col0` is the strip's first column within the `n`-wide rows of
+    /// `b_tile`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn nn_tile_cols_avx2(c_cols: &mut [f32], a_tile: &[f32], b_tile: &[f32], n: usize, col0: usize) {
+        let mut col = col0;
+        let mut blocks = c_cols.chunks_exact_mut(32);
+        for cs in &mut blocks {
+            let (lo, hi) = cs.split_at_mut(16);
+            let (c0, c1) = lo.split_at_mut(8);
+            let (c2, c3) = hi.split_at_mut(8);
+            // SAFETY: each cN is exactly 8 lanes of the 32-wide block.
+            let (mut acc0, mut acc1, mut acc2, mut acc3) = unsafe {
+                (
+                    _mm256_loadu_ps(c0.as_ptr()),
+                    _mm256_loadu_ps(c1.as_ptr()),
+                    _mm256_loadu_ps(c2.as_ptr()),
+                    _mm256_loadu_ps(c3.as_ptr()),
+                )
+            };
+            for (&av, b_row) in a_tile.iter().zip(b_tile.chunks_exact(n)) {
+                let Some(bs) = b_row.get(col..col + 32) else { continue };
+                let (blo, bhi) = bs.split_at(16);
+                let (b0, b1) = blo.split_at(8);
+                let (b2, b3) = bhi.split_at(8);
+                let avv = _mm256_set1_ps(av);
+                // SAFETY: each bN is exactly 8 lanes of the checked 32-wide
+                // window of this B row.
+                unsafe {
+                    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(avv, _mm256_loadu_ps(b0.as_ptr())));
+                    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(avv, _mm256_loadu_ps(b1.as_ptr())));
+                    acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(avv, _mm256_loadu_ps(b2.as_ptr())));
+                    acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(avv, _mm256_loadu_ps(b3.as_ptr())));
+                }
+            }
+            // SAFETY: same 8-lane subslices the accumulators were loaded from.
+            unsafe {
+                _mm256_storeu_ps(c0.as_mut_ptr(), acc0);
+                _mm256_storeu_ps(c1.as_mut_ptr(), acc1);
+                _mm256_storeu_ps(c2.as_mut_ptr(), acc2);
+                _mm256_storeu_ps(c3.as_mut_ptr(), acc3);
+            }
+            col += 32;
+        }
+        let mut tail = blocks.into_remainder().chunks_exact_mut(8);
+        for cs in &mut tail {
+            // SAFETY: cs is exactly 8 lanes.
+            let mut acc = unsafe { _mm256_loadu_ps(cs.as_ptr()) };
+            for (&av, b_row) in a_tile.iter().zip(b_tile.chunks_exact(n)) {
+                let Some(bs) = b_row.get(col..col + 8) else { continue };
+                // SAFETY: bs is exactly 8 lanes.
+                unsafe {
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av), _mm256_loadu_ps(bs.as_ptr())));
+                }
+            }
+            // SAFETY: cs is exactly 8 lanes.
+            unsafe { _mm256_storeu_ps(cs.as_mut_ptr(), acc) };
+            col += 8;
+        }
+        scalar::nn_tile_tail(tail.into_remainder(), a_tile, b_tile, n, col);
+    }
+
+    /// SSE2 ikj strip kernel: 16-column register blocks (4 × f32x4).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn nn_tile_cols_sse2(c_cols: &mut [f32], a_tile: &[f32], b_tile: &[f32], n: usize, col0: usize) {
+        let mut col = col0;
+        let mut blocks = c_cols.chunks_exact_mut(16);
+        for cs in &mut blocks {
+            let (lo, hi) = cs.split_at_mut(8);
+            let (c0, c1) = lo.split_at_mut(4);
+            let (c2, c3) = hi.split_at_mut(4);
+            // SAFETY: each cN is exactly 4 lanes of the 16-wide block.
+            let (mut acc0, mut acc1, mut acc2, mut acc3) = unsafe {
+                (
+                    _mm_loadu_ps(c0.as_ptr()),
+                    _mm_loadu_ps(c1.as_ptr()),
+                    _mm_loadu_ps(c2.as_ptr()),
+                    _mm_loadu_ps(c3.as_ptr()),
+                )
+            };
+            for (&av, b_row) in a_tile.iter().zip(b_tile.chunks_exact(n)) {
+                let Some(bs) = b_row.get(col..col + 16) else { continue };
+                let (blo, bhi) = bs.split_at(8);
+                let (b0, b1) = blo.split_at(4);
+                let (b2, b3) = bhi.split_at(4);
+                let avv = _mm_set1_ps(av);
+                // SAFETY: each bN is exactly 4 lanes of the checked 16-wide
+                // window of this B row.
+                unsafe {
+                    acc0 = _mm_add_ps(acc0, _mm_mul_ps(avv, _mm_loadu_ps(b0.as_ptr())));
+                    acc1 = _mm_add_ps(acc1, _mm_mul_ps(avv, _mm_loadu_ps(b1.as_ptr())));
+                    acc2 = _mm_add_ps(acc2, _mm_mul_ps(avv, _mm_loadu_ps(b2.as_ptr())));
+                    acc3 = _mm_add_ps(acc3, _mm_mul_ps(avv, _mm_loadu_ps(b3.as_ptr())));
+                }
+            }
+            // SAFETY: same 4-lane subslices the accumulators were loaded from.
+            unsafe {
+                _mm_storeu_ps(c0.as_mut_ptr(), acc0);
+                _mm_storeu_ps(c1.as_mut_ptr(), acc1);
+                _mm_storeu_ps(c2.as_mut_ptr(), acc2);
+                _mm_storeu_ps(c3.as_mut_ptr(), acc3);
+            }
+            col += 16;
+        }
+        let mut tail = blocks.into_remainder().chunks_exact_mut(4);
+        for cs in &mut tail {
+            // SAFETY: cs is exactly 4 lanes.
+            let mut acc = unsafe { _mm_loadu_ps(cs.as_ptr()) };
+            for (&av, b_row) in a_tile.iter().zip(b_tile.chunks_exact(n)) {
+                let Some(bs) = b_row.get(col..col + 4) else { continue };
+                // SAFETY: bs is exactly 4 lanes.
+                unsafe {
+                    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(av), _mm_loadu_ps(bs.as_ptr())));
+                }
+            }
+            // SAFETY: cs is exactly 4 lanes.
+            unsafe { _mm_storeu_ps(cs.as_mut_ptr(), acc) };
+            col += 4;
+        }
+        scalar::nn_tile_tail(tail.into_remainder(), a_tile, b_tile, n, col);
+    }
+
+    /// AVX2 two-row ikj strip kernel: 32-column register blocks with both
+    /// rows' accumulators live (8 × f32x8), so each `B` load feeds two
+    /// rows' multiply-adds — the register-blocking step that makes the
+    /// kernel load-port- rather than bandwidth-bound on wide outputs. Each
+    /// element still receives its `+= a·b` updates in ascending-`p` order;
+    /// the column remainder finishes through the single-row kernel.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn nn_tile_cols2_avx2(c0_cols: &mut [f32], c1_cols: &mut [f32], a0_tile: &[f32], a1_tile: &[f32], b_tile: &[f32], n: usize, col0: usize) {
+        let mut col = col0;
+        let mut blocks0 = c0_cols.chunks_exact_mut(32);
+        let mut blocks1 = c1_cols.chunks_exact_mut(32);
+        for (cs0, cs1) in (&mut blocks0).zip(&mut blocks1) {
+            let (lo0, hi0) = cs0.split_at_mut(16);
+            let (c00, c01) = lo0.split_at_mut(8);
+            let (c02, c03) = hi0.split_at_mut(8);
+            let (lo1, hi1) = cs1.split_at_mut(16);
+            let (c10, c11) = lo1.split_at_mut(8);
+            let (c12, c13) = hi1.split_at_mut(8);
+            // SAFETY: each cNM is exactly 8 lanes of its row's 32-wide block.
+            let (mut acc00, mut acc01, mut acc02, mut acc03) = unsafe {
+                (
+                    _mm256_loadu_ps(c00.as_ptr()),
+                    _mm256_loadu_ps(c01.as_ptr()),
+                    _mm256_loadu_ps(c02.as_ptr()),
+                    _mm256_loadu_ps(c03.as_ptr()),
+                )
+            };
+            // SAFETY: as above, for the second row.
+            let (mut acc10, mut acc11, mut acc12, mut acc13) = unsafe {
+                (
+                    _mm256_loadu_ps(c10.as_ptr()),
+                    _mm256_loadu_ps(c11.as_ptr()),
+                    _mm256_loadu_ps(c12.as_ptr()),
+                    _mm256_loadu_ps(c13.as_ptr()),
+                )
+            };
+            for ((&av0, &av1), b_row) in a0_tile.iter().zip(a1_tile.iter()).zip(b_tile.chunks_exact(n)) {
+                let Some(bs) = b_row.get(col..col + 32) else { continue };
+                let (blo, bhi) = bs.split_at(16);
+                let (b0, b1) = blo.split_at(8);
+                let (b2, b3) = bhi.split_at(8);
+                let av0v = _mm256_set1_ps(av0);
+                let av1v = _mm256_set1_ps(av1);
+                // SAFETY: each bN is exactly 8 lanes of the checked 32-wide
+                // window of this B row; each load is shared by both rows.
+                unsafe {
+                    let bv0 = _mm256_loadu_ps(b0.as_ptr());
+                    let bv1 = _mm256_loadu_ps(b1.as_ptr());
+                    let bv2 = _mm256_loadu_ps(b2.as_ptr());
+                    let bv3 = _mm256_loadu_ps(b3.as_ptr());
+                    acc00 = _mm256_add_ps(acc00, _mm256_mul_ps(av0v, bv0));
+                    acc01 = _mm256_add_ps(acc01, _mm256_mul_ps(av0v, bv1));
+                    acc02 = _mm256_add_ps(acc02, _mm256_mul_ps(av0v, bv2));
+                    acc03 = _mm256_add_ps(acc03, _mm256_mul_ps(av0v, bv3));
+                    acc10 = _mm256_add_ps(acc10, _mm256_mul_ps(av1v, bv0));
+                    acc11 = _mm256_add_ps(acc11, _mm256_mul_ps(av1v, bv1));
+                    acc12 = _mm256_add_ps(acc12, _mm256_mul_ps(av1v, bv2));
+                    acc13 = _mm256_add_ps(acc13, _mm256_mul_ps(av1v, bv3));
+                }
+            }
+            // SAFETY: same 8-lane subslices the accumulators were loaded from.
+            unsafe {
+                _mm256_storeu_ps(c00.as_mut_ptr(), acc00);
+                _mm256_storeu_ps(c01.as_mut_ptr(), acc01);
+                _mm256_storeu_ps(c02.as_mut_ptr(), acc02);
+                _mm256_storeu_ps(c03.as_mut_ptr(), acc03);
+                _mm256_storeu_ps(c10.as_mut_ptr(), acc10);
+                _mm256_storeu_ps(c11.as_mut_ptr(), acc11);
+                _mm256_storeu_ps(c12.as_mut_ptr(), acc12);
+                _mm256_storeu_ps(c13.as_mut_ptr(), acc13);
+            }
+            col += 32;
+        }
+        // Column remainder: each row finishes independently through the
+        // single-row kernel, continuing at `col`.
+        // SAFETY: caller verified AVX2, the same contract this fn has.
+        unsafe {
+            nn_tile_cols_avx2(blocks0.into_remainder(), a0_tile, b_tile, n, col);
+            nn_tile_cols_avx2(blocks1.into_remainder(), a1_tile, b_tile, n, col);
+        }
+    }
+
+    /// SSE2 two-row ikj strip kernel: 16-column register blocks shared
+    /// across two rows (8 × f32x4 accumulators).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn nn_tile_cols2_sse2(c0_cols: &mut [f32], c1_cols: &mut [f32], a0_tile: &[f32], a1_tile: &[f32], b_tile: &[f32], n: usize, col0: usize) {
+        let mut col = col0;
+        let mut blocks0 = c0_cols.chunks_exact_mut(16);
+        let mut blocks1 = c1_cols.chunks_exact_mut(16);
+        for (cs0, cs1) in (&mut blocks0).zip(&mut blocks1) {
+            let (lo0, hi0) = cs0.split_at_mut(8);
+            let (c00, c01) = lo0.split_at_mut(4);
+            let (c02, c03) = hi0.split_at_mut(4);
+            let (lo1, hi1) = cs1.split_at_mut(8);
+            let (c10, c11) = lo1.split_at_mut(4);
+            let (c12, c13) = hi1.split_at_mut(4);
+            // SAFETY: each cNM is exactly 4 lanes of its row's 16-wide block.
+            let (mut acc00, mut acc01, mut acc02, mut acc03) = unsafe {
+                (
+                    _mm_loadu_ps(c00.as_ptr()),
+                    _mm_loadu_ps(c01.as_ptr()),
+                    _mm_loadu_ps(c02.as_ptr()),
+                    _mm_loadu_ps(c03.as_ptr()),
+                )
+            };
+            // SAFETY: as above, for the second row.
+            let (mut acc10, mut acc11, mut acc12, mut acc13) = unsafe {
+                (
+                    _mm_loadu_ps(c10.as_ptr()),
+                    _mm_loadu_ps(c11.as_ptr()),
+                    _mm_loadu_ps(c12.as_ptr()),
+                    _mm_loadu_ps(c13.as_ptr()),
+                )
+            };
+            for ((&av0, &av1), b_row) in a0_tile.iter().zip(a1_tile.iter()).zip(b_tile.chunks_exact(n)) {
+                let Some(bs) = b_row.get(col..col + 16) else { continue };
+                let (blo, bhi) = bs.split_at(8);
+                let (b0, b1) = blo.split_at(4);
+                let (b2, b3) = bhi.split_at(4);
+                let av0v = _mm_set1_ps(av0);
+                let av1v = _mm_set1_ps(av1);
+                // SAFETY: each bN is exactly 4 lanes of the checked 16-wide
+                // window of this B row; each load is shared by both rows.
+                unsafe {
+                    let bv0 = _mm_loadu_ps(b0.as_ptr());
+                    let bv1 = _mm_loadu_ps(b1.as_ptr());
+                    let bv2 = _mm_loadu_ps(b2.as_ptr());
+                    let bv3 = _mm_loadu_ps(b3.as_ptr());
+                    acc00 = _mm_add_ps(acc00, _mm_mul_ps(av0v, bv0));
+                    acc01 = _mm_add_ps(acc01, _mm_mul_ps(av0v, bv1));
+                    acc02 = _mm_add_ps(acc02, _mm_mul_ps(av0v, bv2));
+                    acc03 = _mm_add_ps(acc03, _mm_mul_ps(av0v, bv3));
+                    acc10 = _mm_add_ps(acc10, _mm_mul_ps(av1v, bv0));
+                    acc11 = _mm_add_ps(acc11, _mm_mul_ps(av1v, bv1));
+                    acc12 = _mm_add_ps(acc12, _mm_mul_ps(av1v, bv2));
+                    acc13 = _mm_add_ps(acc13, _mm_mul_ps(av1v, bv3));
+                }
+            }
+            // SAFETY: same 4-lane subslices the accumulators were loaded from.
+            unsafe {
+                _mm_storeu_ps(c00.as_mut_ptr(), acc00);
+                _mm_storeu_ps(c01.as_mut_ptr(), acc01);
+                _mm_storeu_ps(c02.as_mut_ptr(), acc02);
+                _mm_storeu_ps(c03.as_mut_ptr(), acc03);
+                _mm_storeu_ps(c10.as_mut_ptr(), acc10);
+                _mm_storeu_ps(c11.as_mut_ptr(), acc11);
+                _mm_storeu_ps(c12.as_mut_ptr(), acc12);
+                _mm_storeu_ps(c13.as_mut_ptr(), acc13);
+            }
+            col += 16;
+        }
+        // SAFETY: caller verified SSE2, the same contract this fn has.
+        unsafe {
+            nn_tile_cols_sse2(blocks0.into_remainder(), a0_tile, b_tile, n, col);
+            nn_tile_cols_sse2(blocks1.into_remainder(), a1_tile, b_tile, n, col);
+        }
+    }
+
+    /// AVX2 `A·Bᵀ` row kernel: 8 output columns at a time. Eight contiguous
+    /// loads from the 8 B rows are transposed in registers so that lane `j`
+    /// of the accumulator carries output column `j`'s one sequential
+    /// ascending-`p` dot chain (broadcast-multiply-add per `p`, no
+    /// horizontal reduction anywhere). Requires `k > 0`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn tb_row_avx2(c_row: &mut [f32], a_row: &[f32], b: &[f32], k: usize) {
+        let mut c_blocks = c_row.chunks_exact_mut(8);
+        let mut b_groups = b.chunks_exact(8 * k);
+        for (cs, group) in (&mut c_blocks).zip(&mut b_groups) {
+            let mut rows = group.chunks_exact(k);
+            let (r0, r1, r2, r3, r4, r5, r6, r7) = match (
+                rows.next(), rows.next(), rows.next(), rows.next(),
+                rows.next(), rows.next(), rows.next(), rows.next(),
+            ) {
+                (Some(r0), Some(r1), Some(r2), Some(r3), Some(r4), Some(r5), Some(r6), Some(r7)) => {
+                    (r0, r1, r2, r3, r4, r5, r6, r7)
+                }
+                // Unreachable: an 8·k group always yields eight k-rows.
+                _ => continue,
+            };
+            let mut acc = _mm256_setzero_ps();
+            let main = k - (k % 8);
+            let mut p = 0usize;
+            while p < main {
+                if let (Some(s0), Some(s1), Some(s2), Some(s3), Some(s4), Some(s5), Some(s6), Some(s7), Some(sa)) = (
+                    r0.get(p..p + 8), r1.get(p..p + 8), r2.get(p..p + 8), r3.get(p..p + 8),
+                    r4.get(p..p + 8), r5.get(p..p + 8), r6.get(p..p + 8), r7.get(p..p + 8),
+                    a_row.get(p..p + 8),
+                ) {
+                    // SAFETY: every subslice is exactly 8 lanes.
+                    unsafe {
+                        let v0 = _mm256_loadu_ps(s0.as_ptr());
+                        let v1 = _mm256_loadu_ps(s1.as_ptr());
+                        let v2 = _mm256_loadu_ps(s2.as_ptr());
+                        let v3 = _mm256_loadu_ps(s3.as_ptr());
+                        let v4 = _mm256_loadu_ps(s4.as_ptr());
+                        let v5 = _mm256_loadu_ps(s5.as_ptr());
+                        let v6 = _mm256_loadu_ps(s6.as_ptr());
+                        let v7 = _mm256_loadu_ps(s7.as_ptr());
+                        // 8×8 in-register transpose: col[t] lane j = element
+                        // p+t of row j.
+                        let t0 = _mm256_unpacklo_ps(v0, v1);
+                        let t1 = _mm256_unpackhi_ps(v0, v1);
+                        let t2 = _mm256_unpacklo_ps(v2, v3);
+                        let t3 = _mm256_unpackhi_ps(v2, v3);
+                        let t4 = _mm256_unpacklo_ps(v4, v5);
+                        let t5 = _mm256_unpackhi_ps(v4, v5);
+                        let t6 = _mm256_unpacklo_ps(v6, v7);
+                        let t7 = _mm256_unpackhi_ps(v6, v7);
+                        let u0 = _mm256_shuffle_ps::<0x44>(t0, t2);
+                        let u1 = _mm256_shuffle_ps::<0xEE>(t0, t2);
+                        let u2 = _mm256_shuffle_ps::<0x44>(t1, t3);
+                        let u3 = _mm256_shuffle_ps::<0xEE>(t1, t3);
+                        let u4 = _mm256_shuffle_ps::<0x44>(t4, t6);
+                        let u5 = _mm256_shuffle_ps::<0xEE>(t4, t6);
+                        let u6 = _mm256_shuffle_ps::<0x44>(t5, t7);
+                        let u7 = _mm256_shuffle_ps::<0xEE>(t5, t7);
+                        let col0 = _mm256_permute2f128_ps::<0x20>(u0, u4);
+                        let col1 = _mm256_permute2f128_ps::<0x20>(u1, u5);
+                        let col2 = _mm256_permute2f128_ps::<0x20>(u2, u6);
+                        let col3 = _mm256_permute2f128_ps::<0x20>(u3, u7);
+                        let col4 = _mm256_permute2f128_ps::<0x31>(u0, u4);
+                        let col5 = _mm256_permute2f128_ps::<0x31>(u1, u5);
+                        let col6 = _mm256_permute2f128_ps::<0x31>(u2, u6);
+                        let col7 = _mm256_permute2f128_ps::<0x31>(u3, u7);
+                        // Ascending p: one mul+add per step, per lane.
+                        let a0 = _mm256_loadu_ps(sa.as_ptr());
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(broadcast_lane(a0, 0), col0));
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(broadcast_lane(a0, 1), col1));
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(broadcast_lane(a0, 2), col2));
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(broadcast_lane(a0, 3), col3));
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(broadcast_lane(a0, 4), col4));
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(broadcast_lane(a0, 5), col5));
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(broadcast_lane(a0, 6), col6));
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(broadcast_lane(a0, 7), col7));
+                    }
+                }
+                p += 8;
+            }
+            for p in main..k {
+                let col = _mm256_set_ps(
+                    r7.get(p).copied().unwrap_or(0.0),
+                    r6.get(p).copied().unwrap_or(0.0),
+                    r5.get(p).copied().unwrap_or(0.0),
+                    r4.get(p).copied().unwrap_or(0.0),
+                    r3.get(p).copied().unwrap_or(0.0),
+                    r2.get(p).copied().unwrap_or(0.0),
+                    r1.get(p).copied().unwrap_or(0.0),
+                    r0.get(p).copied().unwrap_or(0.0),
+                );
+                let av = _mm256_set1_ps(a_row.get(p).copied().unwrap_or(0.0));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(av, col));
+            }
+            // SAFETY: cs is exactly 8 lanes; this is the single overwrite of
+            // these outputs (`*c = acc`), matching the scalar kernel.
+            unsafe { _mm256_storeu_ps(cs.as_mut_ptr(), acc) };
+        }
+        scalar::tb_row(c_blocks.into_remainder(), a_row, b_groups.remainder(), k);
+    }
+
+    /// SSE2 `A·Bᵀ` row kernel: 4 output columns at a time via a 4×4
+    /// in-register transpose. Requires `k > 0`.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn tb_row_sse2(c_row: &mut [f32], a_row: &[f32], b: &[f32], k: usize) {
+        let mut c_blocks = c_row.chunks_exact_mut(4);
+        let mut b_groups = b.chunks_exact(4 * k);
+        for (cs, group) in (&mut c_blocks).zip(&mut b_groups) {
+            let mut rows = group.chunks_exact(k);
+            let (r0, r1, r2, r3) = match (rows.next(), rows.next(), rows.next(), rows.next()) {
+                (Some(r0), Some(r1), Some(r2), Some(r3)) => (r0, r1, r2, r3),
+                // Unreachable: a 4·k group always yields four k-rows.
+                _ => continue,
+            };
+            let mut acc = _mm_setzero_ps();
+            let main = k - (k % 4);
+            let mut p = 0usize;
+            while p < main {
+                if let (Some(s0), Some(s1), Some(s2), Some(s3), Some(sa)) = (
+                    r0.get(p..p + 4), r1.get(p..p + 4), r2.get(p..p + 4), r3.get(p..p + 4),
+                    a_row.get(p..p + 4),
+                ) {
+                    // SAFETY: every subslice is exactly 4 lanes.
+                    unsafe {
+                        let v0 = _mm_loadu_ps(s0.as_ptr());
+                        let v1 = _mm_loadu_ps(s1.as_ptr());
+                        let v2 = _mm_loadu_ps(s2.as_ptr());
+                        let v3 = _mm_loadu_ps(s3.as_ptr());
+                        let t0 = _mm_unpacklo_ps(v0, v1);
+                        let t1 = _mm_unpacklo_ps(v2, v3);
+                        let t2 = _mm_unpackhi_ps(v0, v1);
+                        let t3 = _mm_unpackhi_ps(v2, v3);
+                        let col0 = _mm_movelh_ps(t0, t1);
+                        let col1 = _mm_movehl_ps(t1, t0);
+                        let col2 = _mm_movelh_ps(t2, t3);
+                        let col3 = _mm_movehl_ps(t3, t2);
+                        let a0 = _mm_loadu_ps(sa.as_ptr());
+                        acc = _mm_add_ps(acc, _mm_mul_ps(broadcast_lane4(a0, 0), col0));
+                        acc = _mm_add_ps(acc, _mm_mul_ps(broadcast_lane4(a0, 1), col1));
+                        acc = _mm_add_ps(acc, _mm_mul_ps(broadcast_lane4(a0, 2), col2));
+                        acc = _mm_add_ps(acc, _mm_mul_ps(broadcast_lane4(a0, 3), col3));
+                    }
+                }
+                p += 4;
+            }
+            for p in main..k {
+                let col = _mm_set_ps(
+                    r3.get(p).copied().unwrap_or(0.0),
+                    r2.get(p).copied().unwrap_or(0.0),
+                    r1.get(p).copied().unwrap_or(0.0),
+                    r0.get(p).copied().unwrap_or(0.0),
+                );
+                let av = _mm_set1_ps(a_row.get(p).copied().unwrap_or(0.0));
+                acc = _mm_add_ps(acc, _mm_mul_ps(av, col));
+            }
+            // SAFETY: cs is exactly 4 lanes.
+            unsafe { _mm_storeu_ps(cs.as_mut_ptr(), acc) };
+        }
+        scalar::tb_row(c_blocks.into_remainder(), a_row, b_groups.remainder(), k);
+    }
+
+    /// Broadcasts lane `lane` (0..=7) of `v` to all 8 lanes (vpermps with a
+    /// splatted index vector; folds to a constant permute for literal args).
+    #[target_feature(enable = "avx2")]
+    unsafe fn broadcast_lane(v: __m256, lane: i32) -> __m256 {
+        _mm256_permutevar8x32_ps(v, _mm256_set1_epi32(lane))
+    }
+
+    /// Broadcasts lane `lane` (0..=3) of `v` to all 4 lanes.
+    #[target_feature(enable = "sse2")]
+    unsafe fn broadcast_lane4(v: __m128, lane: i32) -> __m128 {
+        match lane {
+            0 => _mm_shuffle_ps::<0x00>(v, v),
+            1 => _mm_shuffle_ps::<0x55>(v, v),
+            2 => _mm_shuffle_ps::<0xAA>(v, v),
+            _ => _mm_shuffle_ps::<0xFF>(v, v),
+        }
+    }
+}
+
+/// Fallback shims for non-x86 targets: the dispatch below never selects
+/// `Sse2`/`Avx2` there (detection returns `Scalar` and overrides clamp to
+/// it), but the call sites still need the symbols to compile. Each shim has
+/// the same (vacuously satisfied) safety contract as its x86 counterpart.
+#[cfg(not(target_arch = "x86_64"))]
+mod x86 {
+    use super::scalar;
+
+    macro_rules! shim {
+        ($($name:ident($($arg:ident : $ty:ty),*) => $target:ident;)*) => {
+            $(
+                /// Non-x86 shim: delegates to the scalar ground truth.
+                ///
+                /// # Safety
+                ///
+                /// Always safe; `unsafe` only mirrors the x86 signature.
+                pub(super) unsafe fn $name($($arg: $ty),*) {
+                    scalar::$target($($arg),*)
+                }
+            )*
+        };
+    }
+
+    shim! {
+        axpy_avx2(y: &mut [f32], a: f32, x: &[f32]) => axpy;
+        axpy_sse2(y: &mut [f32], a: f32, x: &[f32]) => axpy;
+        add_assign_avx2(y: &mut [f32], x: &[f32]) => add_assign;
+        add_assign_sse2(y: &mut [f32], x: &[f32]) => add_assign;
+        scatter_add_avx2(y: &mut [f32], x: &[f32]) => scatter_add;
+        scatter_add_sse2(y: &mut [f32], x: &[f32]) => scatter_add;
+        add_diff_avx2(r: &mut [f32], l: &[f32], g: &[f32]) => add_diff;
+        add_diff_sse2(r: &mut [f32], l: &[f32], g: &[f32]) => add_diff;
+        abs_into_avx2(out: &mut [f32], x: &[f32]) => abs_into;
+        abs_into_sse2(out: &mut [f32], x: &[f32]) => abs_into;
+        relu_fwd_avx2(x: &[f32], out: &mut [f32]) => relu_fwd;
+        relu_fwd_sse2(x: &[f32], out: &mut [f32]) => relu_fwd;
+        relu_bwd_avx2(x: &[f32], g: &[f32], out: &mut [f32]) => relu_bwd;
+        relu_bwd_sse2(x: &[f32], g: &[f32], out: &mut [f32]) => relu_bwd;
+        leaky_fwd_avx2(x: &[f32], slope: f32, out: &mut [f32]) => leaky_fwd;
+        leaky_fwd_sse2(x: &[f32], slope: f32, out: &mut [f32]) => leaky_fwd;
+        leaky_bwd_avx2(x: &[f32], g: &[f32], slope: f32, out: &mut [f32]) => leaky_bwd;
+        leaky_bwd_sse2(x: &[f32], g: &[f32], slope: f32, out: &mut [f32]) => leaky_bwd;
+        sgd_step_avx2(x: &mut [f32], g: &mut [f32], lr: f32, wd: f32) => sgd_step;
+        sgd_step_sse2(x: &mut [f32], g: &mut [f32], lr: f32, wd: f32) => sgd_step;
+        sgd_momentum_step_avx2(x: &mut [f32], g: &mut [f32], m: &mut [f32], lr: f32, wd: f32, mu: f32) => sgd_momentum_step;
+        sgd_momentum_step_sse2(x: &mut [f32], g: &mut [f32], m: &mut [f32], lr: f32, wd: f32, mu: f32) => sgd_momentum_step;
+        nn_tile_cols_avx2(c_cols: &mut [f32], a_tile: &[f32], b_tile: &[f32], n: usize, col0: usize) => nn_tile_cols;
+        nn_tile_cols_sse2(c_cols: &mut [f32], a_tile: &[f32], b_tile: &[f32], n: usize, col0: usize) => nn_tile_cols;
+        nn_tile_cols2_avx2(c0_cols: &mut [f32], c1_cols: &mut [f32], a0_tile: &[f32], a1_tile: &[f32], b_tile: &[f32], n: usize, col0: usize) => nn_tile_cols2;
+        nn_tile_cols2_sse2(c0_cols: &mut [f32], c1_cols: &mut [f32], a0_tile: &[f32], a1_tile: &[f32], b_tile: &[f32], n: usize, col0: usize) => nn_tile_cols2;
+        tb_row_avx2(c_row: &mut [f32], a_row: &[f32], b: &[f32], k: usize) => tb_row;
+        tb_row_sse2(c_row: &mut [f32], a_row: &[f32], b: &[f32], k: usize) => tb_row;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points
+// ---------------------------------------------------------------------------
+
+/// Generates the `_with(level, …)` dispatcher plus (optionally) the public
+/// entry point that resolves [`simd_level`] once per call.
+macro_rules! dispatch {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident / $with:ident ($($arg:ident : $ty:ty),*) => ($scalar_fn:ident, $sse2_fn:ident, $avx2_fn:ident)
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $ty),*) {
+            $with(simd_level(), $($arg),*);
+        }
+
+        dispatch! {
+            with $with ($($arg: $ty),*) => ($scalar_fn, $sse2_fn, $avx2_fn)
+        }
+    };
+    (
+        with $with:ident ($($arg:ident : $ty:ty),*) => ($scalar_fn:ident, $sse2_fn:ident, $avx2_fn:ident)
+    ) => {
+        /// Level-pinned dispatcher, so tight loops resolve the level once.
+        /// `level` must not exceed [`hardware_simd_level`] (both
+        /// [`simd_level`] and [`set_simd_level`] guarantee this).
+        pub fn $with(level: SimdLevel, $($arg: $ty),*) {
+            match level {
+                SimdLevel::Scalar => scalar::$scalar_fn($($arg),*),
+                // SAFETY: `level` is clamped to the detected hardware
+                // capability, so the required target feature is present.
+                SimdLevel::Sse2 => unsafe { x86::$sse2_fn($($arg),*) },
+                // SAFETY: as above, AVX2 was detected at runtime.
+                SimdLevel::Avx2 => unsafe { x86::$avx2_fn($($arg),*) },
+            }
+        }
+    };
+}
+
+dispatch! {
+    /// `y[i] += a * x[i]` over the common prefix of `y` and `x`.
+    ///
+    /// Bit-identical at every SIMD level (separate mul+add, one chain per
+    /// element).
+    pub fn axpy / axpy_with (y: &mut [f32], a: f32, x: &[f32]) => (axpy, axpy_sse2, axpy_avx2)
+}
+
+dispatch! {
+    /// `y[i] += x[i]` over the common prefix of `y` and `x`.
+    pub fn add_assign / add_assign_with (y: &mut [f32], x: &[f32]) => (add_assign, add_assign_sse2, add_assign_avx2)
+}
+
+// NaN-holding scatter add for accumulation chains that span multiple kernel
+// calls (conv col2im): `y[i] += x[i]` unless `y[i]` is NaN, which is held
+// bit-exactly so double-NaN operand-order ambiguity can never arise.
+dispatch! {
+    with scatter_add_with (y: &mut [f32], x: &[f32]) => (scatter_add, scatter_add_sse2, scatter_add_avx2)
+}
+
+dispatch! {
+    /// `r[i] += l[i] - g[i]` over the common prefix (top-k residual
+    /// accumulation: evaluated as `r + (l - g)` at every level).
+    pub fn add_diff / add_diff_with (r: &mut [f32], l: &[f32], g: &[f32]) => (add_diff, add_diff_sse2, add_diff_avx2)
+}
+
+dispatch! {
+    /// `out[i] = |x[i]|` over the common prefix: clears the sign bit,
+    /// preserving NaN payloads, exactly like `f32::abs`.
+    pub fn abs_into / abs_into_with (out: &mut [f32], x: &[f32]) => (abs_into, abs_into_sse2, abs_into_avx2)
+}
+
+dispatch! {
+    /// ReLU forward: `out[i] = x[i] if x[i] > 0 else +0.0`. NaN inputs
+    /// yield `+0.0` (the comparison is false), `-0.0` yields `+0.0`.
+    pub fn relu_fwd / relu_fwd_with (x: &[f32], out: &mut [f32]) => (relu_fwd, relu_fwd_sse2, relu_fwd_avx2)
+}
+
+dispatch! {
+    /// ReLU backward: `out[i] = g[i] if x[i] > 0 else +0.0` (the
+    /// subgradient at 0 is 0).
+    pub fn relu_bwd / relu_bwd_with (x: &[f32], g: &[f32], out: &mut [f32]) => (relu_bwd, relu_bwd_sse2, relu_bwd_avx2)
+}
+
+dispatch! {
+    /// Leaky-ReLU forward: `out[i] = x[i] if x[i] > 0 else slope * x[i]`.
+    pub fn leaky_fwd / leaky_fwd_with (x: &[f32], slope: f32, out: &mut [f32]) => (leaky_fwd, leaky_fwd_sse2, leaky_fwd_avx2)
+}
+
+dispatch! {
+    /// Leaky-ReLU backward: `out[i] = g[i] if x[i] > 0 else slope * g[i]`.
+    pub fn leaky_bwd / leaky_bwd_with (x: &[f32], g: &[f32], slope: f32, out: &mut [f32]) => (leaky_bwd, leaky_bwd_sse2, leaky_bwd_avx2)
+}
+
+dispatch! {
+    /// Fused SGD step over the common prefix: `eff = g + wd·x;
+    /// x -= lr·eff; g = 0`, in exactly that scalar evaluation order.
+    pub fn sgd_step / sgd_step_with (x: &mut [f32], g: &mut [f32], lr: f32, wd: f32) => (sgd_step, sgd_step_sse2, sgd_step_avx2)
+}
+
+dispatch! {
+    /// Fused momentum-SGD step: `eff = g + wd·x; m = mu·m + eff;
+    /// x -= lr·m; g = 0`, in exactly that scalar evaluation order.
+    pub fn sgd_momentum_step / sgd_momentum_step_with (x: &mut [f32], g: &mut [f32], m: &mut [f32], lr: f32, wd: f32, mu: f32) => (sgd_momentum_step, sgd_momentum_step_sse2, sgd_momentum_step_avx2)
+}
+
+// One column strip of one output row of the ikj `C = A·B` kernel over one
+// `k`-tile: `c_cols[j] += a_tile[p] * b_tile[p·n + col0 + j]` for ascending
+// `p` (`b_tile` is `len(a_tile)` rows of `n`; `col0` is the strip's first
+// column). Strip-wise calls let the caller keep a narrow `B` window
+// cache-resident across many output rows without changing any element's
+// accumulation order.
+dispatch! {
+    with nn_tile_cols_with (c_cols: &mut [f32], a_tile: &[f32], b_tile: &[f32], n: usize, col0: usize) => (nn_tile_cols, nn_tile_cols_sse2, nn_tile_cols_avx2)
+}
+
+// Two-row variant of `nn_tile_cols_with`: the same strip of two output rows,
+// sharing each `B` load across both rows' accumulators at the vector levels.
+// Callers must pair rows the same way at every thread count (the matmul
+// driver pairs within `MC`-aligned blocks) so each element always runs
+// through the same compiled kernel instance.
+dispatch! {
+    with nn_tile_cols2_with (c0_cols: &mut [f32], c1_cols: &mut [f32], a0_tile: &[f32], a1_tile: &[f32], b_tile: &[f32], n: usize, col0: usize) => (nn_tile_cols2, nn_tile_cols2_sse2, nn_tile_cols2_avx2)
+}
+
+// One output row of the `C = A·Bᵀ` kernel: `c_row[j] = dot(a_row,
+// b[j·k..][..k])`, each dot one sequential ascending-`p` chain. Requires
+// `k > 0` (the caller short-circuits empty dots).
+dispatch! {
+    with tb_row_with (c_row: &mut [f32], a_row: &[f32], b: &[f32], k: usize) => (tb_row, tb_row_sse2, tb_row_avx2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic fill with specials (±0.0, NaN, ±inf) planted
+    /// periodically so select/abs paths face the full IEEE surface.
+    fn filled(len: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                match i % 23 {
+                    7 => -0.0,
+                    11 => f32::NAN,
+                    15 => f32::INFINITY,
+                    19 => f32::NEG_INFINITY,
+                    _ => (state >> 8) as f32 / (1 << 16) as f32 - 128.0,
+                }
+            })
+            .collect()
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: index {i}: {x} vs {y}");
+        }
+    }
+
+    /// Bit equality modulo NaN payloads: any NaN matches any NaN. Used where
+    /// two *differently compiled* loop instances cover the same element (see
+    /// the double-NaN carve-out in the module docs): `NaN + NaN` keeps
+    /// whichever operand the compiled add ordered first, so the payload is
+    /// deterministic per instance but not portable between instances.
+    fn assert_bits_eq_mod_nan(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+                "{what}: index {i}: {x} ({:#010x}) vs {y} ({:#010x})",
+                x.to_bits(),
+                y.to_bits()
+            );
+        }
+    }
+
+    fn levels() -> Vec<SimdLevel> {
+        [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+            .into_iter()
+            .filter(|&l| l <= hardware_simd_level())
+            .collect()
+    }
+
+    const LENS: [usize; 6] = [0, 1, 7, 8, 33, 1000];
+
+    #[test]
+    fn env_parsing_rules() {
+        assert_eq!(parse_env(None), None);
+        assert_eq!(parse_env(Some("")), None);
+        assert_eq!(parse_env(Some("garbage")), None);
+        assert_eq!(parse_env(Some("off")), Some(SimdLevel::Scalar));
+        assert_eq!(parse_env(Some("Scalar")), Some(SimdLevel::Scalar));
+        assert_eq!(parse_env(Some(" sse2 ")), Some(SimdLevel::Sse2));
+        assert_eq!(parse_env(Some("AVX2")), Some(SimdLevel::Avx2));
+    }
+
+    #[test]
+    fn level_order_and_names() {
+        assert!(SimdLevel::Scalar < SimdLevel::Sse2);
+        assert!(SimdLevel::Sse2 < SimdLevel::Avx2);
+        for l in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+            assert_eq!(SimdLevel::from_index(l.index()), l);
+            assert_eq!(parse_env(Some(l.name())), Some(l));
+        }
+    }
+
+    #[test]
+    fn override_is_clamped_to_hardware() {
+        let prior = simd_level();
+        set_simd_level(SimdLevel::Avx2);
+        assert!(simd_level() <= hardware_simd_level());
+        set_simd_level(SimdLevel::Scalar);
+        assert_eq!(simd_level(), SimdLevel::Scalar);
+        set_simd_level(prior);
+        assert_eq!(simd_level(), prior);
+    }
+
+    #[test]
+    fn axpy_bit_identical_across_levels() {
+        for &len in &LENS {
+            let x = filled(len, 3);
+            let mut want = filled(len, 5);
+            scalar::axpy(&mut want, 1.7, &x);
+            for level in levels() {
+                let mut got = filled(len, 5);
+                axpy_with(level, &mut got, 1.7, &x);
+                assert_bits_eq(&got, &want, &format!("axpy {level:?} len {len}"));
+            }
+        }
+    }
+
+    #[test]
+    fn add_assign_and_add_diff_bit_identical_across_levels() {
+        for &len in &LENS {
+            let x = filled(len, 11);
+            let g = filled(len, 13);
+            let mut want_add = filled(len, 17);
+            let mut want_diff = filled(len, 17);
+            scalar::add_assign(&mut want_add, &x);
+            scalar::add_diff(&mut want_diff, &x, &g);
+            for level in levels() {
+                let mut got = filled(len, 17);
+                add_assign_with(level, &mut got, &x);
+                assert_bits_eq(&got, &want_add, &format!("add_assign {level:?} len {len}"));
+                let mut got = filled(len, 17);
+                add_diff_with(level, &mut got, &x, &g);
+                assert_bits_eq(&got, &want_diff, &format!("add_diff {level:?} len {len}"));
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_add_holds_nan_and_is_bit_identical_across_levels() {
+        // Offset the special pattern so NaN/inf in `x` meet different
+        // specials in `y` — the exact double-NaN / inf+(-inf) collisions the
+        // NaN-holding guard exists for.
+        for &len in &LENS {
+            let x: Vec<f32> = filled(len + 13, 73).split_off(13);
+            let mut want = filled(len, 79);
+            scalar::scatter_add(&mut want, &x);
+            for level in levels() {
+                let mut got = filled(len, 79);
+                scatter_add_with(level, &mut got, &x);
+                assert_bits_eq(&got, &want, &format!("scatter_add {level:?} len {len}"));
+            }
+        }
+        // The hold rule itself: a NaN accumulator keeps its exact payload.
+        let payload = f32::from_bits(0x7fc0_1234);
+        for level in levels() {
+            let mut y = [payload, 1.0, f32::INFINITY];
+            scatter_add_with(level, &mut y, &[5.0, f32::NEG_INFINITY, f32::NEG_INFINITY]);
+            assert_eq!(y[0].to_bits(), 0x7fc0_1234, "{level:?}: NaN held");
+            assert_eq!(y[1], f32::NEG_INFINITY);
+            assert!(y[2].is_nan(), "{level:?}: inf + -inf is NaN");
+        }
+    }
+
+    #[test]
+    fn abs_and_activations_bit_identical_across_levels() {
+        for &len in &LENS {
+            let x = filled(len, 29);
+            let g = filled(len, 31);
+            let mut want = vec![0.0f32; len];
+            for level in levels() {
+                let tag = format!("{level:?} len {len}");
+                let mut got = vec![0.0f32; len];
+                scalar::abs_into(&mut want, &x);
+                abs_into_with(level, &mut got, &x);
+                assert_bits_eq(&got, &want, &format!("abs {tag}"));
+                scalar::relu_fwd(&x, &mut want);
+                relu_fwd_with(level, &x, &mut got);
+                assert_bits_eq(&got, &want, &format!("relu_fwd {tag}"));
+                scalar::relu_bwd(&x, &g, &mut want);
+                relu_bwd_with(level, &x, &g, &mut got);
+                assert_bits_eq(&got, &want, &format!("relu_bwd {tag}"));
+                scalar::leaky_fwd(&x, 0.1, &mut want);
+                leaky_fwd_with(level, &x, 0.1, &mut got);
+                assert_bits_eq(&got, &want, &format!("leaky_fwd {tag}"));
+                scalar::leaky_bwd(&x, &g, 0.1, &mut want);
+                leaky_bwd_with(level, &x, &g, 0.1, &mut got);
+                assert_bits_eq(&got, &want, &format!("leaky_bwd {tag}"));
+            }
+        }
+    }
+
+    #[test]
+    fn relu_ieee_edge_cases() {
+        let x = [f32::NAN, -0.0, 0.0, -1.0, 2.0, f32::NEG_INFINITY, f32::INFINITY];
+        for level in levels() {
+            let mut out = vec![9.0f32; x.len()];
+            relu_fwd_with(level, &x, &mut out);
+            assert_eq!(out.first().copied().map(f32::to_bits), Some(0.0f32.to_bits()), "NaN input → +0.0");
+            assert_eq!(out.get(1).copied().map(f32::to_bits), Some(0.0f32.to_bits()), "-0.0 → +0.0");
+            assert_eq!(out.get(4).copied(), Some(2.0));
+            assert_eq!(out.last().copied(), Some(f32::INFINITY));
+        }
+    }
+
+    #[test]
+    fn sgd_steps_bit_identical_across_levels() {
+        for &len in &LENS {
+            let mut want_x = filled(len, 41);
+            let mut want_g = filled(len, 43);
+            let mut want_m = filled(len, 47);
+            scalar::sgd_step(&mut want_x, &mut want_g, 0.05, 1e-3);
+            scalar::sgd_momentum_step(&mut want_x, &mut want_g, &mut want_m, 0.05, 1e-3, 0.9);
+            for level in levels() {
+                let mut x = filled(len, 41);
+                let mut g = filled(len, 43);
+                let mut m = filled(len, 47);
+                sgd_step_with(level, &mut x, &mut g, 0.05, 1e-3);
+                sgd_momentum_step_with(level, &mut x, &mut g, &mut m, 0.05, 1e-3, 0.9);
+                let tag = format!("{level:?} len {len}");
+                assert_bits_eq(&x, &want_x, &format!("sgd x {tag}"));
+                assert_bits_eq(&g, &want_g, &format!("sgd g {tag}"));
+                assert_bits_eq(&m, &want_m, &format!("sgd m {tag}"));
+            }
+        }
+    }
+
+    #[test]
+    fn nn_tile_cols_bit_identical_across_levels_and_strip_widths() {
+        for &(rows, n) in &[(1usize, 1usize), (3, 7), (4, 8), (5, 33), (7, 40), (2, 100), (6, 129)] {
+            let a_tile = filled(rows, 53);
+            let b_tile = filled(rows * n, 59);
+            let mut want = filled(n, 61);
+            scalar::nn_tile_cols(&mut want, &a_tile, &b_tile, n, 0);
+            for level in levels() {
+                // Whole row as one strip (strict: the exact production call
+                // shape), then split into strips of every width. Strip
+                // decomposition preserves each element's ascending-`p` chain
+                // but moves elements between differently compiled loop
+                // bodies (vector body vs remainder), so sub-strip checks are
+                // modulo NaN payload — values, zeros' signs, and infinities
+                // must still agree exactly.
+                for strip in [n, 1, 8, 13, 32] {
+                    let mut got = filled(n, 61);
+                    for (chunk, jb) in got.chunks_mut(strip).zip((0..n).step_by(strip)) {
+                        nn_tile_cols_with(level, chunk, &a_tile, &b_tile, n, jb);
+                    }
+                    let what = format!("nn_tile_cols {level:?} {rows}x{n} strip {strip}");
+                    if strip == n {
+                        assert_bits_eq(&got, &want, &what);
+                    } else {
+                        assert_bits_eq_mod_nan(&got, &want, &what);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nn_tile_cols2_matches_two_single_rows() {
+        for &(n, col0, width) in &[(1usize, 0usize, 1usize), (8, 0, 8), (40, 0, 40), (40, 8, 24), (129, 96, 33), (100, 64, 36)] {
+            let rows = 5;
+            let a0 = filled(rows, 73);
+            let a1 = filled(rows, 79);
+            let b_tile = filled(rows * n, 83);
+            let mut want0 = filled(width, 87);
+            let mut want1 = filled(width, 91);
+            scalar::nn_tile_cols(&mut want0, &a0, &b_tile, n, col0);
+            scalar::nn_tile_cols(&mut want1, &a1, &b_tile, n, col0);
+            for level in levels() {
+                let mut got0 = filled(width, 87);
+                let mut got1 = filled(width, 91);
+                nn_tile_cols2_with(level, &mut got0, &mut got1, &a0, &a1, &b_tile, n, col0);
+                let what = format!("nn_tile_cols2 {level:?} n={n} col0={col0} w={width}");
+                // Values, signed zeros, and infinities must agree exactly;
+                // double-NaN payloads may differ between the paired and
+                // single-row kernel instances (module-doc carve-out).
+                assert_bits_eq_mod_nan(&got0, &want0, &format!("{what} row0"));
+                assert_bits_eq_mod_nan(&got1, &want1, &format!("{what} row1"));
+            }
+        }
+    }
+
+    #[test]
+    fn tb_row_bit_identical_across_levels() {
+        for &(cols, k) in &[(1usize, 1usize), (3, 5), (8, 8), (9, 16), (16, 33), (5, 100), (17, 7)] {
+            let a_row = filled(k, 67);
+            let b = filled(cols * k, 71);
+            let mut want = vec![0.0f32; cols];
+            scalar::tb_row(&mut want, &a_row, &b, k);
+            for level in levels() {
+                let mut got = vec![0.0f32; cols];
+                tb_row_with(level, &mut got, &a_row, &b, k);
+                assert_bits_eq(&got, &want, &format!("tb_row {level:?} {cols}x{k}"));
+            }
+        }
+    }
+}

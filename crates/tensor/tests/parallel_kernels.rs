@@ -9,12 +9,27 @@
 //! operands.
 //!
 //! Tests deliberately never assert *which* execution path ran (the global
-//! thread setting is process-wide and tests run concurrently); they assert
-//! only bit-equality against the reference, which must hold at any setting.
+//! thread and SIMD-level settings are process-wide and tests run
+//! concurrently); they assert only bit-equality, which must hold at any
+//! setting.
+//!
+//! Two comparison strengths (DESIGN.md §10.1):
+//!
+//! * **strict** — kernel vs kernel across SIMD levels and thread counts:
+//!   every bit, including NaN payloads, must match, because every path
+//!   routes each element's accumulation chain through the same compiled
+//!   primitives.
+//! * **modulo NaN payload** — kernel vs the independently-compiled naive
+//!   `reference` loops: when an add meets *two* NaN operands with distinct
+//!   payloads (a planted NaN and an `inf·0` indefinite, say), IEEE 754
+//!   leaves the surviving payload to the implementation and LLVM picks the
+//!   operand order per compiled loop, so payload equality across separately
+//!   compiled loops is not a meaningful contract. NaN-ness itself still is.
 
 use fedsu_tensor::{
-    matmul, matmul_into, matmul_transpose_a_into, matmul_transpose_b_into, reference,
-    set_kernel_threads, Tensor,
+    col2im_into, hardware_simd_level, im2col_into, matmul, matmul_into, matmul_transpose_a_into,
+    matmul_transpose_b_into, reference, set_kernel_threads, set_simd_level, simd, simd_level,
+    ConvDims, SimdLevel, Tensor,
 };
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -77,6 +92,25 @@ fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
     }
 }
 
+/// Bit equality modulo NaN payload: any NaN matches any NaN. Used only
+/// against the separately-compiled naive reference, where double-NaN adds
+/// have implementation-chosen payloads (see module docs).
+fn assert_bits_eq_mod_nan(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g.is_nan() && w.is_nan() {
+            continue;
+        }
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} differs: {g:?} (bits {:#010x}) vs reference {w:?} (bits {:#010x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
 fn sweep(specials: bool) {
     for &(m, k, n) in &SHAPES {
         let a = filled(m * k, 0x9E37_79B9 ^ (m as u64) << 32 | k as u64, specials);
@@ -93,15 +127,15 @@ fn sweep(specials: bool) {
             set_kernel_threads(threads);
             let mut out = vec![f32::NAN; m * n]; // stale garbage must be overwritten
             matmul_into(&a, &b, &mut out, m, k, n).expect("matmul_into");
-            assert_bits_eq(&out, &want_nn, &format!("matmul {m}x{k}x{n} t={threads}"));
+            assert_bits_eq_mod_nan(&out, &want_nn, &format!("matmul {m}x{k}x{n} t={threads}"));
 
             let mut out = vec![f32::NAN; m * n];
             matmul_transpose_a_into(&a_t, &b, &mut out, k, m, n).expect("matmul_transpose_a_into");
-            assert_bits_eq(&out, &want_ta, &format!("matmul_ta {m}x{k}x{n} t={threads}"));
+            assert_bits_eq_mod_nan(&out, &want_ta, &format!("matmul_ta {m}x{k}x{n} t={threads}"));
 
             let mut out = vec![f32::NAN; m * n];
             matmul_transpose_b_into(&a, &b_t, &mut out, m, k, n).expect("matmul_transpose_b_into");
-            assert_bits_eq(&out, &want_tb, &format!("matmul_tb {m}x{k}x{n} t={threads}"));
+            assert_bits_eq_mod_nan(&out, &want_tb, &format!("matmul_tb {m}x{k}x{n} t={threads}"));
         }
     }
     set_kernel_threads(0);
@@ -126,7 +160,7 @@ fn tensor_wrappers_match_reference_across_thread_counts() {
     for &threads in &THREAD_COUNTS {
         set_kernel_threads(threads);
         let c = matmul(&a, &b).expect("matmul");
-        assert_bits_eq(c.data(), &want, &format!("tensor matmul t={threads}"));
+        assert_bits_eq_mod_nan(c.data(), &want, &format!("tensor matmul t={threads}"));
     }
     set_kernel_threads(0);
 }
@@ -156,6 +190,163 @@ fn nan_in_b_behind_zero_row_of_a_propagates_at_every_thread_count() {
         assert!(out[1..n].iter().all(|v| *v == 0.0), "t={threads}: row 0 tail not zero");
     }
     set_kernel_threads(0);
+}
+
+/// Every SIMD level the running hardware can execute, scalar first.
+fn supported_levels() -> Vec<SimdLevel> {
+    let hw = hardware_simd_level();
+    [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+        .into_iter()
+        .filter(|&l| l <= hw)
+        .collect()
+}
+
+/// Value correctness at every SIMD level: the full shape sweep against the
+/// naive reference (modulo NaN payload), repeated with each level forced.
+#[test]
+fn reference_sweep_holds_at_every_simd_level() {
+    let prior = simd_level();
+    for level in supported_levels() {
+        set_simd_level(level);
+        sweep(true);
+        sweep(false);
+    }
+    set_simd_level(prior);
+}
+
+/// The tentpole contract, strict form: at each SIMD level, every thread
+/// count is bit-for-bit identical — NaN payloads included — to that level's
+/// serial run, because threads partition output rows and never split an
+/// element's accumulation chain. Across levels the comparison is modulo NaN
+/// payload: a double-NaN add resolves to whichever operand's payload the
+/// level's compiled primitive propagates, which is deterministic per level
+/// but not portable between them (DESIGN.md §10.1).
+#[test]
+fn kernels_bit_identical_across_simd_levels_and_thread_counts() {
+    let prior = simd_level();
+    for &(m, k, n) in &SHAPES {
+        let a = filled(m * k, 0x9E37_79B9 ^ (m as u64) << 32 | k as u64, true);
+        let b = filled(k * n, 0xDEAD_BEEF ^ (k as u64) << 32 | n as u64, true);
+        let a_t = filled(k * m, 0x1234_5678 ^ (m as u64) << 32 | k as u64, true);
+        let b_t = filled(n * k, 0x0F0F_F0F0 ^ (n as u64) << 32 | k as u64, true);
+
+        // Cross-level baseline: scalar level, serial.
+        set_simd_level(SimdLevel::Scalar);
+        set_kernel_threads(1);
+        let mut scalar_nn = vec![f32::NAN; m * n];
+        matmul_into(&a, &b, &mut scalar_nn, m, k, n).expect("scalar matmul");
+        let mut scalar_ta = vec![f32::NAN; m * n];
+        matmul_transpose_a_into(&a_t, &b, &mut scalar_ta, k, m, n).expect("scalar ta");
+        let mut scalar_tb = vec![f32::NAN; m * n];
+        matmul_transpose_b_into(&a, &b_t, &mut scalar_tb, m, k, n).expect("scalar tb");
+
+        for level in supported_levels() {
+            // Per-level baseline: this level, serial.
+            set_simd_level(level);
+            set_kernel_threads(1);
+            let mut want_nn = vec![f32::NAN; m * n];
+            matmul_into(&a, &b, &mut want_nn, m, k, n).expect("baseline matmul");
+            let mut want_ta = vec![f32::NAN; m * n];
+            matmul_transpose_a_into(&a_t, &b, &mut want_ta, k, m, n).expect("baseline ta");
+            let mut want_tb = vec![f32::NAN; m * n];
+            matmul_transpose_b_into(&a, &b_t, &mut want_tb, m, k, n).expect("baseline tb");
+
+            let lvl = format!("{m}x{k}x{n} {level:?}");
+            assert_bits_eq_mod_nan(&want_nn, &scalar_nn, &format!("level nn {lvl}"));
+            assert_bits_eq_mod_nan(&want_ta, &scalar_ta, &format!("level ta {lvl}"));
+            assert_bits_eq_mod_nan(&want_tb, &scalar_tb, &format!("level tb {lvl}"));
+
+            for &threads in &THREAD_COUNTS {
+                set_kernel_threads(threads);
+                let mut out = vec![f32::NAN; m * n];
+                matmul_into(&a, &b, &mut out, m, k, n).expect("matmul_into");
+                assert_bits_eq(&out, &want_nn, &format!("strict nn {lvl} t={threads}"));
+
+                let mut out = vec![f32::NAN; m * n];
+                matmul_transpose_a_into(&a_t, &b, &mut out, k, m, n).expect("ta");
+                assert_bits_eq(&out, &want_ta, &format!("strict ta {lvl} t={threads}"));
+
+                let mut out = vec![f32::NAN; m * n];
+                matmul_transpose_b_into(&a, &b_t, &mut out, m, k, n).expect("tb");
+                assert_bits_eq(&out, &want_tb, &format!("strict tb {lvl} t={threads}"));
+            }
+        }
+    }
+    set_simd_level(prior);
+    set_kernel_threads(0);
+}
+
+/// im2col / col2im at every SIMD level × thread count, odd geometries,
+/// specials planted — compared against a fixed scalar-at-Scalar-level run.
+#[test]
+fn conv_lowering_bit_identical_across_simd_levels_and_thread_counts() {
+    let geometries = [
+        ConvDims { in_channels: 2, in_h: 7, in_w: 9, kernel: 3, stride: 1, padding: 1 },
+        ConvDims { in_channels: 3, in_h: 6, in_w: 11, kernel: 5, stride: 2, padding: 3 },
+        ConvDims { in_channels: 1, in_h: 1, in_w: 17, kernel: 3, stride: 3, padding: 2 },
+    ];
+    let prior = simd_level();
+    for dims in geometries {
+        let image = filled(dims.in_channels * dims.in_h * dims.in_w, 0xC0FF_EE, true);
+        let cols = filled(dims.col_rows() * dims.col_cols(), 0xFEED, true);
+
+        // Ground truth: scalar level, serial.
+        set_simd_level(SimdLevel::Scalar);
+        set_kernel_threads(1);
+        let mut want_cols = Vec::new();
+        im2col_into(&image, &dims, &mut want_cols).expect("reference im2col");
+        let mut want_img = filled(image.len(), 0xBAD_5EED, true);
+        let img_seed = want_img.clone();
+        col2im_into(&cols, &mut want_img, &dims).expect("reference col2im");
+
+        for level in supported_levels() {
+            set_simd_level(level);
+            for &threads in &THREAD_COUNTS {
+                set_kernel_threads(threads);
+                let mut got = Vec::new();
+                im2col_into(&image, &dims, &mut got).expect("im2col");
+                assert_bits_eq(&got, &want_cols, &format!("im2col {dims:?} {level:?} t={threads}"));
+                let mut img = img_seed.clone();
+                col2im_into(&cols, &mut img, &dims).expect("col2im");
+                assert_bits_eq(&img, &want_img, &format!("col2im {dims:?} {level:?} t={threads}"));
+            }
+        }
+    }
+    set_simd_level(prior);
+    set_kernel_threads(0);
+}
+
+/// Elementwise lanes (axpy, activations, SGD steps) at every level against
+/// the scalar level, on odd/remainder lengths with specials. Uses the
+/// level-pinned `_with` dispatchers, so this test needs no global state.
+#[test]
+fn elementwise_lanes_bit_identical_across_simd_levels() {
+    for len in [0usize, 1, 7, 8, 9, 31, 33, 1023] {
+        let x = filled(len, 0xA11CE ^ len as u64, true);
+        let y0 = filled(len, 0xB0B ^ (len as u64) << 8, true);
+
+        let mut want_axpy = y0.clone();
+        simd::axpy_with(SimdLevel::Scalar, &mut want_axpy, 0.75, &x);
+        let mut want_relu = vec![0.0f32; len];
+        simd::relu_fwd_with(SimdLevel::Scalar, &x, &mut want_relu);
+        let mut want_sgd = y0.clone();
+        let mut want_grad = x.clone();
+        simd::sgd_step_with(SimdLevel::Scalar, &mut want_sgd, &mut want_grad, 0.1, 0.01);
+
+        for level in supported_levels() {
+            let mut got = y0.clone();
+            simd::axpy_with(level, &mut got, 0.75, &x);
+            assert_bits_eq(&got, &want_axpy, &format!("axpy len={len} {level:?}"));
+            let mut got = vec![0.0f32; len];
+            simd::relu_fwd_with(level, &x, &mut got);
+            assert_bits_eq(&got, &want_relu, &format!("relu_fwd len={len} {level:?}"));
+            let mut got = y0.clone();
+            let mut grad = x.clone();
+            simd::sgd_step_with(level, &mut got, &mut grad, 0.1, 0.01);
+            assert_bits_eq(&got, &want_sgd, &format!("sgd_step len={len} {level:?}"));
+            assert_bits_eq(&grad, &want_grad, &format!("sgd_step grad len={len} {level:?}"));
+        }
+    }
 }
 
 #[test]

@@ -49,7 +49,7 @@ pub use bus::{
 };
 pub use chaos::{ChaosClient, ChaosServer, ChaosStats};
 pub use fedsu_netsim::{FaultConfig, FaultPlan, WireFrame};
-pub use message::{DecodeError, Message, SparseValues};
+pub use message::{DecodeError, Message, QuantizedValues, SparseValues};
 pub use session::{
     ClientSession, Envelope, EnvelopeError, FrameKind, ReliabilityStats, ServerSession,
     SessionConfig, SessionError, ENVELOPE_OVERHEAD,

@@ -104,6 +104,116 @@ impl SparseValues {
     }
 }
 
+/// A quantized update payload: one sign+level byte per scalar plus one
+/// `f32` scale per fixed-size chunk.
+///
+/// This is the frame QSGD-style strategies put on the wire; the receiver
+/// dequantizes with the strategy's own code-to-value rule. Keeping codes as
+/// raw bytes (rather than widening to `f32` at the sender) is the whole
+/// point: the framed byte count equals what the byte-accounting emulation
+/// charges for a quantized upload.
+///
+/// Code format: bit 7 is the sign (1 = negative), bits 0–6 the level, so
+/// `levels` must be ≤ 126 for `level ≤ levels + 1` to fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedValues {
+    /// Quantization levels `s` the encoder used (≤ 126).
+    pub levels: u32,
+    /// Scalars per chunk; the final chunk may be shorter. Zero only when
+    /// no codes are carried.
+    pub chunk_len: u32,
+    /// Per-chunk scale factors, in chunk order.
+    pub scales: Vec<f32>,
+    /// Sign+level codes, chunks concatenated.
+    pub codes: Vec<u8>,
+}
+
+impl QuantizedValues {
+    /// Assembles a quantized payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale count does not cover the codes (`scales.len()`
+    /// must equal `codes.len()` divided by `chunk_len`, rounded up), or if
+    /// `levels > 126`.
+    pub fn new(levels: u32, chunk_len: u32, scales: Vec<f32>, codes: Vec<u8>) -> Self {
+        assert!(levels <= 126, "levels {levels} do not fit 7-bit codes");
+        let expected = expected_chunks(codes.len(), chunk_len);
+        assert_eq!(
+            Some(scales.len()),
+            expected,
+            "scale count mismatch: {} scales for {} codes in chunks of {}",
+            scales.len(),
+            codes.len(),
+            chunk_len
+        );
+        QuantizedValues { levels, chunk_len, scales, codes }
+    }
+
+    /// Number of quantized scalars carried.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether no scalars are carried.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.levels.to_le_bytes());
+        buf.extend_from_slice(&self.chunk_len.to_le_bytes());
+        buf.extend_from_slice(&(self.scales.len() as u32).to_le_bytes());
+        for &s in &self.scales {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.codes.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.codes);
+    }
+
+    fn decode_from(data: &mut &[u8]) -> Result<Self, DecodeError> {
+        if data.remaining() < 12 {
+            return Err(DecodeError::Truncated);
+        }
+        let levels = data.get_u32_le();
+        if levels > 126 {
+            return Err(DecodeError::Inconsistent("quantization levels exceed 7-bit codes"));
+        }
+        let chunk_len = data.get_u32_le();
+        let n_scales = data.get_u32_le() as usize;
+        if data.remaining() < n_scales * 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let scales: Vec<f32> = (0..n_scales).map(|_| data.get_f32_le()).collect();
+        if data.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let n_codes = data.get_u32_le() as usize;
+        let (code_bytes, rest) = data.split_at_checked(n_codes).ok_or(DecodeError::Truncated)?;
+        let codes = code_bytes.to_vec();
+        *data = rest;
+        if expected_chunks(codes.len(), chunk_len) != Some(scales.len()) {
+            return Err(DecodeError::Inconsistent("scale count does not cover the codes"));
+        }
+        if codes.iter().any(|&c| u32::from(c & 0x7f) > levels + 1) {
+            return Err(DecodeError::Inconsistent("code level exceeds declared levels"));
+        }
+        Ok(QuantizedValues { levels, chunk_len, scales, codes })
+    }
+}
+
+/// Chunk count covering `n_codes` at `chunk_len` scalars each, or `None`
+/// when `chunk_len` is zero with codes present (undefined).
+fn expected_chunks(n_codes: usize, chunk_len: u32) -> Option<usize> {
+    if n_codes == 0 {
+        Some(0)
+    } else if chunk_len == 0 {
+        None
+    } else {
+        Some(n_codes.div_ceil(chunk_len as usize))
+    }
+}
+
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -149,6 +259,16 @@ pub enum Message {
     },
     /// Server → clients: training is over.
     Shutdown,
+    /// Client → server: a quantized (QSGD-style) update — 1-byte codes plus
+    /// per-chunk scales instead of full `f32` values.
+    QuantizedUpdate {
+        /// Round of the update.
+        round: u32,
+        /// Reporting client.
+        client: u32,
+        /// The quantized payload.
+        values: QuantizedValues,
+    },
 }
 
 impl Message {
@@ -161,6 +281,7 @@ impl Message {
             Message::JoinRequest { .. } => 5,
             Message::JoinState { .. } => 6,
             Message::Shutdown => 7,
+            Message::QuantizedUpdate { .. } => 8,
         }
     }
 
@@ -197,6 +318,11 @@ impl Message {
                 buf.extend_from_slice(payload);
             }
             Message::Shutdown => {}
+            Message::QuantizedUpdate { round, client, values } => {
+                buf.extend_from_slice(&round.to_le_bytes());
+                buf.extend_from_slice(&client.to_le_bytes());
+                values.encode_into(buf);
+            }
         }
     }
 
@@ -252,6 +378,12 @@ impl Message {
                 Ok(Message::JoinState { payload })
             }
             7 => Ok(Message::Shutdown),
+            8 => {
+                let round = need_u32(&mut data)?;
+                let client = need_u32(&mut data)?;
+                let values = QuantizedValues::decode_from(&mut data)?;
+                Ok(Message::QuantizedUpdate { round, client, values })
+            }
             other => Err(DecodeError::BadTag(other)),
         }
     }
@@ -350,5 +482,63 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn sparse_length_mismatch_panics() {
         SparseValues::sparse(vec![1], vec![1.0, 2.0]);
+    }
+
+    fn quantized_msg() -> Message {
+        Message::QuantizedUpdate {
+            round: 5,
+            client: 3,
+            values: QuantizedValues::new(15, 4, vec![2.5, 0.0, 1.25], vec![0x81, 3, 0, 7, 0x8F, 1, 2, 3, 9]),
+        }
+    }
+
+    #[test]
+    fn quantized_update_roundtrips() {
+        roundtrip(quantized_msg());
+        roundtrip(Message::QuantizedUpdate {
+            round: 0,
+            client: 0,
+            values: QuantizedValues::new(1, 0, vec![], vec![]),
+        });
+    }
+
+    #[test]
+    fn quantized_update_wire_size_is_one_byte_per_scalar_plus_scales() {
+        let msg = quantized_msg();
+        // 4 header + 8 (round, client) + 12 (levels, chunk_len, scale count)
+        // + 3×4 scales + 4 code count + 9 codes.
+        assert_eq!(msg.encode().len(), 4 + 8 + 12 + 12 + 4 + 9);
+    }
+
+    #[test]
+    fn quantized_truncation_rejected_at_every_cut() {
+        let bytes = quantized_msg().encode();
+        for cut in 0..bytes.len() {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn quantized_inconsistencies_rejected() {
+        let ok = quantized_msg().encode();
+        // Declared levels above the 7-bit ceiling.
+        let mut bad = ok.clone();
+        bad.splice(12..16, 127u32.to_le_bytes());
+        assert!(matches!(Message::decode(&bad), Err(DecodeError::Inconsistent(_))));
+        // Zero chunk_len with codes present.
+        let mut bad = ok.clone();
+        bad.splice(16..20, 0u32.to_le_bytes());
+        assert!(matches!(Message::decode(&bad), Err(DecodeError::Inconsistent(_))));
+        // A code whose level exceeds levels + 1.
+        let mut bad = ok;
+        let last = bad.len() - 1;
+        bad[last] = 0x80 | 17;
+        assert!(matches!(Message::decode(&bad), Err(DecodeError::Inconsistent(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale count mismatch")]
+    fn quantized_scale_mismatch_panics() {
+        QuantizedValues::new(15, 4, vec![1.0], vec![0; 9]);
     }
 }

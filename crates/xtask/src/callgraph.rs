@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, BTreeSet};
 const ROOTS: [(&str, &str); 5] = [
     ("run", "fl/src/experiment.rs"),
     ("aggregate", "core/src/manager.rs"),
-    ("prepare_uploads", "core/src/manager.rs"),
+    ("prepare_uploads_into", "core/src/manager.rs"),
     // The reliable session protocol: everything a blocked send/recv can
     // reach (framing, chaos decorators, the bus) is panic-audited too.
     ("send_reliable", "transport/src/session.rs"),

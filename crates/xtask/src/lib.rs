@@ -22,6 +22,7 @@ pub mod allocflow;
 pub mod allowlist;
 pub mod ast;
 pub mod baseline;
+pub mod benchcheck;
 pub mod budget;
 pub mod callgraph;
 pub mod dataflow;

@@ -13,7 +13,9 @@ use fedsu_xtask::baseline::BASELINE_FILE;
 use fedsu_xtask::budget::BUDGET_FILE;
 use fedsu_xtask::rules::RULE_IDS;
 use fedsu_xtask::workspace::{self, SourceFile};
-use fedsu_xtask::{baseline, budget, explain, lint_files, read_gate_file, sarif, ALLOW_FILE};
+use fedsu_xtask::{
+    baseline, benchcheck, budget, explain, lint_files, read_gate_file, sarif, ALLOW_FILE,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -21,6 +23,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_command(&args[1..]),
+        Some("bench-check") => bench_check_command(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -48,6 +51,142 @@ fn print_usage() {
     eprintln!("Alloc budget: {BUDGET_FILE} (regenerate with --fix-budget).");
     eprintln!("--format sarif emits SARIF 2.1.0 on stdout for CI annotation.");
     eprintln!("--explain RULE prints a rule's rationale, example, and waiver policy.");
+    eprintln!();
+    eprintln!(
+        "       cargo run -p fedsu-xtask -- bench-check --current FILE\n\
+         \x20                                       [--baseline FILE] [--tolerance PCT] [--fix]"
+    );
+    eprintln!("Perf ratchet for the kernel bench: compares within-run GFLOP/s ratios");
+    eprintln!("(vs serial_reference) against {BENCH_BASELINE_FILE}; >PCT% drop fails.");
+    eprintln!("--fix replaces the checked-in baseline with the current run.");
+}
+
+/// Checked-in kernel-bench baseline, relative to the workspace root.
+const BENCH_BASELINE_FILE: &str = "BENCH_kernels.json";
+
+fn bench_check_command(raw_args: &[String]) -> ExitCode {
+    let mut current_path: Option<PathBuf> = None;
+    let mut baseline_override: Option<PathBuf> = None;
+    let mut tolerance = benchcheck::DEFAULT_TOLERANCE;
+    let mut fix = false;
+    let mut it = raw_args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--current" => match it.next() {
+                Some(p) => current_path = Some(PathBuf::from(p)),
+                None => return usage_error("--current requires a file argument"),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_override = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline requires a file argument"),
+            },
+            "--tolerance" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(pct)) if pct >= 0.0 && pct < 100.0 => tolerance = pct / 100.0,
+                _ => return usage_error("--tolerance requires a percentage in [0, 100)"),
+            },
+            "--fix" => fix = true,
+            other => return usage_error(&format!("unknown bench-check argument `{other}`")),
+        }
+    }
+    let Some(current_path) = current_path else {
+        return usage_error(
+            "bench-check needs --current FILE (run the kernels bench with \
+             FEDSU_BENCH_OUT=FILE first)",
+        );
+    };
+
+    let start = std::env::current_dir()
+        .ok()
+        .or_else(|| option_env!("CARGO_MANIFEST_DIR").map(PathBuf::from));
+    let Some(root) = start.as_deref().and_then(workspace::find_root) else {
+        eprintln!("error: no workspace root (Cargo.toml with [workspace]) above cwd");
+        return ExitCode::from(2);
+    };
+    let baseline_path = baseline_override.unwrap_or_else(|| root.join(BENCH_BASELINE_FILE));
+
+    let current_text = match std::fs::read_to_string(&current_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {}: cannot read current run: {e}", current_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let current = match benchcheck::parse_json(&current_text).and_then(|d| benchcheck::distill(&d))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {}: {e}", current_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if fix {
+        // Refuse to enshrine a diverging run even when asked to fix.
+        if !current.all_bit_identical {
+            eprintln!("error: refusing --fix: current run is not bit-identical");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&baseline_path, &current_text) {
+            eprintln!("error: {}: cannot write baseline: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "fedsu-xtask bench-check: baseline regenerated from {} at {}",
+            current_path.display(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {}: cannot read baseline: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let baseline =
+        match benchcheck::parse_json(&baseline_text).and_then(|d| benchcheck::distill(&d)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+
+    match benchcheck::check(&baseline, &current, tolerance) {
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            println!(
+                "fedsu-xtask bench-check: {} configuration(s) compared (current simd \
+                 level: {}), {} skipped (simd level differs from baseline), \
+                 {} regression(s), tolerance {:.0}%",
+                outcome.compared,
+                current.simd_level,
+                outcome.skipped_simd_mismatch,
+                outcome.regressions.len(),
+                tolerance * 100.0
+            );
+            for r in &outcome.regressions {
+                eprintln!("error[bench-regression]: {r}");
+            }
+            if outcome.regressions.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    print_usage();
+    ExitCode::from(2)
 }
 
 /// Parsed `lint` flags.

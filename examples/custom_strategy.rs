@@ -24,9 +24,16 @@ impl SyncStrategy for LazySync {
         "lazy-sync"
     }
 
-    fn prepare_uploads(&mut self, round: usize, locals: &[Vec<f32>], global: &[f32]) -> Vec<u64> {
+    fn prepare_uploads_into(
+        &mut self,
+        round: usize,
+        locals: &[Vec<f32>],
+        global: &[f32],
+        out: &mut Vec<u64>,
+    ) {
         let due = (0..global.len()).filter(|j| (round + j) % self.period == 0).count() as u64;
-        vec![due; locals.len()]
+        out.clear();
+        out.resize(locals.len(), due);
     }
 
     fn aggregate(

@@ -301,3 +301,154 @@ fn lossy_wire_still_matches_and_retransmission_accounting_is_shared() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// QSGD quantized-frame parity: the tag-8 `QuantizedUpdate` frame carries one
+// byte per scalar plus a per-chunk scale, so the bytes framed on the bus are
+// exactly what a byte-accounting emulation would charge — and decoding +
+// dequantizing on the server reproduces the in-process strategy's arithmetic
+// bit-for-bit (same RNG draws, same `((scale·sign)·level)/s` chain, same
+// mean-then-apply aggregation order).
+// ---------------------------------------------------------------------------
+
+use fedsu_repro::fl::SyncStrategy;
+use fedsu_repro::strategies::{Qsgd, QsgdConfig};
+use fedsu_repro::transport::QuantizedValues;
+
+const QCFG: QsgdConfig = QsgdConfig { levels: 15, seed: 0xC0DE };
+
+/// Deterministic per-round client drift; scalar 3 lands on `-0.0` to pin the
+/// sign-bit encoding.
+fn q_update(round: usize, j: usize) -> f32 {
+    if j == 3 {
+        -0.0
+    } else {
+        ((round * 17 + j * 5) % 11) as f32 * 0.03 - 0.15
+    }
+}
+
+/// Emulated leg: the in-process `Qsgd` strategy (quantization inside
+/// `aggregate`), recording the global after every round.
+fn qsgd_emulated_globals() -> Vec<Vec<f32>> {
+    let mut strat = Qsgd::new(QCFG);
+    let mut global = vec![0.0f32; PARAMS];
+    let mut globals = Vec::with_capacity(ROUNDS);
+    let mut uploads = Vec::new();
+    for round in 0..ROUNDS {
+        let locals: Vec<Vec<f32>> =
+            vec![global.iter().enumerate().map(|(j, g)| g + q_update(round, j)).collect()];
+        strat.prepare_uploads_into(round, &locals, &global, &mut uploads);
+        strat.aggregate(round, &locals, &[0], &[true], &mut global);
+        globals.push(global.clone());
+    }
+    globals
+}
+
+/// Wire leg: the client quantizes to wire codes, frames them as
+/// `Message::QuantizedUpdate`, and pushes them through the reliable session
+/// over the (zero-fault) chaos bus; the server decodes, dequantizes, and
+/// applies the same one-client mean chain the emulated aggregate uses.
+fn qsgd_wire_leg() -> (Vec<Vec<f32>>, u64) {
+    let (server, clients) = LocalBus::star(1);
+    let faults = FaultConfig::default();
+    let chaos_server = ChaosServer::new(server, FaultPlan::new(faults));
+    let mut srv = ServerSession::new(chaos_server, session_cfg());
+
+    let endpoint = clients.into_iter().next().unwrap();
+    let chaos = ChaosClient::new(endpoint, FaultPlan::new(faults), 0);
+    let handle = std::thread::spawn(move || {
+        let mut session = ClientSession::new(chaos, 0, session_cfg());
+        let mut encoder = Qsgd::new(QCFG);
+        let mut codes = Vec::new();
+        for round in 0..ROUNDS {
+            session.begin_epoch(round as u32);
+            let global = match session.recv_reliable(T).unwrap() {
+                Message::Model { round: r, values } => {
+                    assert_eq!(r as usize, round);
+                    values.values
+                }
+                other => panic!("client: unexpected {other:?}"),
+            };
+            // Same expressions as the emulated leg: local = g + drift,
+            // update = local - g (NOT just the drift — fp rounding differs).
+            let local: Vec<f32> =
+                global.iter().enumerate().map(|(j, g)| g + q_update(round, j)).collect();
+            let update: Vec<f32> = local.iter().zip(&global).map(|(l, g)| l - g).collect();
+            let scale = encoder.quantize_to_codes(&update, &mut codes).unwrap();
+            session
+                .send_reliable(&Message::QuantizedUpdate {
+                    round: round as u32,
+                    client: 0,
+                    values: QuantizedValues::new(
+                        QCFG.levels,
+                        PARAMS as u32,
+                        vec![scale],
+                        codes.clone(),
+                    ),
+                })
+                .unwrap();
+        }
+        session.linger(LINGER);
+    });
+
+    let mut globals = Vec::with_capacity(ROUNDS);
+    let mut global = vec![0.0f32; PARAMS];
+    let mut quantized_payload = 0u64;
+    let mut deq = Vec::new();
+    for round in 0..ROUNDS {
+        srv.begin_epoch(round as u32);
+        srv.broadcast_reliable(&Message::Model {
+            round: round as u32,
+            values: SparseValues::dense(global.clone()),
+        })
+        .unwrap();
+        let (from, msg) = srv.recv_reliable(T).unwrap();
+        assert_eq!(from, 0);
+        quantized_payload = msg.encode().len() as u64;
+        match msg {
+            Message::QuantizedUpdate { round: r, client: 0, values } => {
+                assert_eq!(r as usize, round);
+                assert_eq!(values.levels, QCFG.levels);
+                assert_eq!(values.scales.len(), 1);
+                Qsgd::dequantize_codes_into(values.levels, values.scales[0], &values.codes, &mut deq);
+                // One selected client: mean_q = 0 + 1·q, then global += mean_q
+                // (the exact chain `aggregate` runs; `0 + 1·(-0.0)` is `+0.0`,
+                // so the intermediate matters for bit-parity).
+                for (g, &d) in global.iter_mut().zip(&deq) {
+                    let mean = 0.0f32 + 1.0 * d;
+                    *g += mean;
+                }
+            }
+            other => panic!("server: unexpected {other:?}"),
+        }
+        globals.push(global.clone());
+    }
+    while !handle.is_finished() {
+        srv.linger(Duration::from_millis(25));
+    }
+    handle.join().unwrap();
+    (globals, quantized_payload)
+}
+
+#[test]
+fn qsgd_codes_on_the_bus_reproduce_the_emulated_strategy_bit_for_bit() {
+    let (wire, payload) = qsgd_wire_leg();
+    let emulated = qsgd_emulated_globals();
+    assert_eq!(wire.len(), emulated.len());
+    for (round, (w, e)) in wire.iter().zip(&emulated).enumerate() {
+        for (j, (a, b)) in w.iter().zip(e).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "round {round} scalar {j}: wire {a} vs emulated {b}"
+            );
+        }
+    }
+    // Byte accounting: the framed payload is exactly header(4) + ids(8) +
+    // levels/chunk_len/scale-count(12) + one scale(4) + code count(4) + one
+    // code byte per scalar — and is smaller than the dense f32 frame.
+    assert_eq!(payload as usize, 4 + 8 + 12 + 4 + 4 + PARAMS);
+    let dense =
+        Message::Update { round: 0, client: 0, values: SparseValues::dense(vec![0.0; PARAMS]) };
+    assert!((payload as usize) < dense.encode().len());
+}
